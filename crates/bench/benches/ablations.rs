@@ -1,0 +1,182 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! replacement policy, I/O scheduler, allocator, and readahead — each
+//! swept while everything else is held fixed. Criterion reports the
+//! simulation cost; the printed side-channel metrics (hit ratios, drain
+//! times) are the experimental result.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_simcache::cache::{CacheConfig, PageCache};
+use rb_simcache::policy::PolicyKind;
+use rb_simcache::readahead::ReadaheadConfig;
+use rb_simcache::writeback::WritebackConfig;
+use rb_simcore::dist::Zipf;
+use rb_simcore::rng::Rng;
+use rb_simcore::time::Nanos;
+use rb_simdisk::device::{BlockDevice, IoRequest};
+use rb_simdisk::hdd::{Hdd, HddConfig};
+use rb_simdisk::sched::{IoQueue, SchedPolicy};
+use rb_simfs::alloc::{BitmapAllocator, ExtentAllocator};
+
+/// Replacement-policy ablation: zipf-skewed reads, cache at 25 % of the
+/// working set. Prints the achieved hit ratio per policy once.
+fn bench_policy_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/policy_zipf");
+    for kind in PolicyKind::ALL {
+        // Report hit ratio out-of-band (once per policy).
+        let mut cache = PageCache::new(CacheConfig {
+            capacity_pages: 2048,
+            policy: kind,
+            readahead: ReadaheadConfig::disabled(),
+            writeback: WritebackConfig::default(),
+        });
+        let zipf = Zipf::new(8192, 0.9);
+        let mut rng = Rng::new(7);
+        for _ in 0..100_000 {
+            cache.read(1, zipf.sample(&mut rng) as u64, 1, 8192, Nanos::ZERO);
+        }
+        eprintln!(
+            "ablation/policy_zipf/{}: hit ratio {:.3}",
+            kind.name(),
+            cache.stats().hit_ratio()
+        );
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let page = zipf.sample(&mut rng) as u64;
+                black_box(cache.read(1, page, 1, 8192, Nanos::ZERO).hit_pages)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Scheduler ablation: drain a 64-request scattered batch; prints the
+/// virtual completion time per policy.
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/scheduler");
+    group.sample_size(20);
+    let policies = [
+        ("noop", SchedPolicy::Noop),
+        ("scan", SchedPolicy::Scan),
+        ("cscan", SchedPolicy::CScan),
+        ("deadline", SchedPolicy::Deadline { expire: Nanos::from_millis(200) }),
+    ];
+    for (name, policy) in policies {
+        // Report the batch completion time once.
+        let mut disk = Hdd::new(HddConfig::maxtor_7l250s0_like());
+        let cap = disk.capacity_blocks();
+        let mut q = IoQueue::new(policy);
+        let mut rng = Rng::new(8);
+        for _ in 0..64 {
+            q.push(IoRequest::read(rng.below(cap - 2), 2), Nanos::ZERO);
+        }
+        let done = q.drain(&mut disk, Nanos::ZERO);
+        eprintln!(
+            "ablation/scheduler/{name}: 64-request batch drains in {}",
+            done.last().unwrap().finished
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut disk = Hdd::new(HddConfig::maxtor_7l250s0_like());
+                let mut q = IoQueue::new(policy);
+                let mut rng = Rng::new(8);
+                for _ in 0..64 {
+                    q.push(IoRequest::read(rng.below(cap - 2), 2), Nanos::ZERO);
+                }
+                black_box(q.drain(&mut disk, Nanos::ZERO).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Allocator ablation: bitmap first-fit vs extent best-fit under churn;
+/// prints resulting fragmentation once.
+fn bench_allocator_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/allocator");
+    group.sample_size(20);
+    group.bench_function("bitmap_churn", |b| {
+        b.iter(|| {
+            let mut a = BitmapAllocator::new(65_536, 8_192);
+            let mut rng = Rng::new(9);
+            let mut live = Vec::new();
+            for _ in 0..400 {
+                if rng.chance(0.6) || live.is_empty() {
+                    if let Ok(runs) = a.alloc(rng.range(8, 128), rng.below(65_536)) {
+                        live.extend(runs);
+                    }
+                } else {
+                    let idx = rng.below(live.len() as u64) as usize;
+                    let run = live.swap_remove(idx);
+                    a.free(run).unwrap();
+                }
+            }
+            black_box(a.fragmentation(64))
+        });
+    });
+    group.bench_function("extent_churn", |b| {
+        b.iter(|| {
+            let mut a = ExtentAllocator::new(65_536);
+            let mut rng = Rng::new(9);
+            let mut live = Vec::new();
+            for _ in 0..400 {
+                if rng.chance(0.6) || live.is_empty() {
+                    if let Ok(runs) = a.alloc(rng.range(8, 128), rng.below(65_536)) {
+                        live.extend(runs);
+                    }
+                } else {
+                    let idx = rng.below(live.len() as u64) as usize;
+                    let run = live.swap_remove(idx);
+                    a.free(run).unwrap();
+                }
+            }
+            black_box(a.free_extents())
+        });
+    });
+    group.finish();
+}
+
+/// Readahead ablation: sequential stream with and without readahead;
+/// prints the virtual time per MiB once.
+fn bench_readahead_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/readahead");
+    group.sample_size(10);
+    for (name, ra) in [
+        ("on", ReadaheadConfig::default()),
+        ("off", ReadaheadConfig::disabled()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                use rb_core::target::Target;
+                let mut t = rb_core::testbed::Testbed {
+                    fs: rb_core::testbed::FsKind::Ext2,
+                    device: rb_simcore::units::Bytes::mib(256),
+                    cache: rb_simcore::units::Bytes::mib(64),
+                    policy: PolicyKind::Lru,
+                    readahead: ra,
+                    seed: 0,
+                }
+                .build();
+                t.create("/f").unwrap();
+                let fd = t.open("/f").unwrap();
+                t.set_size(fd, rb_simcore::units::Bytes::mib(32)).unwrap();
+                t.drop_caches();
+                let mut off = rb_simcore::units::Bytes::ZERO;
+                while off < rb_simcore::units::Bytes::mib(32) {
+                    t.read(fd, off, rb_simcore::units::Bytes::kib(8)).unwrap();
+                    off += rb_simcore::units::Bytes::kib(8);
+                }
+                black_box(t.now())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_ablation,
+    bench_scheduler_ablation,
+    bench_allocator_ablation,
+    bench_readahead_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Figure-regeneration benches: every paper artifact's driver runs here
+//! at reduced scale, so `cargo bench` exercises (and times) the complete
+//! reproduction pipeline — E1, E1z, E2, E3, E4, T1 and the nano suite
+//! from DESIGN.md's experiment index.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rb_core::figures::{
+    fig1, fig1_zoom, fig2, fig3, fig4, Fig1Config, Fig1ZoomConfig, Fig2Config, Fig3Config,
+    Fig4Config,
+};
+use rb_core::nano::{run_suite, NanoConfig};
+use rb_core::runner::RunPlan;
+use rb_core::survey::{render_table1, table1};
+use rb_core::testbed::FsKind;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+
+/// A trimmed Figure 1: two sizes (one per regime), one run each.
+fn tiny_fig1_config() -> Fig1Config {
+    let mut plan = RunPlan::paper_fig1(0);
+    plan.runs = 1;
+    plan.duration = Nanos::from_secs(20);
+    plan.tail_windows = 1;
+    Fig1Config {
+        sizes: vec![Bytes::mib(64), Bytes::mib(768)],
+        plan,
+        device: Bytes::gib(1),
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_two_points", |b| {
+        let cfg = tiny_fig1_config();
+        b.iter(|| black_box(fig1(&cfg).unwrap().points.len()));
+    });
+    group.bench_function("fig1zoom_three_points", |b| {
+        let mut cfg = Fig1ZoomConfig::quick();
+        cfg.plan.runs = 1;
+        cfg.plan.duration = Nanos::from_secs(20);
+        cfg.plan.tail_windows = 1;
+        cfg.step = Bytes::mib(32);
+        b.iter(|| black_box(fig1_zoom(&cfg).unwrap().points.len()));
+    });
+    group.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig2_warmup_race", |b| {
+        let cfg = Fig2Config {
+            file_size: Bytes::mib(64),
+            duration: Nanos::from_secs(120),
+            window: Nanos::from_secs(10),
+            seed: 0,
+            device: Bytes::mib(512),
+            systems: FsKind::ALL.to_vec(),
+        };
+        b.iter(|| black_box(fig2(&cfg).unwrap().curves.len()));
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3_histograms", |b| {
+        let cfg = Fig3Config {
+            sizes: vec![Bytes::mib(32), Bytes::mib(820)],
+            warmup: Nanos::from_secs(10),
+            measure: Nanos::from_secs(20),
+            seed: 0,
+        };
+        b.iter(|| black_box(fig3(&cfg).unwrap().histograms.len()));
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_histogram_timeline", |b| {
+        let cfg = Fig4Config {
+            file_size: Bytes::mib(48),
+            duration: Nanos::from_secs(60),
+            window: Nanos::from_secs(10),
+            seed: 0,
+        };
+        b.iter(|| black_box(fig4(&cfg).unwrap().windows.len()));
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("figures/table1_render", |b| {
+        let rows = table1();
+        b.iter(|| black_box(render_table1(&rows).len()));
+    });
+}
+
+fn bench_nano(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("nano_suite_ext2", |b| {
+        let cfg = NanoConfig {
+            device: Bytes::gib(2),
+            seed: 0,
+            duration: Nanos::from_secs(5),
+            working_file: Bytes::mib(48),
+        };
+        b.iter(|| black_box(run_suite(FsKind::Ext2, &cfg).unwrap().results.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_table1,
+    bench_nano
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates paper Figure 1: Ext2 random-read throughput and relative
+//! standard deviation vs file size (64 MB → 1024 MB, 10 runs each).
+//!
+//! Usage: `cargo run -p rb-bench --release --bin fig1 [-- --quick]`
+
+use rb_bench::{quick_requested, write_results};
+use rb_core::figures::{fig1, render_fig1, Fig1Config};
+use rb_core::report::{to_csv, to_gnuplot};
+
+fn main() {
+    let config = if quick_requested() { Fig1Config::quick() } else { Fig1Config::paper() };
+    eprintln!(
+        "fig1: {} sizes x {} runs of {}s virtual each...",
+        config.sizes.len(),
+        config.plan.runs,
+        config.plan.duration.as_secs()
+    );
+    let data = fig1(&config).expect("fig1 experiment");
+    print!("{}", render_fig1(&data));
+
+    // Machine-readable outputs.
+    let rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = vec![
+                format!("{}", p.size.as_mib()),
+                format!("{:.1}", p.mean),
+                format!("{:.2}", p.rsd),
+            ];
+            row.extend(p.samples.iter().map(|s| format!("{s:.1}")));
+            row
+        })
+        .collect();
+    let mut headers = vec!["size_mib", "mean_ops_per_sec", "rsd_percent"];
+    let run_names: Vec<String> =
+        (0..config.plan.runs).map(|i| format!("run{i}")).collect();
+    headers.extend(run_names.iter().map(|s| s.as_str()));
+    write_results("fig1.csv", &to_csv(&headers, &rows));
+
+    let throughput: Vec<(f64, f64)> = data.fragility.means.clone();
+    let rsd: Vec<(f64, f64)> = data.fragility.rsds.clone();
+    write_results(
+        "fig1.dat",
+        &to_gnuplot("size_mib", &[("ops_per_sec", &throughput), ("rsd_percent", &rsd)]),
+    );
+}

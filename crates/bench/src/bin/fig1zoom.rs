@@ -1,0 +1,38 @@
+//! Regenerates the paper's Section 3.1 zoom: the throughput drop between
+//! 384 MB and 448 MB happens within a < 6 MB window.
+//!
+//! Usage: `cargo run -p rb-bench --release --bin fig1zoom [-- --quick]`
+
+use rb_bench::{quick_requested, write_results};
+use rb_core::figures::{fig1_zoom, render_fig1, Fig1ZoomConfig};
+use rb_core::report::to_csv;
+
+fn main() {
+    let config =
+        if quick_requested() { Fig1ZoomConfig::quick() } else { Fig1ZoomConfig::paper() };
+    eprintln!(
+        "fig1zoom: {}..{} step {}...",
+        config.lo, config.hi, config.step
+    );
+    let data = fig1_zoom(&config).expect("fig1 zoom experiment");
+    print!("{}", render_fig1(&data));
+    match data.fragility.halving_distance() {
+        Some(d) => println!("throughput halves within {d:.0} MiB (paper: < 6 MB region)"),
+        None => println!("no halving found in the zoom range"),
+    }
+    let rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.size.as_mib()),
+                format!("{:.1}", p.mean),
+                format!("{:.2}", p.rsd),
+            ]
+        })
+        .collect();
+    write_results(
+        "fig1zoom.csv",
+        &to_csv(&["size_mib", "mean_ops_per_sec", "rsd_percent"], &rows),
+    );
+}

@@ -1,0 +1,40 @@
+//! Runs the Section 4 nano-benchmark suite against all three simulated
+//! file systems and prints the multi-dimensional comparison the paper
+//! asks for instead of single numbers.
+//!
+//! Usage: `cargo run -p rb-bench --release --bin nano [-- --quick]`
+
+use rb_bench::{quick_requested, write_results};
+use rb_core::nano::{render_report, run_suite, NanoConfig};
+use rb_core::report::to_csv;
+use rb_core::testbed::FsKind;
+
+fn main() {
+    let config = if quick_requested() { NanoConfig::quick() } else { NanoConfig::default() };
+    let mut csv_rows = Vec::new();
+    for kind in FsKind::ALL {
+        eprintln!("nano suite: {}...", kind.name());
+        let report = run_suite(kind, &config).expect("nano suite");
+        print!("{}", render_report(&report));
+        println!();
+        for r in &report.results {
+            for m in &r.metrics {
+                csv_rows.push(vec![
+                    kind.name().to_string(),
+                    r.component.to_string(),
+                    r.dimension.label().to_string(),
+                    m.name.to_string(),
+                    format!("{:.3}", m.value),
+                    m.unit.to_string(),
+                ]);
+            }
+        }
+    }
+    write_results(
+        "nano.csv",
+        &to_csv(
+            &["fs", "component", "dimension", "metric", "value", "unit"],
+            &csv_rows,
+        ),
+    );
+}

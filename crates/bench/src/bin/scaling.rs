@@ -1,0 +1,42 @@
+//! Regenerates the scaling-dimension saturation curves: closed-loop
+//! threads over shared cache + single spindle, memory-bound vs
+//! disk-bound. Not a paper figure — the measurement the paper's fifth
+//! dimension calls for.
+//!
+//! Usage: `cargo run -p rb-bench --release --bin scaling [-- --quick]`
+
+use rb_bench::{quick_requested, write_results};
+use rb_core::report::to_csv;
+use rb_core::scaling::{render_curve, thread_scaling, ScalingConfig};
+use rb_core::testbed::FsKind;
+use rb_simcore::time::Nanos;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, mut cfg) in [
+        ("memory-bound", ScalingConfig::memory_bound()),
+        ("disk-bound", ScalingConfig::disk_bound()),
+    ] {
+        if quick_requested() {
+            cfg.duration = Nanos::from_secs(5);
+        }
+        let curve = thread_scaling(FsKind::Ext2, &cfg).expect("scaling sweep");
+        print!("{}", render_curve(label, &curve));
+        println!();
+        for p in &curve.points {
+            rows.push(vec![
+                label.to_string(),
+                p.threads.to_string(),
+                format!("{:.1}", p.ops_per_sec),
+                format!("{:.3}", p.speedup),
+            ]);
+        }
+    }
+    write_results(
+        "scaling.csv",
+        &to_csv(&["regime", "threads", "ops_per_sec", "speedup"], &rows),
+    );
+    println!("Memory-bound work scales to the core count; disk-bound work");
+    println!("queues on the spindle. One workload, two completely different");
+    println!("scaling answers — dimension five of five.");
+}

@@ -1,0 +1,51 @@
+//! # rb-bench — paper-artifact regenerators and performance benches
+//!
+//! One binary per paper artifact (`fig1`, `fig1zoom`, `fig2`, `fig3`,
+//! `fig4`, `table1`, `nano`); each prints the rows/series the paper
+//! reports and drops machine-readable `.csv`/`.dat` files under
+//! `results/`. Criterion benches cover the simulation substrate and the
+//! harness's ablation studies (cache policies, I/O schedulers,
+//! allocators).
+//!
+//! Run `cargo run -p rb-bench --release --bin fig1 -- --quick` for a
+//! smoke pass or without `--quick` for the paper protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+/// Returns true if `--quick` was passed on the command line.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// Directory where regenerators drop data files (`results/`, created on
+/// demand next to the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).ok();
+    dir.to_path_buf()
+}
+
+/// Writes a data file into [`results_dir`], reporting the path on
+/// stdout. I/O failures are reported, not fatal: the figures also print
+/// to the terminal.
+pub fn write_results(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,345 @@
+//! Interpreting results: regimes, fragility, warm-up, fair comparison.
+//!
+//! The paper's complaint is not only that benchmarks are fragile but that
+//! researchers *report results without noticing*. This module is the
+//! "careful researcher" automated: it classifies which regime a
+//! measurement ran in, locates cliffs and fragile transition regions in
+//! sweeps, characterizes warm-up, and refuses to bless comparisons made
+//! from bimodal (mixed-regime) data.
+
+use crate::workload::Recording;
+use rb_stats::changepoint::{steepest_drop, transition_window, Cliff};
+use rb_stats::compare::{welch_t, WelchT};
+use rb_stats::moments::Moments;
+use rb_stats::peaks::{classify_modality, Modality};
+use rb_stats::timeseries::Window;
+
+/// The performance regime a run executed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Working set fits in cache: measuring memory/CPU.
+    MemoryBound,
+    /// Working set far exceeds cache: measuring the disk.
+    DiskBound,
+    /// Mixed hit/miss operation: the fragile middle.
+    Transition,
+}
+
+impl Regime {
+    /// Classifies a run from its cache hit ratio, using the latency
+    /// histogram's modality as a cross-check.
+    pub fn classify(recording: &Recording) -> Regime {
+        let modality = classify_modality(&recording.histogram);
+        match recording.hit_ratio {
+            Some(h) if h >= 0.995 => Regime::MemoryBound,
+            Some(h) if h <= 0.05 => Regime::DiskBound,
+            Some(_) => Regime::Transition,
+            None => match modality {
+                Modality::Bimodal | Modality::Multimodal => Regime::Transition,
+                _ => {
+                    // Fall back to the dominant latency scale.
+                    match recording.histogram.mode_bucket() {
+                        Some(b) if b >= 18 => Regime::DiskBound,
+                        Some(_) => Regime::MemoryBound,
+                        None => Regime::Transition,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::MemoryBound => "memory-bound",
+            Regime::DiskBound => "disk-bound",
+            Regime::Transition => "transition",
+        }
+    }
+}
+
+/// Fragility analysis of a parameter sweep (Figure 1's story).
+#[derive(Debug, Clone)]
+pub struct FragilityReport {
+    /// Mean throughput per sweep point `(x, mean)`.
+    pub means: Vec<(f64, f64)>,
+    /// RSD (%) per sweep point `(x, rsd)`.
+    pub rsds: Vec<(f64, f64)>,
+    /// Steepest cliff, if any.
+    pub cliff: Option<Cliff>,
+    /// Transition window `(x_lo, x_hi)`, if identifiable.
+    pub transition: Option<(f64, f64)>,
+    /// Sweep point with the largest RSD.
+    pub max_rsd_at: Option<(f64, f64)>,
+}
+
+impl FragilityReport {
+    /// Analyzes per-point samples: `(x, run samples)` pairs.
+    pub fn from_sweep(points: &[(f64, Vec<f64>)]) -> FragilityReport {
+        let mut means = Vec::with_capacity(points.len());
+        let mut rsds = Vec::with_capacity(points.len());
+        for (x, samples) in points {
+            let m = Moments::from_slice(samples);
+            means.push((*x, m.mean()));
+            rsds.push((*x, m.rsd_percent()));
+        }
+        let cliff = steepest_drop(&means);
+        let transition = transition_window(&means, 0.15);
+        let max_rsd_at = rsds
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        FragilityReport { means, rsds, cliff, transition, max_rsd_at }
+    }
+
+    /// The narrowest x-distance over which mean throughput halves —
+    /// the Section 3.1 zoom metric ("drops within less than 6 MB").
+    pub fn halving_distance(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for i in 0..self.means.len() {
+            let (xi, yi) = self.means[i];
+            if yi <= 0.0 {
+                continue;
+            }
+            for (xj, yj) in self.means.iter().copied().skip(i + 1) {
+                if yj * 2.0 <= yi {
+                    let d = xj - xi;
+                    if best.is_none_or(|b| d < b) {
+                        best = Some(d);
+                    }
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Warm-up characterization of a single run (Figure 2's story).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupReport {
+    /// Window index where steady state begins, if reached.
+    pub steady_from_window: Option<usize>,
+    /// Seconds of warm-up before steady state.
+    pub warmup_seconds: Option<f64>,
+    /// Throughput ratio steady/initial (the S-curve's rise).
+    pub rise_factor: f64,
+}
+
+impl WarmupReport {
+    /// Analyzes a windowed throughput series.
+    pub fn from_windows(windows: &[Window], rsd_limit: f64) -> WarmupReport {
+        let ys: Vec<f64> = windows.iter().map(|w| w.ops_per_sec).collect();
+        let steady = rb_stats::changepoint::steady_state_start(&ys, rsd_limit);
+        let warmup_seconds = steady.and_then(|i| windows.get(i)).map(|w| w.start.as_secs_f64());
+        let first = ys.iter().copied().find(|&y| y > 0.0).unwrap_or(0.0);
+        let last = ys.last().copied().unwrap_or(0.0);
+        let rise_factor = if first > 0.0 { last / first } else { 0.0 };
+        WarmupReport { steady_from_window: steady, warmup_seconds, rise_factor }
+    }
+}
+
+/// Verdict of a two-system comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonVerdict {
+    /// The underlying test.
+    pub test: WelchT,
+    /// Regimes the two measurements ran in.
+    pub regimes: (Regime, Regime),
+    /// Whether the comparison is methodologically sound.
+    pub sound: bool,
+    /// Human-readable explanation.
+    pub explanation: String,
+}
+
+/// Compares two systems' run samples, refusing to bless mixed-regime
+/// comparisons (the paper: depending on when you measure during the
+/// transition, "the results can show differences ranging anywhere from a
+/// few percentage points to nearly an order of magnitude").
+pub fn compare_systems(
+    a_name: &str,
+    a_samples: &[f64],
+    a_regime: Regime,
+    b_name: &str,
+    b_samples: &[f64],
+    b_regime: Regime,
+) -> Option<ComparisonVerdict> {
+    let test = welch_t(a_samples, b_samples)?;
+    let same_regime = a_regime == b_regime;
+    let any_transition =
+        a_regime == Regime::Transition || b_regime == Regime::Transition;
+    let sound = same_regime && !any_transition;
+    let explanation = if !same_regime {
+        format!(
+            "UNSOUND: {a_name} measured {} while {b_name} measured {}; \
+             these numbers describe different subsystems",
+            a_regime.label(),
+            b_regime.label()
+        )
+    } else if any_transition {
+        "UNSOUND: both systems are in the transition regime; results \
+             depend on cache state more than on the systems themselves".to_string()
+    } else if test.significant_at(0.05) {
+        format!(
+            "{a_name} vs {b_name} ({}): difference of {:.1} ops/s is \
+             significant (p = {:.4}, {} effect)",
+            a_regime.label(),
+            test.mean_diff,
+            test.p_value,
+            test.effect_label()
+        )
+    } else {
+        format!(
+            "{a_name} vs {b_name} ({}): no significant difference \
+             (p = {:.3})",
+            a_regime.label(),
+            test.p_value
+        )
+    };
+    Some(ComparisonVerdict { test, regimes: (a_regime, b_regime), sound, explanation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_simcore::time::Nanos;
+    use rb_stats::histogram::Log2Histogram;
+
+    fn recording_with(hit_ratio: Option<f64>, latencies: &[(u64, u64)]) -> Recording {
+        let mut histogram = Log2Histogram::new();
+        for &(ns, n) in latencies {
+            histogram.record_n(Nanos::from_nanos(ns), n);
+        }
+        Recording {
+            windows: Vec::new(),
+            histogram,
+            per_op: Default::default(),
+            ops: latencies.iter().map(|&(_, n)| n).sum(),
+            errors: 0,
+            duration: Nanos::from_secs(1),
+            hit_ratio,
+        }
+    }
+
+    #[test]
+    fn regime_from_hit_ratio() {
+        assert_eq!(
+            Regime::classify(&recording_with(Some(1.0), &[(4096, 100)])),
+            Regime::MemoryBound
+        );
+        assert_eq!(
+            Regime::classify(&recording_with(Some(0.01), &[(8_388_608, 100)])),
+            Regime::DiskBound
+        );
+        assert_eq!(
+            Regime::classify(&recording_with(Some(0.5), &[(4096, 50), (8_388_608, 50)])),
+            Regime::Transition
+        );
+    }
+
+    #[test]
+    fn regime_from_histogram_when_no_ratio() {
+        assert_eq!(
+            Regime::classify(&recording_with(None, &[(4096, 100)])),
+            Regime::MemoryBound
+        );
+        assert_eq!(
+            Regime::classify(&recording_with(None, &[(8_388_608, 100)])),
+            Regime::DiskBound
+        );
+        assert_eq!(
+            Regime::classify(&recording_with(None, &[(4096, 50), (8_388_608, 50)])),
+            Regime::Transition
+        );
+    }
+
+    #[test]
+    fn fragility_finds_cliff_and_rsd_spike() {
+        // Synthetic Figure 1: plateau, fragile middle, tail.
+        let points: Vec<(f64, Vec<f64>)> = vec![
+            (320.0, vec![9700.0, 9690.0, 9710.0]),
+            (384.0, vec![9715.0, 9700.0, 9720.0]),
+            (416.0, vec![9000.0, 4000.0, 6500.0]), // fragile!
+            (448.0, vec![1019.0, 1100.0, 950.0]),
+            (512.0, vec![465.0, 470.0, 460.0]),
+        ];
+        let rep = FragilityReport::from_sweep(&points);
+        let cliff = rep.cliff.unwrap();
+        assert_eq!(cliff.x_before, 416.0);
+        let (x, rsd) = rep.max_rsd_at.unwrap();
+        assert_eq!(x, 416.0);
+        assert!(rsd > 20.0, "rsd {rsd}");
+        let halve = rep.halving_distance().unwrap();
+        assert!(halve <= 64.0, "halving distance {halve}");
+    }
+
+    #[test]
+    fn warmup_report_on_s_curve() {
+        use rb_stats::timeseries::WindowedSeries;
+        let mut s = WindowedSeries::new(Nanos::from_secs(10));
+        // 10 windows ramping, then 10 flat.
+        let mut t = 0u64;
+        for w in 0..20u64 {
+            let rate = if w < 10 { (w + 1) * 10 } else { 110 };
+            for _ in 0..rate {
+                s.record(Nanos::from_secs(w * 10 + (t % 10)), Nanos::from_micros(5));
+                t += 1;
+            }
+        }
+        let windows = s.finish();
+        let rep = WarmupReport::from_windows(&windows, 5.0);
+        assert!(rep.steady_from_window.is_some());
+        assert!(rep.warmup_seconds.unwrap() >= 50.0);
+        assert!(rep.rise_factor > 5.0);
+    }
+
+    #[test]
+    fn comparison_blesses_same_regime() {
+        let a = [9700.0, 9690.0, 9711.0, 9705.0];
+        let b = [9100.0, 9090.0, 9111.0, 9105.0];
+        let v = compare_systems(
+            "ext2",
+            &a,
+            Regime::MemoryBound,
+            "ext3",
+            &b,
+            Regime::MemoryBound,
+        )
+        .unwrap();
+        assert!(v.sound);
+        assert!(v.explanation.contains("significant"));
+    }
+
+    #[test]
+    fn comparison_rejects_mixed_regimes() {
+        let a = [9700.0, 9690.0, 9711.0];
+        let b = [465.0, 470.0, 460.0];
+        let v = compare_systems(
+            "ext2",
+            &a,
+            Regime::MemoryBound,
+            "xfs",
+            &b,
+            Regime::DiskBound,
+        )
+        .unwrap();
+        assert!(!v.sound);
+        assert!(v.explanation.contains("UNSOUND"));
+    }
+
+    #[test]
+    fn comparison_rejects_transition() {
+        let a = [5000.0, 9000.0, 2000.0];
+        let b = [4000.0, 8500.0, 2500.0];
+        let v = compare_systems(
+            "a",
+            &a,
+            Regime::Transition,
+            "b",
+            &b,
+            Regime::Transition,
+        )
+        .unwrap();
+        assert!(!v.sound);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rb-core — the rocketbench harness
+//!
+//! The paper's contribution turned into a system: a statistically
+//! rigorous, multi-dimensional file-system benchmarking harness.
+//!
+//! * [`dimensions`] — the five-dimension taxonomy of Section 2.
+//! * [`survey`] — Table 1 (benchmark usage 1999–2010) as data + renderer.
+//! * [`target`] — systems under test: the simulated stack or a real
+//!   directory.
+//! * [`testbed`] — the paper's Xeon + Maxtor + 512 MiB machine, prewired.
+//! * [`workload`] — Filebench-style flowops and personalities.
+//! * [`runner`] — the 10-runs-with-jitter protocol and summaries.
+//! * [`figures`] — reproduction drivers for Figures 1–4.
+//! * [`nano`] — the Section 4 nano-benchmark suite.
+//! * [`analysis`] — regimes, fragility, warm-up, sound comparisons.
+//! * [`report`] — ASCII charts, CSV, gnuplot, JSON export.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rb_core::prelude::*;
+//! use rb_simcore::units::Bytes;
+//! use rb_simcore::time::Nanos;
+//!
+//! // The paper's workload on the paper's machine, 10 virtual seconds.
+//! let mut target = rb_core::testbed::paper_ext2(Bytes::gib(1), 0);
+//! let workload = personalities::random_read(Bytes::mib(16));
+//! let cfg = EngineConfig {
+//!     duration: Nanos::from_secs(10),
+//!     ..Default::default()
+//! };
+//! let rec = Engine::run(&mut target, &workload, &cfg).unwrap();
+//! assert!(rec.ops > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dimensions;
+pub mod figures;
+pub mod nano;
+pub mod report;
+pub mod runner;
+pub mod scaling;
+pub mod survey;
+pub mod target;
+pub mod testbed;
+pub mod trace;
+pub mod workload;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::analysis::{
+        compare_systems, ComparisonVerdict, FragilityReport, Regime, WarmupReport,
+    };
+    pub use crate::dimensions::{Coverage, CoverageProfile, Dimension};
+    pub use crate::figures::{
+        fig1, fig1_zoom, fig2, fig3, fig4, Fig1Config, Fig1Data, Fig2Config, Fig2Data,
+        Fig3Config, Fig3Data, Fig4Config, Fig4Data,
+    };
+    pub use crate::nano::{run_suite, NanoConfig, NanoReport};
+    pub use crate::runner::{run_many, MultiRun, RunOutcome, RunPlan};
+    pub use crate::scaling::{thread_scaling, ScalingConfig, ScalingCurve, ScalingPoint};
+    pub use crate::survey::{render_table1, table1, SurveyRow};
+    pub use crate::target::{RealFsTarget, SimTarget, Target};
+    pub use crate::testbed::{FsKind, Testbed};
+    pub use crate::trace::{replay, Recorder, ReplayResult, Trace, TraceOp};
+    pub use crate::workload::{
+        personalities, Engine, EngineConfig, FileSet, FlowOp, Recording, Workload,
+    };
+}

@@ -1,0 +1,293 @@
+//! Result rendering and export: ASCII charts, CSV, gnuplot data, JSON.
+//!
+//! Section 4 demands reporting "a range of values that span multiple
+//! dimensions" instead of single numbers. These helpers render curves,
+//! histograms and multi-run summaries for the terminal and export the
+//! underlying data for plotting. The JSON emitter is deliberately
+//! minimal (no external dependency) — enough to serialize experiment
+//! results losslessly.
+
+use std::fmt::Write as _;
+
+/// A minimal JSON value for result export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// null
+    Null,
+    /// true / false
+    Bool(bool),
+    /// A finite number (non-finite serializes as null).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Serializes to a compact JSON string.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Renders rows as CSV with proper quoting.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `(x, y)` series as a gnuplot-ready `.dat` block: one column
+/// per series, `#` comment header, NaN for missing points.
+pub fn to_gnuplot(x_label: &str, series: &[(&str, &[(f64, f64)])]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "# {x_label}");
+    for (name, _) in series {
+        let _ = write!(out, "\t{name}");
+    }
+    out.push('\n');
+    // Merge x values.
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.dedup();
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for (_, pts) in series {
+            match pts.iter().find(|&&(px, _)| (px - x).abs() < 1e-9) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, "\t{y}");
+                }
+                None => out.push_str("\tNaN"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// ASCII line chart of one or more series, sized `width` × `height`
+/// characters, with automatic y scaling. Series beyond the fourth reuse
+/// glyphs.
+pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 4] = ['*', '+', 'x', 'o'];
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (0.0f64, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts.iter() {
+            let cx = (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_lo) / (y_hi - y_lo)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_hi:>10.0} ┤");
+    for row in &grid {
+        let _ = writeln!(out, "{:>10} │{}", "", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{y_lo:>10.0} ┼{}", "─".repeat(width));
+    let _ = writeln!(out, "{:>11}{x_lo:<12.0}{:>w$}{x_hi:.0}", "", "", w = width.saturating_sub(24));
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>12} {} = {}", "", GLYPHS[si % GLYPHS.len()], name);
+    }
+    out
+}
+
+/// Unicode sparkline of a series (8 levels).
+pub fn sparkline(ys: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if ys.is_empty() {
+        return String::new();
+    }
+    let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    ys.iter()
+        .map(|&y| {
+            let idx = (((y - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Str("a\"b".into()).to_string(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn json_nested() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("fig1".into())),
+            ("points", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"name":"fig1","points":[1,2]}"#);
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        let j = Json::Str("line1\nline2\t\u{1}".into());
+        assert_eq!(j.to_string(), "\"line1\\nline2\\t\\u0001\"");
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1,5".into(), "plain".into()], vec!["he \"x\"".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "\"1,5\",plain");
+        assert_eq!(lines[2], "\"he \"\"x\"\"\",2");
+    }
+
+    #[test]
+    fn gnuplot_merges_x() {
+        let a = [(0.0, 1.0), (10.0, 2.0)];
+        let b = [(10.0, 5.0), (20.0, 6.0)];
+        let out = to_gnuplot("t", &[("ext2", &a), ("xfs", &b)]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "# t\text2\txfs");
+        assert!(lines[1].starts_with("0\t1\tNaN"));
+        assert!(lines[2].starts_with("10\t2\t5"));
+        assert!(lines[3].starts_with("20\tNaN\t6"));
+    }
+
+    #[test]
+    fn chart_renders_every_series() {
+        let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (50 - i) as f64)).collect();
+        let art = ascii_chart(&[("up", &a), ("down", &b)], 60, 12);
+        assert!(art.contains('*'));
+        assert!(art.contains('+'));
+        assert!(art.contains("up"));
+        assert!(art.contains("down"));
+    }
+
+    #[test]
+    fn chart_empty_is_graceful() {
+        assert_eq!(ascii_chart(&[], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -1,0 +1,265 @@
+//! The benchmark-usage survey (paper Table 1).
+//!
+//! The paper surveyed 100 file-system papers from FAST, OSDI, ATC,
+//! HotStorage, SOSP and MSST (68 from 2010, 32 from 2009, 13 excluded
+//! for having no relevant evaluation), recording which benchmarks each
+//! used, alongside the 1999–2007 counts from the earlier Traeger/Zadok
+//! nine-year study. This module carries that table as data and
+//! regenerates it — rocketbench's reproduction of Table 1.
+
+use crate::dimensions::{Coverage, CoverageProfile, Dimension};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct SurveyRow {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Dimension coverage markers.
+    pub profile: CoverageProfile,
+    /// Papers using it, 1999–2007 (Traeger et al. study).
+    pub used_1999_2007: u32,
+    /// Papers using it, 2009–2010 (this paper's survey).
+    pub used_2009_2010: u32,
+}
+
+/// The survey summary statistics quoted in Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurveyScope {
+    /// Papers reviewed in total.
+    pub papers_reviewed: u32,
+    /// Papers from 2010.
+    pub from_2010: u32,
+    /// Papers from 2009.
+    pub from_2009: u32,
+    /// Papers eliminated (no relevant evaluation).
+    pub eliminated: u32,
+}
+
+/// The paper's survey scope.
+pub const SCOPE: SurveyScope =
+    SurveyScope { papers_reviewed: 100, from_2010: 68, from_2009: 32, eliminated: 13 };
+
+/// Builds the full Table 1 dataset, rows in the paper's order.
+pub fn table1() -> Vec<SurveyRow> {
+    use Coverage::{Depends as S, Exercises as O, Isolates as B};
+    use Dimension::*;
+    let row = |name, pairs: &[(Dimension, Coverage)], a, b| SurveyRow {
+        name,
+        profile: CoverageProfile::new(pairs),
+        used_1999_2007: a,
+        used_2009_2010: b,
+    };
+    vec![
+        row("IOmeter", &[(Io, B)], 2, 3),
+        row(
+            "Filebench",
+            &[(Io, B), (OnDisk, O), (Caching, O), (Metadata, O), (Scaling, B)],
+            3,
+            5,
+        ),
+        row("IOzone", &[(OnDisk, O), (Caching, O), (Scaling, B)], 0, 4),
+        row("Bonnie/Bonnie64/Bonnie++", &[(Io, O), (OnDisk, O)], 2, 0),
+        row(
+            "Postmark",
+            &[(OnDisk, O), (Caching, O), (Metadata, O), (Scaling, B)],
+            30,
+            17,
+        ),
+        row("Linux compile", &[(OnDisk, O), (Caching, O), (Metadata, O)], 6, 3),
+        row(
+            "Compile (Apache, openssh, etc.)",
+            &[(OnDisk, O), (Caching, O), (Metadata, O)],
+            38,
+            14,
+        ),
+        row("DBench", &[(OnDisk, O), (Caching, O), (Metadata, O)], 1, 1),
+        row(
+            "SPECsfs",
+            &[(OnDisk, O), (Caching, O), (Metadata, O), (Scaling, B)],
+            7,
+            1,
+        ),
+        row("Sort", &[(OnDisk, O), (Caching, O), (Scaling, B)], 0, 5),
+        row(
+            "IOR: I/O Performance Benchmark",
+            &[(OnDisk, O), (Caching, O), (Scaling, B)],
+            0,
+            1,
+        ),
+        row(
+            "Production workloads",
+            &[(OnDisk, S), (Caching, S), (Metadata, S), (Scaling, S)],
+            2,
+            2,
+        ),
+        row(
+            "Ad-hoc",
+            &[(Io, S), (OnDisk, S), (Caching, S), (Metadata, S), (Scaling, S)],
+            237,
+            67,
+        ),
+        row(
+            "Trace-based custom",
+            &[(OnDisk, S), (Caching, S), (Metadata, S), (Scaling, S)],
+            7,
+            18,
+        ),
+        row(
+            "Trace-based standard",
+            &[(OnDisk, S), (Caching, S), (Metadata, S), (Scaling, S)],
+            14,
+            17,
+        ),
+        row("BLAST", &[(OnDisk, O), (Caching, O)], 0, 2),
+        row(
+            "Flexible FS Benchmark (FFSB)",
+            &[(OnDisk, O), (Caching, O), (Metadata, O), (Scaling, B)],
+            0,
+            1,
+        ),
+        row(
+            "Flexible I/O tester (fio)",
+            &[(Io, O), (OnDisk, O), (Caching, O), (Scaling, B)],
+            0,
+            1,
+        ),
+        row("Andrew", &[(OnDisk, O), (Caching, O), (Metadata, O)], 15, 1),
+    ]
+}
+
+/// Total benchmark uses in a period across all rows.
+pub fn total_uses(rows: &[SurveyRow], period_2009_2010: bool) -> u32 {
+    rows.iter()
+        .map(|r| if period_2009_2010 { r.used_2009_2010 } else { r.used_1999_2007 })
+        .sum()
+}
+
+/// Renders Table 1 as fixed-width ASCII, matching the paper's layout.
+pub fn render_table1(rows: &[SurveyRow]) -> String {
+    let mut out = String::new();
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(10).max(9);
+    out.push_str(&format!(
+        "{:<name_w$} | I/O | On-disk | Caching | Meta-data | Scaling | 1999-2007 | 2009-2010\n",
+        "Benchmark",
+    ));
+    out.push_str(&format!(
+        "{}-+-----+---------+---------+-----------+---------+-----------+----------\n",
+        "-".repeat(name_w)
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<name_w$} | {:^3} | {:^7} | {:^7} | {:^9} | {:^7} | {:>9} | {:>9}\n",
+            r.name,
+            r.profile.get(Dimension::Io).glyph(),
+            r.profile.get(Dimension::OnDisk).glyph(),
+            r.profile.get(Dimension::Caching).glyph(),
+            r.profile.get(Dimension::Metadata).glyph(),
+            r.profile.get(Dimension::Scaling).glyph(),
+            r.used_1999_2007,
+            r.used_2009_2010,
+        ));
+    }
+    out.push_str("\nLegend: * isolates dimension, o exercises without isolating, ? depends on workload\n");
+    out
+}
+
+/// The paper's headline finding, computed from the data: the share of
+/// 2009–2010 benchmark uses that were ad-hoc (custom, one-off tools).
+pub fn adhoc_share_2009_2010(rows: &[SurveyRow]) -> f64 {
+    let total = total_uses(rows, true) as f64;
+    let adhoc = rows
+        .iter()
+        .find(|r| r.name == "Ad-hoc")
+        .map(|r| r.used_2009_2010)
+        .unwrap_or(0) as f64;
+    if total == 0.0 {
+        0.0
+    } else {
+        adhoc / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_count_matches_paper() {
+        assert_eq!(table1().len(), 19);
+    }
+
+    #[test]
+    fn counts_match_paper_exactly() {
+        let rows = table1();
+        let get = |name: &str| rows.iter().find(|r| r.name == name).unwrap();
+        assert_eq!(get("Postmark").used_1999_2007, 30);
+        assert_eq!(get("Postmark").used_2009_2010, 17);
+        assert_eq!(get("Ad-hoc").used_1999_2007, 237);
+        assert_eq!(get("Ad-hoc").used_2009_2010, 67);
+        assert_eq!(get("Filebench").used_2009_2010, 5);
+        assert_eq!(get("IOzone").used_1999_2007, 0);
+        assert_eq!(get("Andrew").used_1999_2007, 15);
+        assert_eq!(get("Compile (Apache, openssh, etc.)").used_1999_2007, 38);
+        assert_eq!(get("Trace-based custom").used_2009_2010, 18);
+        assert_eq!(get("Trace-based standard").used_2009_2010, 17);
+    }
+
+    #[test]
+    fn scope_matches_paper() {
+        assert_eq!(SCOPE.papers_reviewed, 100);
+        assert_eq!(SCOPE.from_2010 + SCOPE.from_2009, 100);
+        assert_eq!(SCOPE.eliminated, 13);
+    }
+
+    #[test]
+    fn adhoc_dominates() {
+        let rows = table1();
+        // "Ad-hoc testing was, by far, the most common choice."
+        let max_named = rows
+            .iter()
+            .filter(|r| r.name != "Ad-hoc")
+            .map(|r| r.used_2009_2010)
+            .max()
+            .unwrap();
+        let adhoc = rows.iter().find(|r| r.name == "Ad-hoc").unwrap().used_2009_2010;
+        assert!(adhoc > 3 * max_named);
+        assert!(adhoc_share_2009_2010(&rows) > 0.35);
+    }
+
+    #[test]
+    fn filebench_profile_matches_paper() {
+        let rows = table1();
+        let fb = &rows.iter().find(|r| r.name == "Filebench").unwrap().profile;
+        assert_eq!(fb.get(Dimension::Io), Coverage::Isolates);
+        assert_eq!(fb.get(Dimension::Scaling), Coverage::Isolates);
+        assert_eq!(fb.get(Dimension::OnDisk), Coverage::Exercises);
+        assert_eq!(fb.get(Dimension::Caching), Coverage::Exercises);
+        assert_eq!(fb.get(Dimension::Metadata), Coverage::Exercises);
+    }
+
+    #[test]
+    fn compile_benchmarks_are_conflated() {
+        // The kernel-build critique: exercises everything, isolates nothing.
+        let rows = table1();
+        let linux = &rows.iter().find(|r| r.name == "Linux compile").unwrap().profile;
+        assert!(linux.is_conflated());
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = table1();
+        let s = render_table1(&rows);
+        for r in &rows {
+            assert!(s.contains(r.name), "missing row {}", r.name);
+        }
+        assert!(s.contains("237"));
+        assert!(s.lines().count() >= 22);
+    }
+
+    #[test]
+    fn totals_are_stable() {
+        let rows = table1();
+        assert_eq!(total_uses(&rows, false), 364);
+        assert_eq!(total_uses(&rows, true), 163);
+    }
+}

@@ -1,0 +1,389 @@
+//! Benchmark targets: the systems under test.
+//!
+//! A [`Target`] is anything the workload engine can drive: the simulated
+//! storage stack (deterministic, virtual-time — used for every paper
+//! reproduction) or a real directory on the host file system (wall-clock
+//! — the harness as an actual tool). Both expose the same operations, so
+//! a workload definition runs unchanged against either.
+
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use rb_simfs::stack::{Fd, StorageStack};
+
+/// A system under test.
+pub trait Target {
+    /// Short name for reports, e.g. `"sim:ext2"`.
+    fn name(&self) -> String;
+
+    /// Monotonic time since target creation (virtual or wall).
+    fn now(&self) -> Nanos;
+
+    /// Passes time without doing I/O (per-op framework overhead, think
+    /// time). Real targets treat this as a no-op: their overhead is
+    /// already real.
+    fn advance(&mut self, d: Nanos);
+
+    /// Creates a regular file.
+    fn create(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Removes a file.
+    fn unlink(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Stats a path.
+    fn stat(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Opens a file.
+    fn open(&mut self, path: &str) -> SimResult<Fd>;
+
+    /// Closes a handle.
+    fn close(&mut self, fd: Fd) -> SimResult<()>;
+
+    /// Sets a file's size (pre-allocation).
+    fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos>;
+
+    /// Reads `len` bytes at `offset`; returns service latency.
+    fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos>;
+
+    /// Writes `len` bytes at `offset`; returns service latency.
+    fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos>;
+
+    /// Flushes a file to stable storage.
+    fn fsync(&mut self, fd: Fd) -> SimResult<Nanos>;
+
+    /// Empties the page cache if the target can; returns whether it did.
+    fn drop_caches(&mut self) -> bool;
+
+    /// Adjusts cache capacity in pages (memory-pressure modelling).
+    /// Targets without a controllable cache ignore this.
+    fn set_cache_capacity_pages(&mut self, _pages: u64) {}
+
+    /// Cache hit ratio so far, if the target can report one.
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        None
+    }
+
+    /// Cumulative cache statistics snapshot, if the target has a
+    /// controllable cache. Used by the engine to compute per-phase hit
+    /// ratios as deltas.
+    fn cache_stats(&self) -> Option<rb_simcache::page::CacheStats> {
+        None
+    }
+
+    /// Background maintenance hook (the kernel flusher thread): called
+    /// periodically by the engine. Real targets rely on the host kernel.
+    fn background_tick(&mut self) {}
+}
+
+/// The simulated storage stack as a target.
+pub struct SimTarget {
+    stack: StorageStack,
+    label: String,
+}
+
+impl SimTarget {
+    /// Wraps a stack.
+    pub fn new(stack: StorageStack) -> Self {
+        let label = format!("sim:{}", stack.fs().name());
+        SimTarget { stack, label }
+    }
+
+    /// The underlying stack.
+    pub fn stack(&self) -> &StorageStack {
+        &self.stack
+    }
+
+    /// Mutable access for experiment-specific surgery.
+    pub fn stack_mut(&mut self) -> &mut StorageStack {
+        &mut self.stack
+    }
+}
+
+impl Target for SimTarget {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn now(&self) -> Nanos {
+        self.stack.now()
+    }
+
+    fn advance(&mut self, d: Nanos) {
+        self.stack.advance(d);
+    }
+
+    fn create(&mut self, path: &str) -> SimResult<Nanos> {
+        self.stack.create(path)
+    }
+
+    fn mkdir(&mut self, path: &str) -> SimResult<Nanos> {
+        self.stack.mkdir(path)
+    }
+
+    fn unlink(&mut self, path: &str) -> SimResult<Nanos> {
+        self.stack.unlink(path)
+    }
+
+    fn stat(&mut self, path: &str) -> SimResult<Nanos> {
+        self.stack.stat(path)
+    }
+
+    fn open(&mut self, path: &str) -> SimResult<Fd> {
+        self.stack.open(path)
+    }
+
+    fn close(&mut self, fd: Fd) -> SimResult<()> {
+        self.stack.close(fd)
+    }
+
+    fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos> {
+        self.stack.set_size_fd(fd, size)
+    }
+
+    fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        self.stack.read(fd, offset, len)
+    }
+
+    fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        self.stack.write(fd, offset, len)
+    }
+
+    fn fsync(&mut self, fd: Fd) -> SimResult<Nanos> {
+        self.stack.fsync(fd)
+    }
+
+    fn drop_caches(&mut self) -> bool {
+        self.stack.drop_caches();
+        true
+    }
+
+    fn set_cache_capacity_pages(&mut self, pages: u64) {
+        self.stack.set_cache_capacity_pages(pages);
+    }
+
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        Some(self.stack.cache().stats().hit_ratio())
+    }
+
+    fn cache_stats(&self) -> Option<rb_simcache::page::CacheStats> {
+        Some(self.stack.cache().stats())
+    }
+
+    fn background_tick(&mut self) {
+        self.stack.writeback_tick();
+    }
+}
+
+/// A real directory on the host file system as a target (wall-clock
+/// timing via `std::time::Instant`).
+///
+/// Useful for sanity-checking the simulator against reality and for
+/// using rocketbench as an actual measurement tool. Note everything the
+/// paper warns about applies: results depend on the host's cache state,
+/// scheduler and storage.
+pub struct RealFsTarget {
+    root: std::path::PathBuf,
+    start: std::time::Instant,
+    files: std::collections::HashMap<Fd, std::fs::File>,
+    next_fd: Fd,
+    buffer: Vec<u8>,
+}
+
+impl RealFsTarget {
+    /// Creates a target rooted at an existing host directory.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(RealFsTarget {
+            root,
+            start: std::time::Instant::now(),
+            files: Default::default(),
+            next_fd: 3,
+            buffer: vec![0u8; 1 << 20],
+        })
+    }
+
+    fn host_path(&self, path: &str) -> std::path::PathBuf {
+        self.root.join(path.trim_start_matches('/'))
+    }
+
+    fn io_err(e: std::io::Error) -> SimError {
+        SimError::InvalidOperation(format!("host i/o error: {e}"))
+    }
+}
+
+impl Target for RealFsTarget {
+    fn name(&self) -> String {
+        format!("real:{}", self.root.display())
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    fn advance(&mut self, _d: Nanos) {
+        // Real time passes on its own.
+    }
+
+    fn create(&mut self, path: &str) -> SimResult<Nanos> {
+        let t0 = std::time::Instant::now();
+        std::fs::File::create(self.host_path(path)).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn mkdir(&mut self, path: &str) -> SimResult<Nanos> {
+        let t0 = std::time::Instant::now();
+        std::fs::create_dir_all(self.host_path(path)).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn unlink(&mut self, path: &str) -> SimResult<Nanos> {
+        let t0 = std::time::Instant::now();
+        std::fs::remove_file(self.host_path(path)).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn stat(&mut self, path: &str) -> SimResult<Nanos> {
+        let t0 = std::time::Instant::now();
+        std::fs::metadata(self.host_path(path)).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn open(&mut self, path: &str) -> SimResult<Fd> {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(self.host_path(path))
+            .map_err(Self::io_err)?;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.files.insert(fd, f);
+        Ok(fd)
+    }
+
+    fn close(&mut self, fd: Fd) -> SimResult<()> {
+        self.files
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))
+    }
+
+    fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos> {
+        let t0 = std::time::Instant::now();
+        let f = self
+            .files
+            .get(&fd)
+            .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
+        f.set_len(size.as_u64()).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        use std::io::{Read, Seek, SeekFrom};
+        let n = (len.as_u64() as usize).min(self.buffer.len());
+        let f = self
+            .files
+            .get_mut(&fd)
+            .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
+        let t0 = std::time::Instant::now();
+        f.seek(SeekFrom::Start(offset.as_u64())).map_err(Self::io_err)?;
+        let mut read_total = 0usize;
+        while read_total < n {
+            match f.read(&mut self.buffer[read_total..n]) {
+                Ok(0) => break,
+                Ok(k) => read_total += k,
+                Err(e) => return Err(Self::io_err(e)),
+            }
+        }
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        use std::io::{Seek, SeekFrom, Write};
+        let n = (len.as_u64() as usize).min(self.buffer.len());
+        let f = self
+            .files
+            .get_mut(&fd)
+            .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
+        let t0 = std::time::Instant::now();
+        f.seek(SeekFrom::Start(offset.as_u64())).map_err(Self::io_err)?;
+        f.write_all(&self.buffer[..n]).map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn fsync(&mut self, fd: Fd) -> SimResult<Nanos> {
+        let f = self
+            .files
+            .get(&fd)
+            .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
+        let t0 = std::time::Instant::now();
+        f.sync_all().map_err(Self::io_err)?;
+        Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
+    }
+
+    fn drop_caches(&mut self) -> bool {
+        // Requires root on Linux; not attempted.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+
+    #[test]
+    fn sim_target_basic_ops() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        assert_eq!(t.name(), "sim:ext2");
+        t.create("/f").unwrap();
+        let fd = t.open("/f").unwrap();
+        t.set_size(fd, Bytes::mib(1)).unwrap();
+        let lat = t.read(fd, Bytes::ZERO, Bytes::kib(8)).unwrap();
+        assert!(lat > Nanos::ZERO);
+        assert!(t.cache_hit_ratio().is_some());
+        assert!(t.drop_caches());
+        t.close(fd).unwrap();
+        t.unlink("/f").unwrap();
+    }
+
+    #[test]
+    fn sim_target_advance_moves_clock() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let t0 = t.now();
+        t.advance(Nanos::from_micros(99));
+        assert_eq!(t.now() - t0, Nanos::from_micros(99));
+    }
+
+    #[test]
+    fn real_target_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rb-target-test-{}", std::process::id()));
+        let mut t = RealFsTarget::new(&dir).unwrap();
+        t.mkdir("/d").unwrap();
+        t.create("/d/f").unwrap();
+        let fd = t.open("/d/f").unwrap();
+        t.set_size(fd, Bytes::kib(64)).unwrap();
+        t.write(fd, Bytes::ZERO, Bytes::kib(8)).unwrap();
+        let lat = t.read(fd, Bytes::ZERO, Bytes::kib(8)).unwrap();
+        assert!(lat > Nanos::ZERO);
+        t.fsync(fd).unwrap();
+        t.stat("/d/f").unwrap();
+        t.close(fd).unwrap();
+        t.unlink("/d/f").unwrap();
+        assert!(!t.drop_caches());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn real_target_errors_are_reported() {
+        let dir = std::env::temp_dir().join(format!("rb-target-err-{}", std::process::id()));
+        let mut t = RealFsTarget::new(&dir).unwrap();
+        assert!(t.open("/missing").is_err());
+        assert!(t.unlink("/missing").is_err());
+        assert!(t.read(42, Bytes::ZERO, Bytes::kib(4)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,870 @@
+//! Workload model: file sets, flowops and personalities.
+//!
+//! A mini-Filebench: workloads are declarative combinations of *file
+//! sets* (populations of files) and weighted *flowops* (read/write/
+//! create/delete/stat/fsync primitives), executed by [`Engine::run`]
+//! against any [`Target`]. The paper's case-study workload — "one thread
+//! randomly reading from a single file" — is [`personalities::random_read`];
+//! the other classic personalities (web server, file server, varmail,
+//! postmark) are provided for the broader suite.
+
+use crate::target::Target;
+use rb_simcore::dist::{Dist, Zipf};
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::rng::Rng;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use rb_simfs::stack::Fd;
+use rb_stats::histogram::Log2Histogram;
+use rb_stats::timeseries::{Window, WindowedSeries};
+use std::collections::HashMap;
+
+/// A population of files used by a workload.
+#[derive(Debug, Clone)]
+pub struct FileSet {
+    /// Directory holding the set (e.g. `/set0`).
+    pub dir: String,
+    /// Files created at setup.
+    pub count: u64,
+    /// File size distribution (bytes).
+    pub size: Dist,
+    /// Whether files are preallocated to their size at setup.
+    pub prealloc: bool,
+}
+
+impl FileSet {
+    /// Path of the `i`-th file.
+    pub fn path(&self, i: u64) -> String {
+        format!("{}/f{:06}", self.dir, i)
+    }
+}
+
+/// A workload primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowOp {
+    /// Read `iosize` bytes at a random aligned offset of a random file.
+    ReadRandom {
+        /// File set index.
+        set: usize,
+        /// I/O size.
+        iosize: Bytes,
+    },
+    /// Read the next `iosize` bytes of a random file (per-file cursor,
+    /// wrapping at end of file).
+    ReadSequential {
+        /// File set index.
+        set: usize,
+        /// I/O size.
+        iosize: Bytes,
+    },
+    /// Read an entire random file in `iosize` chunks.
+    ReadWholeFile {
+        /// File set index.
+        set: usize,
+        /// I/O size.
+        iosize: Bytes,
+    },
+    /// Write `iosize` bytes at a random aligned offset.
+    WriteRandom {
+        /// File set index.
+        set: usize,
+        /// I/O size.
+        iosize: Bytes,
+    },
+    /// Append `iosize` bytes to a random file.
+    Append {
+        /// File set index.
+        set: usize,
+        /// I/O size.
+        iosize: Bytes,
+    },
+    /// Create (and open) a new file in the set.
+    CreateFile {
+        /// File set index.
+        set: usize,
+    },
+    /// Delete a random file from the set.
+    DeleteFile {
+        /// File set index.
+        set: usize,
+    },
+    /// Stat a random file.
+    StatFile {
+        /// File set index.
+        set: usize,
+    },
+    /// Open and close a random file.
+    OpenClose {
+        /// File set index.
+        set: usize,
+    },
+    /// fsync a random file.
+    Fsync {
+        /// File set index.
+        set: usize,
+    },
+}
+
+impl FlowOp {
+    /// Short label for per-op statistics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowOp::ReadRandom { .. } => "read-rand",
+            FlowOp::ReadSequential { .. } => "read-seq",
+            FlowOp::ReadWholeFile { .. } => "read-file",
+            FlowOp::WriteRandom { .. } => "write-rand",
+            FlowOp::Append { .. } => "append",
+            FlowOp::CreateFile { .. } => "create",
+            FlowOp::DeleteFile { .. } => "delete",
+            FlowOp::StatFile { .. } => "stat",
+            FlowOp::OpenClose { .. } => "open-close",
+            FlowOp::Fsync { .. } => "fsync",
+        }
+    }
+}
+
+/// A complete workload definition.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Name for reports.
+    pub name: String,
+    /// File sets, indexed by the flowops.
+    pub filesets: Vec<FileSet>,
+    /// Weighted operation mix.
+    pub ops: Vec<(FlowOp, u32)>,
+    /// Per-operation framework overhead (syscall dispatch, flowop
+    /// accounting — what makes Filebench report ~9.7 kops/s rather than
+    /// 250 kops/s for in-memory reads).
+    pub op_overhead: Nanos,
+    /// File-popularity skew: 0 = uniform, ~1 = web-like.
+    pub zipf_theta: f64,
+}
+
+/// Engine (single-run) configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Virtual/wall duration of the measured phase.
+    pub duration: Nanos,
+    /// Throughput sampling window (the paper's Figure 2 uses 10 s).
+    pub window: Nanos,
+    /// Seed for all workload randomness.
+    pub seed: u64,
+    /// Drop caches after setup so the run starts cold.
+    pub cold_start: bool,
+    /// Sequentially sweep every file once before measuring. This reaches
+    /// the same steady state as the paper's 20-minute cold runs in a
+    /// fraction of the (virtual and host) time; leave it off when the
+    /// warm-up itself is the experiment (Figure 2).
+    pub prewarm: bool,
+    /// Per-run CPU-speed wobble: the op overhead is scaled by a
+    /// log-normal factor with this sigma, drawn once per run. Models the
+    /// host noise (thermal state, background load) that gives even
+    /// memory-bound benchmarks their ~0.5 % run-to-run variance.
+    pub cpu_jitter_sigma: f64,
+    /// Abort after this many consecutive operation errors.
+    pub max_errors: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            duration: Nanos::from_secs(60),
+            window: Nanos::from_secs(10),
+            seed: 0,
+            cold_start: true,
+            prewarm: false,
+            cpu_jitter_sigma: 0.005,
+            max_errors: 100,
+        }
+    }
+}
+
+/// Everything recorded during one run.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Throughput/histogram windows over the run, from t = 0.
+    pub windows: Vec<Window>,
+    /// Latency histogram over all operations.
+    pub histogram: Log2Histogram,
+    /// Latency histograms per flowop label.
+    pub per_op: HashMap<&'static str, Log2Histogram>,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that failed (and were skipped).
+    pub errors: u64,
+    /// Total measured duration.
+    pub duration: Nanos,
+    /// Cache hit ratio over the run, when the target reports one.
+    pub hit_ratio: Option<f64>,
+}
+
+impl Recording {
+    /// Overall mean throughput.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Mean throughput over the final `n` windows ("last minute only").
+    pub fn tail_ops_per_sec(&self, n: usize) -> Option<f64> {
+        rb_stats::timeseries::tail_mean_ops_per_sec(&self.windows, n)
+    }
+
+    /// Throughput points `(seconds, ops/s)` for plotting.
+    pub fn throughput_series(&self) -> Vec<(f64, f64)> {
+        self.windows
+            .iter()
+            .map(|w| (w.start.as_secs_f64(), w.ops_per_sec))
+            .collect()
+    }
+}
+
+/// Live state of one file during a run.
+#[derive(Debug)]
+pub struct LiveFile {
+    /// Target path.
+    pub path: String,
+    /// Open handle.
+    pub fd: Fd,
+    /// Current logical size.
+    pub size: Bytes,
+    /// Sequential-read cursor.
+    pub cursor: Bytes,
+}
+
+/// The workload executor.
+pub struct Engine;
+
+impl Engine {
+    /// Creates the file sets (directories, files, preallocation).
+    ///
+    /// Returns per-set live-file tables. Separated from [`Engine::run`]
+    /// so callers can interpose (age the file system, warm the cache)
+    /// between setup and measurement.
+    pub fn setup(
+        target: &mut dyn Target,
+        workload: &Workload,
+        seed: u64,
+    ) -> SimResult<Vec<Vec<LiveFile>>> {
+        let mut rng = Rng::new(seed).fork("setup");
+        let mut sets = Vec::with_capacity(workload.filesets.len());
+        for fs in &workload.filesets {
+            target.mkdir(&fs.dir)?;
+            let mut live = Vec::with_capacity(fs.count as usize);
+            for i in 0..fs.count {
+                let path = fs.path(i);
+                target.create(&path)?;
+                let fd = target.open(&path)?;
+                let size = Bytes::new(fs.size.sample(&mut rng).max(0.0) as u64);
+                if fs.prealloc && !size.is_zero() {
+                    target.set_size(fd, size)?;
+                }
+                live.push(LiveFile { path, fd, size, cursor: Bytes::ZERO });
+            }
+            sets.push(live);
+        }
+        Ok(sets)
+    }
+
+    /// Runs `workload` against `target` for the configured duration.
+    pub fn run(
+        target: &mut dyn Target,
+        workload: &Workload,
+        config: &EngineConfig,
+    ) -> SimResult<Recording> {
+        let mut sets = Self::setup(target, workload, config.seed)?;
+        if config.cold_start {
+            target.drop_caches();
+        }
+        Self::run_prepared(target, workload, config, &mut sets)
+    }
+
+    /// Sequentially sweeps every live file once (64 KiB chunks), filling
+    /// the cache the way a linear scan would. Not recorded.
+    pub fn prewarm(target: &mut dyn Target, sets: &[Vec<LiveFile>]) -> SimResult<()> {
+        let chunk = Bytes::kib(64);
+        for set in sets {
+            for f in set {
+                let mut off = Bytes::ZERO;
+                while off < f.size {
+                    target.read(f.fd, off, chunk)?;
+                    off += chunk;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the measured phase against already-set-up file sets.
+    pub fn run_prepared(
+        target: &mut dyn Target,
+        workload: &Workload,
+        config: &EngineConfig,
+        sets: &mut [Vec<LiveFile>],
+    ) -> SimResult<Recording> {
+        if workload.ops.is_empty() {
+            return Err(SimError::BadConfig("workload has no ops".into()));
+        }
+        if config.prewarm {
+            Self::prewarm(target, sets)?;
+        }
+        let stats_before = target.cache_stats();
+        let mut rng = Rng::new(config.seed).fork("run");
+        // One CPU-speed factor per run: within-run jitter would average
+        // out over millions of operations, but run-to-run wobble does not.
+        let op_overhead = if config.cpu_jitter_sigma > 0.0 {
+            let factor = Rng::new(config.seed)
+                .fork("cpu-jitter")
+                .lognormal(1.0, config.cpu_jitter_sigma)
+                .clamp(0.8, 1.25);
+            workload.op_overhead.mul_f64(factor)
+        } else {
+            workload.op_overhead
+        };
+        let total_weight: u64 = workload.ops.iter().map(|&(_, w)| w as u64).sum();
+        if total_weight == 0 {
+            return Err(SimError::BadConfig("all op weights are zero".into()));
+        }
+        // Popularity sampler per set (rebuilt when a set's size changes a
+        // lot; Zipf over the max index, clamped to live count).
+        let mut zipfs: Vec<Zipf> = sets
+            .iter()
+            .map(|s| Zipf::new(s.len().max(1), workload.zipf_theta))
+            .collect();
+        let mut series = WindowedSeries::new(config.window);
+        let mut histogram = Log2Histogram::new();
+        let mut per_op: HashMap<&'static str, Log2Histogram> = HashMap::new();
+        let mut ops = 0u64;
+        let mut errors = 0u64;
+        let mut consecutive_errors = 0u64;
+        let mut created_serial = 1_000_000u64;
+
+        let start = target.now();
+        let end = start + config.duration;
+        // Background flusher cadence (Linux: every ~5 s).
+        let tick_every = Nanos::from_secs(5);
+        let mut next_tick = start + tick_every;
+        while target.now() < end {
+            if target.now() >= next_tick {
+                target.background_tick();
+                next_tick = next_tick + tick_every;
+            }
+            // Pick a flowop by weight.
+            let mut pick = rng.below(total_weight);
+            let mut chosen = workload.ops[0].0;
+            for &(op, w) in &workload.ops {
+                if pick < w as u64 {
+                    chosen = op;
+                    break;
+                }
+                pick -= w as u64;
+            }
+            let result = Self::execute(
+                target,
+                chosen,
+                sets,
+                &mut zipfs,
+                workload,
+                &mut rng,
+                &mut created_serial,
+            );
+            match result {
+                Ok(lat) => {
+                    consecutive_errors = 0;
+                    let when = target.now() - start;
+                    // An operation that completes past the deadline belongs
+                    // to the next (unreported) window; recording it would
+                    // fabricate a nearly-empty trailing sample.
+                    if when <= config.duration {
+                        ops += 1;
+                        series.record(when, lat);
+                        histogram.record(lat);
+                        per_op.entry(chosen.label()).or_default().record(lat);
+                    }
+                    target.advance(op_overhead);
+                }
+                Err(_) => {
+                    errors += 1;
+                    consecutive_errors += 1;
+                    if consecutive_errors >= config.max_errors {
+                        return Err(SimError::InvalidOperation(format!(
+                            "aborting: {consecutive_errors} consecutive op failures"
+                        )));
+                    }
+                    // Errors still cost framework time; avoids a spin.
+                    target.advance(op_overhead);
+                }
+            }
+        }
+        // Per-phase hit ratio from the stats delta when available.
+        let hit_ratio = match (stats_before, target.cache_stats()) {
+            (Some(b), Some(a)) => {
+                let hits = a.hits - b.hits;
+                let misses = a.misses - b.misses;
+                if hits + misses == 0 {
+                    None
+                } else {
+                    Some(hits as f64 / (hits + misses) as f64)
+                }
+            }
+            _ => target.cache_hit_ratio(),
+        };
+        Ok(Recording {
+            windows: series.finish(),
+            histogram,
+            per_op,
+            ops,
+            errors,
+            duration: target.now() - start,
+            hit_ratio,
+        })
+    }
+
+    fn pick_file<'s>(
+        sets: &'s mut [Vec<LiveFile>],
+        zipfs: &mut [Zipf],
+        set: usize,
+        theta: f64,
+        rng: &mut Rng,
+    ) -> SimResult<&'s mut LiveFile> {
+        let live = sets
+            .get_mut(set)
+            .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?;
+        if live.is_empty() {
+            return Err(SimError::NotFound(format!("file set {set} is empty")));
+        }
+        if zipfs[set].len() != live.len() {
+            zipfs[set] = Zipf::new(live.len(), theta);
+        }
+        let idx = zipfs[set].sample(rng).min(live.len() - 1);
+        Ok(&mut live[idx])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        target: &mut dyn Target,
+        op: FlowOp,
+        sets: &mut [Vec<LiveFile>],
+        zipfs: &mut [Zipf],
+        workload: &Workload,
+        rng: &mut Rng,
+        created_serial: &mut u64,
+    ) -> SimResult<Nanos> {
+        match op {
+            FlowOp::ReadRandom { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let slots = (f.size.as_u64() / iosize.as_u64().max(1)).max(1);
+                let offset = Bytes::new(rng.below(slots) * iosize.as_u64());
+                target.read(f.fd, offset, iosize)
+            }
+            FlowOp::ReadSequential { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                if f.cursor >= f.size {
+                    f.cursor = Bytes::ZERO;
+                }
+                let off = f.cursor;
+                f.cursor += iosize;
+                target.read(f.fd, off, iosize)
+            }
+            FlowOp::ReadWholeFile { set, iosize } => {
+                let (fd, size) = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    (f.fd, f.size)
+                };
+                let mut total = Nanos::ZERO;
+                let mut off = Bytes::ZERO;
+                while off < size {
+                    total += target.read(fd, off, iosize)?;
+                    off += iosize;
+                }
+                Ok(total)
+            }
+            FlowOp::WriteRandom { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let slots = (f.size.as_u64() / iosize.as_u64().max(1)).max(1);
+                let offset = Bytes::new(rng.below(slots) * iosize.as_u64());
+                target.write(f.fd, offset, iosize)
+            }
+            FlowOp::Append { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let off = f.size;
+                f.size += iosize;
+                target.write(f.fd, off, iosize)
+            }
+            FlowOp::CreateFile { set } => {
+                let dir = workload
+                    .filesets
+                    .get(set)
+                    .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?
+                    .dir
+                    .clone();
+                let size_dist = workload.filesets[set].size.clone();
+                let _ = size_dist; // new files start empty and grow by appends
+                let path = format!("{}/c{:08}", dir, *created_serial);
+                *created_serial += 1;
+                let lat = target.create(&path)?;
+                let fd = target.open(&path)?;
+                sets[set].push(LiveFile { path, fd, size: Bytes::ZERO, cursor: Bytes::ZERO });
+                Ok(lat)
+            }
+            FlowOp::DeleteFile { set } => {
+                let live = sets
+                    .get_mut(set)
+                    .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?;
+                if live.len() <= 1 {
+                    return Err(SimError::NotFound("set nearly empty".into()));
+                }
+                let idx = rng.below(live.len() as u64) as usize;
+                let f = live.swap_remove(idx);
+                let _ = target.close(f.fd);
+                target.unlink(&f.path)
+            }
+            FlowOp::StatFile { set } => {
+                let path = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    f.path.clone()
+                };
+                target.stat(&path)
+            }
+            FlowOp::OpenClose { set } => {
+                let path = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    f.path.clone()
+                };
+                let t0 = target.now();
+                let fd = target.open(&path)?;
+                target.close(fd)?;
+                Ok(target.now() - t0)
+            }
+            FlowOp::Fsync { set } => {
+                let fd = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    f.fd
+                };
+                target.fsync(fd)
+            }
+        }
+    }
+}
+
+/// Ready-made workload personalities.
+pub mod personalities {
+    use super::*;
+
+    /// The paper's Section 3 workload: one thread randomly reading from a
+    /// single file of the given size, 8 KiB at a time.
+    pub fn random_read(file_size: Bytes) -> Workload {
+        Workload {
+            name: format!("randomread-{file_size}"),
+            filesets: vec![FileSet {
+                dir: "/set0".into(),
+                count: 1,
+                size: Dist::Constant(file_size.as_u64() as f64),
+                prealloc: true,
+            }],
+            ops: vec![(FlowOp::ReadRandom { set: 0, iosize: Bytes::kib(8) }, 1)],
+            op_overhead: Nanos::from_micros(99),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Sequential whole-file streaming of a single file.
+    pub fn sequential_read(file_size: Bytes) -> Workload {
+        Workload {
+            name: format!("seqread-{file_size}"),
+            filesets: vec![FileSet {
+                dir: "/set0".into(),
+                count: 1,
+                size: Dist::Constant(file_size.as_u64() as f64),
+                prealloc: true,
+            }],
+            ops: vec![(FlowOp::ReadSequential { set: 0, iosize: Bytes::kib(64) }, 1)],
+            op_overhead: Nanos::from_micros(99),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Random 8 KiB overwrites of a single preallocated file.
+    pub fn random_write(file_size: Bytes) -> Workload {
+        Workload {
+            name: format!("randomwrite-{file_size}"),
+            filesets: vec![FileSet {
+                dir: "/set0".into(),
+                count: 1,
+                size: Dist::Constant(file_size.as_u64() as f64),
+                prealloc: true,
+            }],
+            ops: vec![(FlowOp::WriteRandom { set: 0, iosize: Bytes::kib(8) }, 1)],
+            op_overhead: Nanos::from_micros(99),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Web server: Zipf-popular whole-file reads of many small files plus
+    /// a log append (Filebench webserver shape).
+    pub fn webserver(nfiles: u64) -> Workload {
+        Workload {
+            name: "webserver".into(),
+            filesets: vec![
+                FileSet {
+                    dir: "/htdocs".into(),
+                    count: nfiles,
+                    size: Dist::Pareto { lo: 2048.0, hi: 262_144.0, alpha: 1.2 },
+                    prealloc: true,
+                },
+                FileSet {
+                    dir: "/logs".into(),
+                    count: 1,
+                    size: Dist::Constant(0.0),
+                    prealloc: false,
+                },
+            ],
+            ops: vec![
+                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(16) }, 10),
+                (FlowOp::Append { set: 1, iosize: Bytes::kib(8) }, 1),
+            ],
+            op_overhead: Nanos::from_micros(50),
+            zipf_theta: 0.99,
+        }
+    }
+
+    /// File server: create/write/read/delete/stat mix over a directory
+    /// tree (Filebench fileserver shape).
+    pub fn fileserver(nfiles: u64) -> Workload {
+        Workload {
+            name: "fileserver".into(),
+            filesets: vec![FileSet {
+                dir: "/share".into(),
+                count: nfiles,
+                size: Dist::LogNormal { median: 65_536.0, sigma: 1.0 },
+                prealloc: true,
+            }],
+            ops: vec![
+                (FlowOp::CreateFile { set: 0 }, 1),
+                (FlowOp::Append { set: 0, iosize: Bytes::kib(16) }, 2),
+                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(64) }, 3),
+                (FlowOp::StatFile { set: 0 }, 2),
+                (FlowOp::DeleteFile { set: 0 }, 1),
+                (FlowOp::OpenClose { set: 0 }, 1),
+            ],
+            op_overhead: Nanos::from_micros(60),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Varmail: create, append, fsync, read, delete — the mail-spool
+    /// pattern whose fsyncs expose journaling costs.
+    pub fn varmail(nfiles: u64) -> Workload {
+        Workload {
+            name: "varmail".into(),
+            filesets: vec![FileSet {
+                dir: "/mail".into(),
+                count: nfiles,
+                size: Dist::LogNormal { median: 8_192.0, sigma: 0.7 },
+                prealloc: true,
+            }],
+            ops: vec![
+                (FlowOp::CreateFile { set: 0 }, 2),
+                (FlowOp::Append { set: 0, iosize: Bytes::kib(8) }, 3),
+                (FlowOp::Fsync { set: 0 }, 3),
+                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(8) }, 3),
+                (FlowOp::DeleteFile { set: 0 }, 2),
+            ],
+            op_overhead: Nanos::from_micros(60),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Postmark-like small-file churn: the 1997 benchmark's transaction
+    /// mix of creates, deletes, reads and appends.
+    pub fn postmark(nfiles: u64) -> Workload {
+        Workload {
+            name: "postmark".into(),
+            filesets: vec![FileSet {
+                dir: "/pm".into(),
+                count: nfiles,
+                size: Dist::Uniform { lo: 512.0, hi: 16_384.0 },
+                prealloc: true,
+            }],
+            ops: vec![
+                (FlowOp::CreateFile { set: 0 }, 1),
+                (FlowOp::DeleteFile { set: 0 }, 1),
+                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(8) }, 2),
+                (FlowOp::Append { set: 0, iosize: Bytes::kib(8) }, 2),
+            ],
+            op_overhead: Nanos::from_micros(40),
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// Pure metadata churn: create/stat/delete, no data I/O — the
+    /// isolation workload for the meta-data dimension.
+    pub fn metadata_only(nfiles: u64) -> Workload {
+        Workload {
+            name: "metadata".into(),
+            filesets: vec![FileSet {
+                dir: "/meta".into(),
+                count: nfiles,
+                size: Dist::Constant(0.0),
+                prealloc: false,
+            }],
+            ops: vec![
+                (FlowOp::CreateFile { set: 0 }, 2),
+                (FlowOp::StatFile { set: 0 }, 3),
+                (FlowOp::OpenClose { set: 0 }, 2),
+                (FlowOp::DeleteFile { set: 0 }, 2),
+            ],
+            op_overhead: Nanos::from_micros(30),
+            zipf_theta: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+
+    fn quick_cfg(secs: u64, seed: u64) -> EngineConfig {
+        EngineConfig {
+            duration: Nanos::from_secs(secs),
+            window: Nanos::from_secs(1),
+            seed,
+            cold_start: true,
+            prewarm: false,
+            cpu_jitter_sigma: 0.0,
+            max_errors: 50,
+        }
+    }
+
+    #[test]
+    fn random_read_runs_and_records() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(16));
+        let rec = Engine::run(&mut t, &w, &quick_cfg(5, 1)).unwrap();
+        assert!(rec.ops > 1000, "only {} ops", rec.ops);
+        assert_eq!(rec.errors, 0);
+        assert_eq!(rec.histogram.total(), rec.ops);
+        assert!(!rec.windows.is_empty());
+        assert!(rec.ops_per_sec() > 100.0);
+        assert!(rec.per_op.contains_key("read-rand"));
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut t = testbed::paper_ext2(Bytes::gib(1), 7);
+            let w = personalities::random_read(Bytes::mib(8));
+            let rec = Engine::run(&mut t, &w, &quick_cfg(3, 7)).unwrap();
+            (rec.ops, rec.histogram.clone())
+        };
+        let (a_ops, a_hist) = run();
+        let (b_ops, b_hist) = run();
+        assert_eq!(a_ops, b_ops);
+        assert_eq!(a_hist, b_hist);
+    }
+
+    #[test]
+    fn in_memory_throughput_near_plateau() {
+        // A 16 MiB file fits the cache: throughput is governed by the
+        // 99 us op overhead + ~4.3 us read: ~9.7 kops/s.
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(16));
+        let mut cfg = quick_cfg(30, 2);
+        cfg.prewarm = true;
+        let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+        let tail = rec.tail_ops_per_sec(5).unwrap();
+        assert!(
+            (9_000.0..10_500.0).contains(&tail),
+            "plateau {tail} ops/s out of range"
+        );
+    }
+
+    #[test]
+    fn sequential_read_engages_readahead() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::sequential_read(Bytes::mib(64));
+        let rec = Engine::run(&mut t, &w, &quick_cfg(10, 3)).unwrap();
+        assert!(rec.ops > 500);
+        let stats = t.stack().cache().stats();
+        assert!(stats.prefetched > 0, "readahead never fired");
+        assert!(stats.prefetch_accuracy() > 0.5);
+    }
+
+    #[test]
+    fn churn_personalities_survive() {
+        for w in [
+            personalities::fileserver(50),
+            personalities::varmail(50),
+            personalities::postmark(50),
+            personalities::metadata_only(50),
+        ] {
+            let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+            let rec = Engine::run(&mut t, &w, &quick_cfg(5, 4)).unwrap();
+            assert!(rec.ops > 100, "{}: only {} ops", w.name, rec.ops);
+            // Occasional errors (empty set moments) are fine; collapse is not.
+            assert!(
+                rec.errors < rec.ops / 10,
+                "{}: {} errors vs {} ops",
+                w.name,
+                rec.errors,
+                rec.ops
+            );
+        }
+    }
+
+    #[test]
+    fn webserver_zipf_skews_popularity() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::webserver(200);
+        let rec = Engine::run(&mut t, &w, &quick_cfg(5, 5)).unwrap();
+        assert!(rec.ops > 50);
+        // Zipf + cache: popular files hit, so hit ratio is high despite
+        // the set being larger than a cold scan would keep.
+        assert!(rec.hit_ratio.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn background_writeback_bounds_dirty_pages() {
+        // A pure-write workload, no fsync: only the 5 s background tick
+        // (plus eviction pressure) cleans pages. Dirty pages must stay
+        // bounded near the writeback ratio rather than growing without
+        // limit until eviction.
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_write(Bytes::mib(128));
+        let mut cfg = quick_cfg(40, 6);
+        cfg.window = Nanos::from_secs(5);
+        let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+        assert!(rec.ops > 10_000);
+        // Writeback reached the media *during* the run (not only at the
+        // end): the periodic ticks really fired.
+        assert!(t.stack().disk_stats().writes > 1000);
+        // Right after a tick, dirty pages sit at/under the dirty ratio
+        // (20 % of capacity). In between ticks the workload re-dirties
+        // freely, exactly like a real system between flusher wakeups.
+        t.background_tick();
+        let dirty = t.stack().cache().dirty_pages();
+        let capacity = t.stack().cache().capacity_pages();
+        assert!(
+            dirty <= capacity / 5,
+            "flusher missed its goal: {dirty} dirty of {capacity}"
+        );
+    }
+
+    #[test]
+    fn empty_ops_rejected() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = Workload {
+            name: "empty".into(),
+            filesets: vec![],
+            ops: vec![],
+            op_overhead: Nanos::ZERO,
+            zipf_theta: 0.0,
+        };
+        assert!(Engine::run(&mut t, &w, &quick_cfg(1, 0)).is_err());
+    }
+}

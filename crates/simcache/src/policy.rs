@@ -1,0 +1,202 @@
+//! The eviction-policy abstraction and policy selection.
+//!
+//! The paper asks: "How are elements evicted from the cache? To the best
+//! of our knowledge, none of the existing benchmarks consider these
+//! questions." rocketbench makes eviction a first-class experimental
+//! variable: every policy implements [`EvictionPolicy`], and the cache
+//! benchmarks sweep across them.
+
+use crate::page::PageKey;
+
+/// A page replacement policy.
+///
+/// The policy tracks page identities only; residency bookkeeping (which
+/// pages exist, dirty state) lives in the cache itself. Implementations
+/// must uphold two invariants, checked by the shared conformance tests:
+///
+/// 1. `evict` returns a page previously inserted and not yet evicted or
+///    removed (no phantom evictions).
+/// 2. After `insert(k)`, `contains(k)` holds until `k` is evicted or
+///    removed.
+pub trait EvictionPolicy: std::fmt::Debug {
+    /// Notes that `key` was inserted (it was not resident).
+    fn insert(&mut self, key: PageKey);
+
+    /// Notes that a resident `key` was accessed.
+    fn touch(&mut self, key: PageKey);
+
+    /// Chooses a victim and removes it from the policy's tracking.
+    ///
+    /// Returns `None` when no page is tracked.
+    fn evict(&mut self) -> Option<PageKey>;
+
+    /// Removes `key` without treating it as an eviction (invalidation).
+    fn remove(&mut self, key: PageKey);
+
+    /// Returns true if the policy currently tracks `key`.
+    fn contains(&self, key: PageKey) -> bool;
+
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+
+    /// Returns true if no pages are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selectable replacement policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least recently used.
+    Lru,
+    /// Second-chance clock.
+    Clock,
+    /// 2Q (Johnson & Shasha): FIFO probation + LRU protection.
+    TwoQ,
+    /// Adaptive Replacement Cache (Megiddo & Modha).
+    Arc,
+}
+
+impl PolicyKind {
+    /// All policies, for sweeps.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::TwoQ, PolicyKind::Arc];
+
+    /// Instantiates the policy for a cache of `capacity_pages`.
+    pub fn build(self, capacity_pages: u64) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(crate::lru::Lru::new()),
+            PolicyKind::Clock => Box::new(crate::clock::Clock::new()),
+            PolicyKind::TwoQ => Box::new(crate::twoq::TwoQ::new(capacity_pages)),
+            PolicyKind::Arc => Box::new(crate::arc::ArcPolicy::new(capacity_pages)),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Clock => "clock",
+            PolicyKind::TwoQ => "2q",
+            PolicyKind::Arc => "arc",
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared conformance suite run against every policy.
+
+    use super::*;
+    use rb_simcore::rng::Rng;
+    use std::collections::HashSet;
+
+    fn key(i: u64) -> PageKey {
+        PageKey::new(0, i)
+    }
+
+    /// Inserted pages are visible until evicted/removed; evictions are
+    /// never phantom; len is consistent.
+    pub fn check_basic(policy: &mut dyn EvictionPolicy) {
+        assert!(policy.is_empty());
+        for i in 0..10 {
+            policy.insert(key(i));
+            assert!(policy.contains(key(i)), "{} lost fresh insert", policy.name());
+        }
+        assert_eq!(policy.len(), 10);
+        let mut seen = HashSet::new();
+        while let Some(victim) = policy.evict() {
+            assert!(victim.page < 10, "{} phantom eviction", policy.name());
+            assert!(seen.insert(victim), "{} double eviction", policy.name());
+            assert!(!policy.contains(victim));
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(policy.is_empty());
+    }
+
+    /// remove() never yields the removed page from a later evict().
+    pub fn check_remove(policy: &mut dyn EvictionPolicy) {
+        for i in 0..8 {
+            policy.insert(key(i));
+        }
+        policy.remove(key(3));
+        policy.remove(key(7));
+        assert!(!policy.contains(key(3)));
+        let mut evicted = HashSet::new();
+        while let Some(v) = policy.evict() {
+            evicted.insert(v.page);
+        }
+        assert!(!evicted.contains(&3), "{} resurrected removed page", policy.name());
+        assert!(!evicted.contains(&7));
+        assert_eq!(evicted.len(), 6);
+    }
+
+    /// Random mixed workload keeps policy bookkeeping consistent with a
+    /// model set.
+    pub fn check_random_model(policy: &mut dyn EvictionPolicy, seed: u64) {
+        let mut model: HashSet<PageKey> = HashSet::new();
+        let mut rng = Rng::new(seed);
+        for step in 0..5000u64 {
+            match rng.below(100) {
+                0..=49 => {
+                    let k = key(rng.below(200));
+                    if !model.contains(&k) {
+                        policy.insert(k);
+                        model.insert(k);
+                    } else {
+                        policy.touch(k);
+                    }
+                }
+                50..=69 => {
+                    if let Some(v) = policy.evict() {
+                        assert!(model.remove(&v), "phantom eviction at step {step}");
+                    } else {
+                        assert!(model.is_empty());
+                    }
+                }
+                70..=79 => {
+                    let k = key(rng.below(200));
+                    policy.remove(k);
+                    model.remove(&k);
+                }
+                _ => {
+                    let k = key(rng.below(200));
+                    assert_eq!(
+                        policy.contains(k),
+                        model.contains(&k),
+                        "{} membership diverged at step {step}",
+                        policy.name()
+                    );
+                }
+            }
+            assert_eq!(policy.len(), model.len(), "len diverged at step {step}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_buildable() {
+        for kind in PolicyKind::ALL {
+            let p = kind.build(128);
+            assert_eq!(p.len(), 0);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn conformance_all_policies() {
+        for kind in PolicyKind::ALL {
+            conformance::check_basic(kind.build(64).as_mut());
+            conformance::check_remove(kind.build(64).as_mut());
+            conformance::check_random_model(kind.build(64).as_mut(), 0xC0FFEE);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the page cache.
+
+use proptest::prelude::*;
+use rb_simcache::cache::{CacheConfig, PageCache};
+use rb_simcache::policy::PolicyKind;
+use rb_simcache::readahead::{Readahead, ReadaheadConfig};
+use rb_simcache::writeback::{Writeback, WritebackConfig};
+use rb_simcore::time::Nanos;
+
+proptest! {
+    /// The readahead window never exceeds its maximum and is zero after
+    /// any non-sequential access.
+    #[test]
+    fn readahead_window_bounded(
+        accesses in proptest::collection::vec((0u64..1000, 1u64..8), 1..100),
+        max_window in 1u64..64,
+    ) {
+        let mut ra = Readahead::new(ReadaheadConfig {
+            initial_window: 4,
+            max_window,
+            enabled: true,
+        });
+        let mut expected_next: Option<u64> = None;
+        for (page, count) in accesses {
+            let sequential = expected_next == Some(page);
+            let w = ra.on_read(page, count);
+            prop_assert!(w <= max_window.max(4));
+            if !sequential {
+                prop_assert_eq!(w, 0, "prefetched after a random access");
+            }
+            expected_next = Some(page + count);
+        }
+    }
+
+    /// Writeback bookkeeping: dirty count equals marks minus clears, and
+    /// take_due never yields a page twice.
+    #[test]
+    fn writeback_no_double_flush(
+        marks in proptest::collection::vec((0u64..100, 0u64..1000), 1..200),
+    ) {
+        let mut wb = Writeback::new(WritebackConfig {
+            dirty_ratio: 0.0, // everything is always due
+            max_age: Nanos::ZERO,
+            batch: 8,
+        });
+        let mut dirty = std::collections::HashSet::new();
+        for (page, t) in marks {
+            let key = rb_simcache::page::PageKey::new(1, page);
+            wb.mark_dirty(key, Nanos::from_nanos(t));
+            dirty.insert(key);
+            prop_assert_eq!(wb.dirty_count(), dirty.len());
+        }
+        let mut flushed = std::collections::HashSet::new();
+        loop {
+            let due = wb.take_due(Nanos::from_secs(10_000), 100);
+            if due.is_empty() {
+                break;
+            }
+            for k in due {
+                prop_assert!(flushed.insert(k), "page flushed twice");
+                prop_assert!(dirty.contains(&k));
+            }
+        }
+        prop_assert_eq!(flushed.len(), dirty.len());
+        prop_assert_eq!(wb.dirty_count(), 0);
+    }
+
+    /// Mixed reads and writes never lose dirty pages: every page written
+    /// and not yet flushed/evicted/invalidated is still dirty.
+    #[test]
+    fn cache_dirty_accounting(
+        ops in proptest::collection::vec((0u64..64, proptest::bool::ANY), 1..300),
+        policy_idx in 0usize..4,
+    ) {
+        let mut cache = PageCache::new(CacheConfig {
+            capacity_pages: 32,
+            policy: PolicyKind::ALL[policy_idx],
+            readahead: ReadaheadConfig::disabled(),
+            writeback: WritebackConfig::default(),
+        });
+        let mut dirty_model = std::collections::HashSet::new();
+        for (page, is_write) in ops {
+            if is_write {
+                let out = cache.write(1, page, 1, Nanos::ZERO);
+                dirty_model.insert(page);
+                for k in out.writeback_pages {
+                    dirty_model.remove(&k.page);
+                }
+            } else {
+                let out = cache.read(1, page, 1, 64, Nanos::ZERO);
+                for k in out.writeback_pages {
+                    dirty_model.remove(&k.page);
+                }
+            }
+            prop_assert_eq!(
+                cache.dirty_pages() as usize,
+                dirty_model.len(),
+                "dirty count diverged"
+            );
+        }
+        // fsync returns exactly the model's dirty pages.
+        let flushed = cache.fsync(1);
+        prop_assert_eq!(flushed.len(), dirty_model.len());
+    }
+
+    /// Hit+miss accounting equals pages requested, for any access mix.
+    #[test]
+    fn cache_lookup_accounting(
+        ops in proptest::collection::vec((0u64..256, 1u64..4), 1..200),
+    ) {
+        let mut cache = PageCache::new(CacheConfig {
+            capacity_pages: 64,
+            policy: PolicyKind::Lru,
+            readahead: ReadaheadConfig::disabled(),
+            writeback: WritebackConfig::default(),
+        });
+        let mut requested = 0u64;
+        for (page, count) in ops {
+            cache.read(1, page, count, 1 << 20, Nanos::ZERO);
+            requested += count;
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, requested);
+    }
+}

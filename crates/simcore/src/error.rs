@@ -1,0 +1,79 @@
+//! Error types shared across the simulation stack.
+
+use core::fmt;
+
+/// Errors surfaced by the simulated storage stack.
+///
+/// The variants mirror the POSIX errors a real file system API would
+/// return, so harness code paths are identical for simulated and real
+/// targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The named file or directory does not exist.
+    NotFound(String),
+    /// The path already exists.
+    AlreadyExists(String),
+    /// An I/O request fell outside the device or file bounds.
+    OutOfBounds {
+        /// Requested offset (bytes or blocks, per context).
+        offset: u64,
+        /// Size of the addressable object.
+        size: u64,
+    },
+    /// The device or file system ran out of space.
+    NoSpace,
+    /// The file system ran out of inodes.
+    NoInodes,
+    /// The operation is invalid for the object (e.g. reading a directory).
+    InvalidOperation(String),
+    /// A directory was expected to be empty but is not.
+    NotEmpty(String),
+    /// A configuration parameter is invalid.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotFound(p) => write!(f, "not found: {p}"),
+            SimError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            SimError::OutOfBounds { offset, size } => {
+                write!(f, "out of bounds: offset {offset} beyond size {size}")
+            }
+            SimError::NoSpace => write!(f, "no space left on device"),
+            SimError::NoInodes => write!(f, "no inodes left on device"),
+            SimError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            SimError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias for simulation operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            SimError::NotFound("/a/b".into()).to_string(),
+            "not found: /a/b"
+        );
+        assert_eq!(
+            SimError::OutOfBounds { offset: 10, size: 4 }.to_string(),
+            "out of bounds: offset 10 beyond size 4"
+        );
+        assert_eq!(SimError::NoSpace.to_string(), "no space left on device");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::NoInodes);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rb-simcore — deterministic simulation foundation
+//!
+//! Shared substrate for the rocketbench simulation stack: nanosecond
+//! virtual time, a self-contained deterministic PRNG, sampling
+//! distributions, a discrete-event queue, byte units and common errors.
+//!
+//! Everything above this crate (disk, cache, file system, harness) is a
+//! pure function of its configuration and a seed, which is what lets the
+//! paper's figures regenerate bit-identically — and lets the harness study
+//! *controlled* variance, the paper's central theme.
+//!
+//! ## Example
+//!
+//! ```
+//! use rb_simcore::prelude::*;
+//!
+//! let mut clock = VirtualClock::new();
+//! let mut rng = Rng::new(0xB0B);
+//! let service = Dist::LogNormal { median: 4096.0, sigma: 0.25 };
+//! clock.advance(Nanos::from_nanos(service.sample(&mut rng) as u64));
+//! assert!(clock.now() > Nanos::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod error;
+pub mod events;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::dist::{Dist, Zipf};
+    pub use crate::error::{SimError, SimResult};
+    pub use crate::events::EventQueue;
+    pub use crate::rng::Rng;
+    pub use crate::time::{Nanos, VirtualClock};
+    pub use crate::units::{page_span, BlockNo, Bytes, PageNo, PAGE_SIZE};
+}

@@ -1,0 +1,303 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Simulation determinism is a core requirement of rocketbench: the paper's
+//! central complaint is that benchmark results are fragile and hard to
+//! reproduce, so the reproduction itself must be bit-stable. To avoid
+//! depending on the stream stability of an external crate, the simulators
+//! use this self-contained xoshiro256** implementation (public domain
+//! algorithm by Blackman and Vigna) seeded through SplitMix64.
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** pseudo-random number generator.
+///
+/// The same seed always produces the same stream on every platform.
+/// Use [`Rng::fork`] to derive independent sub-streams for simulation
+/// components so that adding draws in one component never perturbs
+/// another (a classic source of accidental benchmark nondeterminism).
+///
+/// # Examples
+///
+/// ```
+/// use rb_simcore::rng::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut disk = a.fork("disk");
+/// let mut cache = a.fork("cache");
+/// assert_ne!(disk.next_u64(), cache.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent generator for a named component.
+    ///
+    /// The child stream is a pure function of the parent's *current* state
+    /// and the label, and drawing from the child does not consume parent
+    /// state, so component streams stay decoupled.
+    pub fn fork(&self, label: &str) -> Rng {
+        // FNV-1a over the label, mixed with the parent state.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        Rng::new(h ^ self.s[0].rotate_left(17) ^ self.s[3])
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    /// A zero `bound` returns 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// An empty range (`hi <= lo`) returns `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below(hi - lo)
+        }
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a standard normal deviate (Box-Muller, polar form).
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Returns an exponential deviate with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Use 1 - u to avoid ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Returns a log-normal deviate parameterized by the *median* and the
+    /// shape `sigma` of the underlying normal.
+    ///
+    /// The median form is more intuitive for latency modelling than the
+    /// usual `mu` parameterization: half of all draws fall below `median`.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.normal()).exp()
+    }
+
+    /// Picks a uniformly random element of a slice, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.below(items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_stream_is_stable() {
+        // Regression anchor: if these change, every experiment changes.
+        let mut r = Rng::new(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Rng::new(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn forks_are_independent_and_stable() {
+        let parent = Rng::new(99);
+        let mut d1 = parent.fork("disk");
+        let mut d2 = parent.fork("disk");
+        let mut c = parent.fork("cache");
+        assert_eq!(d1.next_u64(), d2.next_u64());
+        // Distinct labels give distinct streams with overwhelming probability.
+        assert_ne!(d1.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} out of range");
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn range_handles_degenerate_inputs() {
+        let mut r = Rng::new(1);
+        assert_eq!(r.range(5, 5), 5);
+        assert_eq!(r.range(9, 3), 9);
+        for _ in 0..100 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng::new(11);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = Rng::new(5);
+        let n = 50_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut r = Rng::new(6);
+        let n = 50_000;
+        let mean = 4.2;
+        let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = total / n as f64;
+        assert!((got - mean).abs() < 0.1, "mean {got}");
+    }
+
+    #[test]
+    fn lognormal_median_is_sane() {
+        let mut r = Rng::new(8);
+        let mut draws: Vec<f64> = (0..10_001).map(|_| r.lognormal(4096.0, 0.3)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = draws[5000];
+        assert!((median / 4096.0 - 1.0).abs() < 0.05, "median {median}");
+        assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = Rng::new(10);
+        let empty: [u32; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+}

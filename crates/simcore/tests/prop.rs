@@ -1,0 +1,120 @@
+//! Property tests for the simulation foundation.
+
+use proptest::prelude::*;
+use rb_simcore::dist::{Dist, Zipf};
+use rb_simcore::events::EventQueue;
+use rb_simcore::rng::Rng;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::{page_span, Bytes};
+
+proptest! {
+    /// Nanos addition is commutative and associative under saturation.
+    #[test]
+    fn nanos_addition_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (na, nb, nc) = (Nanos::from_nanos(a), Nanos::from_nanos(b), Nanos::from_nanos(c));
+        prop_assert_eq!(na + nb, nb + na);
+        prop_assert_eq!((na + nb) + nc, na + (nb + nc));
+        // Subtraction never underflows.
+        prop_assert!(na - nb <= na);
+    }
+
+    /// log2_bucket brackets its input: 2^k <= ns < 2^(k+1).
+    #[test]
+    fn log2_bucket_brackets(ns in 1u64..u64::MAX) {
+        let k = Nanos::from_nanos(ns).log2_bucket();
+        prop_assert!(ns >= 1u64 << k);
+        if k < 63 {
+            prop_assert!(ns < 1u64 << (k + 1));
+        }
+    }
+
+    /// Display formatting of Nanos always contains a unit suffix.
+    #[test]
+    fn nanos_display_has_unit(ns in any::<u64>()) {
+        let s = format!("{}", Nanos::from_nanos(ns));
+        prop_assert!(s.ends_with("ns") || s.ends_with("us") || s.ends_with("ms") || s.ends_with('s'));
+    }
+
+    /// page_span covers exactly the bytes requested: first*ps <= offset
+    /// and end*ps >= offset+len.
+    #[test]
+    fn page_span_covers(offset in 0u64..1 << 40, len in 1u64..1 << 20) {
+        let ps = Bytes::kib(4);
+        let (first, last) = page_span(Bytes::new(offset), Bytes::new(len), ps);
+        prop_assert!(first * 4096 <= offset);
+        prop_assert!(last * 4096 >= offset + len);
+        // Never more than len/4096 + 2 pages.
+        prop_assert!(last - first <= len / 4096 + 2);
+    }
+
+    /// Uniform u64 generation respects bounds for any bound.
+    #[test]
+    fn rng_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Distribution samples are finite and non-negative for sane params.
+    #[test]
+    fn dist_samples_sane(
+        seed in any::<u64>(),
+        median in 1.0f64..1e9,
+        sigma in 0.0f64..2.0,
+    ) {
+        let mut rng = Rng::new(seed);
+        let d = Dist::LogNormal { median, sigma };
+        for _ in 0..20 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    /// Zipf always returns indices in range, for any theta.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1usize..5000, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// The event queue is a stable priority queue: output times are
+    /// non-decreasing, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_stable_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let mut last: Option<(Nanos, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated at equal times");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    /// Forked streams do not collide for distinct labels (probabilistic,
+    /// but 64-bit collisions in 20 draws would indicate a bug).
+    #[test]
+    fn rng_forks_disjoint(seed in any::<u64>()) {
+        let parent = Rng::new(seed);
+        let mut a = parent.fork("alpha");
+        let mut b = parent.fork("beta");
+        let mut same = 0;
+        for _ in 0..20 {
+            if a.next_u64() == b.next_u64() {
+                same += 1;
+            }
+        }
+        prop_assert!(same == 0, "streams collided {same} times");
+    }
+}

@@ -1,0 +1,287 @@
+//! Disk geometry: cylinders, surfaces and zoned bit recording.
+//!
+//! Modern drives pack more sectors onto outer tracks (zoned bit
+//! recording), so sequential transfer rate falls from the outside of the
+//! platter inward — a first-order effect any *on-disk layout* benchmark
+//! (the paper's second dimension) must model: where a file system places
+//! blocks changes both seek distance and transfer speed.
+
+use rb_simcore::units::{BlockNo, Bytes};
+
+/// One recording zone: a run of cylinders sharing a sectors-per-track
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    /// First cylinder of the zone.
+    pub start_cylinder: u64,
+    /// Sectors on each track within the zone.
+    pub sectors_per_track: u64,
+}
+
+/// Physical location of a block: cylinder, head (surface) and sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chs {
+    /// Cylinder (radial position).
+    pub cylinder: u64,
+    /// Head / surface index.
+    pub head: u64,
+    /// Sector within the track.
+    pub sector: u64,
+    /// Sectors per track at this cylinder (zone-dependent).
+    pub sectors_per_track: u64,
+}
+
+/// Zoned disk geometry mapping linear block addresses to physical
+/// positions.
+///
+/// Blocks are laid out cylinder-major: all sectors of cylinder 0 (across
+/// all heads), then cylinder 1, and so on — matching how real drives
+/// number LBAs so that sequential LBA access is sequential on the media.
+///
+/// # Examples
+///
+/// ```
+/// use rb_simdisk::geometry::Geometry;
+///
+/// let g = Geometry::maxtor_7l250s0_like();
+/// let last = g.capacity_blocks() - 1;
+/// let chs = g.locate(last);
+/// assert_eq!(chs.cylinder, g.cylinders() - 1);
+/// // Outer tracks hold more sectors than inner ones.
+/// assert!(g.locate(0).sectors_per_track > chs.sectors_per_track);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Geometry {
+    heads: u64,
+    block_size: Bytes,
+    zones: Vec<Zone>,
+    cylinders: u64,
+    /// Cumulative block index at the start of each zone.
+    zone_block_start: Vec<u64>,
+    capacity_blocks: u64,
+}
+
+impl Geometry {
+    /// Builds a geometry from explicit zones.
+    ///
+    /// `zones` must be non-empty with strictly increasing
+    /// `start_cylinder`, beginning at 0. `cylinders` is the total
+    /// cylinder count. Invalid input falls back to a single-zone geometry
+    /// to keep construction infallible for configuration code; validation
+    /// helpers live in the file-system layer where user input arrives.
+    pub fn new(heads: u64, cylinders: u64, block_size: Bytes, zones: Vec<Zone>) -> Self {
+        let heads = heads.max(1);
+        let cylinders = cylinders.max(1);
+        let zones = if zones.is_empty()
+            || zones[0].start_cylinder != 0
+            || zones.windows(2).any(|w| w[1].start_cylinder <= w[0].start_cylinder)
+            || zones.iter().any(|z| z.sectors_per_track == 0 || z.start_cylinder >= cylinders)
+        {
+            vec![Zone { start_cylinder: 0, sectors_per_track: 800 }]
+        } else {
+            zones
+        };
+        let mut zone_block_start = Vec::with_capacity(zones.len());
+        let mut acc = 0u64;
+        for (i, z) in zones.iter().enumerate() {
+            zone_block_start.push(acc);
+            let end_cyl = zones.get(i + 1).map_or(cylinders, |n| n.start_cylinder);
+            acc += (end_cyl - z.start_cylinder) * heads * z.sectors_per_track;
+        }
+        Geometry {
+            heads,
+            block_size,
+            zones,
+            cylinders,
+            zone_block_start,
+            capacity_blocks: acc,
+        }
+    }
+
+    /// A geometry calibrated to the paper's testbed drive class
+    /// (Maxtor 7L250S0: 250 GB, 7200 RPM, 3.5"), with 4 KiB blocks.
+    ///
+    /// 16 zones from 200 down to 110 4-KiB blocks per track across 60 k
+    /// cylinders and 6 surfaces give ~230 GB and a ~1.8:1 outer/inner
+    /// transfer-rate ratio.
+    pub fn maxtor_7l250s0_like() -> Self {
+        let cylinders = 60_000;
+        let zones: Vec<Zone> = (0..16)
+            .map(|i| Zone {
+                start_cylinder: i * (cylinders / 16),
+                sectors_per_track: 200 - i * 6,
+            })
+            .collect();
+        Geometry::new(6, cylinders, Bytes::kib(4), zones)
+    }
+
+    /// A tiny geometry for tests: 2 heads, 100 cylinders, 2 zones.
+    pub fn tiny_for_tests() -> Self {
+        Geometry::new(
+            2,
+            100,
+            Bytes::kib(4),
+            vec![
+                Zone { start_cylinder: 0, sectors_per_track: 20 },
+                Zone { start_cylinder: 50, sectors_per_track: 10 },
+            ],
+        )
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> Bytes {
+        self.block_size * self.capacity_blocks
+    }
+
+    /// Device block size.
+    pub fn block_size(&self) -> Bytes {
+        self.block_size
+    }
+
+    /// Number of cylinders.
+    pub fn cylinders(&self) -> u64 {
+        self.cylinders
+    }
+
+    /// Number of heads (surfaces).
+    pub fn heads(&self) -> u64 {
+        self.heads
+    }
+
+    /// The zone table.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Maps a block address to its physical position.
+    ///
+    /// Addresses past the end clamp to the final block, so geometry code
+    /// never panics on a stray address; bounds are enforced at the device
+    /// layer where an error can be reported.
+    pub fn locate(&self, block: BlockNo) -> Chs {
+        let block = block.min(self.capacity_blocks.saturating_sub(1));
+        // Find the zone via the cumulative starts.
+        let zi = match self.zone_block_start.binary_search(&block) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let z = self.zones[zi];
+        let rel = block - self.zone_block_start[zi];
+        let blocks_per_cyl = self.heads * z.sectors_per_track;
+        let cylinder = z.start_cylinder + rel / blocks_per_cyl;
+        let within = rel % blocks_per_cyl;
+        Chs {
+            cylinder,
+            head: within / z.sectors_per_track,
+            sector: within % z.sectors_per_track,
+            sectors_per_track: z.sectors_per_track,
+        }
+    }
+
+    /// Sectors per track at the given cylinder.
+    pub fn sectors_at_cylinder(&self, cylinder: u64) -> u64 {
+        let cylinder = cylinder.min(self.cylinders - 1);
+        let zi = self
+            .zones
+            .iter()
+            .rposition(|z| z.start_cylinder <= cylinder)
+            .unwrap_or(0);
+        self.zones[zi].sectors_per_track
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_geometry_capacity() {
+        let g = Geometry::tiny_for_tests();
+        // 50 cyl * 2 heads * 20 + 50 cyl * 2 heads * 10 = 2000 + 1000.
+        assert_eq!(g.capacity_blocks(), 3000);
+        assert_eq!(g.capacity_bytes(), Bytes::kib(4) * 3000);
+    }
+
+    #[test]
+    fn locate_walks_cylinder_major() {
+        let g = Geometry::tiny_for_tests();
+        let c0 = g.locate(0);
+        assert_eq!((c0.cylinder, c0.head, c0.sector), (0, 0, 0));
+        // Block 20 is the first sector of head 1, cylinder 0.
+        let c = g.locate(20);
+        assert_eq!((c.cylinder, c.head, c.sector), (0, 1, 0));
+        // Block 40 starts cylinder 1.
+        let c = g.locate(40);
+        assert_eq!((c.cylinder, c.head, c.sector), (1, 0, 0));
+    }
+
+    #[test]
+    fn locate_crosses_zone_boundary() {
+        let g = Geometry::tiny_for_tests();
+        // Zone 0 spans blocks [0, 2000); zone 1 starts at cylinder 50.
+        let c = g.locate(2000);
+        assert_eq!(c.cylinder, 50);
+        assert_eq!(c.sectors_per_track, 10);
+        let before = g.locate(1999);
+        assert_eq!(before.cylinder, 49);
+        assert_eq!(before.sectors_per_track, 20);
+    }
+
+    #[test]
+    fn locate_clamps_out_of_range() {
+        let g = Geometry::tiny_for_tests();
+        let last = g.locate(g.capacity_blocks() - 1);
+        let clamped = g.locate(u64::MAX);
+        assert_eq!(last, clamped);
+    }
+
+    #[test]
+    fn sectors_at_cylinder_matches_zone_table() {
+        let g = Geometry::tiny_for_tests();
+        assert_eq!(g.sectors_at_cylinder(0), 20);
+        assert_eq!(g.sectors_at_cylinder(49), 20);
+        assert_eq!(g.sectors_at_cylinder(50), 10);
+        assert_eq!(g.sectors_at_cylinder(10_000), 10);
+    }
+
+    #[test]
+    fn maxtor_like_capacity_in_range() {
+        let g = Geometry::maxtor_7l250s0_like();
+        let gb = g.capacity_bytes().as_u64() as f64 / 1e9;
+        assert!((200.0..300.0).contains(&gb), "capacity {gb} GB");
+        // Outer zone meaningfully denser than inner.
+        let outer = g.locate(0).sectors_per_track;
+        let inner = g.locate(g.capacity_blocks() - 1).sectors_per_track;
+        assert!(outer as f64 / inner as f64 > 1.7);
+    }
+
+    #[test]
+    fn invalid_zones_fall_back() {
+        let g = Geometry::new(2, 10, Bytes::kib(4), vec![]);
+        assert!(g.capacity_blocks() > 0);
+        let g2 = Geometry::new(
+            2,
+            10,
+            Bytes::kib(4),
+            vec![Zone { start_cylinder: 5, sectors_per_track: 4 }],
+        );
+        assert_eq!(g2.zones().len(), 1);
+        assert_eq!(g2.zones()[0].start_cylinder, 0);
+    }
+
+    #[test]
+    fn every_block_locates_in_bounds() {
+        let g = Geometry::tiny_for_tests();
+        for b in 0..g.capacity_blocks() {
+            let c = g.locate(b);
+            assert!(c.cylinder < g.cylinders());
+            assert!(c.head < g.heads());
+            assert!(c.sector < c.sectors_per_track);
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! Ext2-like file system: block groups, bitmaps, inode tables, indirect
+//! blocks.
+//!
+//! The paper's case-study system. Placement policy: inodes go to their
+//! parent directory's block group (directories to the emptiest group),
+//! and data blocks are allocated first-fit starting from the inode's
+//! group — the classic BSD FFS/ext2 clustering heuristic that keeps
+//! related data together until fragmentation sets in.
+
+use crate::alloc::{BitmapAllocator, Run};
+use crate::tree::{Tree, ROOT_INO};
+use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::units::{BlockNo, Bytes};
+use std::collections::HashMap;
+
+/// Ext2 model configuration.
+#[derive(Debug, Clone)]
+pub struct Ext2Config {
+    /// Device size in file-system blocks.
+    pub total_blocks: u64,
+    /// Blocks per block group (ext2 default: 8192 × 4 KiB = 32 MiB).
+    pub blocks_per_group: u64,
+    /// Inodes per group.
+    pub inodes_per_group: u64,
+    /// Demand-miss fetch granularity in pages.
+    pub cluster_pages: u64,
+}
+
+impl Ext2Config {
+    /// Defaults matching a 4 KiB-block ext2 on the given device size.
+    pub fn for_blocks(total_blocks: u64) -> Self {
+        Ext2Config {
+            total_blocks,
+            blocks_per_group: 8192,
+            inodes_per_group: 2048,
+            cluster_pages: 2,
+        }
+    }
+}
+
+/// 128-byte on-disk inodes: 32 per 4 KiB block.
+const INODES_PER_BLOCK: u64 = 32;
+/// Direct block pointers in the inode.
+const DIRECT_BLOCKS: u64 = 12;
+/// Block pointers per 4 KiB indirect block.
+const PTRS_PER_BLOCK: u64 = 1024;
+/// Directory entries per 4 KiB directory block.
+const DIRENTS_PER_BLOCK: u64 = 64;
+
+/// The ext2-like file system.
+///
+/// # Examples
+///
+/// ```
+/// use rb_simfs::ext2::{Ext2Config, Ext2Fs};
+/// use rb_simfs::vfs::FileSystem;
+/// use rb_simcore::units::Bytes;
+///
+/// let mut fs = Ext2Fs::new(Ext2Config::for_blocks(65536)); // 256 MiB
+/// let (ino, _) = fs.create("/data").unwrap();
+/// fs.set_size(ino, Bytes::mib(1)).unwrap();
+/// let ext = fs.map(ino, 0, 256).unwrap();
+/// assert!(ext.len >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ext2Fs {
+    config: Ext2Config,
+    tree: Tree,
+    alloc: BitmapAllocator,
+    /// Free data blocks per group (Orlov-lite bookkeeping).
+    group_free: Vec<u64>,
+    /// Inodes allocated per group.
+    group_inodes: Vec<u64>,
+    /// Which group each inode's metadata lives in.
+    ino_group: HashMap<InodeNo, u64>,
+    /// Indirect mapping blocks owned by each file.
+    indirect: HashMap<InodeNo, Vec<BlockNo>>,
+}
+
+impl Ext2Fs {
+    /// Formats a new file system ("mkfs").
+    pub fn new(config: Ext2Config) -> Self {
+        let groups = config.total_blocks.div_ceil(config.blocks_per_group);
+        let mut alloc = BitmapAllocator::new(config.total_blocks, config.blocks_per_group);
+        let meta_per_group = Self::meta_blocks_per_group(&config);
+        let mut group_free = vec![0u64; groups as usize];
+        for g in 0..groups {
+            let start = g * config.blocks_per_group;
+            let end = ((g + 1) * config.blocks_per_group).min(config.total_blocks);
+            for b in start..(start + meta_per_group).min(end) {
+                // Freshly formatted: reservation cannot fail.
+                alloc.reserve(b).expect("mkfs reservation");
+            }
+            group_free[g as usize] = end.saturating_sub(start + meta_per_group);
+        }
+        let mut fs = Ext2Fs {
+            config,
+            tree: Tree::new(),
+            alloc,
+            group_free,
+            group_inodes: vec![0; groups as usize],
+            ino_group: HashMap::new(),
+            indirect: HashMap::new(),
+        };
+        fs.ino_group.insert(ROOT_INO, 0);
+        fs.group_inodes[0] = 1;
+        fs
+    }
+
+    /// Superblock + group descriptor + two bitmaps + inode table.
+    fn meta_blocks_per_group(config: &Ext2Config) -> u64 {
+        3 + config.inodes_per_group.div_ceil(INODES_PER_BLOCK)
+    }
+
+    /// Number of block groups.
+    pub fn groups(&self) -> u64 {
+        self.group_free.len() as u64
+    }
+
+    /// Reserves one block for an embedded journal (ext3 mkfs support).
+    pub(crate) fn reserve_journal_block(&mut self, b: BlockNo) -> SimResult<()> {
+        self.alloc.reserve(b)?;
+        let g = self.group_of_block(b);
+        self.group_free[g as usize] = self.group_free[g as usize].saturating_sub(1);
+        Ok(())
+    }
+
+    /// Underlying allocator (test and aging access).
+    pub fn allocator(&self) -> &BitmapAllocator {
+        &self.alloc
+    }
+
+    /// Shared namespace (test access).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    fn group_of_block(&self, b: BlockNo) -> u64 {
+        b / self.config.blocks_per_group
+    }
+
+    fn block_bitmap_block(&self, group: u64) -> BlockNo {
+        group * self.config.blocks_per_group + 1
+    }
+
+    fn inode_bitmap_block(&self, group: u64) -> BlockNo {
+        group * self.config.blocks_per_group + 2
+    }
+
+    fn inode_table_block(&self, ino: InodeNo) -> BlockNo {
+        let group = self.ino_group.get(&ino).copied().unwrap_or(0);
+        let slot = ino % self.config.inodes_per_group;
+        group * self.config.blocks_per_group + 3 + slot / INODES_PER_BLOCK
+    }
+
+    fn data_goal(&self, group: u64) -> BlockNo {
+        group * self.config.blocks_per_group + Self::meta_blocks_per_group(&self.config)
+    }
+
+    /// Picks a group for a new inode: directories go to the group with
+    /// the most free blocks; files go to the parent's group, spilling
+    /// forward when its inode quota is exhausted.
+    fn pick_group(&self, parent: InodeNo, is_dir: bool) -> u64 {
+        let groups = self.groups();
+        if is_dir {
+            (0..groups)
+                .max_by_key(|&g| self.group_free[g as usize])
+                .unwrap_or(0)
+        } else {
+            let start = self.ino_group.get(&parent).copied().unwrap_or(0);
+            (0..groups)
+                .map(|i| (start + i) % groups)
+                .find(|&g| self.group_inodes[g as usize] < self.config.inodes_per_group)
+                .unwrap_or(start)
+        }
+    }
+
+    fn charge_alloc(&mut self, runs: &[Run], meta: &mut MetaIo) {
+        for r in runs {
+            let g0 = self.group_of_block(r.start);
+            let g1 = self.group_of_block(r.start + r.len - 1);
+            for g in g0..=g1 {
+                let gs = g * self.config.blocks_per_group;
+                let ge = gs + self.config.blocks_per_group;
+                let overlap = (r.start + r.len).min(ge) - r.start.max(gs);
+                self.group_free[g as usize] =
+                    self.group_free[g as usize].saturating_sub(overlap);
+                meta.writes.push(self.block_bitmap_block(g));
+            }
+        }
+    }
+
+    fn charge_free(&mut self, runs: &[Run], meta: &mut MetaIo) {
+        for r in runs {
+            let g0 = self.group_of_block(r.start);
+            let g1 = self.group_of_block(r.start + r.len - 1);
+            for g in g0..=g1 {
+                let gs = g * self.config.blocks_per_group;
+                let ge = gs + self.config.blocks_per_group;
+                let overlap = (r.start + r.len).min(ge) - r.start.max(gs);
+                self.group_free[g as usize] += overlap;
+                meta.writes.push(self.block_bitmap_block(g));
+            }
+        }
+    }
+
+    /// Directory data block holding the entry for `name` (hash-probed).
+    fn dirent_block(&self, dir: InodeNo, name: &str) -> Option<BlockNo> {
+        let node = self.tree.get(dir).ok()?;
+        let nblocks = node.blocks();
+        if nblocks == 0 {
+            return None;
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let (phys, _) = node.map_block(h % nblocks)?;
+        Some(phys)
+    }
+
+    /// Ensures the directory has enough data blocks for its entries.
+    fn ensure_dir_blocks(&mut self, dir: InodeNo, meta: &mut MetaIo) -> SimResult<()> {
+        let node = self.tree.get(dir)?;
+        // 64 B per entry, 64 entries per 4 KiB block.
+        let needed = node.size.as_u64().div_ceil(
+            DIRENTS_PER_BLOCK * crate::tree::DIRENT_SIZE,
+        );
+        let have = node.blocks();
+        if needed > have {
+            let group = self.ino_group.get(&dir).copied().unwrap_or(0);
+            let goal = node
+                .runs
+                .last()
+                .map(|r| r.start + r.len)
+                .unwrap_or_else(|| self.data_goal(group));
+            let runs = self.alloc.alloc(needed - have, goal)?;
+            self.charge_alloc(&runs, meta);
+            let node = self.tree.get_mut(dir)?;
+            for r in runs {
+                match node.runs.last_mut() {
+                    Some(last) if last.start + last.len == r.start => last.len += r.len,
+                    _ => node.runs.push(r),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Indirect blocks a file of `blocks` data blocks needs.
+    fn indirect_needed(blocks: u64) -> u64 {
+        blocks.saturating_sub(DIRECT_BLOCKS).div_ceil(PTRS_PER_BLOCK)
+    }
+
+    /// Charges inode-table reads for a resolution chain plus one dirent
+    /// block probe per directory step.
+    fn charge_lookup(&self, traversed: &[InodeNo], comps: &[&str], meta: &mut MetaIo) {
+        for ino in traversed {
+            meta.reads.push(self.inode_table_block(*ino));
+        }
+        // traversed = [root, d1, ..., target]; component i is looked up in
+        // traversed[i].
+        for (i, name) in comps.iter().enumerate() {
+            if let Some(b) = self.dirent_block(traversed[i], name) {
+                meta.reads.push(b);
+            }
+        }
+    }
+}
+
+impl FileSystem for Ext2Fs {
+    fn name(&self) -> &'static str {
+        "ext2"
+    }
+
+    fn block_size(&self) -> Bytes {
+        Bytes::kib(4)
+    }
+
+    fn cluster_pages(&self) -> u64 {
+        self.config.cluster_pages
+    }
+
+    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let comps = Tree::components(path)?;
+        let (ino, traversed) = self.tree.resolve(path)?;
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &comps, &mut meta);
+        Ok((ino, meta))
+    }
+
+    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        if self.tree.resolve(path).is_ok() {
+            return Err(SimError::AlreadyExists(path.to_string()));
+        }
+        let mut meta = MetaIo::default();
+        let comps = Tree::components(path)?;
+        self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
+        let group = self.pick_group(parent, false);
+        let ino = self.tree.insert_child(parent, name, false)?;
+        self.ino_group.insert(ino, group);
+        self.group_inodes[group as usize] += 1;
+        self.ensure_dir_blocks(parent, &mut meta)?;
+        meta.writes.push(self.inode_bitmap_block(group));
+        meta.writes.push(self.inode_table_block(ino));
+        meta.writes.push(self.inode_table_block(parent));
+        if let Some(b) = self.dirent_block(parent, name) {
+            meta.writes.push(b);
+        }
+        Ok((ino, meta))
+    }
+
+    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        if self.tree.resolve(path).is_ok() {
+            return Err(SimError::AlreadyExists(path.to_string()));
+        }
+        let mut meta = MetaIo::default();
+        let comps = Tree::components(path)?;
+        self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
+        let group = self.pick_group(parent, true);
+        let ino = self.tree.insert_child(parent, name, true)?;
+        self.ino_group.insert(ino, group);
+        self.group_inodes[group as usize] += 1;
+        self.ensure_dir_blocks(parent, &mut meta)?;
+        meta.writes.push(self.inode_bitmap_block(group));
+        meta.writes.push(self.inode_table_block(ino));
+        meta.writes.push(self.inode_table_block(parent));
+        if let Some(b) = self.dirent_block(parent, name) {
+            meta.writes.push(b);
+        }
+        Ok((ino, meta))
+    }
+
+    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        let mut meta = MetaIo::default();
+        let comps = Tree::components(path)?;
+        self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
+        let (ino, runs) = self.tree.remove_child(parent, name)?;
+        for r in &runs {
+            self.alloc.free(*r)?;
+        }
+        self.charge_free(&runs, &mut meta);
+        if let Some(ind) = self.indirect.remove(&ino) {
+            for b in ind {
+                self.alloc.free(Run { start: b, len: 1 })?;
+                let g = self.group_of_block(b);
+                self.group_free[g as usize] += 1;
+                meta.writes.push(self.block_bitmap_block(g));
+            }
+        }
+        let group = self.ino_group.remove(&ino).unwrap_or(0);
+        self.group_inodes[group as usize] =
+            self.group_inodes[group as usize].saturating_sub(1);
+        meta.writes.push(self.inode_bitmap_block(group));
+        meta.writes.push(self.inode_table_block(parent));
+        if let Some(b) = self.dirent_block(parent, name) {
+            meta.writes.push(b);
+        }
+        Ok(meta)
+    }
+
+    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
+        // Same machinery; remove_child enforces emptiness.
+        self.unlink(path)
+    }
+
+    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve(path)?;
+        let comps = Tree::components(path)?;
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &comps, &mut meta);
+        let node = self.tree.get(ino)?;
+        let dir = node
+            .dir
+            .as_ref()
+            .ok_or_else(|| SimError::InvalidOperation(format!("{path}: not a directory")))?;
+        let mut names: Vec<String> = dir.keys().cloned().collect();
+        names.sort_unstable();
+        // Reading every entry touches every directory data block.
+        for r in &node.runs {
+            for b in r.start..r.start + r.len {
+                meta.reads.push(b);
+            }
+        }
+        Ok((names, meta))
+    }
+
+    fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {
+        let node = self.tree.get(ino)?;
+        Ok(FileAttr { ino, size: node.size, blocks: node.blocks(), is_dir: node.is_dir() })
+    }
+
+    fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
+        let node = self.tree.get(ino)?;
+        if node.is_dir() {
+            return Err(SimError::InvalidOperation("set_size on directory".into()));
+        }
+        let have = node.blocks();
+        let need = size.div_ceil(self.block_size());
+        let mut meta = MetaIo::default();
+        meta.writes.push(self.inode_table_block(ino));
+        if need > have {
+            let group = self.ino_group.get(&ino).copied().unwrap_or(0);
+            let goal = node
+                .runs
+                .last()
+                .map(|r| r.start + r.len)
+                .unwrap_or_else(|| self.data_goal(group));
+            let runs = self.alloc.alloc(need - have, goal)?;
+            // Indirect mapping blocks — allocated before the data runs are
+            // committed so a failure can roll everything back.
+            let want_ind = Self::indirect_needed(need);
+            let have_ind = self.indirect.get(&ino).map_or(0, |v| v.len() as u64);
+            let ind_runs = if want_ind > have_ind {
+                match self.alloc.alloc(want_ind - have_ind, goal) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        for r in &runs {
+                            self.alloc.free(*r).expect("rollback of fresh alloc");
+                        }
+                        return Err(e);
+                    }
+                }
+            } else {
+                Vec::new()
+            };
+            self.charge_alloc(&runs, &mut meta);
+            self.charge_alloc(&ind_runs, &mut meta);
+            let node = self.tree.get_mut(ino)?;
+            for r in runs {
+                match node.runs.last_mut() {
+                    Some(last) if last.start + last.len == r.start => last.len += r.len,
+                    _ => node.runs.push(r),
+                }
+            }
+            let entry = self.indirect.entry(ino).or_default();
+            for r in ind_runs {
+                for b in r.start..r.start + r.len {
+                    entry.push(b);
+                    meta.writes.push(b);
+                }
+            }
+        } else if need < have {
+            // Truncate: free tail blocks.
+            let mut to_free = have - need;
+            let mut freed = Vec::new();
+            let node = self.tree.get_mut(ino)?;
+            while to_free > 0 {
+                let Some(last) = node.runs.last_mut() else { break };
+                if last.len <= to_free {
+                    to_free -= last.len;
+                    freed.push(*last);
+                    node.runs.pop();
+                } else {
+                    last.len -= to_free;
+                    freed.push(Run { start: last.start + last.len, len: to_free });
+                    to_free = 0;
+                }
+            }
+            for r in &freed {
+                self.alloc.free(*r)?;
+            }
+            self.charge_free(&freed, &mut meta);
+            // Release now-surplus indirect blocks.
+            let want_ind = Self::indirect_needed(need) as usize;
+            let surplus: Vec<BlockNo> = match self.indirect.get_mut(&ino) {
+                Some(ind) if ind.len() > want_ind => ind.split_off(want_ind),
+                _ => Vec::new(),
+            };
+            for b in surplus {
+                self.alloc.free(Run { start: b, len: 1 })?;
+                let g = self.group_of_block(b);
+                self.group_free[g as usize] += 1;
+                meta.writes.push(self.block_bitmap_block(g));
+            }
+        }
+        self.tree.get_mut(ino)?.size = size;
+        Ok(meta)
+    }
+
+    fn map(&self, ino: InodeNo, logical: u64, max: u64) -> SimResult<Extent> {
+        let node = self.tree.get(ino)?;
+        match node.map_block(logical) {
+            Some((physical, rem)) => Ok(Extent {
+                logical,
+                physical,
+                len: rem.min(max.max(1)),
+            }),
+            None => Err(SimError::OutOfBounds { offset: logical, size: node.blocks() }),
+        }
+    }
+
+    fn avg_file_extents(&self) -> f64 {
+        self.tree.avg_file_extents()
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.block_size() * self.config.total_blocks
+    }
+
+    fn used(&self) -> Bytes {
+        self.block_size() * (self.config.total_blocks - self.alloc.free_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Ext2Fs {
+        Ext2Fs::new(Ext2Config::for_blocks(65536)) // 256 MiB
+    }
+
+    #[test]
+    fn mkfs_reserves_metadata() {
+        let f = fs();
+        assert!(f.allocator().is_allocated(0));
+        assert!(f.allocator().is_allocated(1));
+        assert!(f.allocator().is_allocated(8192)); // group 1 superblock
+        assert!(f.used() > Bytes::ZERO);
+    }
+
+    #[test]
+    fn create_write_map_roundtrip() {
+        let mut f = fs();
+        let (ino, meta) = f.create("/a").unwrap();
+        assert!(!meta.writes.is_empty());
+        f.set_size(ino, Bytes::mib(2)).unwrap();
+        let attr = f.attr(ino).unwrap();
+        assert_eq!(attr.size, Bytes::mib(2));
+        assert_eq!(attr.blocks, 512);
+        // Mapping covers every block exactly once, contiguously or not.
+        let mut covered = 0;
+        let mut logical = 0;
+        while logical < 512 {
+            let e = f.map(ino, logical, 512).unwrap();
+            assert!(e.len >= 1);
+            covered += e.len;
+            logical += e.len;
+        }
+        assert_eq!(covered, 512);
+        assert!(f.map(ino, 512, 1).is_err());
+    }
+
+    #[test]
+    fn fresh_files_are_mostly_contiguous() {
+        let mut f = fs();
+        let (ino, _) = f.create("/big").unwrap();
+        f.set_size(ino, Bytes::mib(16)).unwrap();
+        let e = f.map(ino, 0, 4096).unwrap();
+        // A fresh ext2 should deliver long runs.
+        assert!(e.len >= 1024, "first extent only {} blocks", e.len);
+    }
+
+    #[test]
+    fn lookup_charges_metadata_reads() {
+        let mut f = fs();
+        f.mkdir("/d").unwrap();
+        f.create("/d/f").unwrap();
+        let (_, meta) = f.lookup("/d/f").unwrap();
+        // Inode table reads for /, /d, /d/f plus dirent probes.
+        assert!(meta.reads.len() >= 3, "only {} reads", meta.reads.len());
+        assert!(meta.writes.is_empty());
+    }
+
+    #[test]
+    fn unlink_returns_space() {
+        let mut f = fs();
+        let (ino, _) = f.create("/x").unwrap();
+        // Directory blocks allocated by create stay with the directory.
+        let free_after_create = f.allocator().free_blocks();
+        f.set_size(ino, Bytes::mib(8)).unwrap();
+        assert!(f.allocator().free_blocks() < free_after_create);
+        let meta = f.unlink("/x").unwrap();
+        assert!(meta.writes.iter().any(|&b| b % 8192 == 1), "block bitmap write");
+        assert_eq!(f.allocator().free_blocks(), free_after_create);
+        assert!(f.lookup("/x").is_err());
+    }
+
+    #[test]
+    fn large_file_gets_indirect_blocks() {
+        let mut f = fs();
+        let (ino, _) = f.create("/big").unwrap();
+        // 12 direct + more: 5000 blocks needs ceil(4988/1024) = 5 indirect.
+        let meta = f.set_size(ino, Bytes::kib(4) * 5000).unwrap();
+        assert_eq!(f.indirect.get(&ino).map(|v| v.len()), Some(5));
+        assert!(meta.writes.len() >= 5);
+        // Shrinking under the direct limit frees them.
+        f.set_size(ino, Bytes::kib(4) * 10).unwrap();
+        assert_eq!(f.indirect.get(&ino).map(|v| v.len()).unwrap_or(0), 0);
+        assert_eq!(f.attr(ino).unwrap().blocks, 10);
+    }
+
+    #[test]
+    fn directories_spread_files_cluster() {
+        let mut f = fs();
+        f.mkdir("/d1").unwrap();
+        f.mkdir("/d2").unwrap();
+        let (fa, _) = f.create("/d1/a").unwrap();
+        let (fb, _) = f.create("/d1/b").unwrap();
+        // Files in the same directory share a group.
+        assert_eq!(f.ino_group[&fa], f.ino_group[&fb]);
+    }
+
+    #[test]
+    fn readdir_lists_sorted() {
+        let mut f = fs();
+        f.create("/b").unwrap();
+        f.create("/a").unwrap();
+        f.mkdir("/c").unwrap();
+        let (names, meta) = f.readdir("/").unwrap();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(!meta.reads.is_empty());
+        assert!(f.readdir("/a").is_err());
+    }
+
+    #[test]
+    fn double_create_fails() {
+        let mut f = fs();
+        f.create("/x").unwrap();
+        assert!(matches!(f.create("/x"), Err(SimError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn no_space_when_full() {
+        let mut f = Ext2Fs::new(Ext2Config::for_blocks(1024)); // 4 MiB
+        let (ino, _) = f.create("/fill").unwrap();
+        let free = f.allocator().free_blocks();
+        // Leave room for the file's own indirect mapping block.
+        f.set_size(ino, Bytes::kib(4) * (free - 1)).unwrap();
+        let (i2, _) = f.create("/more").unwrap();
+        let before = f.allocator().free_blocks();
+        assert!(matches!(f.set_size(i2, Bytes::mib(1)), Err(SimError::NoSpace)));
+        // A failed grow must not leak blocks.
+        assert_eq!(f.allocator().free_blocks(), before);
+    }
+
+    #[test]
+    fn truncate_to_zero() {
+        let mut f = fs();
+        let (ino, _) = f.create("/t").unwrap();
+        f.set_size(ino, Bytes::mib(1)).unwrap();
+        f.set_size(ino, Bytes::ZERO).unwrap();
+        assert_eq!(f.attr(ino).unwrap().blocks, 0);
+        assert!(f.map(ino, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,361 @@
+//! Shared namespace machinery: inodes, directories, path resolution.
+//!
+//! Every simulated file system layers its *placement policy* over this
+//! common tree, so namespace semantics (POSIX-ish path rules, link
+//! counting, empty-directory checks) are implemented — and tested — once.
+
+use crate::alloc::Run;
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::units::Bytes;
+use std::collections::HashMap;
+
+use crate::vfs::InodeNo;
+
+/// Bytes a directory entry consumes (fixed-size model).
+pub const DIRENT_SIZE: u64 = 64;
+
+/// An in-memory inode.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: InodeNo,
+    /// Logical size.
+    pub size: Bytes,
+    /// Data runs in logical order (cumulative mapping).
+    pub runs: Vec<Run>,
+    /// Directory payload, if this is a directory.
+    pub dir: Option<HashMap<String, InodeNo>>,
+    /// Parent directory inode (self for the root).
+    pub parent: InodeNo,
+}
+
+impl Inode {
+    /// Allocated data blocks.
+    pub fn blocks(&self) -> u64 {
+        self.runs.iter().map(|r| r.len).sum()
+    }
+
+    /// True for directories.
+    pub fn is_dir(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Maps a logical block to (physical block, contiguous run remainder).
+    pub fn map_block(&self, logical: u64) -> Option<(u64, u64)> {
+        let mut base = 0u64;
+        for r in &self.runs {
+            if logical < base + r.len {
+                let off = logical - base;
+                return Some((r.start + off, r.len - off));
+            }
+            base += r.len;
+        }
+        None
+    }
+
+    /// Number of mapping extents (fragmentation of this file).
+    pub fn extent_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// The namespace: an inode table plus path resolution.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    inodes: HashMap<InodeNo, Inode>,
+    next_ino: InodeNo,
+    root: InodeNo,
+}
+
+/// Root inode number (fixed, like ext2's inode 2).
+pub const ROOT_INO: InodeNo = 2;
+
+impl Default for Tree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tree {
+    /// Creates a namespace containing only `/`.
+    pub fn new() -> Self {
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            ROOT_INO,
+            Inode {
+                ino: ROOT_INO,
+                size: Bytes::ZERO,
+                runs: Vec::new(),
+                dir: Some(HashMap::new()),
+                parent: ROOT_INO,
+            },
+        );
+        Tree { inodes, next_ino: ROOT_INO + 1, root: ROOT_INO }
+    }
+
+    /// Root inode.
+    pub fn root(&self) -> InodeNo {
+        self.root
+    }
+
+    /// Number of live inodes.
+    pub fn len(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Returns true if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.inodes.len() == 1
+    }
+
+    /// Immutable inode access.
+    pub fn get(&self, ino: InodeNo) -> SimResult<&Inode> {
+        self.inodes.get(&ino).ok_or_else(|| SimError::NotFound(format!("inode {ino}")))
+    }
+
+    /// Mutable inode access.
+    pub fn get_mut(&mut self, ino: InodeNo) -> SimResult<&mut Inode> {
+        self.inodes
+            .get_mut(&ino)
+            .ok_or_else(|| SimError::NotFound(format!("inode {ino}")))
+    }
+
+    /// Iterates all inodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Inode> {
+        self.inodes.values()
+    }
+
+    /// Splits a path into components, rejecting malformed input.
+    pub fn components(path: &str) -> SimResult<Vec<&str>> {
+        if !path.starts_with('/') {
+            return Err(SimError::InvalidOperation(format!(
+                "path must be absolute: {path}"
+            )));
+        }
+        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        if comps.iter().any(|c| *c == "." || *c == "..") {
+            return Err(SimError::InvalidOperation(format!(
+                "path must be canonical: {path}"
+            )));
+        }
+        Ok(comps)
+    }
+
+    /// Resolves a path to an inode, also returning every directory inode
+    /// traversed (for metadata charging).
+    pub fn resolve(&self, path: &str) -> SimResult<(InodeNo, Vec<InodeNo>)> {
+        let comps = Self::components(path)?;
+        let mut cur = self.root;
+        let mut traversed = vec![self.root];
+        for c in comps {
+            let node = self.get(cur)?;
+            let dir = node
+                .dir
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidOperation(format!("{c}: not a directory")))?;
+            cur = *dir
+                .get(c)
+                .ok_or_else(|| SimError::NotFound(path.to_string()))?;
+            traversed.push(cur);
+        }
+        Ok((cur, traversed))
+    }
+
+    /// Resolves the parent directory of `path`, returning
+    /// `(parent_ino, final_component, traversed)`.
+    pub fn resolve_parent<'p>(
+        &self,
+        path: &'p str,
+    ) -> SimResult<(InodeNo, &'p str, Vec<InodeNo>)> {
+        let comps = Self::components(path)?;
+        let Some((&name, dirs)) = comps.split_last() else {
+            return Err(SimError::InvalidOperation("path is the root".into()));
+        };
+        let mut cur = self.root;
+        let mut traversed = vec![self.root];
+        for c in dirs {
+            let node = self.get(cur)?;
+            let dir = node
+                .dir
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidOperation(format!("{c}: not a directory")))?;
+            cur = *dir
+                .get(*c)
+                .ok_or_else(|| SimError::NotFound(path.to_string()))?;
+            traversed.push(cur);
+        }
+        if self.get(cur)?.dir.is_none() {
+            return Err(SimError::InvalidOperation(format!("{path}: parent not a directory")));
+        }
+        Ok((cur, name, traversed))
+    }
+
+    /// Inserts a new inode under `parent` with the given name.
+    ///
+    /// The caller has already verified the name is free.
+    pub fn insert_child(
+        &mut self,
+        parent: InodeNo,
+        name: &str,
+        is_dir: bool,
+    ) -> SimResult<InodeNo> {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        let node = Inode {
+            ino,
+            size: Bytes::ZERO,
+            runs: Vec::new(),
+            dir: if is_dir { Some(HashMap::new()) } else { None },
+            parent,
+        };
+        self.inodes.insert(ino, node);
+        let pdir = self
+            .get_mut(parent)?
+            .dir
+            .as_mut()
+            .ok_or_else(|| SimError::InvalidOperation("parent not a directory".into()))?;
+        pdir.insert(name.to_string(), ino);
+        // Directory grows by one entry.
+        let psize = self.get(parent)?.size + Bytes::new(DIRENT_SIZE);
+        self.get_mut(parent)?.size = psize;
+        Ok(ino)
+    }
+
+    /// Removes `name` from `parent` and deletes the inode, returning its
+    /// data runs for the allocator to free.
+    ///
+    /// Directories must be empty.
+    pub fn remove_child(&mut self, parent: InodeNo, name: &str) -> SimResult<(InodeNo, Vec<Run>)> {
+        let ino = {
+            let pdir = self
+                .get(parent)?
+                .dir
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidOperation("parent not a directory".into()))?;
+            *pdir.get(name).ok_or_else(|| SimError::NotFound(name.to_string()))?
+        };
+        if let Some(d) = &self.get(ino)?.dir {
+            if !d.is_empty() {
+                return Err(SimError::NotEmpty(name.to_string()));
+            }
+        }
+        let runs = self.get(ino)?.runs.clone();
+        self.inodes.remove(&ino);
+        if let Some(pdir) = self.get_mut(parent)?.dir.as_mut() {
+            pdir.remove(name);
+        }
+        let psize = self.get(parent)?.size.saturating_sub(Bytes::new(DIRENT_SIZE));
+        self.get_mut(parent)?.size = psize;
+        Ok((ino, runs))
+    }
+
+    /// Mean extents per file MiB across regular files (layout metric).
+    pub fn avg_file_extents(&self) -> f64 {
+        let files: Vec<&Inode> =
+            self.iter().filter(|i| !i.is_dir() && !i.runs.is_empty()).collect();
+        if files.is_empty() {
+            return 0.0;
+        }
+        let total_ext: usize = files.iter().map(|i| i.extent_count()).sum();
+        total_ext as f64 / files.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_exists() {
+        let t = Tree::new();
+        assert!(t.get(ROOT_INO).unwrap().is_dir());
+        assert!(t.is_empty());
+        let (ino, traversed) = t.resolve("/").unwrap();
+        assert_eq!(ino, ROOT_INO);
+        assert_eq!(traversed, vec![ROOT_INO]);
+    }
+
+    #[test]
+    fn create_and_resolve_nested() {
+        let mut t = Tree::new();
+        let d = t.insert_child(ROOT_INO, "dir", true).unwrap();
+        let f = t.insert_child(d, "file", false).unwrap();
+        let (ino, traversed) = t.resolve("/dir/file").unwrap();
+        assert_eq!(ino, f);
+        assert_eq!(traversed, vec![ROOT_INO, d, f]);
+        assert!(!t.get(f).unwrap().is_dir());
+    }
+
+    #[test]
+    fn resolve_parent_of_missing_leaf_ok() {
+        let mut t = Tree::new();
+        t.insert_child(ROOT_INO, "dir", true).unwrap();
+        let (parent, name, _) = t.resolve_parent("/dir/new").unwrap();
+        assert_eq!(name, "new");
+        assert_eq!(parent, t.resolve("/dir").unwrap().0);
+    }
+
+    #[test]
+    fn malformed_paths_rejected() {
+        let t = Tree::new();
+        assert!(t.resolve("relative").is_err());
+        assert!(t.resolve("/a/../b").is_err());
+        assert!(Tree::components("/a/./b").is_err());
+        assert!(t.resolve_parent("/").is_err());
+    }
+
+    #[test]
+    fn file_component_in_middle_fails() {
+        let mut t = Tree::new();
+        t.insert_child(ROOT_INO, "f", false).unwrap();
+        assert!(t.resolve("/f/child").is_err());
+        assert!(t.resolve_parent("/f/child").is_err());
+    }
+
+    #[test]
+    fn remove_child_returns_runs() {
+        let mut t = Tree::new();
+        let f = t.insert_child(ROOT_INO, "f", false).unwrap();
+        t.get_mut(f).unwrap().runs = vec![Run { start: 100, len: 5 }];
+        let (ino, runs) = t.remove_child(ROOT_INO, "f").unwrap();
+        assert_eq!(ino, f);
+        assert_eq!(runs, vec![Run { start: 100, len: 5 }]);
+        assert!(t.resolve("/f").is_err());
+    }
+
+    #[test]
+    fn nonempty_dir_protected() {
+        let mut t = Tree::new();
+        let d = t.insert_child(ROOT_INO, "d", true).unwrap();
+        t.insert_child(d, "f", false).unwrap();
+        assert!(matches!(t.remove_child(ROOT_INO, "d"), Err(SimError::NotEmpty(_))));
+        t.remove_child(d, "f").unwrap();
+        assert!(t.remove_child(ROOT_INO, "d").is_ok());
+    }
+
+    #[test]
+    fn dir_size_tracks_entries() {
+        let mut t = Tree::new();
+        t.insert_child(ROOT_INO, "a", false).unwrap();
+        t.insert_child(ROOT_INO, "b", false).unwrap();
+        assert_eq!(t.get(ROOT_INO).unwrap().size, Bytes::new(2 * DIRENT_SIZE));
+        t.remove_child(ROOT_INO, "a").unwrap();
+        assert_eq!(t.get(ROOT_INO).unwrap().size, Bytes::new(DIRENT_SIZE));
+    }
+
+    #[test]
+    fn map_block_walks_runs() {
+        let mut t = Tree::new();
+        let f = t.insert_child(ROOT_INO, "f", false).unwrap();
+        t.get_mut(f).unwrap().runs =
+            vec![Run { start: 100, len: 3 }, Run { start: 500, len: 2 }];
+        let node = t.get(f).unwrap();
+        assert_eq!(node.map_block(0), Some((100, 3)));
+        assert_eq!(node.map_block(2), Some((102, 1)));
+        assert_eq!(node.map_block(3), Some((500, 2)));
+        assert_eq!(node.map_block(4), Some((501, 1)));
+        assert_eq!(node.map_block(5), None);
+        assert_eq!(node.blocks(), 5);
+        assert_eq!(node.extent_count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! The file-system abstraction: layout engine plus metadata traffic.
+//!
+//! A simulated file system answers two questions: *where do a file's
+//! bytes live on the device* (the mapping, which determines seeks and
+//! contiguity) and *which metadata blocks does an operation touch* (the
+//! [`MetaIo`], which the storage stack turns into cached or media reads
+//! and writes). Data movement itself happens in the stack, through the
+//! page cache, so every file system sees identical caching — isolating
+//! the on-disk-layout dimension exactly as the paper asks.
+
+use rb_simcore::error::SimResult;
+use rb_simcore::units::{BlockNo, Bytes};
+
+/// Inode number.
+pub type InodeNo = u64;
+
+/// Metadata block traffic caused by an operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetaIo {
+    /// Metadata blocks read (directory blocks, inode table, bitmaps).
+    pub reads: Vec<BlockNo>,
+    /// Metadata blocks written.
+    pub writes: Vec<BlockNo>,
+    /// Journal blocks written (empty on non-journaling systems).
+    pub journal_writes: Vec<BlockNo>,
+}
+
+impl MetaIo {
+    /// Merges another operation's traffic into this one.
+    pub fn merge(&mut self, other: MetaIo) {
+        self.reads.extend(other.reads);
+        self.writes.extend(other.writes);
+        self.journal_writes.extend(other.journal_writes);
+    }
+
+    /// Total metadata blocks touched.
+    pub fn total_blocks(&self) -> usize {
+        self.reads.len() + self.writes.len() + self.journal_writes.len()
+    }
+}
+
+/// File attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileAttr {
+    /// Inode number.
+    pub ino: InodeNo,
+    /// Logical size in bytes.
+    pub size: Bytes,
+    /// Allocated data blocks.
+    pub blocks: u64,
+    /// True for directories.
+    pub is_dir: bool,
+}
+
+/// A contiguous piece of a file's mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First logical block covered.
+    pub logical: u64,
+    /// Corresponding physical (device) block.
+    pub physical: BlockNo,
+    /// Contiguous length in blocks.
+    pub len: u64,
+}
+
+/// A simulated file system.
+///
+/// All paths are absolute, `/`-separated, with no `.`/`..` components.
+pub trait FileSystem {
+    /// Model name for reports (e.g. `"ext2"`).
+    fn name(&self) -> &'static str;
+
+    /// File-system block size (equals the device block size here).
+    fn block_size(&self) -> Bytes;
+
+    /// Miss granularity: how many *pages* the stack fetches per demand
+    /// miss (modelling per-FS block clustering).
+    fn cluster_pages(&self) -> u64;
+
+    /// Resolves a path, charging directory/inode reads.
+    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Creates a regular file.
+    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Removes a regular file, freeing its blocks.
+    fn unlink(&mut self, path: &str) -> SimResult<MetaIo>;
+
+    /// Removes an empty directory.
+    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo>;
+
+    /// Lists a directory's entries.
+    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)>;
+
+    /// Attributes by inode.
+    fn attr(&self, ino: InodeNo) -> SimResult<FileAttr>;
+
+    /// Grows or shrinks a file, (de)allocating data blocks.
+    fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo>;
+
+    /// Maps logical block `logical` of `ino`, returning an extent
+    /// covering at most `max` blocks starting there.
+    fn map(&self, ino: InodeNo, logical: u64, max: u64) -> SimResult<Extent>;
+
+    /// Average number of extents per file-megabyte — a layout-quality
+    /// metric (1 run per MB is perfectly contiguous at 256 blocks/MB).
+    fn avg_file_extents(&self) -> f64;
+
+    /// Total device capacity.
+    fn capacity(&self) -> Bytes;
+
+    /// Bytes of user data currently allocated.
+    fn used(&self) -> Bytes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metaio_merge_accumulates() {
+        let mut a = MetaIo { reads: vec![1], writes: vec![2], journal_writes: vec![] };
+        let b = MetaIo { reads: vec![3, 4], writes: vec![], journal_writes: vec![9] };
+        a.merge(b);
+        assert_eq!(a.reads, vec![1, 3, 4]);
+        assert_eq!(a.writes, vec![2]);
+        assert_eq!(a.journal_writes, vec![9]);
+        assert_eq!(a.total_blocks(), 5);
+    }
+}

@@ -1,0 +1,498 @@
+//! XFS-like file system: allocation groups, extents and a log.
+//!
+//! Placement policy: the device is divided into independent allocation
+//! groups (AGs); directories rotate across AGs (spreading parallelism),
+//! files allocate extents inside their directory's AG with best-fit from
+//! a free-extent tree. Compared with the ext2 model, files are mapped by
+//! a handful of large extents rather than block runs grown 1-at-a-time,
+//! and the demand-miss clustering is much larger (64 KiB), which is what
+//! differentiates its cache warm-up curve in the paper's Figure 2.
+
+use crate::alloc::{ExtentAllocator, Run};
+use crate::tree::{Tree, ROOT_INO};
+use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::units::{BlockNo, Bytes};
+use std::collections::HashMap;
+
+/// XFS model configuration.
+#[derive(Debug, Clone)]
+pub struct XfsConfig {
+    /// Device size in blocks.
+    pub total_blocks: u64,
+    /// Number of allocation groups (xfs default: 4 for small volumes).
+    pub allocation_groups: u64,
+    /// Log (journal) size in blocks.
+    pub log_blocks: u64,
+    /// Demand-miss fetch granularity in pages.
+    pub cluster_pages: u64,
+}
+
+impl XfsConfig {
+    /// Defaults for the given device size.
+    pub fn for_blocks(total_blocks: u64) -> Self {
+        XfsConfig {
+            total_blocks,
+            allocation_groups: 4,
+            log_blocks: 4096.min(total_blocks / 16).max(64),
+            cluster_pages: 16,
+        }
+    }
+}
+
+/// Per-AG block bookkeeping.
+#[derive(Debug, Clone)]
+struct AllocGroup {
+    start: BlockNo,
+    alloc: ExtentAllocator,
+}
+
+/// The xfs-like file system.
+///
+/// # Examples
+///
+/// ```
+/// use rb_simfs::xfs::{XfsConfig, XfsFs};
+/// use rb_simfs::vfs::FileSystem;
+/// use rb_simcore::units::Bytes;
+///
+/// let mut fs = XfsFs::new(XfsConfig::for_blocks(65536));
+/// let (ino, _) = fs.create("/data").unwrap();
+/// fs.set_size(ino, Bytes::mib(16)).unwrap();
+/// // A 16 MiB fresh file maps as one extent.
+/// let e = fs.map(ino, 0, 4096).unwrap();
+/// assert_eq!(e.len, 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XfsFs {
+    config: XfsConfig,
+    tree: Tree,
+    ags: Vec<AllocGroup>,
+    /// AG of each inode.
+    ino_ag: HashMap<InodeNo, u64>,
+    /// Round-robin cursor for directory placement.
+    next_dir_ag: u64,
+    /// Log region (in AG 0).
+    log_start: BlockNo,
+    log_head: u64,
+}
+
+/// Blocks reserved per AG for headers (superblock, free-space btree
+/// roots, inode btree root).
+const AG_HEADER_BLOCKS: u64 = 4;
+/// On-disk inodes per block (256-byte inodes).
+const INODES_PER_BLOCK: u64 = 16;
+/// Inode chunk reserved per AG for the inode btree (simplified fixed
+/// region).
+const AG_INODE_BLOCKS: u64 = 256;
+
+impl XfsFs {
+    /// Formats a new file system.
+    pub fn new(config: XfsConfig) -> Self {
+        let ag_count = config.allocation_groups.max(1);
+        let ag_size = config.total_blocks / ag_count;
+        let mut ags = Vec::with_capacity(ag_count as usize);
+        for g in 0..ag_count {
+            let start = g * ag_size;
+            let len = if g == ag_count - 1 {
+                config.total_blocks - start
+            } else {
+                ag_size
+            };
+            let mut alloc = ExtentAllocator::new(len);
+            alloc
+                .reserve(0, (AG_HEADER_BLOCKS + AG_INODE_BLOCKS).min(len))
+                .expect("mkfs reservation");
+            ags.push(AllocGroup { start, alloc });
+        }
+        // Log lives in AG 0 right after the headers.
+        let log_blocks = config.log_blocks.min(ag_size / 2).max(1);
+        let log_start = AG_HEADER_BLOCKS + AG_INODE_BLOCKS;
+        ags[0]
+            .alloc
+            .reserve(log_start, log_blocks)
+            .expect("log reservation");
+        let mut fs = XfsFs {
+            config,
+            tree: Tree::new(),
+            ags,
+            ino_ag: HashMap::new(),
+            next_dir_ag: 1,
+            log_start,
+            log_head: 0,
+        };
+        fs.ino_ag.insert(ROOT_INO, 0);
+        fs
+    }
+
+    /// Number of allocation groups.
+    pub fn ag_count(&self) -> u64 {
+        self.ags.len() as u64
+    }
+
+    /// Start of the log region (device block).
+    pub fn log_start(&self) -> BlockNo {
+        self.log_start
+    }
+
+    fn ag_of_block(&self, b: BlockNo) -> u64 {
+        let ag_size = self.config.total_blocks / self.ag_count();
+        (b / ag_size.max(1)).min(self.ag_count() - 1)
+    }
+
+    fn inode_table_block(&self, ino: InodeNo) -> BlockNo {
+        let ag = self.ino_ag.get(&ino).copied().unwrap_or(0);
+        let slot = ino % (AG_INODE_BLOCKS * INODES_PER_BLOCK);
+        self.ags[ag as usize].start + AG_HEADER_BLOCKS + slot / INODES_PER_BLOCK
+    }
+
+    fn freespace_root_block(&self, ag: u64) -> BlockNo {
+        self.ags[ag as usize].start + 1
+    }
+
+    fn pick_ag(&mut self, parent: InodeNo, is_dir: bool) -> u64 {
+        if is_dir {
+            let ag = self.next_dir_ag % self.ag_count();
+            self.next_dir_ag += 1;
+            ag
+        } else {
+            self.ino_ag.get(&parent).copied().unwrap_or(0)
+        }
+    }
+
+    /// Allocates `count` blocks in/near the given AG, returning
+    /// device-absolute runs.
+    fn alloc_blocks(&mut self, ag: u64, count: u64, goal: BlockNo) -> SimResult<Vec<Run>> {
+        let agc = self.ag_count();
+        let mut left = count;
+        let mut out = Vec::new();
+        for i in 0..agc {
+            let g = ((ag + i) % agc) as usize;
+            let base = self.ags[g].start;
+            let local_goal = goal.saturating_sub(base);
+            let avail = self.ags[g].alloc.free_blocks();
+            if avail == 0 {
+                continue;
+            }
+            let take = left.min(avail);
+            let runs = self.ags[g].alloc.alloc(take, local_goal)?;
+            for r in runs {
+                out.push(Run { start: base + r.start, len: r.len });
+            }
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        if left > 0 {
+            // Roll back partial allocation.
+            for r in &out {
+                let g = self.ag_of_block(r.start) as usize;
+                let base = self.ags[g].start;
+                self.ags[g]
+                    .alloc
+                    .free(Run { start: r.start - base, len: r.len })
+                    .expect("rollback");
+            }
+            return Err(SimError::NoSpace);
+        }
+        Ok(out)
+    }
+
+    fn free_blocks_runs(&mut self, runs: &[Run]) -> SimResult<()> {
+        for r in runs {
+            let g = self.ag_of_block(r.start) as usize;
+            let base = self.ags[g].start;
+            self.ags[g].alloc.free(Run { start: r.start - base, len: r.len })?;
+        }
+        Ok(())
+    }
+
+    /// Appends a log transaction covering `meta`'s writes.
+    fn log(&mut self, mut meta: MetaIo) -> MetaIo {
+        if meta.writes.is_empty() {
+            return meta;
+        }
+        let count = meta.writes.len() as u64 + 1; // records + commit
+        let log_len = self.config.log_blocks.max(1);
+        for i in 0..count {
+            let pos = (self.log_head + i) % log_len;
+            meta.journal_writes.push(self.log_start + pos);
+        }
+        self.log_head = (self.log_head + count) % log_len;
+        meta
+    }
+
+    fn charge_lookup(&self, traversed: &[InodeNo], meta: &mut MetaIo) {
+        for ino in traversed {
+            meta.reads.push(self.inode_table_block(*ino));
+        }
+    }
+}
+
+impl FileSystem for XfsFs {
+    fn name(&self) -> &'static str {
+        "xfs"
+    }
+
+    fn block_size(&self) -> Bytes {
+        Bytes::kib(4)
+    }
+
+    fn cluster_pages(&self) -> u64 {
+        self.config.cluster_pages
+    }
+
+    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve(path)?;
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &mut meta);
+        Ok((ino, meta))
+    }
+
+    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        if self.tree.resolve(path).is_ok() {
+            return Err(SimError::AlreadyExists(path.to_string()));
+        }
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &mut meta);
+        let ag = self.pick_ag(parent, false);
+        let ino = self.tree.insert_child(parent, name, false)?;
+        self.ino_ag.insert(ino, ag);
+        meta.writes.push(self.inode_table_block(ino));
+        meta.writes.push(self.inode_table_block(parent));
+        Ok((ino, self.log(meta)))
+    }
+
+    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        if self.tree.resolve(path).is_ok() {
+            return Err(SimError::AlreadyExists(path.to_string()));
+        }
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &mut meta);
+        let ag = self.pick_ag(parent, true);
+        let ino = self.tree.insert_child(parent, name, true)?;
+        self.ino_ag.insert(ino, ag);
+        meta.writes.push(self.inode_table_block(ino));
+        meta.writes.push(self.inode_table_block(parent));
+        Ok((ino, self.log(meta)))
+    }
+
+    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
+        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &mut meta);
+        let (ino, runs) = self.tree.remove_child(parent, name)?;
+        self.free_blocks_runs(&runs)?;
+        for r in &runs {
+            meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+        }
+        meta.writes.push(self.inode_table_block(parent));
+        let it = self.inode_table_block(ino);
+        meta.writes.push(it);
+        self.ino_ag.remove(&ino);
+        Ok(self.log(meta))
+    }
+
+    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
+        self.unlink(path)
+    }
+
+    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve(path)?;
+        let mut meta = MetaIo::default();
+        self.charge_lookup(&traversed, &mut meta);
+        let node = self.tree.get(ino)?;
+        let dir = node
+            .dir
+            .as_ref()
+            .ok_or_else(|| SimError::InvalidOperation(format!("{path}: not a directory")))?;
+        let mut names: Vec<String> = dir.keys().cloned().collect();
+        names.sort_unstable();
+        Ok((names, meta))
+    }
+
+    fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {
+        let node = self.tree.get(ino)?;
+        Ok(FileAttr { ino, size: node.size, blocks: node.blocks(), is_dir: node.is_dir() })
+    }
+
+    fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
+        let node = self.tree.get(ino)?;
+        if node.is_dir() {
+            return Err(SimError::InvalidOperation("set_size on directory".into()));
+        }
+        let have = node.blocks();
+        let need = size.div_ceil(self.block_size());
+        let mut meta = MetaIo::default();
+        meta.writes.push(self.inode_table_block(ino));
+        if need > have {
+            let ag = self.ino_ag.get(&ino).copied().unwrap_or(0);
+            let goal = node.runs.last().map(|r| r.start + r.len).unwrap_or(0);
+            // Delayed allocation: the whole growth lands in one request,
+            // so best-fit can find a single extent.
+            let runs = self.alloc_blocks(ag, need - have, goal)?;
+            for r in &runs {
+                meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+            }
+            let node = self.tree.get_mut(ino)?;
+            for r in runs {
+                match node.runs.last_mut() {
+                    Some(last) if last.start + last.len == r.start => last.len += r.len,
+                    _ => node.runs.push(r),
+                }
+            }
+        } else if need < have {
+            let mut to_free = have - need;
+            let mut freed = Vec::new();
+            let node = self.tree.get_mut(ino)?;
+            while to_free > 0 {
+                let Some(last) = node.runs.last_mut() else { break };
+                if last.len <= to_free {
+                    to_free -= last.len;
+                    freed.push(*last);
+                    node.runs.pop();
+                } else {
+                    last.len -= to_free;
+                    freed.push(Run { start: last.start + last.len, len: to_free });
+                    to_free = 0;
+                }
+            }
+            self.free_blocks_runs(&freed)?;
+            for r in &freed {
+                meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+            }
+        }
+        self.tree.get_mut(ino)?.size = size;
+        Ok(self.log(meta))
+    }
+
+    fn map(&self, ino: InodeNo, logical: u64, max: u64) -> SimResult<Extent> {
+        let node = self.tree.get(ino)?;
+        match node.map_block(logical) {
+            Some((physical, rem)) => {
+                Ok(Extent { logical, physical, len: rem.min(max.max(1)) })
+            }
+            None => Err(SimError::OutOfBounds { offset: logical, size: node.blocks() }),
+        }
+    }
+
+    fn avg_file_extents(&self) -> f64 {
+        self.tree.avg_file_extents()
+    }
+
+    fn capacity(&self) -> Bytes {
+        self.block_size() * self.config.total_blocks
+    }
+
+    fn used(&self) -> Bytes {
+        let free: u64 = self.ags.iter().map(|a| a.alloc.free_blocks()).sum();
+        self.block_size() * (self.config.total_blocks - free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> XfsFs {
+        XfsFs::new(XfsConfig::for_blocks(65536))
+    }
+
+    #[test]
+    fn fresh_file_is_one_extent() {
+        let mut f = fs();
+        let (ino, _) = f.create("/a").unwrap();
+        f.set_size(ino, Bytes::mib(32)).unwrap();
+        let e = f.map(ino, 0, u64::MAX).unwrap();
+        assert_eq!(e.len, 32 * 256, "not a single extent: {}", e.len);
+    }
+
+    #[test]
+    fn directories_rotate_ags() {
+        let mut f = fs();
+        let mut ags = Vec::new();
+        for i in 0..4 {
+            let (ino, _) = f.mkdir(&format!("/d{i}")).unwrap();
+            ags.push(f.ino_ag[&ino]);
+        }
+        let distinct: std::collections::HashSet<u64> = ags.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "dirs not spread: {ags:?}");
+    }
+
+    #[test]
+    fn files_follow_their_directory() {
+        let mut f = fs();
+        let (d, _) = f.mkdir("/d").unwrap();
+        let (a, _) = f.create("/d/a").unwrap();
+        let (b, _) = f.create("/d/b").unwrap();
+        assert_eq!(f.ino_ag[&a], f.ino_ag[&d]);
+        assert_eq!(f.ino_ag[&b], f.ino_ag[&d]);
+        // Their data lands inside the AG.
+        f.set_size(a, Bytes::mib(1)).unwrap();
+        let e = f.map(a, 0, 1).unwrap();
+        assert_eq!(f.ag_of_block(e.physical), f.ino_ag[&a]);
+    }
+
+    #[test]
+    fn ag_spill_when_full() {
+        let mut f = XfsFs::new(XfsConfig {
+            total_blocks: 4096,
+            allocation_groups: 4,
+            log_blocks: 64,
+            cluster_pages: 16,
+        });
+        let (ino, _) = f.create("/big").unwrap();
+        // Bigger than one AG (1024 blocks): must spill.
+        f.set_size(ino, Bytes::kib(4) * 2000).unwrap();
+        assert_eq!(f.attr(ino).unwrap().blocks, 2000);
+        // Over-filling everything reports NoSpace and rolls back.
+        let (i2, _) = f.create("/more").unwrap();
+        let free: u64 = f.ags.iter().map(|a| a.alloc.free_blocks()).sum();
+        assert!(matches!(
+            f.set_size(i2, Bytes::kib(4) * (free + 1)),
+            Err(SimError::NoSpace)
+        ));
+        let free_after: u64 = f.ags.iter().map(|a| a.alloc.free_blocks()).sum();
+        assert_eq!(free, free_after, "failed alloc must not leak");
+    }
+
+    #[test]
+    fn log_transactions_stay_in_region() {
+        let mut f = fs();
+        for i in 0..100 {
+            let (_, meta) = f.create(&format!("/f{i}")).unwrap();
+            for b in &meta.journal_writes {
+                assert!(
+                    (f.log_start()..f.log_start() + f.config.log_blocks).contains(b),
+                    "log write {b} escaped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unlink_frees_extents() {
+        let mut f = fs();
+        let before: u64 = f.ags.iter().map(|a| a.alloc.free_blocks()).sum();
+        let (ino, _) = f.create("/x").unwrap();
+        f.set_size(ino, Bytes::mib(8)).unwrap();
+        f.unlink("/x").unwrap();
+        let after: u64 = f.ags.iter().map(|a| a.alloc.free_blocks()).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn truncate_shrinks_extents() {
+        let mut f = fs();
+        let (ino, _) = f.create("/t").unwrap();
+        f.set_size(ino, Bytes::mib(4)).unwrap();
+        f.set_size(ino, Bytes::mib(1)).unwrap();
+        assert_eq!(f.attr(ino).unwrap().blocks, 256);
+        let e = f.map(ino, 255, 10).unwrap();
+        assert_eq!(e.len, 1);
+        assert!(f.map(ino, 256, 1).is_err());
+    }
+}

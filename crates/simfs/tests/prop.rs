@@ -1,0 +1,184 @@
+//! Property tests for the file-system models.
+
+use proptest::prelude::*;
+use rb_simcore::units::Bytes;
+use rb_simfs::ext2::{Ext2Config, Ext2Fs};
+use rb_simfs::ext3::{Ext3Config, Ext3Fs};
+use rb_simfs::vfs::FileSystem;
+use rb_simfs::xfs::{XfsConfig, XfsFs};
+
+/// Arbitrary namespace operation.
+#[derive(Debug, Clone)]
+enum NsOp {
+    Create(u8),
+    Unlink(u8),
+    Grow(u8, u16),
+    Shrink(u8, u16),
+    Stat(u8),
+}
+
+fn ns_op() -> impl Strategy<Value = NsOp> {
+    prop_oneof![
+        (0u8..20).prop_map(NsOp::Create),
+        (0u8..20).prop_map(NsOp::Unlink),
+        (0u8..20, 1u16..512).prop_map(|(f, b)| NsOp::Grow(f, b)),
+        (0u8..20, 0u16..512).prop_map(|(f, b)| NsOp::Shrink(f, b)),
+        (0u8..20).prop_map(NsOp::Stat),
+    ]
+}
+
+/// Runs an op sequence against a file system and a naive model, checking
+/// namespace agreement and space conservation throughout.
+fn check_against_model(fs: &mut dyn FileSystem, ops: &[NsOp]) {
+    use std::collections::HashMap;
+    let mut model: HashMap<u8, u64> = HashMap::new(); // file -> blocks
+    for op in ops {
+        match *op {
+            NsOp::Create(f) => {
+                let path = format!("/p{f}");
+                let created = fs.create(&path);
+                match model.entry(f) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        assert!(created.is_err(), "double create succeeded for {path}");
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        if created.is_ok() {
+                            v.insert(0);
+                        }
+                    }
+                }
+            }
+            NsOp::Unlink(f) => {
+                let path = format!("/p{f}");
+                let removed = fs.unlink(&path);
+                if model.remove(&f).is_some() {
+                    assert!(removed.is_ok(), "unlink of live {path} failed");
+                } else {
+                    assert!(removed.is_err(), "unlink of dead {path} succeeded");
+                }
+            }
+            NsOp::Grow(f, blocks) => {
+                if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(f) {
+                    let path = format!("/p{f}");
+                    let (ino, _) = fs.lookup(&path).unwrap();
+                    let size = Bytes::kib(4) * blocks as u64;
+                    if fs.set_size(ino, size).is_ok() {
+                        e.insert(blocks as u64);
+                    }
+                }
+            }
+            NsOp::Shrink(f, blocks) => {
+                if let Some(&cur) = model.get(&f) {
+                    let target = (blocks as u64).min(cur);
+                    let path = format!("/p{f}");
+                    let (ino, _) = fs.lookup(&path).unwrap();
+                    fs.set_size(ino, Bytes::kib(4) * target).unwrap();
+                    model.insert(f, target);
+                }
+            }
+            NsOp::Stat(f) => {
+                let path = format!("/p{f}");
+                let found = fs.lookup(&path).is_ok();
+                assert_eq!(found, model.contains_key(&f), "lookup diverged for {path}");
+            }
+        }
+        // Attr agreement for every live file.
+        for (&f, &blocks) in &model {
+            let path = format!("/p{f}");
+            let (ino, _) = fs.lookup(&path).unwrap();
+            let attr = fs.attr(ino).unwrap();
+            assert_eq!(attr.blocks, blocks, "block count diverged for {path}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ext2_matches_model(ops in proptest::collection::vec(ns_op(), 1..60)) {
+        let mut fs = Ext2Fs::new(Ext2Config::for_blocks(32_768));
+        check_against_model(&mut fs, &ops);
+    }
+
+    #[test]
+    fn ext3_matches_model(ops in proptest::collection::vec(ns_op(), 1..60)) {
+        let mut fs = Ext3Fs::new(Ext3Config::for_blocks(32_768));
+        check_against_model(&mut fs, &ops);
+    }
+
+    #[test]
+    fn xfs_matches_model(ops in proptest::collection::vec(ns_op(), 1..60)) {
+        let mut fs = XfsFs::new(XfsConfig::for_blocks(32_768));
+        check_against_model(&mut fs, &ops);
+    }
+
+    /// Every journaled transaction's writes stay inside the journal
+    /// region, across arbitrary op sequences.
+    #[test]
+    fn ext3_journal_containment(ops in proptest::collection::vec(ns_op(), 1..40)) {
+        let mut fs = Ext3Fs::new(Ext3Config::for_blocks(32_768));
+        let (jstart, jlen) = (fs.journal_start(), fs.journal_len());
+        let mut live = std::collections::HashSet::new();
+        for op in ops {
+            let meta = match op {
+                NsOp::Create(f) => {
+                    if live.insert(f) {
+                        fs.create(&format!("/p{f}")).ok().map(|(_, m)| m)
+                    } else {
+                        None
+                    }
+                }
+                NsOp::Unlink(f) => {
+                    if live.remove(&f) {
+                        fs.unlink(&format!("/p{f}")).ok()
+                    } else {
+                        None
+                    }
+                }
+                NsOp::Grow(f, b) | NsOp::Shrink(f, b) => {
+                    if live.contains(&f) {
+                        let (ino, _) = fs.lookup(&format!("/p{f}")).unwrap();
+                        fs.set_size(ino, Bytes::kib(4) * (b as u64 % 256)).ok()
+                    } else {
+                        None
+                    }
+                }
+                NsOp::Stat(_) => None,
+            };
+            if let Some(meta) = meta {
+                for b in &meta.journal_writes {
+                    prop_assert!(
+                        (jstart..jstart + jlen).contains(b),
+                        "journal write {b} outside [{jstart}, {})",
+                        jstart + jlen
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mapping stays within the device and covers the exact block count,
+    /// after arbitrary grow/shrink sequences.
+    #[test]
+    fn mapping_covers_exact_size(sizes in proptest::collection::vec(0u64..2000, 1..20)) {
+        let mut fs = XfsFs::new(XfsConfig::for_blocks(32_768));
+        let (ino, _) = fs.create("/f").unwrap();
+        for blocks in sizes {
+            if fs.set_size(ino, Bytes::kib(4) * blocks).is_err() {
+                continue; // out of space is fine
+            }
+            let mut covered = 0;
+            let mut logical = 0;
+            while covered < blocks {
+                let e = fs.map(ino, logical, u64::MAX).unwrap();
+                prop_assert!(e.len >= 1);
+                prop_assert!(e.physical + e.len <= 32_768);
+                covered += e.len;
+                logical += e.len;
+            }
+            prop_assert_eq!(covered, blocks);
+            prop_assert!(fs.map(ino, blocks, 1).is_err() || blocks == 0);
+        }
+    }
+}

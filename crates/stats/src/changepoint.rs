@@ -1,0 +1,328 @@
+//! Cliff and changepoint detection.
+//!
+//! Figure 1's headline feature is a performance cliff: throughput drops by
+//! an order of magnitude between two adjacent file sizes, and zooming in
+//! shows the drop completes within a < 6 MB window. These routines locate
+//! such cliffs in `(x, y)` sweeps and mean-shift changepoints in time
+//! series, so the harness can *report* the fragile region instead of
+//! averaging across it.
+
+use crate::moments::Moments;
+
+/// A detected cliff between two adjacent sweep points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cliff {
+    /// Index of the point before the drop.
+    pub index: usize,
+    /// X value before the drop.
+    pub x_before: f64,
+    /// X value after the drop.
+    pub x_after: f64,
+    /// Y value before the drop.
+    pub y_before: f64,
+    /// Y value after the drop.
+    pub y_after: f64,
+}
+
+impl Cliff {
+    /// Ratio of y before to y after (≥ 1 for a drop).
+    pub fn drop_factor(&self) -> f64 {
+        if self.y_after.abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            self.y_before / self.y_after
+        }
+    }
+}
+
+/// Finds the steepest relative drop between adjacent points of a sweep.
+///
+/// Returns `None` for fewer than 2 points or when no drop exists at all.
+///
+/// # Examples
+///
+/// ```
+/// use rb_stats::changepoint::steepest_drop;
+///
+/// // The Figure 1 shape: plateau, cliff, tail.
+/// let series = [
+///     (320.0, 9700.0),
+///     (384.0, 9715.0),
+///     (448.0, 1019.0),
+///     (512.0, 465.0),
+/// ];
+/// let cliff = steepest_drop(&series).unwrap();
+/// assert_eq!(cliff.x_before, 384.0);
+/// assert_eq!(cliff.x_after, 448.0);
+/// assert!(cliff.drop_factor() > 9.0);
+/// ```
+pub fn steepest_drop(series: &[(f64, f64)]) -> Option<Cliff> {
+    if series.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for i in 0..series.len() - 1 {
+        let (.., y0) = series[i];
+        let (.., y1) = series[i + 1];
+        if y0 <= 0.0 {
+            continue;
+        }
+        let ratio = y0 / y1.max(f64::MIN_POSITIVE);
+        if ratio > 1.0 && best.is_none_or(|(b, _)| ratio > b) {
+            best = Some((ratio, i));
+        }
+    }
+    best.map(|(_, i)| Cliff {
+        index: i,
+        x_before: series[i].0,
+        x_after: series[i + 1].0,
+        y_before: series[i].1,
+        y_after: series[i + 1].1,
+    })
+}
+
+/// Identifies the transition window of a sweep that has a high plateau and
+/// a low tail: the x range outside of which y is within `tolerance`
+/// (relative) of the respective plateau levels.
+///
+/// Plateau levels are estimated from the first and last points. Returns
+/// `None` when the series has no meaningful high-to-low structure (level
+/// ratio below 2×).
+pub fn transition_window(series: &[(f64, f64)], tolerance: f64) -> Option<(f64, f64)> {
+    if series.len() < 3 {
+        return None;
+    }
+    let high = series.first().map(|&(_, y)| y)?;
+    let low = series.last().map(|&(_, y)| y)?;
+    if low <= 0.0 || high / low < 2.0 {
+        return None;
+    }
+    // Last index still within tolerance of the high plateau.
+    let mut start = 0;
+    for (i, &(_, y)) in series.iter().enumerate() {
+        if (y - high).abs() / high <= tolerance {
+            start = i;
+        } else {
+            break;
+        }
+    }
+    // First index within tolerance of the low plateau, scanning from the end.
+    let mut end = series.len() - 1;
+    for (i, &(_, y)) in series.iter().enumerate().rev() {
+        if (y - low).abs() / low <= tolerance {
+            end = i;
+        } else {
+            break;
+        }
+    }
+    if start >= end {
+        // Degenerate: the cliff is between two adjacent samples.
+        let c = steepest_drop(series)?;
+        return Some((c.x_before, c.x_after));
+    }
+    Some((series[start].0, series[end].0))
+}
+
+/// Splits a time series at mean-shift changepoints using binary
+/// segmentation, returning at most `max_k` changepoint indices (each index
+/// is the start of a new segment), in increasing order.
+///
+/// A split is accepted only if it reduces the segment's sum of squared
+/// errors by at least `min_gain` (relative, e.g. 0.1 = 10 %). Segments
+/// shorter than `min_len` are never split.
+pub fn binary_segmentation(
+    xs: &[f64],
+    max_k: usize,
+    min_len: usize,
+    min_gain: f64,
+) -> Vec<usize> {
+    fn sse(xs: &[f64]) -> f64 {
+        let m = Moments::from_slice(xs);
+        m.population_variance() * xs.len() as f64
+    }
+
+    /// Best single split of `xs[lo..hi]`; returns (index, gain).
+    fn best_split(xs: &[f64], lo: usize, hi: usize, min_len: usize) -> Option<(usize, f64)> {
+        let seg = &xs[lo..hi];
+        if seg.len() < 2 * min_len {
+            return None;
+        }
+        let total = sse(seg);
+        if total <= 0.0 {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for cut in min_len..seg.len() - min_len + 1 {
+            // Relative SSE reduction, so gains compare across segments.
+            let gain = (total - sse(&seg[..cut]) - sse(&seg[cut..])) / total;
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((lo + cut, gain));
+            }
+        }
+        best
+    }
+
+    let mut cps: Vec<usize> = Vec::new();
+    let mut segments = vec![(0usize, xs.len())];
+    while cps.len() < max_k {
+        let mut best: Option<(usize, f64, usize)> = None; // (cut, gain, seg idx)
+        for (si, &(lo, hi)) in segments.iter().enumerate() {
+            if let Some((cut, gain)) = best_split(xs, lo, hi, min_len) {
+                if best.is_none_or(|(_, g, _)| gain > g) {
+                    best = Some((cut, gain, si));
+                }
+            }
+        }
+        match best {
+            Some((cut, gain, si)) if gain >= min_gain => {
+                let (lo, hi) = segments[si];
+                segments[si] = (lo, cut);
+                segments.insert(si + 1, (cut, hi));
+                cps.push(cut);
+            }
+            _ => break,
+        }
+    }
+    cps.sort_unstable();
+    cps
+}
+
+/// Estimates where a warm-up time series reaches steady state: the first
+/// index from which the remaining suffix has relative standard deviation
+/// below `rsd_limit` percent. Returns `None` if it never stabilizes.
+///
+/// This implements the paper's demand that researchers report (or at
+/// least detect) the warm-up phase instead of presenting a single number
+/// silently measured somewhere inside it.
+pub fn steady_state_start(xs: &[f64], rsd_limit: f64) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    // Suffix moments computed right-to-left in O(n).
+    let mut suffix = Moments::new();
+    let mut stable_from: Option<usize> = None;
+    let mut results = vec![false; xs.len()];
+    for i in (0..xs.len()).rev() {
+        suffix.add(xs[i]);
+        results[i] = suffix.rsd_percent() <= rsd_limit;
+    }
+    for (i, &ok) in results.iter().enumerate() {
+        if ok {
+            stable_from = Some(i);
+            break;
+        }
+    }
+    stable_from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steepest_drop_finds_fig1_cliff() {
+        // Shape of Figure 1 (file size in MB, ops/sec).
+        let series: Vec<(f64, f64)> = vec![
+            (64.0, 9682.0),
+            (128.0, 9653.0),
+            (192.0, 9679.0),
+            (256.0, 9700.0),
+            (320.0, 9543.0),
+            (384.0, 9715.0),
+            (448.0, 1019.0),
+            (512.0, 465.0),
+            (576.0, 288.0),
+            (640.0, 252.0),
+        ];
+        let cliff = steepest_drop(&series).unwrap();
+        assert_eq!((cliff.x_before, cliff.x_after), (384.0, 448.0));
+        assert!(cliff.drop_factor() > 9.0);
+    }
+
+    #[test]
+    fn no_drop_returns_none() {
+        let rising: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        assert!(steepest_drop(&rising).is_none());
+        assert!(steepest_drop(&[(0.0, 1.0)]).is_none());
+        assert!(steepest_drop(&[]).is_none());
+    }
+
+    #[test]
+    fn transition_window_brackets_cliff() {
+        let series: Vec<(f64, f64)> = vec![
+            (64.0, 9700.0),
+            (128.0, 9690.0),
+            (192.0, 9710.0),
+            (256.0, 9700.0),
+            (320.0, 9705.0),
+            (384.0, 9700.0),
+            (448.0, 1019.0),
+            (512.0, 465.0),
+            (576.0, 288.0),
+            (640.0, 252.0),
+            (704.0, 222.0),
+        ];
+        let (a, b) = transition_window(&series, 0.15).unwrap();
+        // Window must start at the plateau edge and end once the series has
+        // joined the low tail (252 is within 15 % of the 222 tail level).
+        assert!(a >= 384.0 - 1e-9, "window start {a}");
+        assert!(b <= 640.1, "window end {b}");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn transition_window_flat_series_is_none() {
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 100.0)).collect();
+        assert!(transition_window(&flat, 0.1).is_none());
+    }
+
+    #[test]
+    fn binseg_finds_single_step() {
+        let mut xs = vec![10.0; 50];
+        xs.extend(vec![2.0; 50]);
+        let cps = binary_segmentation(&xs, 3, 5, 0.2);
+        assert_eq!(cps, vec![50]);
+    }
+
+    #[test]
+    fn binseg_finds_two_steps() {
+        let mut xs = vec![1.0; 40];
+        xs.extend(vec![10.0; 40]);
+        xs.extend(vec![5.0; 40]);
+        let cps = binary_segmentation(&xs, 4, 5, 0.05);
+        assert_eq!(cps.len(), 2, "cps {cps:?}");
+        assert!(cps[0].abs_diff(40) <= 1);
+        assert!(cps[1].abs_diff(80) <= 1);
+    }
+
+    #[test]
+    fn binseg_ignores_noise_below_gain() {
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + ((i % 3) as f64) * 0.01).collect();
+        assert!(binary_segmentation(&xs, 3, 5, 0.5).is_empty());
+    }
+
+    #[test]
+    fn steady_state_detects_warmup_end() {
+        // S-curve warm-up then stable plateau with small jitter.
+        let mut xs: Vec<f64> = (0..60)
+            .map(|i| 10_000.0 / (1.0 + (-((i as f64) - 30.0) / 5.0).exp()))
+            .collect();
+        xs.extend((0..60).map(|i| 10_000.0 + ((i % 5) as f64 - 2.0) * 10.0));
+        let start = steady_state_start(&xs, 2.0).unwrap();
+        // The suffix from `start` must genuinely be stable, and the warm-up
+        // ramp (first half of the S-curve) must be excluded.
+        assert!(start >= 35, "start {start}");
+        assert!(start <= 65, "start {start}");
+        let m = Moments::from_slice(&xs[start..]);
+        assert!(m.rsd_percent() <= 2.0);
+    }
+
+    #[test]
+    fn steady_state_never_for_trending_series() {
+        let xs: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        // Only the final couple of points can satisfy a tight limit.
+        let s = steady_state_start(&xs, 1.0).unwrap();
+        assert!(s > 90);
+        assert_eq!(steady_state_start(&[], 1.0), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Streaming moments (Welford) and relative standard deviation.
+//!
+//! Figure 1's right-hand axis is *relative standard deviation* — standard
+//! deviation as a percentage of the mean — computed over 10 repeated runs
+//! per configuration. [`Moments`] accumulates observations one at a time
+//! with Welford's numerically stable update and supports the parallel
+//! merge form so per-window statistics can be combined.
+
+/// Streaming mean/variance accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use rb_stats::moments::Moments;
+///
+/// let mut m = Moments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.add(x);
+/// }
+/// assert_eq!(m.mean(), 5.0);
+/// assert!((m.population_sd() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds an accumulator from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Moments::new();
+        for &x in xs {
+            m.add(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation; 0 for an empty accumulator.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0 for an empty accumulator.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 when fewer than 2 observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (n denominator); 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Population standard deviation.
+    pub fn population_sd(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Relative standard deviation as a percentage of the mean
+    /// (Figure 1's right axis). Zero-mean data reports 0.
+    pub fn rsd_percent(&self) -> f64 {
+        let mean = self.mean();
+        if mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            100.0 * self.sample_sd() / mean.abs()
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sample_sd() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// 95 % confidence half-width for the mean using the normal
+    /// approximation (adequate for the ≥ 10 runs the harness performs).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.standard_error()
+    }
+
+    /// Merges another accumulator (Chan et al. parallel form).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_sd(), 0.0);
+        assert_eq!(m.rsd_percent(), 0.0);
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let m = Moments::from_slice(&[42.0]);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), 42.0);
+        assert_eq!(m.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0 + 50.0).collect();
+        let m = Moments::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((m.mean() - mean).abs() < 1e-9);
+        assert!((m.sample_variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rsd_is_percent_of_mean() {
+        let m = Moments::from_slice(&[90.0, 100.0, 110.0]);
+        assert!((m.rsd_percent() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let (a, b) = xs.split_at(123);
+        let mut ma = Moments::from_slice(a);
+        let mb = Moments::from_slice(b);
+        ma.merge(&mb);
+        let all = Moments::from_slice(&xs);
+        assert_eq!(ma.count(), all.count());
+        assert!((ma.mean() - all.mean()).abs() < 1e-9);
+        assert!((ma.sample_variance() - all.sample_variance()).abs() < 1e-9);
+        assert_eq!(ma.min(), all.min());
+        assert_eq!(ma.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Moments::from_slice(&[9.0, 10.0, 11.0, 10.0]);
+        let mut big = Moments::new();
+        for _ in 0..25 {
+            for x in [9.0, 10.0, 11.0, 10.0] {
+                big.add(x);
+            }
+        }
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+}

@@ -1,0 +1,223 @@
+//! Peak detection and modality classification for latency histograms.
+//!
+//! Section 3.2's core observation: during most of a benchmark run the
+//! latency distribution is *bi-modal* (an in-memory peak and a disk peak),
+//! so means and standard deviations are meaningless and "trying to achieve
+//! stable results with small standard deviations is nearly impossible".
+//! These routines turn a histogram into its peak structure so the harness
+//! can say — quantitatively — when single-number reporting is invalid.
+
+use crate::histogram::{Log2Histogram, BUCKETS};
+
+/// A detected histogram peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Bucket index of the local maximum.
+    pub bucket: usize,
+    /// Fraction of total observations in the peak's bucket.
+    pub height: f64,
+    /// Fraction of total observations attributed to the whole peak
+    /// (contiguous buckets down to the bounding valleys).
+    pub mass: f64,
+}
+
+/// Modality classification of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// No observations.
+    Empty,
+    /// One dominant peak: single-regime behaviour, summary stats are fair.
+    Unimodal,
+    /// Two well-separated peaks: mixed-regime behaviour (e.g. cache hits
+    /// and disk misses); single-number reporting is misleading.
+    Bimodal,
+    /// Three or more peaks.
+    Multimodal,
+}
+
+/// Finds peaks in a histogram.
+///
+/// A bucket is a peak candidate if it is a local maximum of the bucket
+/// fractions; candidates closer than `min_separation` buckets are merged
+/// into the taller one; peaks with mass below `min_mass` are dropped.
+///
+/// With the defaults used by [`classify_modality`] (separation 4, mass
+/// 2 %), the paper's Figure 3(b) — two equal peaks ~11 buckets apart —
+/// classifies as bimodal, while its Figure 3(a) — one 4 µs spike —
+/// classifies as unimodal.
+pub fn find_peaks(h: &Log2Histogram, min_separation: usize, min_mass: f64) -> Vec<Peak> {
+    if h.is_empty() {
+        return Vec::new();
+    }
+    let frac: Vec<f64> = (0..BUCKETS).map(|k| h.fraction(k)).collect();
+
+    // Local maxima (plateau-tolerant: first bucket of a flat top wins).
+    let mut candidates: Vec<usize> = Vec::new();
+    for k in 0..BUCKETS {
+        let cur = frac[k];
+        if cur <= 0.0 {
+            continue;
+        }
+        let left = if k == 0 { 0.0 } else { frac[k - 1] };
+        let right = if k + 1 == BUCKETS { 0.0 } else { frac[k + 1] };
+        if cur >= left && cur > right {
+            candidates.push(k);
+        }
+    }
+
+    // Merge candidates that are too close, keeping the taller.
+    candidates.sort_by(|&a, &b| {
+        frac[b].partial_cmp(&frac[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept: Vec<usize> = Vec::new();
+    for c in candidates {
+        if kept.iter().all(|&k| k.abs_diff(c) >= min_separation) {
+            kept.push(c);
+        }
+    }
+    kept.sort_unstable();
+
+    // Attribute mass: split the bucket range at the valleys (minimum
+    // between adjacent peaks), each valley belonging to the peak on its
+    // left so the ranges partition [0, BUCKETS) and masses sum to <= 1.
+    let valley = |a: usize, b: usize| -> usize {
+        (a..=b)
+            .min_by(|&x, &y| {
+                frac[x].partial_cmp(&frac[y]).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(a)
+    };
+    let mut peaks = Vec::new();
+    for (i, &k) in kept.iter().enumerate() {
+        let lo_bound = if i == 0 {
+            0
+        } else {
+            // The valley bucket itself belongs to the previous peak.
+            (valley(kept[i - 1], k) + 1).min(k)
+        };
+        let hi_bound = if i + 1 == kept.len() {
+            BUCKETS - 1
+        } else {
+            valley(k, kept[i + 1]).max(k)
+        };
+        let mass: f64 = (lo_bound..=hi_bound).map(|b| frac[b]).sum();
+        if mass >= min_mass {
+            peaks.push(Peak { bucket: k, height: frac[k], mass });
+        }
+    }
+    peaks
+}
+
+/// Classifies the modality of a histogram using the harness defaults
+/// (peak separation ≥ 4 buckets ≈ 16× latency ratio, mass ≥ 2 %).
+pub fn classify_modality(h: &Log2Histogram) -> Modality {
+    if h.is_empty() {
+        return Modality::Empty;
+    }
+    match find_peaks(h, 4, 0.02).len() {
+        0 | 1 => Modality::Unimodal,
+        2 => Modality::Bimodal,
+        _ => Modality::Multimodal,
+    }
+}
+
+/// Balance of a bimodal distribution: the mass ratio of the smaller peak
+/// to the larger, in `[0, 1]`.
+///
+/// Figure 3(b)'s "peaks are almost equal in height" corresponds to a
+/// balance near 1; Figure 3(c)'s "left peak becomes invisibly small" is a
+/// balance near 0. Returns `None` unless exactly two peaks are found.
+pub fn bimodal_balance(h: &Log2Histogram) -> Option<f64> {
+    let peaks = find_peaks(h, 4, 0.02);
+    if peaks.len() != 2 {
+        return None;
+    }
+    let (a, b) = (peaks[0].mass, peaks[1].mass);
+    Some(if a < b { a / b } else { b / a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_simcore::time::Nanos;
+
+    fn hist(pairs: &[(u64, u64)]) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for &(ns, n) in pairs {
+            h.record_n(Nanos::from_nanos(ns), n);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(classify_modality(&Log2Histogram::new()), Modality::Empty);
+        assert!(find_peaks(&Log2Histogram::new(), 4, 0.02).is_empty());
+    }
+
+    #[test]
+    fn single_spike_is_unimodal() {
+        // Figure 3(a): all operations near 4 us.
+        let h = hist(&[(4096, 950), (8192, 30), (2048, 20)]);
+        assert_eq!(classify_modality(&h), Modality::Unimodal);
+        let peaks = find_peaks(&h, 4, 0.02);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bucket, 12);
+        assert!(peaks[0].mass > 0.9);
+    }
+
+    #[test]
+    fn cache_plus_disk_is_bimodal() {
+        // Figure 3(b): half hits at ~4 us, half misses at ~8 ms.
+        let h = hist(&[(4096, 500), (8_388_608, 500)]);
+        assert_eq!(classify_modality(&h), Modality::Bimodal);
+        let peaks = find_peaks(&h, 4, 0.02);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].bucket, 12);
+        assert_eq!(peaks[1].bucket, 23);
+        let balance = bimodal_balance(&h).unwrap();
+        assert!(balance > 0.9, "balance {balance}");
+    }
+
+    #[test]
+    fn vanishing_peak_returns_to_unimodal() {
+        // Figure 3(c): the in-memory peak is invisibly small (< 2 % mass).
+        let h = hist(&[(4096, 5), (8_388_608, 995)]);
+        assert_eq!(classify_modality(&h), Modality::Unimodal);
+        assert!(bimodal_balance(&h).is_none());
+    }
+
+    #[test]
+    fn adjacent_buckets_merge_into_one_peak() {
+        // A realistic spread over buckets 11-13 is still one peak.
+        let h = hist(&[(2048, 200), (4096, 500), (8192, 300)]);
+        let peaks = find_peaks(&h, 4, 0.02);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bucket, 12);
+    }
+
+    #[test]
+    fn three_regimes_multimodal() {
+        // Memory, flash and disk tiers: the "multiple distinctive steps"
+        // the paper predicts for multi-level caches.
+        let h = hist(&[(2048, 300), (131_072, 300), (16_777_216, 400)]);
+        assert_eq!(classify_modality(&h), Modality::Multimodal);
+    }
+
+    #[test]
+    fn min_mass_filters_noise() {
+        let h = hist(&[(4096, 990), (1 << 30, 10)]);
+        // 1 % outlier mass does not count as a second peak at 2 % cutoff.
+        assert_eq!(find_peaks(&h, 4, 0.02).len(), 1);
+        // But a 0.5 % cutoff sees it.
+        assert_eq!(find_peaks(&h, 4, 0.005).len(), 2);
+    }
+
+    #[test]
+    fn masses_partition_to_one() {
+        let h = hist(&[(4096, 400), (8_388_608, 600)]);
+        let peaks = find_peaks(&h, 4, 0.0);
+        let total_mass: f64 = peaks.iter().map(|p| p.mass).sum();
+        assert!((total_mass - 1.0).abs() < 1e-9, "mass {total_mass}");
+    }
+}

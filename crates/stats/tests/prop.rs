@@ -1,0 +1,128 @@
+//! Property tests for the statistics crate.
+
+use proptest::prelude::*;
+use rb_simcore::rng::Rng;
+use rb_simcore::time::Nanos;
+use rb_stats::bootstrap::bootstrap_mean_ci;
+use rb_stats::changepoint::{binary_segmentation, steepest_drop};
+use rb_stats::compare::welch_t;
+use rb_stats::histogram::Log2Histogram;
+use rb_stats::peaks::find_peaks;
+use rb_stats::summary::Summary;
+
+proptest! {
+    /// Histogram quantiles are monotone in q.
+    #[test]
+    fn quantiles_monotone(ns in proptest::collection::vec(1u64..1 << 40, 1..300)) {
+        let mut h = Log2Histogram::new();
+        for &x in &ns {
+            h.record(Nanos::from_nanos(x));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = Nanos::ZERO;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= last, "quantile({q}) regressed");
+            last = v;
+        }
+    }
+
+    /// Peak masses never exceed 1 and peaks are sorted by bucket.
+    #[test]
+    fn peaks_well_formed(ns in proptest::collection::vec(1u64..1 << 30, 1..300)) {
+        let mut h = Log2Histogram::new();
+        for &x in &ns {
+            h.record(Nanos::from_nanos(x));
+        }
+        let peaks = find_peaks(&h, 4, 0.0);
+        let total: f64 = peaks.iter().map(|p| p.mass).sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].bucket < w[1].bucket);
+        }
+        for p in &peaks {
+            prop_assert!(p.height <= p.mass + 1e-12);
+        }
+    }
+
+    /// Summary invariants: min <= median <= p90 <= p99 <= max; sd >= 0.
+    #[test]
+    fn summary_ordering(xs in proptest::collection::vec(-1e12f64..1e12, 1..200)) {
+        let s = Summary::from_sample(&xs).unwrap();
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.sd >= 0.0);
+        prop_assert_eq!(s.n as usize, xs.len());
+    }
+
+    /// Bootstrap interval always contains values between its bounds and
+    /// behaves sanely for degenerate samples.
+    #[test]
+    fn bootstrap_interval_ordered(
+        xs in proptest::collection::vec(0.0f64..1e6, 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let ci = bootstrap_mean_ci(&xs, 200, 0.1, &mut rng).unwrap();
+        prop_assert!(ci.lo <= ci.hi);
+        // For resampled means, bounds stay within the sample's range.
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(ci.lo >= lo - 1e-9);
+        prop_assert!(ci.hi <= hi + 1e-9);
+    }
+
+    /// Welch's t is antisymmetric and its p-value is in [0, 1].
+    #[test]
+    fn welch_antisymmetric(
+        a in proptest::collection::vec(-1e6f64..1e6, 2..40),
+        b in proptest::collection::vec(-1e6f64..1e6, 2..40),
+    ) {
+        if let (Some(ab), Some(ba)) = (welch_t(&a, &b), welch_t(&b, &a)) {
+            prop_assert!((ab.t + ba.t).abs() < 1e-9 * ab.t.abs().max(1.0));
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&ab.p_value));
+            prop_assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-6);
+        }
+    }
+
+    /// Changepoints are strictly increasing interior indices.
+    #[test]
+    fn binseg_indices_valid(xs in proptest::collection::vec(-100.0f64..100.0, 10..150)) {
+        let cps = binary_segmentation(&xs, 4, 3, 0.05);
+        for w in cps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &c in &cps {
+            prop_assert!(c >= 3 && c <= xs.len() - 3);
+        }
+    }
+
+    /// steepest_drop's reported values match the series content.
+    #[test]
+    fn steepest_drop_consistent(ys in proptest::collection::vec(0.1f64..1e6, 2..100)) {
+        let series: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        if let Some(cliff) = steepest_drop(&series) {
+            prop_assert_eq!(cliff.y_before, ys[cliff.index]);
+            prop_assert_eq!(cliff.y_after, ys[cliff.index + 1]);
+            prop_assert!(cliff.drop_factor() > 1.0);
+            // It really is the steepest adjacent drop.
+            for w in ys.windows(2) {
+                if w[0] > 0.0 && w[1] > 0.0 {
+                    prop_assert!(
+                        w[0] / w[1] <= cliff.drop_factor() + 1e-9,
+                        "missed a steeper drop"
+                    );
+                }
+            }
+        } else {
+            // No drop anywhere: series is non-decreasing.
+            for w in ys.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+        }
+    }
+}

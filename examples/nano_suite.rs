@@ -1,0 +1,50 @@
+//! Runs the Section 4 nano-benchmark suite — the paper's proposed
+//! replacement for single-number benchmarks — against all three
+//! simulated file systems and prints the per-dimension comparison.
+//!
+//! ```sh
+//! cargo run --release --example nano_suite
+//! ```
+
+use rb_core::nano::{render_report, run_suite, NanoConfig};
+use rb_core::testbed::FsKind;
+
+fn main() {
+    let config = NanoConfig::quick();
+    println!("The paper: \"a file system benchmark should be a suite of");
+    println!("nano-benchmarks where each individual test measures a");
+    println!("particular aspect of file system performance\".\n");
+
+    let mut reports = Vec::new();
+    for kind in FsKind::ALL {
+        let report = run_suite(kind, &config).expect("suite");
+        print!("{}", render_report(&report));
+        println!();
+        reports.push(report);
+    }
+
+    // A cross-system digest: winner per component. Note there is no
+    // overall winner — that is the point.
+    println!("component winners (higher is better where meaningful):");
+    for component in [
+        ("in-memory-read", "throughput"),
+        ("disk-layout-sequential", "bandwidth"),
+        ("disk-layout-random", "throughput"),
+        ("metadata-ops", "throughput"),
+    ] {
+        let (comp, metric) = component;
+        let mut best: Option<(&str, f64)> = None;
+        for r in &reports {
+            if let Some(v) = r.component(comp).and_then(|c| c.metric(metric)) {
+                if best.is_none_or(|(_, bv)| v > bv) {
+                    best = Some((&r.target, v));
+                }
+            }
+        }
+        if let Some((who, v)) = best {
+            println!("  {comp:<24} {who} ({v:.0})");
+        }
+    }
+    println!("\nDifferent dimensions, different winners: \"the answer can");
+    println!("never be a single number or the result of a single benchmark\".");
+}

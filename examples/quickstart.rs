@@ -1,0 +1,51 @@
+//! Quickstart: run the paper's workload on the paper's machine and see
+//! why single-number reporting misleads.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rb_core::analysis::Regime;
+use rb_core::prelude::*;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+
+fn measure(file_size: Bytes) -> Recording {
+    // The testbed from the paper's Section 3: Maxtor-class disk, 512 MiB
+    // RAM (410 MiB of page cache), ext2.
+    let mut target = rb_core::testbed::paper_ext2(Bytes::gib(2), 42);
+    // "One thread randomly reading from a single file", 8 KiB at a time.
+    let workload = personalities::random_read(file_size);
+    let config = EngineConfig {
+        duration: Nanos::from_secs(60),
+        window: Nanos::from_secs(10),
+        seed: 42,
+        cold_start: true,
+        prewarm: true, // jump to steady state
+        ..Default::default()
+    };
+    Engine::run(&mut target, &workload, &config).expect("run")
+}
+
+fn main() {
+    println!("How good is the random-read performance of ext2?");
+    println!("(the paper's deliberately 'simple' question)\n");
+
+    for size in [Bytes::mib(64), Bytes::mib(416), Bytes::mib(1024)] {
+        let rec = measure(size);
+        let regime = Regime::classify(&rec);
+        println!(
+            "file {:>9}: {:>8.0} ops/s   hit-ratio {:>5.3}   regime: {}",
+            format!("{size}"),
+            rec.ops_per_sec(),
+            rec.hit_ratio.unwrap_or(f64::NAN),
+            regime.label(),
+        );
+    }
+
+    println!();
+    println!("Same file system, same disk, same \"simple\" workload —");
+    println!("and the answer spans two orders of magnitude depending on");
+    println!("one parameter. That is the paper's point: report curves and");
+    println!("regimes, not a number.");
+}

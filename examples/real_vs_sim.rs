@@ -1,0 +1,57 @@
+//! Drives the identical workload against the simulated stack and a real
+//! temporary directory on the host — the same harness code path used as
+//! an actual measurement tool.
+//!
+//! Host numbers depend on your machine and page cache (exactly as the
+//! paper warns); the example prints both and the latency histograms so
+//! the regimes can be compared by shape, not by absolute value.
+//!
+//! ```sh
+//! cargo run --release --example real_vs_sim
+//! ```
+
+use rb_core::prelude::*;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+
+fn run_on(target: &mut dyn Target, label: &str) {
+    let workload = personalities::random_read(Bytes::mib(32));
+    let config = EngineConfig {
+        duration: Nanos::from_secs(3),
+        window: Nanos::from_millis(500),
+        seed: 1,
+        cold_start: false, // host cache cannot be dropped unprivileged
+        prewarm: true,
+        ..Default::default()
+    };
+    match Engine::run(target, &workload, &config) {
+        Ok(rec) => {
+            println!("[{label}] {}", target.name());
+            println!("  {:.0} ops/s over {}", rec.ops_per_sec(), rec.duration);
+            let lo = rec.histogram.min_bucket().unwrap_or(0);
+            let hi = (rec.histogram.max_bucket().unwrap_or(20) + 2).min(40);
+            print!("{}", rec.histogram.render_ascii(lo, hi, 40));
+            println!();
+        }
+        Err(e) => println!("[{label}] failed: {e}"),
+    }
+}
+
+fn main() {
+    // Simulated testbed.
+    let mut sim = rb_core::testbed::paper_ext2(Bytes::gib(1), 1);
+    run_on(&mut sim, "sim");
+
+    // Real host directory (best effort; requires a writable temp dir).
+    let dir = std::env::temp_dir().join(format!("rocketbench-demo-{}", std::process::id()));
+    match RealFsTarget::new(&dir) {
+        Ok(mut real) => {
+            run_on(&mut real, "real");
+            std::fs::remove_dir_all(&dir).ok();
+            println!("The real run is warm-cache (no drop_caches without root),");
+            println!("so it should resemble the sim's memory-bound regime: a");
+            println!("single microsecond-scale peak.");
+        }
+        Err(e) => println!("[real] skipped: {e}"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the rocketbench public API.
+pub use rb_core as core;
+pub use rb_simcache as simcache;
+pub use rb_simcore as simcore;
+pub use rb_simdisk as simdisk;
+pub use rb_simfs as simfs;
+pub use rb_stats as stats;

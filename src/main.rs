@@ -1,0 +1,324 @@
+//! The `rocketbench` command-line tool.
+//!
+//! Runs workload personalities against the simulated testbed or a real
+//! directory, executes the nano-benchmark suite, regenerates Table 1,
+//! and records/replays portable traces. Run `rocketbench help` for
+//! usage.
+
+use rb_core::analysis::Regime;
+use rb_core::prelude::*;
+use rb_core::trace::{replay, Recorder, Trace};
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use std::process::ExitCode;
+
+/// Parsed command-line options (flag → value).
+#[derive(Debug, Default)]
+struct Opts {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut flags = std::collections::HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone();
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Opts { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+}
+
+/// Parses sizes like `64M`, `1G`, `8192K`, `4096`.
+fn parse_size(s: &str) -> Result<Bytes, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| Bytes::new(n * mult))
+        .map_err(|e| format!("bad size {s:?}: {e}"))
+}
+
+/// Parses durations like `30s`, `5m`, `90`.
+fn parse_duration(s: &str) -> Result<Nanos, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('s') => (&s[..s.len() - 1], 1u64),
+        Some('m') => (&s[..s.len() - 1], 60),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| Nanos::from_secs(n * mult))
+        .map_err(|e| format!("bad duration {s:?}: {e}"))
+}
+
+/// Builds a target from `sim:ext2` / `sim:ext3` / `sim:xfs` /
+/// `real:<path>`.
+fn make_target(spec: &str, device: Bytes, seed: u64) -> Result<Box<dyn Target>, String> {
+    match spec.split_once(':') {
+        Some(("sim", fs)) => {
+            let kind = match fs {
+                "ext2" => FsKind::Ext2,
+                "ext3" => FsKind::Ext3,
+                "xfs" => FsKind::Xfs,
+                other => return Err(format!("unknown simulated fs {other:?}")),
+            };
+            Ok(Box::new(rb_core::testbed::paper_fs(kind, device, seed)))
+        }
+        Some(("real", path)) => RealFsTarget::new(path)
+            .map(|t| Box::new(t) as Box<dyn Target>)
+            .map_err(|e| format!("cannot open {path:?}: {e}")),
+        _ => Err(format!(
+            "bad target {spec:?}; expected sim:ext2|sim:ext3|sim:xfs|real:<dir>"
+        )),
+    }
+}
+
+fn make_workload(name: &str, size: Bytes, files: u64) -> Result<Workload, String> {
+    Ok(match name {
+        "randomread" => personalities::random_read(size),
+        "seqread" => personalities::sequential_read(size),
+        "randomwrite" => personalities::random_write(size),
+        "webserver" => personalities::webserver(files),
+        "fileserver" => personalities::fileserver(files),
+        "varmail" => personalities::varmail(files),
+        "postmark" => personalities::postmark(files),
+        "metadata" => personalities::metadata_only(files),
+        other => return Err(format!("unknown workload {other:?}")),
+    })
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    let target_spec = opts.get("target").unwrap_or("sim:ext2");
+    let workload_name = opts.get("workload").unwrap_or("randomread");
+    let size = parse_size(opts.get("size").unwrap_or("64M"))?;
+    let files = opts
+        .get("files")
+        .map(|f| f.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(100);
+    let duration = parse_duration(opts.get("duration").unwrap_or("30s"))?;
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let device = Bytes::new((size.as_u64() * 3).max(Bytes::gib(1).as_u64()));
+
+    let mut target = make_target(target_spec, device, seed)?;
+    let workload = make_workload(workload_name, size, files)?;
+    let config = EngineConfig {
+        duration,
+        window: Nanos::from_secs(5),
+        seed,
+        cold_start: opts.get("warm").is_none(),
+        prewarm: opts.get("prewarm").is_some_and(|v| v == "true"),
+        ..Default::default()
+    };
+    eprintln!(
+        "running {} on {} for {}...",
+        workload.name,
+        target.name(),
+        duration
+    );
+    let rec = Engine::run(target.as_mut(), &workload, &config).map_err(|e| e.to_string())?;
+
+    println!("target:     {}", target.name());
+    println!("workload:   {}", workload.name);
+    println!("ops:        {} ({} errors)", rec.ops, rec.errors);
+    println!("throughput: {:.1} ops/s", rec.ops_per_sec());
+    if let Some(h) = rec.hit_ratio {
+        println!("hit ratio:  {h:.4}");
+    }
+    println!("regime:     {}", Regime::classify(&rec).label());
+    println!();
+    println!("latency profile (the number the paper wants you to show):");
+    let lo = rec.histogram.min_bucket().unwrap_or(0);
+    let hi = (rec.histogram.max_bucket().unwrap_or(24) + 2).min(40);
+    print!("{}", rec.histogram.render_ascii(lo, hi, 44));
+    println!();
+    println!("throughput timeline:");
+    let ys: Vec<f64> = rec.windows.iter().map(|w| w.ops_per_sec).collect();
+    println!("  {}", rb_core::report::sparkline(&ys));
+    Ok(())
+}
+
+fn cmd_nano(opts: &Opts) -> Result<(), String> {
+    let fs = opts.get("fs").unwrap_or("ext2");
+    let kind = match fs {
+        "ext2" => FsKind::Ext2,
+        "ext3" => FsKind::Ext3,
+        "xfs" => FsKind::Xfs,
+        other => return Err(format!("unknown fs {other:?}")),
+    };
+    let config = if opts.get("quick").is_some_and(|v| v == "true") {
+        NanoConfig::quick()
+    } else {
+        NanoConfig::default()
+    };
+    let report = rb_core::nano::run_suite(kind, &config).map_err(|e| e.to_string())?;
+    print!("{}", rb_core::nano::render_report(&report));
+    Ok(())
+}
+
+fn cmd_table1() -> Result<(), String> {
+    print!("{}", render_table1(&table1()));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    let opts = Opts::parse(&args[1.min(args.len())..])?;
+    match sub {
+        "record" => {
+            let out = opts.get("out").ok_or("trace record needs --out FILE")?;
+            let workload_name = opts.get("workload").unwrap_or("varmail");
+            let size = parse_size(opts.get("size").unwrap_or("8M"))?;
+            let duration = parse_duration(opts.get("duration").unwrap_or("5s"))?;
+            let workload = make_workload(workload_name, size, 25)?;
+            let mut target = rb_core::testbed::paper_ext2(Bytes::gib(1), 0);
+            let mut recorder = Recorder::new(&mut target);
+            let config = EngineConfig {
+                duration,
+                window: Nanos::from_secs(1),
+                seed: 0,
+                cold_start: false,
+                prewarm: false,
+                ..Default::default()
+            };
+            Engine::run(&mut recorder, &workload, &config).map_err(|e| e.to_string())?;
+            let trace = recorder.finish();
+            std::fs::write(out, trace.to_text()).map_err(|e| e.to_string())?;
+            println!("recorded {} ops to {out}", trace.ops.len());
+            Ok(())
+        }
+        "replay" => {
+            let input = opts.get("in").ok_or("trace replay needs --in FILE")?;
+            let target_spec = opts.get("target").unwrap_or("sim:ext2");
+            let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+            let trace = Trace::from_text(&text).map_err(|e| e.to_string())?;
+            let mut target = make_target(target_spec, Bytes::gib(1), 0)?;
+            let result = replay(target.as_mut(), &trace);
+            println!(
+                "replayed {} ops ({} errors) in {} on {}",
+                result.ops,
+                result.errors,
+                result.duration,
+                target.name()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown trace subcommand {other:?}; use record|replay")),
+    }
+}
+
+fn usage() -> &'static str {
+    "rocketbench — statistically rigorous file system benchmarking
+
+USAGE:
+  rocketbench bench  [--target sim:ext2|sim:ext3|sim:xfs|real:<dir>]
+                     [--workload randomread|seqread|randomwrite|webserver|
+                                 fileserver|varmail|postmark|metadata]
+                     [--size 64M] [--files 100] [--duration 30s]
+                     [--seed 0] [--prewarm true] [--warm true]
+  rocketbench nano   [--fs ext2|ext3|xfs] [--quick true]
+  rocketbench table1
+  rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
+  rocketbench trace  replay --in FILE [--target sim:xfs]
+  rocketbench help
+
+Paper-figure regenerators live in rb-bench:
+  cargo run -p rb-bench --release --bin fig1|fig1zoom|fig2|fig3|fig4|scaling
+"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("help", &[] as &[String]),
+    };
+    let result = match cmd {
+        "bench" => Opts::parse(rest).and_then(|o| cmd_bench(&o)),
+        "nano" => Opts::parse(rest).and_then(|o| cmd_nano(&o)),
+        "table1" => cmd_table1(),
+        "trace" => cmd_trace(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_units() {
+        assert_eq!(parse_size("4096").unwrap(), Bytes::new(4096));
+        assert_eq!(parse_size("8K").unwrap(), Bytes::kib(8));
+        assert_eq!(parse_size("64M").unwrap(), Bytes::mib(64));
+        assert_eq!(parse_size("2G").unwrap(), Bytes::gib(2));
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("12Q").is_err());
+    }
+
+    #[test]
+    fn parse_duration_units() {
+        assert_eq!(parse_duration("90").unwrap(), Nanos::from_secs(90));
+        assert_eq!(parse_duration("30s").unwrap(), Nanos::from_secs(30));
+        assert_eq!(parse_duration("5m").unwrap(), Nanos::from_secs(300));
+        assert!(parse_duration("abc").is_err());
+    }
+
+    #[test]
+    fn opts_parser() {
+        let o = Opts::parse(&[
+            "--size".into(),
+            "64M".into(),
+            "--seed".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.get("size"), Some("64M"));
+        assert_eq!(o.get("seed"), Some("7"));
+        assert_eq!(o.get("missing"), None);
+        assert!(Opts::parse(&["oops".into()]).is_err());
+        assert!(Opts::parse(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn target_and_workload_factories() {
+        assert!(make_target("sim:ext2", Bytes::gib(1), 0).is_ok());
+        assert!(make_target("sim:zfs", Bytes::gib(1), 0).is_err());
+        assert!(make_target("bogus", Bytes::gib(1), 0).is_err());
+        assert!(make_workload("varmail", Bytes::mib(1), 10).is_ok());
+        assert!(make_workload("nope", Bytes::mib(1), 10).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration: invariants that only show up when the whole
+//! stack (fs + cache + disk + engine) runs together.
+
+use rocketbench::core::prelude::*;
+use rocketbench::simcore::rng::Rng;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+fn quick(seed: u64, secs: u64) -> EngineConfig {
+    EngineConfig {
+        duration: Nanos::from_secs(secs),
+        window: Nanos::from_secs(1),
+        seed,
+        cold_start: true,
+        prewarm: false,
+        ..Default::default()
+    }
+}
+
+/// Whole-experiment determinism: every layer seeded, bit-identical
+/// histograms across repeats.
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut t = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 123);
+        let w = personalities::fileserver(40);
+        let rec = Engine::run(&mut t, &w, &quick(123, 8)).unwrap();
+        (rec.ops, rec.errors, rec.histogram.clone())
+    };
+    assert_eq!(run(), run());
+}
+
+/// The cache never exceeds capacity, whatever the workload does.
+#[test]
+fn cache_capacity_invariant_under_churn() {
+    let mut t = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 5);
+    t.set_cache_capacity_pages(2048);
+    let w = personalities::postmark(60);
+    Engine::run(&mut t, &w, &quick(5, 10)).unwrap();
+    assert!(
+        t.stack().cache().resident_pages() <= 2048,
+        "cache overflow: {}",
+        t.stack().cache().resident_pages()
+    );
+}
+
+/// Space accounting: heavy create/delete churn ends where it started.
+#[test]
+fn filesystem_space_is_conserved() {
+    for kind in FsKind::ALL {
+        let mut t = rocketbench::core::testbed::paper_fs(kind, Bytes::gib(1), 9);
+        // One warm-up cycle so the root directory's entry blocks are
+        // allocated (directories grow but never shrink, as on real ext2).
+        for i in 0..50 {
+            t.create(&format!("/churn{i}")).unwrap();
+        }
+        for i in 0..50 {
+            t.unlink(&format!("/churn{i}")).unwrap();
+        }
+        let used_before = t.stack().fs().used();
+        // Create, grow and delete many files by hand.
+        for i in 0..50 {
+            let path = format!("/churn{i}");
+            t.create(&path).unwrap();
+            let fd = t.open(&path).unwrap();
+            t.set_size(fd, Bytes::kib(4) * (i + 1)).unwrap();
+            t.close(fd).unwrap();
+        }
+        for i in 0..50 {
+            t.unlink(&format!("/churn{i}")).unwrap();
+        }
+        let used_after = t.stack().fs().used();
+        assert_eq!(
+            used_before.as_u64(),
+            used_after.as_u64(),
+            "{}: space leaked",
+            kind.name()
+        );
+    }
+}
+
+/// Virtual time only moves forward, and ops always take positive time.
+#[test]
+fn time_is_monotone_across_operations() {
+    let mut t = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 3);
+    let mut rng = Rng::new(4);
+    t.create("/f").unwrap();
+    let fd = t.open("/f").unwrap();
+    t.set_size(fd, Bytes::mib(32)).unwrap();
+    let mut last = t.now();
+    for _ in 0..500 {
+        let page = rng.below(8000);
+        let lat = t.read(fd, Bytes::kib(4) * page, Bytes::kib(8)).unwrap();
+        assert!(lat > Nanos::ZERO);
+        assert!(t.now() > last);
+        last = t.now();
+    }
+}
+
+/// The three file systems produce *different layouts* for the same
+/// logical content — the substrate the paper's Figure 2 differences
+/// stand on.
+#[test]
+fn filesystems_lay_out_differently() {
+    let mut layouts = Vec::new();
+    for kind in FsKind::ALL {
+        let mut t = rocketbench::core::testbed::paper_fs(kind, Bytes::gib(1), 0);
+        t.mkdir("/d").unwrap();
+        t.create("/d/f").unwrap();
+        let fd = t.open("/d/f").unwrap();
+        t.set_size(fd, Bytes::mib(8)).unwrap();
+        // First physical block of the file.
+        let ino = 4; // root=2, /d=3, /d/f=4
+        let ext = t.stack().fs().map(ino, 0, 1).unwrap();
+        layouts.push((kind.name(), ext.physical));
+    }
+    // At least two of the three place the file at different addresses.
+    let distinct: std::collections::HashSet<u64> =
+        layouts.iter().map(|&(_, b)| b).collect();
+    assert!(distinct.len() >= 2, "all layouts identical: {layouts:?}");
+}
+
+/// Identical workload on the simulated target and the real host target:
+/// both complete through the same engine path.
+#[test]
+fn engine_drives_real_and_sim_targets() {
+    let w = personalities::metadata_only(20);
+    // Sim.
+    let mut sim = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 1);
+    let sim_rec = Engine::run(&mut sim, &w, &quick(1, 3)).unwrap();
+    assert!(sim_rec.ops > 100);
+    // Real (temp dir); wall-clock duration, so keep it tiny.
+    let dir = std::env::temp_dir().join(format!("rb-int-{}", std::process::id()));
+    let mut real = RealFsTarget::new(&dir).unwrap();
+    let cfg = EngineConfig {
+        duration: Nanos::from_millis(200),
+        window: Nanos::from_millis(50),
+        seed: 1,
+        cold_start: false,
+        prewarm: false,
+        ..Default::default()
+    };
+    let real_rec = Engine::run(&mut real, &w, &cfg).unwrap();
+    assert!(real_rec.ops > 0, "real target did nothing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Aging before measuring changes layout quality measurably (the
+/// honest-benchmarking knob).
+#[test]
+fn aging_degrades_sequential_bandwidth() {
+    use rocketbench::simfs::aging::{age_filesystem, AgingConfig};
+    use rocketbench::simfs::ext2::{Ext2Config, Ext2Fs};
+    use rocketbench::simfs::vfs::FileSystem;
+
+    let mut aged = Ext2Fs::new(Ext2Config::for_blocks(65_536));
+    age_filesystem(
+        &mut aged,
+        &AgingConfig { live_files: 600, rounds: 12, ..Default::default() },
+    )
+    .unwrap();
+    let (ino, _) = aged.create("/big").unwrap();
+    aged.set_size(ino, Bytes::mib(32)).unwrap();
+    let mut extents_aged = 0;
+    let mut l = 0;
+    while let Ok(e) = aged.map(ino, l, u64::MAX) {
+        extents_aged += 1;
+        l += e.len;
+        if l >= 32 * 256 {
+            break;
+        }
+    }
+    let mut fresh = Ext2Fs::new(Ext2Config::for_blocks(65_536));
+    let (ino2, _) = fresh.create("/big").unwrap();
+    fresh.set_size(ino2, Bytes::mib(32)).unwrap();
+    let first = fresh.map(ino2, 0, u64::MAX).unwrap();
+    assert!(
+        extents_aged > 2 && first.len >= 2048,
+        "aging had no layout effect: aged extents {extents_aged}, fresh first {}",
+        first.len
+    );
+}

@@ -1,0 +1,139 @@
+//! The workload × file-system matrix: every personality completes on
+//! every simulated file system, and the per-system differences the
+//! models are built to show actually appear.
+
+use rocketbench::core::prelude::*;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+fn cfg(seed: u64, secs: u64) -> EngineConfig {
+    EngineConfig {
+        duration: Nanos::from_secs(secs),
+        window: Nanos::from_secs(1),
+        seed,
+        cold_start: true,
+        prewarm: false,
+        max_errors: 200,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_personality_on_every_fs() {
+    let workloads = [
+        personalities::random_read(Bytes::mib(16)),
+        personalities::sequential_read(Bytes::mib(32)),
+        personalities::random_write(Bytes::mib(16)),
+        personalities::webserver(60),
+        personalities::fileserver(40),
+        personalities::varmail(40),
+        personalities::postmark(40),
+        personalities::metadata_only(40),
+    ];
+    for kind in FsKind::ALL {
+        for w in &workloads {
+            let mut t = rocketbench::core::testbed::paper_fs(kind, Bytes::gib(1), 1);
+            let rec = Engine::run(&mut t, w, &cfg(1, 4)).unwrap_or_else(|e| {
+                panic!("{} on {}: {e}", w.name, kind.name());
+            });
+            assert!(
+                rec.ops > 20,
+                "{} on {}: only {} ops",
+                w.name,
+                kind.name(),
+                rec.ops
+            );
+            assert!(
+                rec.errors <= rec.ops / 5,
+                "{} on {}: {} errors vs {} ops",
+                w.name,
+                kind.name(),
+                rec.errors,
+                rec.ops
+            );
+        }
+    }
+}
+
+/// fsync-heavy varmail pays the journal tax: ext3 issues strictly more
+/// media writes than ext2 for the same op stream shape.
+#[test]
+fn varmail_journal_tax() {
+    let measure = |kind: FsKind| {
+        let mut t = rocketbench::core::testbed::paper_fs(kind, Bytes::gib(1), 2);
+        let w = personalities::varmail(40);
+        Engine::run(&mut t, &w, &cfg(2, 6)).unwrap();
+        let d = t.stack().disk_stats();
+        (d.writes, t.stack().stats().fsyncs)
+    };
+    let (ext2_writes, ext2_fsyncs) = measure(FsKind::Ext2);
+    let (ext3_writes, ext3_fsyncs) = measure(FsKind::Ext3);
+    assert!(ext2_fsyncs > 0 && ext3_fsyncs > 0);
+    // Per-fsync-ish write traffic: ext3 adds journal records.
+    let ext2_rate = ext2_writes as f64 / ext2_fsyncs.max(1) as f64;
+    let ext3_rate = ext3_writes as f64 / ext3_fsyncs.max(1) as f64;
+    assert!(
+        ext3_rate > ext2_rate,
+        "journal made ext3 cheaper?! ext2 {ext2_rate:.1} vs ext3 {ext3_rate:.1} writes/fsync"
+    );
+}
+
+/// Sequential streaming is far faster than random reads on every fs —
+/// the most basic sanity of the disk + readahead path.
+#[test]
+fn sequential_beats_random_everywhere() {
+    for kind in FsKind::ALL {
+        let run = |w: Workload| {
+            let mut t = rocketbench::core::testbed::paper_fs(kind, Bytes::gib(1), 3);
+            t.set_cache_capacity_pages(2048); // keep the cache out of it
+            Engine::run(&mut t, &w, &cfg(3, 8)).unwrap()
+        };
+        let seq = run(personalities::sequential_read(Bytes::mib(256)));
+        let rnd = run(personalities::random_read(Bytes::mib(256)));
+        // Bytes per second: sequential reads 64 KiB/op, random 8 KiB/op.
+        let seq_bw = seq.ops_per_sec() * 64.0;
+        let rnd_bw = rnd.ops_per_sec() * 8.0;
+        assert!(
+            seq_bw > 4.0 * rnd_bw,
+            "{}: sequential {seq_bw:.0} KiB/s not ≫ random {rnd_bw:.0} KiB/s",
+            kind.name()
+        );
+    }
+}
+
+/// Zipf-skewed webserver traffic gets a much better hit ratio than
+/// uniform traffic over the same file population — popularity matters,
+/// and the cache model honours it.
+#[test]
+fn zipf_popularity_improves_hit_ratio() {
+    let mut zipf_w = personalities::webserver(2000);
+    zipf_w.ops.truncate(1); // whole-file reads only, no log append
+    let mut uniform_w = zipf_w.clone();
+    uniform_w.zipf_theta = 0.0;
+
+    let run = |w: &Workload| {
+        let mut t = rocketbench::core::testbed::paper_fs(FsKind::Ext2, Bytes::gib(1), 4);
+        // ~2000 files x ~12 KiB mean ≈ 24 MiB working set, 4 MiB cache:
+        // capacity pressure is real, so popularity skew must show.
+        t.set_cache_capacity_pages(1024);
+        Engine::run(&mut t, w, &cfg(4, 8)).unwrap().hit_ratio.unwrap()
+    };
+    let zipf_hits = run(&zipf_w);
+    let uniform_hits = run(&uniform_w);
+    assert!(
+        zipf_hits > uniform_hits + 0.1,
+        "zipf {zipf_hits:.3} not better than uniform {uniform_hits:.3}"
+    );
+}
+
+/// The survey data renders and its totals match the published table.
+#[test]
+fn survey_is_faithful() {
+    let rows = table1();
+    assert_eq!(rows.len(), 19);
+    let rendered = render_table1(&rows);
+    // Spot-check the famous numbers straight from the paper.
+    for needle in ["237", "67", "30", "17", "Postmark", "Ad-hoc", "Filebench"] {
+        assert!(rendered.contains(needle), "missing {needle}");
+    }
+}
