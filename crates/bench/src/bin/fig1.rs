@@ -1,21 +1,31 @@
 //! Regenerates paper Figure 1: Ext2 random-read throughput and relative
 //! standard deviation vs file size (64 MB → 1024 MB, 10 runs each).
 //!
-//! Usage: `cargo run -p rb-bench --release --bin fig1 [-- --quick]`
+//! The sweep is expressed as a campaign spec, so the sizes run
+//! concurrently (one experiment cell per size, sharded over `--jobs N`
+//! workers, default: all cores) with deterministic per-cell seeds.
+//!
+//! Usage: `cargo run -p rb-bench --release --bin fig1 [-- --quick] [--jobs N]`
 
-use rb_bench::{quick_requested, write_results};
-use rb_core::figures::{fig1, render_fig1, Fig1Config};
+use rb_bench::{jobs_requested, quick_requested, write_results};
+use rb_core::figures::{fig1_campaign, render_fig1, Fig1Config};
 use rb_core::report::{to_csv, to_gnuplot};
 
 fn main() {
-    let config = if quick_requested() { Fig1Config::quick() } else { Fig1Config::paper() };
+    let config = if quick_requested() {
+        Fig1Config::quick()
+    } else {
+        Fig1Config::paper()
+    };
+    let jobs = jobs_requested();
     eprintln!(
-        "fig1: {} sizes x {} runs of {}s virtual each...",
+        "fig1: {} sizes x {} runs of {}s virtual each on {} worker(s)...",
         config.sizes.len(),
         config.plan.runs,
-        config.plan.duration.as_secs()
+        config.plan.duration.as_secs(),
+        jobs
     );
-    let data = fig1(&config).expect("fig1 experiment");
+    let data = fig1_campaign(&config, jobs).expect("fig1 experiment");
     print!("{}", render_fig1(&data));
 
     // Machine-readable outputs.
@@ -33,8 +43,7 @@ fn main() {
         })
         .collect();
     let mut headers = vec!["size_mib", "mean_ops_per_sec", "rsd_percent"];
-    let run_names: Vec<String> =
-        (0..config.plan.runs).map(|i| format!("run{i}")).collect();
+    let run_names: Vec<String> = (0..config.plan.runs).map(|i| format!("run{i}")).collect();
     headers.extend(run_names.iter().map(|s| s.as_str()));
     write_results("fig1.csv", &to_csv(&headers, &rows));
 
@@ -42,6 +51,9 @@ fn main() {
     let rsd: Vec<(f64, f64)> = data.fragility.rsds.clone();
     write_results(
         "fig1.dat",
-        &to_gnuplot("size_mib", &[("ops_per_sec", &throughput), ("rsd_percent", &rsd)]),
+        &to_gnuplot(
+            "size_mib",
+            &[("ops_per_sec", &throughput), ("rsd_percent", &rsd)],
+        ),
     );
 }

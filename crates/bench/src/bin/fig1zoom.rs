@@ -1,20 +1,27 @@
 //! Regenerates the paper's Section 3.1 zoom: the throughput drop between
 //! 384 MB and 448 MB happens within a < 6 MB window.
 //!
-//! Usage: `cargo run -p rb-bench --release --bin fig1zoom [-- --quick]`
+//! The fine-grained size ladder is expressed as a campaign spec and
+//! sharded over `--jobs N` workers (default: all cores).
+//!
+//! Usage: `cargo run -p rb-bench --release --bin fig1zoom [-- --quick] [--jobs N]`
 
-use rb_bench::{quick_requested, write_results};
-use rb_core::figures::{fig1_zoom, render_fig1, Fig1ZoomConfig};
+use rb_bench::{jobs_requested, quick_requested, write_results};
+use rb_core::figures::{fig1_zoom_campaign, render_fig1, Fig1ZoomConfig};
 use rb_core::report::to_csv;
 
 fn main() {
-    let config =
-        if quick_requested() { Fig1ZoomConfig::quick() } else { Fig1ZoomConfig::paper() };
+    let config = if quick_requested() {
+        Fig1ZoomConfig::quick()
+    } else {
+        Fig1ZoomConfig::paper()
+    };
+    let jobs = jobs_requested();
     eprintln!(
-        "fig1zoom: {}..{} step {}...",
-        config.lo, config.hi, config.step
+        "fig1zoom: {}..{} step {} on {} worker(s)...",
+        config.lo, config.hi, config.step, jobs
     );
-    let data = fig1_zoom(&config).expect("fig1 zoom experiment");
+    let data = fig1_zoom_campaign(&config, jobs).expect("fig1 zoom experiment");
     print!("{}", render_fig1(&data));
     match data.fragility.halving_distance() {
         Some(d) => println!("throughput halves within {d:.0} MiB (paper: < 6 MB region)"),

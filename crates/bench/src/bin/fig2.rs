@@ -8,7 +8,11 @@ use rb_core::figures::{fig2, render_fig2, Fig2Config};
 use rb_core::report::to_gnuplot;
 
 fn main() {
-    let config = if quick_requested() { Fig2Config::quick() } else { Fig2Config::paper() };
+    let config = if quick_requested() {
+        Fig2Config::quick()
+    } else {
+        Fig2Config::paper()
+    };
     eprintln!(
         "fig2: {} file, {}s run per file system...",
         config.file_size,
@@ -34,7 +38,10 @@ fn main() {
         );
     }
 
-    let series: Vec<(&str, &[(f64, f64)])> =
-        data.curves.iter().map(|c| (c.fs, c.series.as_slice())).collect();
+    let series: Vec<(&str, &[(f64, f64)])> = data
+        .curves
+        .iter()
+        .map(|c| (c.fs, c.series.as_slice()))
+        .collect();
     write_results("fig2.dat", &to_gnuplot("seconds", &series));
 }

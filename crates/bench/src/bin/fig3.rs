@@ -10,8 +10,19 @@ use rb_core::report::to_csv;
 use rb_stats::peaks::bimodal_balance;
 
 fn main() {
-    let config = if quick_requested() { Fig3Config::quick() } else { Fig3Config::paper() };
-    eprintln!("fig3: sizes {:?}...", config.sizes.iter().map(|s| format!("{s}")).collect::<Vec<_>>());
+    let config = if quick_requested() {
+        Fig3Config::quick()
+    } else {
+        Fig3Config::paper()
+    };
+    eprintln!(
+        "fig3: sizes {:?}...",
+        config
+            .sizes
+            .iter()
+            .map(|s| format!("{s}"))
+            .collect::<Vec<_>>()
+    );
     let data = fig3(&config).expect("fig3 experiment");
     print!("{}", render_fig3(&data));
     for h in &data.histograms {
@@ -36,5 +47,8 @@ fn main() {
             ]);
         }
     }
-    write_results("fig3.csv", &to_csv(&["size_mib", "log2_bucket", "percent"], &rows));
+    write_results(
+        "fig3.csv",
+        &to_csv(&["size_mib", "log2_bucket", "percent"], &rows),
+    );
 }

@@ -10,7 +10,11 @@ use rb_core::figures::{fig4, render_fig4, Fig4Config};
 use rb_core::report::to_csv;
 
 fn main() {
-    let config = if quick_requested() { Fig4Config::quick() } else { Fig4Config::paper() };
+    let config = if quick_requested() {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::paper()
+    };
     eprintln!(
         "fig4: {} file over {}s, histogram per {}s window...",
         config.file_size,

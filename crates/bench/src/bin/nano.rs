@@ -10,7 +10,11 @@ use rb_core::report::to_csv;
 use rb_core::testbed::FsKind;
 
 fn main() {
-    let config = if quick_requested() { NanoConfig::quick() } else { NanoConfig::default() };
+    let config = if quick_requested() {
+        NanoConfig::quick()
+    } else {
+        NanoConfig::default()
+    };
     let mut csv_rows = Vec::new();
     for kind in FsKind::ALL {
         eprintln!("nano suite: {}...", kind.name());

@@ -4,7 +4,7 @@
 //! Usage: `cargo run -p rb-bench --bin table1`
 
 use rb_bench::write_results;
-use rb_core::dimensions::Dimension;
+use rb_core::dimensions::{Coverage, CoverageProfile, Dimension};
 use rb_core::report::to_csv;
 use rb_core::survey::{adhoc_share_2009_2010, render_table1, table1, total_uses, SCOPE};
 
@@ -25,6 +25,28 @@ fn main() {
         adhoc_share_2009_2010(&rows) * 100.0
     );
 
+    // The campaign-style aggregate: combining every surveyed benchmark
+    // still isolates almost nothing — the paper's argument for sweeps.
+    let union = rows
+        .iter()
+        .fold(CoverageProfile::EMPTY, |acc, r| acc.union(&r.profile));
+    let cov: Vec<String> = Dimension::ALL
+        .iter()
+        .map(|&d| format!("{}:{}", d.label(), union.get(d).glyph().trim()))
+        .collect();
+    println!(
+        "Union coverage of all surveyed benchmarks: {}",
+        cov.join("  ")
+    );
+    println!(
+        "Dimensions isolated by at least one benchmark: {} of {}",
+        Dimension::ALL
+            .iter()
+            .filter(|&&d| union.get(d) == Coverage::Isolates)
+            .count(),
+        Dimension::ALL.len()
+    );
+
     let csv_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -42,7 +64,16 @@ fn main() {
     write_results(
         "table1.csv",
         &to_csv(
-            &["benchmark", "io", "ondisk", "caching", "metadata", "scaling", "1999-2007", "2009-2010"],
+            &[
+                "benchmark",
+                "io",
+                "ondisk",
+                "caching",
+                "metadata",
+                "scaling",
+                "1999-2007",
+                "2009-2010",
+            ],
             &csv_rows,
         ),
     );

@@ -20,6 +20,34 @@ pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick" || a == "-q")
 }
 
+/// Worker-thread count for campaign-backed regenerators: the value of
+/// `--jobs N` / `--jobs=N` if given, otherwise the machine's available
+/// parallelism. An invalid or missing value after the flag is a hard
+/// error (exit 2), never a silent fallback.
+pub fn jobs_requested() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let value = args
+        .iter()
+        .position(|a| a == "--jobs" || a == "-j")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--jobs=").map(str::to_string))
+        });
+    match value {
+        None => std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --jobs needs a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Directory where regenerators drop data files (`results/`, created on
 /// demand next to the workspace root).
 pub fn results_dir() -> PathBuf {

@@ -89,7 +89,13 @@ impl FragilityReport {
             .iter()
             .copied()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        FragilityReport { means, rsds, cliff, transition, max_rsd_at }
+        FragilityReport {
+            means,
+            rsds,
+            cliff,
+            transition,
+            max_rsd_at,
+        }
     }
 
     /// The narrowest x-distance over which mean throughput halves —
@@ -131,11 +137,17 @@ impl WarmupReport {
     pub fn from_windows(windows: &[Window], rsd_limit: f64) -> WarmupReport {
         let ys: Vec<f64> = windows.iter().map(|w| w.ops_per_sec).collect();
         let steady = rb_stats::changepoint::steady_state_start(&ys, rsd_limit);
-        let warmup_seconds = steady.and_then(|i| windows.get(i)).map(|w| w.start.as_secs_f64());
+        let warmup_seconds = steady
+            .and_then(|i| windows.get(i))
+            .map(|w| w.start.as_secs_f64());
         let first = ys.iter().copied().find(|&y| y > 0.0).unwrap_or(0.0);
         let last = ys.last().copied().unwrap_or(0.0);
         let rise_factor = if first > 0.0 { last / first } else { 0.0 };
-        WarmupReport { steady_from_window: steady, warmup_seconds, rise_factor }
+        WarmupReport {
+            steady_from_window: steady,
+            warmup_seconds,
+            rise_factor,
+        }
     }
 }
 
@@ -166,8 +178,7 @@ pub fn compare_systems(
 ) -> Option<ComparisonVerdict> {
     let test = welch_t(a_samples, b_samples)?;
     let same_regime = a_regime == b_regime;
-    let any_transition =
-        a_regime == Regime::Transition || b_regime == Regime::Transition;
+    let any_transition = a_regime == Regime::Transition || b_regime == Regime::Transition;
     let sound = same_regime && !any_transition;
     let explanation = if !same_regime {
         format!(
@@ -178,7 +189,8 @@ pub fn compare_systems(
         )
     } else if any_transition {
         "UNSOUND: both systems are in the transition regime; results \
-             depend on cache state more than on the systems themselves".to_string()
+             depend on cache state more than on the systems themselves"
+            .to_string()
     } else if test.significant_at(0.05) {
         format!(
             "{a_name} vs {b_name} ({}): difference of {:.1} ops/s is \
@@ -196,7 +208,12 @@ pub fn compare_systems(
             test.p_value
         )
     };
-    Some(ComparisonVerdict { test, regimes: (a_regime, b_regime), sound, explanation })
+    Some(ComparisonVerdict {
+        test,
+        regimes: (a_regime, b_regime),
+        sound,
+        explanation,
+    })
 }
 
 #[cfg(test)]
@@ -331,15 +348,7 @@ mod tests {
     fn comparison_rejects_transition() {
         let a = [5000.0, 9000.0, 2000.0];
         let b = [4000.0, 8500.0, 2500.0];
-        let v = compare_systems(
-            "a",
-            &a,
-            Regime::Transition,
-            "b",
-            &b,
-            Regime::Transition,
-        )
-        .unwrap();
+        let v = compare_systems("a", &a, Regime::Transition, "b", &b, Regime::Transition).unwrap();
         assert!(!v.sound);
     }
 }

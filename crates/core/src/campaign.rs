@@ -1,0 +1,909 @@
+//! Declarative sweep campaigns: multi-dimensional experiment grids.
+//!
+//! The paper's complaint is that file-system benchmarks are run as
+//! one-off, under-specified experiments. A [`SweepSpec`] is the
+//! opposite: a declarative cross-product over workload personality,
+//! file size, file count, file system and cache capacity, executed under
+//! one [`RunPlan`] protocol. The spec expands into a deduplicated list
+//! of experiment [`Cell`]s; [`run_campaign`] shards the cells across
+//! worker threads and aggregates per-cell [`Summary`] statistics into a
+//! [`CampaignReport`] with CSV/JSON/ASCII renderers and per-dimension
+//! grouping from the Section 2 taxonomy.
+//!
+//! Determinism is load-bearing: each cell's seed is derived by hashing
+//! the cell's identity into the campaign's base seed, so results are
+//! byte-identical no matter how many workers run the campaign or which
+//! worker picks up which cell.
+//!
+//! ```
+//! use rb_core::campaign::{run_campaign, Personality, SweepSpec};
+//! use rb_core::runner::RunPlan;
+//! use rb_core::testbed::FsKind;
+//! use rb_simcore::time::Nanos;
+//! use rb_simcore::units::Bytes;
+//!
+//! let mut plan = RunPlan::quick(7);
+//! plan.runs = 1;
+//! plan.duration = Nanos::from_secs(2);
+//! let spec = SweepSpec {
+//!     name: "doc".into(),
+//!     personalities: vec![Personality::RandomRead],
+//!     file_sizes: vec![Bytes::mib(4)],
+//!     filesystems: vec![FsKind::Ext2],
+//!     plan,
+//!     ..SweepSpec::default()
+//! };
+//! let report = run_campaign(&spec, 2).unwrap();
+//! assert_eq!(report.cells.len(), 1);
+//! ```
+
+use crate::dimensions::{Coverage, CoverageProfile, Dimension};
+use crate::report::{self, Json};
+use crate::runner::{run_many, MultiRun, RunPlan};
+use crate::testbed::{self, FsKind};
+use crate::workload::{personalities, Workload};
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::units::Bytes;
+use rb_stats::summary::Summary;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A named workload personality — the campaign's workload axis.
+///
+/// Size-driven personalities (`RandomRead`, `SequentialRead`,
+/// `RandomWrite`) sweep the file-size axis; fileset-driven ones sweep
+/// the file-count axis. Expansion normalizes the unused axis away so
+/// cross products never produce duplicate cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Personality {
+    /// 8 KiB random reads of one large file (the Figure 1 workload).
+    RandomRead,
+    /// Sequential reads of one large file.
+    SequentialRead,
+    /// 8 KiB random writes to one large file.
+    RandomWrite,
+    /// Zipf-popular whole-file reads plus a log append.
+    Webserver,
+    /// Mixed create/write/read/delete file serving.
+    Fileserver,
+    /// Mail-spool create/append/fsync/delete churn.
+    Varmail,
+    /// The Postmark transaction mix.
+    Postmark,
+    /// Pure namespace traffic: create/stat/open/delete.
+    MetadataOnly,
+}
+
+impl Personality {
+    /// Every personality, in report order.
+    pub const ALL: [Personality; 8] = [
+        Personality::RandomRead,
+        Personality::SequentialRead,
+        Personality::RandomWrite,
+        Personality::Webserver,
+        Personality::Fileserver,
+        Personality::Varmail,
+        Personality::Postmark,
+        Personality::MetadataOnly,
+    ];
+
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Personality::RandomRead => "randomread",
+            Personality::SequentialRead => "seqread",
+            Personality::RandomWrite => "randomwrite",
+            Personality::Webserver => "webserver",
+            Personality::Fileserver => "fileserver",
+            Personality::Varmail => "varmail",
+            Personality::Postmark => "postmark",
+            Personality::MetadataOnly => "metadata",
+        }
+    }
+
+    /// Parses a CLI/report name.
+    pub fn parse(name: &str) -> Option<Personality> {
+        Personality::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Whether the file-size axis applies (single-file personalities).
+    pub fn uses_file_size(self) -> bool {
+        matches!(
+            self,
+            Personality::RandomRead | Personality::SequentialRead | Personality::RandomWrite
+        )
+    }
+
+    /// Whether the file-count axis applies (fileset personalities).
+    pub fn uses_file_count(self) -> bool {
+        !self.uses_file_size()
+    }
+
+    /// Instantiates the workload for one cell.
+    pub fn workload(self, file_size: Bytes, files: u64) -> Workload {
+        match self {
+            Personality::RandomRead => personalities::random_read(file_size),
+            Personality::SequentialRead => personalities::sequential_read(file_size),
+            Personality::RandomWrite => personalities::random_write(file_size),
+            Personality::Webserver => personalities::webserver(files),
+            Personality::Fileserver => personalities::fileserver(files),
+            Personality::Varmail => personalities::varmail(files),
+            Personality::Postmark => personalities::postmark(files),
+            Personality::MetadataOnly => personalities::metadata_only(files),
+        }
+    }
+
+    /// Which Section 2 dimensions the personality touches, in Table 1's
+    /// marker language.
+    pub fn coverage(self) -> CoverageProfile {
+        use Coverage::{Exercises, Isolates};
+        match self {
+            Personality::RandomRead => {
+                CoverageProfile::new(&[(Dimension::Io, Exercises), (Dimension::Caching, Isolates)])
+            }
+            Personality::SequentialRead => {
+                CoverageProfile::new(&[(Dimension::Io, Isolates), (Dimension::Caching, Exercises)])
+            }
+            Personality::RandomWrite => CoverageProfile::new(&[
+                (Dimension::Io, Exercises),
+                (Dimension::OnDisk, Exercises),
+                (Dimension::Caching, Exercises),
+            ]),
+            Personality::Webserver => CoverageProfile::new(&[
+                (Dimension::Io, Exercises),
+                (Dimension::Caching, Exercises),
+                (Dimension::Metadata, Exercises),
+            ]),
+            Personality::Fileserver | Personality::Postmark => CoverageProfile::new(&[
+                (Dimension::Io, Exercises),
+                (Dimension::OnDisk, Exercises),
+                (Dimension::Caching, Exercises),
+                (Dimension::Metadata, Exercises),
+            ]),
+            Personality::Varmail => CoverageProfile::new(&[
+                (Dimension::OnDisk, Exercises),
+                (Dimension::Caching, Exercises),
+                (Dimension::Metadata, Exercises),
+            ]),
+            Personality::MetadataOnly => CoverageProfile::new(&[(Dimension::Metadata, Isolates)]),
+        }
+    }
+}
+
+impl std::fmt::Display for Personality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative sweep: the cross product of every listed axis, run
+/// under one repetition protocol.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Campaign name, for reports.
+    pub name: String,
+    /// Workload-personality axis.
+    pub personalities: Vec<Personality>,
+    /// File-size axis (applies to size-driven personalities).
+    pub file_sizes: Vec<Bytes>,
+    /// File-count axis (applies to fileset-driven personalities).
+    pub file_counts: Vec<u64>,
+    /// Simulated file-system axis.
+    pub filesystems: Vec<FsKind>,
+    /// Cache-capacity axis (the paper's memory-pressure dimension).
+    /// [`Bytes::ZERO`] means "uncontrolled": the target keeps its
+    /// default cache and no per-run capacity jitter is applied.
+    pub cache_capacities: Vec<Bytes>,
+    /// Repetition protocol applied to every cell. `plan.base_seed` is
+    /// the campaign seed; each cell derives its own base seed from it.
+    pub plan: RunPlan,
+    /// Minimum formatted device size (grown per cell when a file would
+    /// not fit comfortably).
+    pub device: Bytes,
+}
+
+impl Default for SweepSpec {
+    /// One quick Figure-1-style cell: random read, 64 MiB, ext2, the
+    /// paper's cache.
+    fn default() -> Self {
+        SweepSpec {
+            name: "sweep".into(),
+            personalities: vec![Personality::RandomRead],
+            file_sizes: vec![Bytes::mib(64)],
+            file_counts: vec![100],
+            filesystems: vec![FsKind::Ext2],
+            cache_capacities: vec![testbed::PAPER_CACHE],
+            plan: RunPlan::quick(0),
+            device: Bytes::gib(1),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Expands the spec into its deduplicated experiment cells, in a
+    /// deterministic order (axes iterate in declaration order).
+    ///
+    /// Normalization powers deduplication: a personality that ignores an
+    /// axis gets the neutral value (`0`) on that axis, so e.g. `varmail`
+    /// crossed with five file sizes still yields one cell per
+    /// (count, fs, cache) combination.
+    pub fn expand(&self) -> Vec<Cell> {
+        let mut seen = HashSet::new();
+        let mut cells = Vec::new();
+        for &personality in &self.personalities {
+            let sizes: &[Bytes] = if personality.uses_file_size() {
+                &self.file_sizes
+            } else {
+                &[Bytes::ZERO]
+            };
+            let counts: &[u64] = if personality.uses_file_count() {
+                &self.file_counts
+            } else {
+                &[0]
+            };
+            for &file_size in sizes {
+                for &files in counts {
+                    for &fs in &self.filesystems {
+                        for &cache in &self.cache_capacities {
+                            let cell = Cell {
+                                personality,
+                                file_size,
+                                files,
+                                fs,
+                                cache,
+                            };
+                            if seen.insert(cell.key()) {
+                                cells.push(cell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One point of the experiment grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// Workload personality.
+    pub personality: Personality,
+    /// File size ([`Bytes::ZERO`] when the personality ignores it).
+    pub file_size: Bytes,
+    /// File count (`0` when the personality ignores it).
+    pub files: u64,
+    /// File system under test.
+    pub fs: FsKind,
+    /// Controlled cache capacity ([`Bytes::ZERO`] = uncontrolled).
+    pub cache: Bytes,
+}
+
+impl Cell {
+    /// Canonical identity string: the dedup key and the seed-derivation
+    /// input. Must not depend on axis ordering or scheduling.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|size={}|files={}|fs={}|cache={}",
+            self.personality.name(),
+            self.file_size.as_u64(),
+            self.files,
+            self.fs.name(),
+            self.cache.as_u64()
+        )
+    }
+
+    /// Human-oriented label for tables and charts.
+    pub fn label(&self) -> String {
+        let mut parts = vec![self.personality.name().to_string()];
+        if self.personality.uses_file_size() {
+            parts.push(format!("{}", self.file_size));
+        } else {
+            parts.push(format!("{}f", self.files));
+        }
+        parts.push(self.fs.name().to_string());
+        parts.join("/")
+    }
+
+    /// The cell's derived base seed: a 64-bit FNV-1a hash of the cell
+    /// key folded into the campaign seed. Every run `i` of the cell then
+    /// uses `derived + i`, exactly as [`RunPlan`] prescribes.
+    pub fn seed(&self, campaign_seed: u64) -> u64 {
+        derive_seed(campaign_seed, &self.key())
+    }
+}
+
+/// Folds `key` into `base_seed` with 64-bit FNV-1a (the shared
+/// [`rb_simcore::rng::fnv1a`]). Stable across platforms and releases;
+/// scheduling-independent by construction.
+pub fn derive_seed(base_seed: u64, key: &str) -> u64 {
+    use rb_simcore::rng::{fnv1a, FNV_OFFSET};
+    fnv1a(fnv1a(FNV_OFFSET, &base_seed.to_le_bytes()), key.as_bytes())
+}
+
+/// One cell's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell.
+    pub cell: Cell,
+    /// Derived base seed the cell ran under.
+    pub seed: u64,
+    /// Steady-state throughput of each run, in run order — the "range
+    /// of values" the paper wants reported alongside any mean.
+    pub samples: Vec<f64>,
+    /// Steady-state throughput summary across the cell's runs.
+    pub summary: Summary,
+    /// Mean cache hit ratio across runs, when the target reports one.
+    pub hit_ratio: Option<f64>,
+    /// Total failed operations across runs.
+    pub errors: u64,
+}
+
+impl CellResult {
+    fn from_multi_run(cell: Cell, seed: u64, mr: &MultiRun) -> CellResult {
+        let ratios: Vec<f64> = mr
+            .outcomes
+            .iter()
+            .filter_map(|o| o.recording.hit_ratio)
+            .collect();
+        let hit_ratio = if ratios.is_empty() {
+            None
+        } else {
+            Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+        };
+        let errors = mr.outcomes.iter().map(|o| o.recording.errors).sum();
+        CellResult {
+            cell,
+            seed,
+            samples: mr.samples(),
+            summary: mr.summary.clone(),
+            hit_ratio,
+            errors,
+        }
+    }
+}
+
+/// A completed campaign: every cell's aggregate, in expansion order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Worker threads used (informational; never affects results).
+    pub jobs: usize,
+    /// Per-cell aggregates, in [`SweepSpec::expand`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Union coverage of every cell's personality — what the whole
+    /// campaign exercised, in the Section 2 taxonomy.
+    pub fn coverage(&self) -> CoverageProfile {
+        self.cells.iter().fold(CoverageProfile::EMPTY, |acc, c| {
+            acc.union(&c.cell.personality.coverage())
+        })
+    }
+
+    /// Per-dimension grouping: for each taxonomy dimension the cells
+    /// exercising it, summarized over their mean throughputs. The
+    /// per-dimension RSD is the cross-*configuration* spread — large
+    /// values mean the dimension's setting materially changes results,
+    /// exactly what the paper says single-configuration benchmarks hide.
+    pub fn dimension_groups(&self) -> Vec<(Dimension, Summary)> {
+        Dimension::ALL
+            .iter()
+            .filter_map(|&d| {
+                let means: Vec<f64> = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.cell.personality.coverage().get(d) != Coverage::None)
+                    .map(|c| c.summary.mean)
+                    .collect();
+                Summary::from_sample(&means).map(|s| (d, s))
+            })
+            .collect()
+    }
+
+    /// The campaign table as CSV (one row per cell, runs' spread
+    /// included).
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.cell.personality.name().to_string(),
+                    c.cell.file_size.as_mib().to_string(),
+                    c.cell.files.to_string(),
+                    c.cell.fs.name().to_string(),
+                    c.cell.cache.as_mib().to_string(),
+                    format!("{}", c.seed),
+                    format!("{:.1}", c.summary.mean),
+                    format!("{:.3}", c.summary.rsd_percent),
+                    format!("{:.1}", c.summary.min),
+                    format!("{:.1}", c.summary.max),
+                    c.hit_ratio.map(|h| format!("{h:.4}")).unwrap_or_default(),
+                    c.errors.to_string(),
+                ]
+            })
+            .collect();
+        report::to_csv(
+            &[
+                "workload",
+                "size_mib",
+                "files",
+                "fs",
+                "cache_mib",
+                "seed",
+                "mean_ops_per_sec",
+                "rsd_percent",
+                "min",
+                "max",
+                "hit_ratio",
+                "errors",
+            ],
+            &rows,
+        )
+    }
+
+    /// The campaign as a JSON document (cells + aggregate coverage).
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("workload", Json::Str(c.cell.personality.name().into())),
+                    ("size_bytes", Json::Num(c.cell.file_size.as_u64() as f64)),
+                    ("files", Json::Num(c.cell.files as f64)),
+                    ("fs", Json::Str(c.cell.fs.name().into())),
+                    ("cache_bytes", Json::Num(c.cell.cache.as_u64() as f64)),
+                    ("seed", Json::Num(c.seed as f64)),
+                    (
+                        "samples",
+                        Json::Arr(c.samples.iter().map(|&s| Json::Num(s)).collect()),
+                    ),
+                    ("mean_ops_per_sec", Json::Num(c.summary.mean)),
+                    ("rsd_percent", Json::Num(c.summary.rsd_percent)),
+                    ("min", Json::Num(c.summary.min)),
+                    ("max", Json::Num(c.summary.max)),
+                    (
+                        "hit_ratio",
+                        c.hit_ratio.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("errors", Json::Num(c.errors as f64)),
+                ])
+            })
+            .collect();
+        let coverage = self.coverage();
+        let cov = Dimension::ALL
+            .iter()
+            .map(|&d| {
+                Json::obj(vec![
+                    ("dimension", Json::Str(d.label().into())),
+                    ("coverage", Json::Str(coverage.get(d).glyph().trim().into())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("campaign", Json::Str(self.name.clone())),
+            ("cells", Json::Arr(cells)),
+            ("coverage", Json::Arr(cov)),
+        ])
+    }
+
+    /// Renders the campaign for the terminal: the cell table, the
+    /// dimension grouping, the aggregate coverage row, and (when the
+    /// campaign swept the file-size axis) an ASCII chart of throughput
+    /// vs size per (personality, fs) series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {:?}: {} cells ({} worker{})",
+            self.name,
+            self.cells.len(),
+            self.jobs,
+            if self.jobs == 1 { "" } else { "s" }
+        );
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.cell.label(),
+                    if c.cell.cache.is_zero() {
+                        "-".into()
+                    } else {
+                        format!("{}", c.cell.cache)
+                    },
+                    format!("{:.0}", c.summary.mean),
+                    format!("{:.1}", c.summary.rsd_percent),
+                    format!("{:.0}", c.summary.min),
+                    format!("{:.0}", c.summary.max),
+                    c.hit_ratio
+                        .map(|h| format!("{h:.3}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        out.push_str(&report::text_table(
+            &["cell", "cache", "ops/s", "rsd%", "min", "max", "hits"],
+            &rows,
+        ));
+        out.push('\n');
+        let groups = self.dimension_groups();
+        if !groups.is_empty() {
+            let _ = writeln!(out, "per-dimension grouping (Section 2 taxonomy):");
+            let rows: Vec<Vec<String>> = groups
+                .iter()
+                .map(|(d, s)| {
+                    vec![
+                        d.label().to_string(),
+                        s.n.to_string(),
+                        format!("{:.0}", s.mean),
+                        format!("{:.1}", s.rsd_percent),
+                        format!("{:.1}x", s.spread()),
+                    ]
+                })
+                .collect();
+            out.push_str(&report::text_table(
+                &[
+                    "dimension",
+                    "cells",
+                    "mean ops/s",
+                    "cross-cell rsd%",
+                    "spread",
+                ],
+                &rows,
+            ));
+            let coverage = self.coverage();
+            let cov: Vec<String> = Dimension::ALL
+                .iter()
+                .map(|&d| format!("{}:{}", d.label(), coverage.get(d).glyph().trim()))
+                .collect();
+            let _ = writeln!(out, "campaign coverage: {}", cov.join("  "));
+            out.push('\n');
+        }
+        if let Some(chart) = self.size_chart() {
+            let _ = writeln!(out, "throughput vs file size:");
+            out.push_str(&chart);
+        }
+        out
+    }
+
+    /// ASCII chart of mean throughput vs file size, one series per
+    /// (personality, fs) pair — per (personality, fs, cache) when the
+    /// campaign swept several cache capacities, so a series never has
+    /// two y values at one x. `None` unless at least one series has two
+    /// or more sizes.
+    fn size_chart(&self) -> Option<String> {
+        let caches: HashSet<Bytes> = self
+            .cells
+            .iter()
+            .filter(|c| c.cell.personality.uses_file_size())
+            .map(|c| c.cell.cache)
+            .collect();
+        let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        for c in &self.cells {
+            if !c.cell.personality.uses_file_size() {
+                continue;
+            }
+            let mut label = format!("{}/{}", c.cell.personality.name(), c.cell.fs.name());
+            if caches.len() > 1 {
+                let _ = write!(label, "/{}", c.cell.cache);
+            }
+            let point = (c.cell.file_size.as_mib_f64(), c.summary.mean);
+            match series.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, pts)) => pts.push(point),
+                None => series.push((label, vec![point])),
+            }
+        }
+        series.retain(|(_, pts)| pts.len() >= 2);
+        if series.is_empty() {
+            return None;
+        }
+        let borrowed: Vec<(&str, &[(f64, f64)])> = series
+            .iter()
+            .map(|(l, pts)| (l.as_str(), pts.as_slice()))
+            .collect();
+        Some(report::ascii_chart(&borrowed, 64, 12))
+    }
+}
+
+/// Expected bytes a workload's filesets occupy once created (counts
+/// times mean file size).
+fn working_set_estimate(workload: &Workload) -> Bytes {
+    let total: f64 = workload
+        .filesets
+        .iter()
+        .map(|fs| fs.count as f64 * fs.size.mean())
+        .sum();
+    Bytes::new(total as u64)
+}
+
+/// Executes one cell under the campaign's plan.
+fn run_cell(spec: &SweepSpec, cell: &Cell) -> SimResult<CellResult> {
+    let workload = cell.personality.workload(cell.file_size, cell.files);
+    let seed = cell.seed(spec.plan.base_seed);
+    let mut plan = spec.plan.clone().with_base_seed(seed);
+    plan.cache_capacity = if cell.cache.is_zero() {
+        None
+    } else {
+        Some(cell.cache)
+    };
+    // Keep the formatted device comfortably larger than the working set,
+    // whether it is one large file or a fileset.
+    let working_set = cell.file_size.max(working_set_estimate(&workload));
+    let device = spec
+        .device
+        .max(Bytes::new(working_set.as_u64().saturating_mul(2)));
+    let fs = cell.fs;
+    let mr = run_many(|s| testbed::paper_fs(fs, device, s), &workload, &plan)?;
+    Ok(CellResult::from_multi_run(cell.clone(), seed, &mr))
+}
+
+/// Runs every cell of `spec`, sharded across `jobs` worker threads.
+///
+/// Workers pull cells from a shared atomic cursor (work stealing keeps
+/// long cells from serializing the tail); each worker builds its own
+/// simulated targets, so no simulation state is shared. Results land in
+/// per-cell slots indexed by expansion order, which makes the aggregate
+/// independent of scheduling: the same spec yields byte-identical
+/// reports at any job count.
+pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> {
+    let cells = spec.expand();
+    if cells.is_empty() {
+        return Err(SimError::InvalidOperation(
+            "sweep expands to zero cells; every axis needs at least one value".into(),
+        ));
+    }
+    if spec.plan.runs == 0 {
+        return Err(SimError::InvalidOperation(
+            "sweep plan needs at least one run per cell".into(),
+        ));
+    }
+    let jobs = jobs.clamp(1, cells.len());
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<SimResult<CellResult>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                // A failed cell aborts the campaign: don't burn the rest
+                // of the grid computing results that will be discarded.
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let result = run_cell(spec, cell);
+                if result.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    // Collect in expansion order. Every index below the lowest erroring
+    // one was pulled before any abort could trigger, so the first
+    // non-empty error slot we meet is the lowest-index failure — the
+    // reported error is deterministic even though later cells may have
+    // been skipped.
+    let mut results = Vec::with_capacity(cells.len());
+    for slot in slots {
+        match slot.into_inner().expect("slot lock") {
+            Some(Ok(res)) => results.push(res),
+            Some(Err(e)) => return Err(e),
+            // Unreachable by the invariant above; fail soft if a future
+            // edit ever breaks it rather than panicking mid-report.
+            None => {
+                return Err(SimError::InvalidOperation(
+                    "campaign aborted before this cell ran".into(),
+                ))
+            }
+        }
+    }
+    Ok(CampaignReport {
+        name: spec.name.clone(),
+        jobs,
+        cells: results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_simcore::time::Nanos;
+
+    /// A spec small enough for debug-mode unit tests.
+    fn tiny_spec() -> SweepSpec {
+        let mut plan = RunPlan::quick(42);
+        plan.runs = 2;
+        plan.duration = Nanos::from_secs(2);
+        plan.window = Nanos::from_secs(1);
+        plan.tail_windows = 2;
+        SweepSpec {
+            name: "tiny".into(),
+            personalities: vec![Personality::RandomRead],
+            file_sizes: vec![Bytes::mib(4), Bytes::mib(8)],
+            file_counts: vec![10],
+            filesystems: vec![FsKind::Ext2, FsKind::Ext3],
+            cache_capacities: vec![Bytes::mib(64)],
+            plan,
+            device: Bytes::mib(256),
+        }
+    }
+
+    #[test]
+    fn expansion_is_a_cross_product() {
+        let mut spec = tiny_spec();
+        spec.personalities = vec![Personality::RandomRead, Personality::SequentialRead];
+        // 2 personalities x 2 sizes x 2 fs x 1 cache.
+        assert_eq!(spec.expand().len(), 8);
+        spec.cache_capacities = vec![Bytes::mib(64), Bytes::mib(128)];
+        assert_eq!(spec.expand().len(), 16);
+    }
+
+    #[test]
+    fn expansion_normalizes_unused_axes() {
+        let mut spec = tiny_spec();
+        // varmail ignores file size: five sizes collapse onto one cell
+        // per (count, fs, cache).
+        spec.personalities = vec![Personality::Varmail];
+        spec.file_sizes = (1..=5).map(Bytes::mib).collect();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2); // 1 count x 2 fs x 1 cache
+        assert!(cells.iter().all(|c| c.file_size == Bytes::ZERO));
+        // And randomread ignores file count.
+        spec.personalities = vec![Personality::RandomRead];
+        spec.file_counts = vec![10, 20, 30];
+        assert_eq!(spec.expand().len(), 10); // 5 sizes x 2 fs
+    }
+
+    #[test]
+    fn expansion_dedups_repeated_axis_values() {
+        let mut spec = tiny_spec();
+        spec.file_sizes = vec![Bytes::mib(4), Bytes::mib(4), Bytes::mib(4)];
+        spec.filesystems = vec![FsKind::Ext2, FsKind::Ext2];
+        assert_eq!(spec.expand().len(), 1);
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let spec = tiny_spec();
+        let cells = spec.expand();
+        let seeds: Vec<u64> = cells.iter().map(|c| c.seed(42)).collect();
+        // Stable: recomputing gives the same seeds.
+        let again: Vec<u64> = spec.expand().iter().map(|c| c.seed(42)).collect();
+        assert_eq!(seeds, again);
+        // Distinct per cell and sensitive to the campaign seed.
+        let unique: HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_ne!(cells[0].seed(42), cells[0].seed(43));
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let spec = tiny_spec();
+        let serial = run_campaign(&spec, 1).unwrap();
+        let sharded = run_campaign(&spec, 4).unwrap();
+        assert_eq!(serial.cells.len(), 4);
+        // Byte-identical aggregates regardless of scheduling.
+        assert_eq!(serial.to_csv(), sharded.to_csv());
+        assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+        for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.summary, b.summary);
+        }
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec, 2).unwrap();
+        let text = report.render();
+        assert!(text.contains("campaign \"tiny\""));
+        assert!(text.contains("randomread/4.0MiB/ext2"));
+        assert!(text.contains("per-dimension grouping"));
+        assert!(text.contains("campaign coverage:"));
+        assert!(text.contains("throughput vs file size"));
+        // CSV has a header plus one row per cell.
+        assert_eq!(report.to_csv().lines().count(), 1 + report.cells.len());
+    }
+
+    #[test]
+    fn coverage_union_reflects_personalities() {
+        let mut spec = tiny_spec();
+        spec.personalities = vec![Personality::RandomRead, Personality::MetadataOnly];
+        spec.file_sizes = vec![Bytes::mib(4)];
+        spec.filesystems = vec![FsKind::Ext2];
+        let report = run_campaign(&spec, 2).unwrap();
+        let cov = report.coverage();
+        assert_eq!(cov.get(Dimension::Caching), Coverage::Isolates);
+        assert_eq!(cov.get(Dimension::Metadata), Coverage::Isolates);
+        assert_eq!(cov.get(Dimension::Scaling), Coverage::None);
+    }
+
+    #[test]
+    fn empty_spec_is_an_error() {
+        let mut spec = tiny_spec();
+        spec.personalities.clear();
+        assert!(run_campaign(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn degenerate_cells_still_complete() {
+        // Zero-size files and empty filesets are valid (if silly)
+        // configurations: the engine treats them as sparse/growing sets,
+        // so the campaign completes instead of erroring.
+        let mut spec = tiny_spec();
+        spec.personalities = vec![Personality::RandomRead, Personality::Varmail];
+        spec.file_sizes = vec![Bytes::ZERO];
+        spec.file_counts = vec![0];
+        let report = run_campaign(&spec, 2).unwrap();
+        assert_eq!(report.cells.len(), 4); // 2 personalities x 2 fs
+    }
+
+    #[test]
+    fn extreme_derived_seeds_do_not_overflow_runs() {
+        // Derived seeds span the full u64 range; run indexing must wrap.
+        let w = crate::workload::personalities::random_read(Bytes::mib(2));
+        let plan = RunPlan {
+            runs: 3,
+            duration: Nanos::from_secs(1),
+            window: Nanos::from_secs(1),
+            tail_windows: 1,
+            base_seed: u64::MAX - 1,
+            cache_capacity: Some(Bytes::mib(32)),
+            cache_jitter: Bytes::mib(1),
+            cold_start: false,
+            prewarm: false,
+        };
+        let mr = run_many(
+            |s| testbed::paper_fs(FsKind::Ext2, Bytes::mib(64), s),
+            &w,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(mr.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn zero_runs_is_an_error_not_a_panic() {
+        let mut spec = tiny_spec();
+        spec.plan.runs = 0;
+        assert!(run_campaign(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn zero_cache_means_uncontrolled() {
+        let mut spec = tiny_spec();
+        spec.file_sizes = vec![Bytes::mib(4)];
+        spec.filesystems = vec![FsKind::Ext2];
+        spec.cache_capacities = vec![Bytes::ZERO];
+        let report = run_campaign(&spec, 1).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0].summary.mean > 0.0);
+        // The table shows "-" rather than a zero capacity.
+        assert!(report.render().contains("  -  "));
+    }
+
+    #[test]
+    fn device_grows_with_fileset_working_set() {
+        // varmail ignores file size, so the device must scale with the
+        // fileset estimate; with a deliberately tiny spec.device the
+        // campaign still completes without ENOSPC-driven failure.
+        let mut spec = tiny_spec();
+        spec.personalities = vec![Personality::Varmail];
+        spec.filesystems = vec![FsKind::Ext2];
+        spec.file_counts = vec![300];
+        spec.device = Bytes::mib(1);
+        let report = run_campaign(&spec, 1).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].errors, 0, "fileset did not fit the device");
+    }
+}

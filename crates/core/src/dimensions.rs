@@ -86,6 +86,26 @@ impl Coverage {
             Coverage::Depends => "⋆",
         }
     }
+
+    /// How much a cell marker tells you, for combining profiles:
+    /// isolation beats trace-dependence beats mere exercise beats nothing.
+    pub fn strength(self) -> u8 {
+        match self {
+            Coverage::None => 0,
+            Coverage::Exercises => 1,
+            Coverage::Depends => 2,
+            Coverage::Isolates => 3,
+        }
+    }
+
+    /// The stronger of two markers (by [`Coverage::strength`]).
+    pub fn stronger(self, other: Coverage) -> Coverage {
+        if other.strength() > self.strength() {
+            other
+        } else {
+            self
+        }
+    }
 }
 
 /// A profile: coverage across all five dimensions.
@@ -96,12 +116,22 @@ pub struct CoverageProfile {
 }
 
 impl CoverageProfile {
+    /// The profile covering nothing — the identity for [`union`].
+    ///
+    /// [`union`]: CoverageProfile::union
+    pub const EMPTY: CoverageProfile = CoverageProfile {
+        cells: [Coverage::None; 5],
+    };
+
     /// Builds a profile from per-dimension pairs; unlisted dimensions get
     /// [`Coverage::None`].
     pub fn new(pairs: &[(Dimension, Coverage)]) -> Self {
         let mut cells = [Coverage::None; 5];
         for &(d, c) in pairs {
-            let idx = Dimension::ALL.iter().position(|&x| x == d).expect("dimension");
+            let idx = Dimension::ALL
+                .iter()
+                .position(|&x| x == d)
+                .expect("dimension");
             cells[idx] = c;
         }
         CoverageProfile { cells }
@@ -109,7 +139,10 @@ impl CoverageProfile {
 
     /// Coverage for one dimension.
     pub fn get(&self, d: Dimension) -> Coverage {
-        let idx = Dimension::ALL.iter().position(|&x| x == d).expect("dimension");
+        let idx = Dimension::ALL
+            .iter()
+            .position(|&x| x == d)
+            .expect("dimension");
         self.cells[idx]
     }
 
@@ -136,6 +169,19 @@ impl CoverageProfile {
     pub fn is_conflated(&self) -> bool {
         self.exercised().len() >= 2 && self.isolated().is_empty()
     }
+
+    /// Combines two profiles cell-wise, keeping the stronger marker.
+    ///
+    /// A campaign covering several benchmarks covers, per dimension, the
+    /// best any member achieves; this is how a sweep's aggregate coverage
+    /// row is computed.
+    pub fn union(&self, other: &CoverageProfile) -> CoverageProfile {
+        let mut cells = [Coverage::None; 5];
+        for (i, cell) in cells.iter_mut().enumerate() {
+            *cell = self.cells[i].stronger(other.cells[i]);
+        }
+        CoverageProfile { cells }
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +191,10 @@ mod tests {
     #[test]
     fn labels_match_paper_columns() {
         let labels: Vec<&str> = Dimension::ALL.iter().map(|d| d.label()).collect();
-        assert_eq!(labels, vec!["I/O", "On-disk", "Caching", "Meta-data", "Scaling"]);
+        assert_eq!(
+            labels,
+            vec!["I/O", "On-disk", "Caching", "Meta-data", "Scaling"]
+        );
     }
 
     #[test]
@@ -178,6 +227,25 @@ mod tests {
         // Single-dimension exercise is not conflated either.
         let single = CoverageProfile::new(&[(Dimension::Caching, Coverage::Exercises)]);
         assert!(!single.is_conflated());
+    }
+
+    #[test]
+    fn union_keeps_strongest_marker() {
+        let a = CoverageProfile::new(&[
+            (Dimension::Io, Coverage::Exercises),
+            (Dimension::Caching, Coverage::Isolates),
+        ]);
+        let b = CoverageProfile::new(&[
+            (Dimension::Io, Coverage::Isolates),
+            (Dimension::Metadata, Coverage::Depends),
+        ]);
+        let u = a.union(&b);
+        assert_eq!(u.get(Dimension::Io), Coverage::Isolates);
+        assert_eq!(u.get(Dimension::Caching), Coverage::Isolates);
+        assert_eq!(u.get(Dimension::Metadata), Coverage::Depends);
+        assert_eq!(u.get(Dimension::OnDisk), Coverage::None);
+        assert_eq!(CoverageProfile::EMPTY.union(&a), a);
+        assert_eq!(a.union(&CoverageProfile::EMPTY), a);
     }
 
     #[test]

@@ -109,6 +109,48 @@ pub fn fig1(config: &Fig1Config) -> SimResult<Fig1Data> {
     Ok(Fig1Data { points, fragility })
 }
 
+/// Reruns the Figure 1 experiment as a sweep campaign sharded across
+/// `jobs` worker threads.
+///
+/// The sweep is the same grid as [`fig1`] — random read × the
+/// configured file sizes on the paper's ext2 testbed, honouring the
+/// plan's cache-capacity control (or its absence) — but cells run
+/// concurrently and each derives its seed from its identity, so the
+/// result is deterministic for a given config at any job count (it
+/// differs from the serial [`fig1`] numbers only through the per-cell
+/// seed derivation, not in shape).
+pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
+    // `Bytes::ZERO` is the campaign encoding of "cache uncontrolled".
+    let cache_capacities = vec![config.plan.cache_capacity.unwrap_or(Bytes::ZERO)];
+    let spec = crate::campaign::SweepSpec {
+        name: "fig1".into(),
+        personalities: vec![crate::campaign::Personality::RandomRead],
+        file_sizes: config.sizes.clone(),
+        file_counts: vec![0],
+        filesystems: vec![FsKind::Ext2],
+        cache_capacities,
+        plan: config.plan.clone(),
+        device: config.device,
+    };
+    let report = crate::campaign::run_campaign(&spec, jobs)?;
+    let points: Vec<Fig1Point> = report
+        .cells
+        .iter()
+        .map(|c| Fig1Point {
+            size: c.cell.file_size,
+            samples: c.samples.clone(),
+            mean: c.summary.mean,
+            rsd: c.summary.rsd_percent,
+        })
+        .collect();
+    let sweep: Vec<(f64, Vec<f64>)> = points
+        .iter()
+        .map(|p| (p.size.as_mib_f64(), p.samples.clone()))
+        .collect();
+    let fragility = FragilityReport::from_sweep(&sweep);
+    Ok(Fig1Data { points, fragility })
+}
+
 /// Renders the Figure 1 table (sizes, means, RSD) plus the analysis.
 pub fn render_fig1(data: &Fig1Data) -> String {
     let mut out = String::new();
@@ -192,13 +234,29 @@ impl Fig1ZoomConfig {
 
 /// Reruns the zoom sweep; reuses [`Fig1Data`].
 pub fn fig1_zoom(config: &Fig1ZoomConfig) -> SimResult<Fig1Data> {
-    let mut sizes = Vec::new();
-    let mut s = config.lo;
-    while s <= config.hi {
-        sizes.push(s);
-        s += config.step;
+    fig1(&config.as_fig1_config())
+}
+
+/// The campaign-sharded variant of [`fig1_zoom`].
+pub fn fig1_zoom_campaign(config: &Fig1ZoomConfig, jobs: usize) -> SimResult<Fig1Data> {
+    fig1_campaign(&config.as_fig1_config(), jobs)
+}
+
+impl Fig1ZoomConfig {
+    /// Materializes the zoom range into an explicit size list.
+    fn as_fig1_config(&self) -> Fig1Config {
+        let mut sizes = Vec::new();
+        let mut s = self.lo;
+        while s <= self.hi {
+            sizes.push(s);
+            s += self.step;
+        }
+        Fig1Config {
+            sizes,
+            plan: self.plan.clone(),
+            device: self.device,
+        }
     }
-    fig1(&Fig1Config { sizes, plan: config.plan.clone(), device: config.device })
 }
 
 // ---------------------------------------------------------------------
@@ -272,7 +330,12 @@ impl Fig2Data {
         if self.curves.is_empty() {
             return Vec::new();
         }
-        let n = self.curves.iter().map(|c| c.series.len()).min().unwrap_or(0);
+        let n = self
+            .curves
+            .iter()
+            .map(|c| c.series.len())
+            .min()
+            .unwrap_or(0);
         (0..n)
             .map(|i| {
                 let t = self.curves[0].series[i].0;
@@ -314,9 +377,15 @@ pub fn fig2(config: &Fig2Config) -> SimResult<Fig2Data> {
 /// Renders Figure 2 as an ASCII chart plus warm-up facts.
 pub fn render_fig2(data: &Fig2Data) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 2: throughput by time (cold cache, random read)");
-    let series: Vec<(&str, &[(f64, f64)])> =
-        data.curves.iter().map(|c| (c.fs, c.series.as_slice())).collect();
+    let _ = writeln!(
+        out,
+        "Figure 2: throughput by time (cold cache, random read)"
+    );
+    let series: Vec<(&str, &[(f64, f64)])> = data
+        .curves
+        .iter()
+        .map(|c| (c.fs, c.series.as_slice()))
+        .collect();
     out.push_str(&crate::report::ascii_chart(&series, 72, 16));
     for c in &data.curves {
         let _ = writeln!(
@@ -424,7 +493,11 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
         };
         let rec = Engine::run_prepared(&mut target, &workload, &measure_cfg, &mut sets)?;
         let modality = classify_modality(&rec.histogram);
-        histograms.push(Fig3Histogram { size, histogram: rec.histogram, modality });
+        histograms.push(Fig3Histogram {
+            size,
+            histogram: rec.histogram,
+            modality,
+        });
     }
     Ok(Fig3Data { histograms })
 }
@@ -539,10 +612,12 @@ pub fn fig4(config: &Fig4Config) -> SimResult<Fig4Data> {
         cold_start: true,
         prewarm: false,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
-    Ok(Fig4Data { windows: rec.windows })
+    Ok(Fig4Data {
+        windows: rec.windows,
+    })
 }
 
 /// Renders Figure 4 as one histogram row per window (time down the
@@ -560,7 +635,10 @@ pub fn render_fig4(data: &Fig4Data) -> String {
             "t={:>4}s |{}| hits {:>5.1}%",
             w.start.as_secs(),
             crate::report::sparkline(&pct),
-            (0..REGIME_BUCKET).map(|k| w.histogram.fraction(k)).sum::<f64>() * 100.0
+            (0..REGIME_BUCKET)
+                .map(|k| w.histogram.fraction(k))
+                .sum::<f64>()
+                * 100.0
         );
     }
     out
@@ -592,6 +670,28 @@ mod tests {
     }
 
     #[test]
+    fn fig1_campaign_matches_across_job_counts() {
+        let mut plan = RunPlan::paper_fig1(0);
+        plan.runs = 2;
+        plan.duration = Nanos::from_secs(20);
+        plan.tail_windows = 2;
+        let config = Fig1Config {
+            sizes: vec![Bytes::mib(64), Bytes::mib(768)],
+            plan,
+            device: Bytes::gib(2),
+        };
+        let serial = fig1_campaign(&config, 1).unwrap();
+        let sharded = fig1_campaign(&config, 2).unwrap();
+        assert_eq!(serial.points.len(), 2);
+        for (a, b) in serial.points.iter().zip(&sharded.points) {
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.samples, b.samples);
+        }
+        // The two regimes still differ by orders of magnitude.
+        assert!(serial.points[0].mean > 8.0 * serial.points[1].mean);
+    }
+
+    #[test]
     fn fig2_quick_curves_rise_and_converge() {
         let data = fig2(&Fig2Config::quick()).unwrap();
         assert_eq!(data.curves.len(), 3);
@@ -599,7 +699,11 @@ mod tests {
             assert!(c.series.len() >= 20, "{} too few windows", c.fs);
             let first = c.series.iter().find(|&&(_, y)| y > 0.0).unwrap().1;
             let last = c.series.last().unwrap().1;
-            assert!(last > 5.0 * first, "{} did not warm up: {first} -> {last}", c.fs);
+            assert!(
+                last > 5.0 * first,
+                "{} did not warm up: {first} -> {last}",
+                c.fs
+            );
         }
         let render = render_fig2(&data);
         assert!(render.contains("ext2"));

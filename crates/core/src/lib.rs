@@ -3,6 +3,8 @@
 //! The paper's contribution turned into a system: a statistically
 //! rigorous, multi-dimensional file-system benchmarking harness.
 //!
+//! * [`campaign`] — declarative multi-dimensional sweeps, sharded
+//!   across worker threads with per-cell deterministic seeds.
 //! * [`dimensions`] — the five-dimension taxonomy of Section 2.
 //! * [`survey`] — Table 1 (benchmark usage 1999–2010) as data + renderer.
 //! * [`target`] — systems under test: the simulated stack or a real
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod dimensions;
 pub mod figures;
 pub mod nano;
@@ -54,10 +57,13 @@ pub mod prelude {
     pub use crate::analysis::{
         compare_systems, ComparisonVerdict, FragilityReport, Regime, WarmupReport,
     };
+    pub use crate::campaign::{
+        run_campaign, CampaignReport, Cell, CellResult, Personality, SweepSpec,
+    };
     pub use crate::dimensions::{Coverage, CoverageProfile, Dimension};
     pub use crate::figures::{
-        fig1, fig1_zoom, fig2, fig3, fig4, Fig1Config, Fig1Data, Fig2Config, Fig2Data,
-        Fig3Config, Fig3Data, Fig4Config, Fig4Data,
+        fig1, fig1_campaign, fig1_zoom, fig1_zoom_campaign, fig2, fig3, fig4, Fig1Config, Fig1Data,
+        Fig2Config, Fig2Data, Fig3Config, Fig3Data, Fig4Config, Fig4Data,
     };
     pub use crate::nano::{run_suite, NanoConfig, NanoReport};
     pub use crate::runner::{run_many, MultiRun, RunOutcome, RunPlan};

@@ -90,7 +90,10 @@ pub struct NanoResult {
 impl NanoResult {
     /// Looks up a metric value by name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|m| m.name == name).map(|m| m.value)
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
     }
 }
 
@@ -128,10 +131,14 @@ fn in_memory_read(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cold_start: false,
         prewarm: true,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run_prepared(&mut t, &w, &cfg, &mut sets)?;
-    let p50 = rec.histogram.quantile(0.5).map(|n| n.as_nanos() as f64).unwrap_or(0.0);
+    let p50 = rec
+        .histogram
+        .quantile(0.5)
+        .map(|n| n.as_nanos() as f64)
+        .unwrap_or(0.0);
     Ok(NanoResult {
         component: "in-memory-read",
         dimension: Dimension::Caching,
@@ -156,7 +163,7 @@ fn disk_layout_sequential(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResu
         cold_start: true,
         prewarm: false,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mib_per_sec = rec.ops_per_sec() * 64.0 / 1024.0; // 64 KiB per op
@@ -184,10 +191,14 @@ fn disk_layout_random(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> 
         cold_start: true,
         prewarm: false,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
-    let p50 = rec.histogram.quantile(0.5).map(|n| n.as_nanos() as f64).unwrap_or(0.0);
+    let p50 = rec
+        .histogram
+        .quantile(0.5)
+        .map(|n| n.as_nanos() as f64)
+        .unwrap_or(0.0);
     Ok(NanoResult {
         component: "disk-layout-random",
         dimension: Dimension::Io,
@@ -211,7 +222,7 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cold_start: true,
         prewarm: false,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let report = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -219,7 +230,11 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         component: "cache-warmup",
         dimension: Dimension::Caching,
         metrics: vec![
-            Metric::new("warmup-time", report.warmup_seconds.unwrap_or(f64::NAN), "s"),
+            Metric::new(
+                "warmup-time",
+                report.warmup_seconds.unwrap_or(f64::NAN),
+                "s",
+            ),
             Metric::new("rise-factor", report.rise_factor, "x"),
             Metric::new(
                 "steady-throughput",
@@ -248,7 +263,7 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cold_start: true,
         prewarm: true,
         cpu_jitter_sigma: 0.005,
-            max_errors: 100,
+        max_errors: 100,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let stats = t.stack().cache().stats();
@@ -258,7 +273,11 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         metrics: vec![
             Metric::new("hit-ratio", rec.hit_ratio.unwrap_or(0.0), ""),
             Metric::new("theoretical-lru", 2.0 / 3.0, ""),
-            Metric::new("evictions", (stats.evicted_clean + stats.evicted_dirty) as f64, "pages"),
+            Metric::new(
+                "evictions",
+                (stats.evicted_clean + stats.evicted_dirty) as f64,
+                "pages",
+            ),
         ],
     })
 }
@@ -275,13 +294,15 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cold_start: true,
         prewarm: false,
         cpu_jitter_sigma: 0.005,
-            max_errors: 200,
+        max_errors: 200,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mut metrics = vec![Metric::new("throughput", rec.ops_per_sec(), "ops/s")];
-    for (label, name) in
-        [("create", "create-p50"), ("stat", "stat-p50"), ("delete", "delete-p50")]
-    {
+    for (label, name) in [
+        ("create", "create-p50"),
+        ("stat", "stat-p50"),
+        ("delete", "delete-p50"),
+    ] {
         if let Some(h) = rec.per_op.get(label) {
             if let Some(q) = h.quantile(0.5) {
                 metrics.push(Metric {
@@ -350,7 +371,10 @@ pub fn run_suite(fs: FsKind, config: &NanoConfig) -> SimResult<NanoReport> {
 pub fn render_report(report: &NanoReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Nano-benchmark suite: {}", report.target);
-    let _ = writeln!(out, "(one component per dimension; no single number reported)");
+    let _ = writeln!(
+        out,
+        "(one component per dimension; no single number reported)"
+    );
     for r in &report.results {
         let _ = writeln!(out, "  [{}] {}", r.dimension.label(), r.component);
         for m in &r.metrics {
@@ -375,7 +399,10 @@ mod tests {
         // Disk components really hit the disk.
         let rnd = report.component("disk-layout-random").unwrap();
         assert!(rnd.metric("throughput").unwrap() < 1000.0);
-        assert!(rnd.metric("latency-p50").unwrap() > 1e6, "p50 should be ms-scale");
+        assert!(
+            rnd.metric("latency-p50").unwrap() > 1e6,
+            "p50 should be ms-scale"
+        );
         // Eviction hit ratio lands near LRU theory.
         let ev = report.component("cache-eviction").unwrap();
         let hit = ev.metric("hit-ratio").unwrap();

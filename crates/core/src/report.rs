@@ -29,7 +29,12 @@ pub enum Json {
 impl Json {
     /// Convenience constructor for objects.
     pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     fn write(&self, out: &mut String) {
@@ -109,11 +114,60 @@ pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as an aligned ASCII table: the first column is
+/// left-aligned (labels), every other column right-aligned (numbers).
+/// Short rows are padded with empty cells.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().take(ncols).enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, width) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = width.saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    render_row(&mut out, &headers_owned);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
     }
     out
 }
@@ -154,8 +208,10 @@ pub fn to_gnuplot(x_label: &str, series: &[(&str, &[(f64, f64)])]) -> String {
 /// glyphs.
 pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
     const GLYPHS: [char; 4] = ['*', '+', 'x', 'o'];
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -189,7 +245,13 @@ pub fn ascii_chart(series: &[(&str, &[(f64, f64)])], width: usize, height: usize
         let _ = writeln!(out, "{:>10} │{}", "", row.iter().collect::<String>());
     }
     let _ = writeln!(out, "{y_lo:>10.0} ┼{}", "─".repeat(width));
-    let _ = writeln!(out, "{:>11}{x_lo:<12.0}{:>w$}{x_hi:.0}", "", "", w = width.saturating_sub(24));
+    let _ = writeln!(
+        out,
+        "{:>11}{x_lo:<12.0}{:>w$}{x_hi:.0}",
+        "",
+        "",
+        w = width.saturating_sub(24)
+    );
     for (si, (name, _)) in series.iter().enumerate() {
         let _ = writeln!(out, "{:>12} {} = {}", "", GLYPHS[si % GLYPHS.len()], name);
     }
@@ -246,12 +308,34 @@ mod tests {
     fn csv_quotes_when_needed() {
         let csv = to_csv(
             &["a", "b"],
-            &[vec!["1,5".into(), "plain".into()], vec!["he \"x\"".into(), "2".into()]],
+            &[
+                vec!["1,5".into(), "plain".into()],
+                vec!["he \"x\"".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "a,b");
         assert_eq!(lines[1], "\"1,5\",plain");
         assert_eq!(lines[2], "\"he \"\"x\"\"\",2");
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let t = text_table(
+            &["cell", "ops/s", "rsd%"],
+            &[
+                vec!["randomread/ext2".into(), "9500.1".into(), "0.4".into()],
+                vec!["seq".into(), "12.0".into(), "35.9".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("cell"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].ends_with("0.4"));
+        assert!(lines[3].ends_with("35.9"));
+        // Right-aligned numeric columns line up on their last character.
+        assert_eq!(lines[2].len(), lines[3].len());
     }
 
     #[test]

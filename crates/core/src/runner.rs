@@ -27,7 +27,8 @@ pub struct RunPlan {
     /// Windows from the end used for steady-state reporting
     /// ("the last minute" = 6 × 10 s windows).
     pub tail_windows: usize,
-    /// Base seed; run `i` uses `base_seed + i`.
+    /// Base seed; run `i` uses `base_seed.wrapping_add(i)` (campaigns
+    /// derive base seeds spanning the full `u64` range).
     pub base_seed: u64,
     /// Nominal cache capacity, if the plan controls it.
     pub cache_capacity: Option<Bytes>,
@@ -73,6 +74,44 @@ impl RunPlan {
             prewarm: true,
         }
     }
+
+    /// A smoke-test protocol: 3 runs of 15 virtual seconds with the
+    /// paper's cache control. The default for interactive `sweep`
+    /// campaigns, where the full Figure 1 protocol would take minutes
+    /// per cell.
+    pub fn quick(base_seed: u64) -> Self {
+        RunPlan {
+            runs: 3,
+            duration: Nanos::from_secs(15),
+            window: Nanos::from_secs(3),
+            tail_windows: 3,
+            base_seed,
+            cache_capacity: Some(crate::testbed::PAPER_CACHE),
+            cache_jitter: Bytes::mib(3),
+            cold_start: true,
+            prewarm: true,
+        }
+    }
+
+    /// The same plan with a different base seed — how a campaign stamps
+    /// each cell with its derived, scheduling-independent seed.
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// The engine configuration for run `i` of this plan.
+    pub fn engine_config(&self, run_index: u32) -> EngineConfig {
+        EngineConfig {
+            duration: self.duration,
+            window: self.window,
+            seed: self.base_seed.wrapping_add(run_index as u64),
+            cold_start: self.cold_start,
+            prewarm: self.prewarm,
+            cpu_jitter_sigma: 0.005,
+            max_errors: 100,
+        }
+    }
 }
 
 /// One run's outcome.
@@ -112,39 +151,44 @@ impl MultiRun {
 
 /// Runs `workload` `plan.runs` times, building a fresh target per run via
 /// `make_target(seed)`.
-pub fn run_many<T, F>(mut make_target: F, workload: &Workload, plan: &RunPlan) -> SimResult<MultiRun>
+pub fn run_many<T, F>(
+    mut make_target: F,
+    workload: &Workload,
+    plan: &RunPlan,
+) -> SimResult<MultiRun>
 where
     T: Target,
     F: FnMut(u64) -> T,
 {
     let mut outcomes = Vec::with_capacity(plan.runs as usize);
     for i in 0..plan.runs {
-        let seed = plan.base_seed + i as u64;
+        let seed = plan.base_seed.wrapping_add(i as u64);
         let mut target = make_target(seed);
         // Per-run memory pressure: capacity = nominal ± jitter.
         let cache_pages = plan.cache_capacity.map(|base| {
             let jitter = plan.cache_jitter.as_u64();
             let mut rng = Rng::new(seed).fork("cache-jitter");
-            let delta = if jitter == 0 { 0 } else { rng.below(2 * jitter + 1) as i64 - jitter as i64 };
+            let delta = if jitter == 0 {
+                0
+            } else {
+                rng.below(2 * jitter + 1) as i64 - jitter as i64
+            };
             let bytes = (base.as_u64() as i64 + delta).max(PAGE_SIZE.as_u64() as i64) as u64;
             let pages = Bytes::new(bytes).div_ceil(PAGE_SIZE);
             target.set_cache_capacity_pages(pages);
             pages
         });
-        let config = EngineConfig {
-            duration: plan.duration,
-            window: plan.window,
-            seed,
-            cold_start: plan.cold_start,
-            prewarm: plan.prewarm,
-            cpu_jitter_sigma: 0.005,
-            max_errors: 100,
-        };
+        let config = plan.engine_config(i);
         let recording = Engine::run(&mut target, workload, &config)?;
         let steady = recording
             .tail_ops_per_sec(plan.tail_windows)
             .unwrap_or_else(|| recording.ops_per_sec());
-        outcomes.push(RunOutcome { recording, seed, cache_pages, steady_ops_per_sec: steady });
+        outcomes.push(RunOutcome {
+            recording,
+            seed,
+            cache_pages,
+            steady_ops_per_sec: steady,
+        });
     }
     let samples: Vec<f64> = outcomes.iter().map(|o| o.steady_ops_per_sec).collect();
     let summary = Summary::from_sample(&samples).expect("at least one run");
@@ -224,12 +268,7 @@ mod tests {
             cache_capacity: None,
             ..quick_plan(2, 3)
         };
-        let mr = run_many(
-            |seed| testbed::paper_ext2(Bytes::gib(1), seed),
-            &w,
-            &plan,
-        )
-        .unwrap();
+        let mr = run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
         assert!(mr.outcomes.iter().all(|o| o.cache_pages.is_none()));
     }
 }

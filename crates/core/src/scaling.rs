@@ -99,7 +99,11 @@ impl ScalingCurve {
     /// The knee: the smallest thread count achieving ≥ 90 % of the
     /// maximum throughput.
     pub fn knee(&self) -> Option<u32> {
-        let max = self.points.iter().map(|p| p.ops_per_sec).fold(0.0f64, f64::max);
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.ops_per_sec)
+            .fold(0.0f64, f64::max);
         self.points
             .iter()
             .find(|p| p.ops_per_sec >= 0.9 * max)
@@ -155,7 +159,11 @@ fn run_point(
     for t in 0..n {
         queue.schedule(
             Nanos::ZERO,
-            ThreadEvent { thread: t, phase: Phase::StartOp, op_started: Nanos::ZERO },
+            ThreadEvent {
+                thread: t,
+                phase: Phase::StartOp,
+                op_started: Nanos::ZERO,
+            },
         );
     }
     while let Some((now, ev)) = queue.pop() {
@@ -173,7 +181,11 @@ fn run_point(
                 core_free[core] = done;
                 queue.schedule(
                     done,
-                    ThreadEvent { thread: ev.thread, phase: Phase::CpuDone, op_started: now },
+                    ThreadEvent {
+                        thread: ev.thread,
+                        phase: Phase::CpuDone,
+                        op_started: now,
+                    },
                 );
             }
             Phase::CpuDone => {
@@ -195,10 +207,8 @@ fn run_point(
                             run += 1;
                         }
                         if let Ok(ext) = fs.map(ino, logical, run as u64) {
-                            lat += disk.service(
-                                &IoRequest::read(ext.physical, ext.len),
-                                start + lat,
-                            );
+                            lat +=
+                                disk.service(&IoRequest::read(ext.physical, ext.len), start + lat);
                             i += ext.len as usize;
                         } else {
                             i += 1;
@@ -225,7 +235,9 @@ fn run_point(
 
 /// Runs the thread-scaling sweep on the given file system kind.
 pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<ScalingCurve> {
-    let device_blocks = (config.file_size * 4).max(Bytes::gib(1)).div_ceil(PAGE_SIZE);
+    let device_blocks = (config.file_size * 4)
+        .max(Bytes::gib(1))
+        .div_ceil(PAGE_SIZE);
     let mut points = Vec::new();
     let mut histograms = Vec::new();
     let mut base: Option<f64> = None;
@@ -243,7 +255,11 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
                 1.0
             }
         };
-        points.push(ScalingPoint { threads: n, ops_per_sec, speedup });
+        points.push(ScalingPoint {
+            threads: n,
+            ops_per_sec,
+            speedup,
+        });
         histograms.push(hist);
     }
     Ok(ScalingCurve { points, histograms })
@@ -256,7 +272,11 @@ pub fn render_curve(label: &str, curve: &ScalingCurve) -> String {
     let _ = writeln!(out, "Thread scaling: {label}");
     let _ = writeln!(out, "{:>8} {:>12} {:>9}", "threads", "ops/sec", "speedup");
     for p in &curve.points {
-        let _ = writeln!(out, "{:>8} {:>12.0} {:>8.2}x", p.threads, p.ops_per_sec, p.speedup);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12.0} {:>8.2}x",
+            p.threads, p.ops_per_sec, p.speedup
+        );
     }
     if let Some(knee) = curve.knee() {
         let _ = writeln!(out, "saturates at ~{knee} threads");
@@ -278,8 +298,11 @@ mod tests {
     fn memory_bound_scales_to_cores() {
         let cfg = quick(ScalingConfig::memory_bound());
         let curve = thread_scaling(FsKind::Ext2, &cfg).unwrap();
-        let by_threads: std::collections::HashMap<u32, f64> =
-            curve.points.iter().map(|p| (p.threads, p.speedup)).collect();
+        let by_threads: std::collections::HashMap<u32, f64> = curve
+            .points
+            .iter()
+            .map(|p| (p.threads, p.speedup))
+            .collect();
         // Near-linear to the core count...
         assert!(by_threads[&2] > 1.7, "2 threads: {}", by_threads[&2]);
         assert!(by_threads[&4] > 3.2, "4 threads: {}", by_threads[&4]);

@@ -36,8 +36,12 @@ pub struct SurveyScope {
 }
 
 /// The paper's survey scope.
-pub const SCOPE: SurveyScope =
-    SurveyScope { papers_reviewed: 100, from_2010: 68, from_2009: 32, eliminated: 13 };
+pub const SCOPE: SurveyScope = SurveyScope {
+    papers_reviewed: 100,
+    from_2010: 68,
+    from_2009: 32,
+    eliminated: 13,
+};
 
 /// Builds the full Table 1 dataset, rows in the paper's order.
 pub fn table1() -> Vec<SurveyRow> {
@@ -53,7 +57,13 @@ pub fn table1() -> Vec<SurveyRow> {
         row("IOmeter", &[(Io, B)], 2, 3),
         row(
             "Filebench",
-            &[(Io, B), (OnDisk, O), (Caching, O), (Metadata, O), (Scaling, B)],
+            &[
+                (Io, B),
+                (OnDisk, O),
+                (Caching, O),
+                (Metadata, O),
+                (Scaling, B),
+            ],
             3,
             5,
         ),
@@ -65,7 +75,12 @@ pub fn table1() -> Vec<SurveyRow> {
             30,
             17,
         ),
-        row("Linux compile", &[(OnDisk, O), (Caching, O), (Metadata, O)], 6, 3),
+        row(
+            "Linux compile",
+            &[(OnDisk, O), (Caching, O), (Metadata, O)],
+            6,
+            3,
+        ),
         row(
             "Compile (Apache, openssh, etc.)",
             &[(OnDisk, O), (Caching, O), (Metadata, O)],
@@ -94,7 +109,13 @@ pub fn table1() -> Vec<SurveyRow> {
         ),
         row(
             "Ad-hoc",
-            &[(Io, S), (OnDisk, S), (Caching, S), (Metadata, S), (Scaling, S)],
+            &[
+                (Io, S),
+                (OnDisk, S),
+                (Caching, S),
+                (Metadata, S),
+                (Scaling, S),
+            ],
             237,
             67,
         ),
@@ -130,7 +151,13 @@ pub fn table1() -> Vec<SurveyRow> {
 /// Total benchmark uses in a period across all rows.
 pub fn total_uses(rows: &[SurveyRow], period_2009_2010: bool) -> u32 {
     rows.iter()
-        .map(|r| if period_2009_2010 { r.used_2009_2010 } else { r.used_1999_2007 })
+        .map(|r| {
+            if period_2009_2010 {
+                r.used_2009_2010
+            } else {
+                r.used_1999_2007
+            }
+        })
         .sum()
 }
 
@@ -159,7 +186,9 @@ pub fn render_table1(rows: &[SurveyRow]) -> String {
             r.used_2009_2010,
         ));
     }
-    out.push_str("\nLegend: * isolates dimension, o exercises without isolating, ? depends on workload\n");
+    out.push_str(
+        "\nLegend: * isolates dimension, o exercises without isolating, ? depends on workload\n",
+    );
     out
 }
 
@@ -221,7 +250,11 @@ mod tests {
             .map(|r| r.used_2009_2010)
             .max()
             .unwrap();
-        let adhoc = rows.iter().find(|r| r.name == "Ad-hoc").unwrap().used_2009_2010;
+        let adhoc = rows
+            .iter()
+            .find(|r| r.name == "Ad-hoc")
+            .unwrap()
+            .used_2009_2010;
         assert!(adhoc > 3 * max_named);
         assert!(adhoc_share_2009_2010(&rows) > 0.35);
     }
@@ -241,7 +274,11 @@ mod tests {
     fn compile_benchmarks_are_conflated() {
         // The kernel-build critique: exercises everything, isolates nothing.
         let rows = table1();
-        let linux = &rows.iter().find(|r| r.name == "Linux compile").unwrap().profile;
+        let linux = &rows
+            .iter()
+            .find(|r| r.name == "Linux compile")
+            .unwrap()
+            .profile;
         assert!(linux.is_conflated());
     }
 

@@ -289,7 +289,8 @@ impl Target for RealFsTarget {
             .get_mut(&fd)
             .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
         let t0 = std::time::Instant::now();
-        f.seek(SeekFrom::Start(offset.as_u64())).map_err(Self::io_err)?;
+        f.seek(SeekFrom::Start(offset.as_u64()))
+            .map_err(Self::io_err)?;
         let mut read_total = 0usize;
         while read_total < n {
             match f.read(&mut self.buffer[read_total..n]) {
@@ -309,7 +310,8 @@ impl Target for RealFsTarget {
             .get_mut(&fd)
             .ok_or_else(|| SimError::InvalidOperation(format!("bad fd {fd}")))?;
         let t0 = std::time::Instant::now();
-        f.seek(SeekFrom::Start(offset.as_u64())).map_err(Self::io_err)?;
+        f.seek(SeekFrom::Start(offset.as_u64()))
+            .map_err(Self::io_err)?;
         f.write_all(&self.buffer[..n]).map_err(Self::io_err)?;
         Ok(Nanos::from_nanos(t0.elapsed().as_nanos() as u64))
     }

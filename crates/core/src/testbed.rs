@@ -102,7 +102,10 @@ impl Testbed {
             readahead: self.readahead,
             writeback: WritebackConfig::default(),
         };
-        let stack_cfg = StackConfig { seed: self.seed, ..Default::default() };
+        let stack_cfg = StackConfig {
+            seed: self.seed,
+            ..Default::default()
+        };
         let stack = StorageStack::new(fs, cache, Box::new(Hdd::new(hdd)), stack_cfg);
         SimTarget::new(stack)
     }

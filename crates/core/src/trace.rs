@@ -134,15 +134,9 @@ impl Trace {
             let mut parts = line.split_whitespace();
             let verb = parts.next().unwrap_or_default();
             let mut arg = |name: &str| -> SimResult<String> {
-                parts
-                    .next()
-                    .map(str::to_string)
-                    .ok_or_else(|| {
-                        SimError::BadConfig(format!(
-                            "line {}: missing {name}",
-                            lineno + 1
-                        ))
-                    })
+                parts.next().map(str::to_string).ok_or_else(|| {
+                    SimError::BadConfig(format!("line {}: missing {name}", lineno + 1))
+                })
             };
             let op = match verb {
                 "create" => TraceOp::Create(arg("path")?),
@@ -151,12 +145,12 @@ impl Trace {
                 "close" => TraceOp::Close(arg("path")?),
                 "read" | "write" => {
                     let path = arg("path")?;
-                    let offset = arg("offset")?.parse::<u64>().map_err(|e| {
-                        SimError::BadConfig(format!("line {}: {e}", lineno + 1))
-                    })?;
-                    let len = arg("len")?.parse::<u64>().map_err(|e| {
-                        SimError::BadConfig(format!("line {}: {e}", lineno + 1))
-                    })?;
+                    let offset = arg("offset")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
+                    let len = arg("len")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
                     if verb == "read" {
                         TraceOp::Read { path, offset, len }
                     } else {
@@ -165,9 +159,9 @@ impl Trace {
                 }
                 "setsize" => {
                     let path = arg("path")?;
-                    let size = arg("size")?.parse::<u64>().map_err(|e| {
-                        SimError::BadConfig(format!("line {}: {e}", lineno + 1))
-                    })?;
+                    let size = arg("size")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
                     TraceOp::SetSize { path, size }
                 }
                 "fsync" => TraceOp::Fsync(arg("path")?),
@@ -276,7 +270,12 @@ pub fn replay(target: &mut dyn Target, trace: &Trace) -> ReplayResult {
             Err(_) => errors += 1,
         }
     }
-    ReplayResult { ops, errors, duration: target.now() - start, histogram }
+    ReplayResult {
+        ops,
+        errors,
+        duration: target.now() - start,
+        histogram,
+    }
 }
 
 /// A recording proxy: wraps a target, passing operations through while
@@ -290,7 +289,11 @@ pub struct Recorder<'t, T: Target> {
 impl<'t, T: Target> Recorder<'t, T> {
     /// Wraps a target.
     pub fn new(inner: &'t mut T) -> Self {
-        Recorder { inner, trace: Trace::default(), paths: HashMap::new() }
+        Recorder {
+            inner,
+            trace: Trace::default(),
+            paths: HashMap::new(),
+        }
     }
 
     /// Finishes recording, returning the trace.
@@ -299,7 +302,10 @@ impl<'t, T: Target> Recorder<'t, T> {
     }
 
     fn path_of(&self, fd: Fd) -> String {
-        self.paths.get(&fd).cloned().unwrap_or_else(|| format!("<fd{fd}>"))
+        self.paths
+            .get(&fd)
+            .cloned()
+            .unwrap_or_else(|| format!("<fd{fd}>"))
     }
 }
 
@@ -357,9 +363,10 @@ impl<T: Target> Target for Recorder<'_, T> {
 
     fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos> {
         let r = self.inner.set_size(fd, size)?;
-        self.trace
-            .ops
-            .push(TraceOp::SetSize { path: self.path_of(fd), size: size.as_u64() });
+        self.trace.ops.push(TraceOp::SetSize {
+            path: self.path_of(fd),
+            size: size.as_u64(),
+        });
         Ok(r)
     }
 
@@ -423,9 +430,20 @@ mod tests {
                 TraceOp::Mkdir("/d".into()),
                 TraceOp::Create("/d/f".into()),
                 TraceOp::Open("/d/f".into()),
-                TraceOp::SetSize { path: "/d/f".into(), size: 65536 },
-                TraceOp::Read { path: "/d/f".into(), offset: 8192, len: 4096 },
-                TraceOp::Write { path: "/d/f".into(), offset: 0, len: 4096 },
+                TraceOp::SetSize {
+                    path: "/d/f".into(),
+                    size: 65536,
+                },
+                TraceOp::Read {
+                    path: "/d/f".into(),
+                    offset: 8192,
+                    len: 4096,
+                },
+                TraceOp::Write {
+                    path: "/d/f".into(),
+                    offset: 0,
+                    len: 4096,
+                },
                 TraceOp::Fsync("/d/f".into()),
                 TraceOp::Stat("/d/f".into()),
                 TraceOp::Close("/d/f".into()),
@@ -491,8 +509,7 @@ mod tests {
     #[test]
     fn replay_tolerates_missing_files() {
         let trace =
-            Trace::from_text("stat /missing\nread /also-missing 0 4096\ncreate /ok\n")
-                .unwrap();
+            Trace::from_text("stat /missing\nread /also-missing 0 4096\ncreate /ok\n").unwrap();
         let mut t = testbed::paper_ext2(rb_simcore::units::Bytes::gib(1), 2);
         let r = replay(&mut t, &trace);
         assert_eq!(r.errors, 2);

@@ -263,7 +263,12 @@ impl Engine {
                 if fs.prealloc && !size.is_zero() {
                     target.set_size(fd, size)?;
                 }
-                live.push(LiveFile { path, fd, size, cursor: Bytes::ZERO });
+                live.push(LiveFile {
+                    path,
+                    fd,
+                    size,
+                    cursor: Bytes::ZERO,
+                });
             }
             sets.push(live);
         }
@@ -351,7 +356,7 @@ impl Engine {
         while target.now() < end {
             if target.now() >= next_tick {
                 target.background_tick();
-                next_tick = next_tick + tick_every;
+                next_tick += tick_every;
             }
             // Pick a flowop by weight.
             let mut pick = rng.below(total_weight);
@@ -508,7 +513,12 @@ impl Engine {
                 *created_serial += 1;
                 let lat = target.create(&path)?;
                 let fd = target.open(&path)?;
-                sets[set].push(LiveFile { path, fd, size: Bytes::ZERO, cursor: Bytes::ZERO });
+                sets[set].push(LiveFile {
+                    path,
+                    fd,
+                    size: Bytes::ZERO,
+                    cursor: Bytes::ZERO,
+                });
                 Ok(lat)
             }
             FlowOp::DeleteFile { set } => {
@@ -566,7 +576,13 @@ pub mod personalities {
                 size: Dist::Constant(file_size.as_u64() as f64),
                 prealloc: true,
             }],
-            ops: vec![(FlowOp::ReadRandom { set: 0, iosize: Bytes::kib(8) }, 1)],
+            ops: vec![(
+                FlowOp::ReadRandom {
+                    set: 0,
+                    iosize: Bytes::kib(8),
+                },
+                1,
+            )],
             op_overhead: Nanos::from_micros(99),
             zipf_theta: 0.0,
         }
@@ -582,7 +598,13 @@ pub mod personalities {
                 size: Dist::Constant(file_size.as_u64() as f64),
                 prealloc: true,
             }],
-            ops: vec![(FlowOp::ReadSequential { set: 0, iosize: Bytes::kib(64) }, 1)],
+            ops: vec![(
+                FlowOp::ReadSequential {
+                    set: 0,
+                    iosize: Bytes::kib(64),
+                },
+                1,
+            )],
             op_overhead: Nanos::from_micros(99),
             zipf_theta: 0.0,
         }
@@ -598,7 +620,13 @@ pub mod personalities {
                 size: Dist::Constant(file_size.as_u64() as f64),
                 prealloc: true,
             }],
-            ops: vec![(FlowOp::WriteRandom { set: 0, iosize: Bytes::kib(8) }, 1)],
+            ops: vec![(
+                FlowOp::WriteRandom {
+                    set: 0,
+                    iosize: Bytes::kib(8),
+                },
+                1,
+            )],
             op_overhead: Nanos::from_micros(99),
             zipf_theta: 0.0,
         }
@@ -613,7 +641,11 @@ pub mod personalities {
                 FileSet {
                     dir: "/htdocs".into(),
                     count: nfiles,
-                    size: Dist::Pareto { lo: 2048.0, hi: 262_144.0, alpha: 1.2 },
+                    size: Dist::Pareto {
+                        lo: 2048.0,
+                        hi: 262_144.0,
+                        alpha: 1.2,
+                    },
                     prealloc: true,
                 },
                 FileSet {
@@ -624,8 +656,20 @@ pub mod personalities {
                 },
             ],
             ops: vec![
-                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(16) }, 10),
-                (FlowOp::Append { set: 1, iosize: Bytes::kib(8) }, 1),
+                (
+                    FlowOp::ReadWholeFile {
+                        set: 0,
+                        iosize: Bytes::kib(16),
+                    },
+                    10,
+                ),
+                (
+                    FlowOp::Append {
+                        set: 1,
+                        iosize: Bytes::kib(8),
+                    },
+                    1,
+                ),
             ],
             op_overhead: Nanos::from_micros(50),
             zipf_theta: 0.99,
@@ -640,13 +684,28 @@ pub mod personalities {
             filesets: vec![FileSet {
                 dir: "/share".into(),
                 count: nfiles,
-                size: Dist::LogNormal { median: 65_536.0, sigma: 1.0 },
+                size: Dist::LogNormal {
+                    median: 65_536.0,
+                    sigma: 1.0,
+                },
                 prealloc: true,
             }],
             ops: vec![
                 (FlowOp::CreateFile { set: 0 }, 1),
-                (FlowOp::Append { set: 0, iosize: Bytes::kib(16) }, 2),
-                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(64) }, 3),
+                (
+                    FlowOp::Append {
+                        set: 0,
+                        iosize: Bytes::kib(16),
+                    },
+                    2,
+                ),
+                (
+                    FlowOp::ReadWholeFile {
+                        set: 0,
+                        iosize: Bytes::kib(64),
+                    },
+                    3,
+                ),
                 (FlowOp::StatFile { set: 0 }, 2),
                 (FlowOp::DeleteFile { set: 0 }, 1),
                 (FlowOp::OpenClose { set: 0 }, 1),
@@ -664,14 +723,29 @@ pub mod personalities {
             filesets: vec![FileSet {
                 dir: "/mail".into(),
                 count: nfiles,
-                size: Dist::LogNormal { median: 8_192.0, sigma: 0.7 },
+                size: Dist::LogNormal {
+                    median: 8_192.0,
+                    sigma: 0.7,
+                },
                 prealloc: true,
             }],
             ops: vec![
                 (FlowOp::CreateFile { set: 0 }, 2),
-                (FlowOp::Append { set: 0, iosize: Bytes::kib(8) }, 3),
+                (
+                    FlowOp::Append {
+                        set: 0,
+                        iosize: Bytes::kib(8),
+                    },
+                    3,
+                ),
                 (FlowOp::Fsync { set: 0 }, 3),
-                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(8) }, 3),
+                (
+                    FlowOp::ReadWholeFile {
+                        set: 0,
+                        iosize: Bytes::kib(8),
+                    },
+                    3,
+                ),
                 (FlowOp::DeleteFile { set: 0 }, 2),
             ],
             op_overhead: Nanos::from_micros(60),
@@ -687,14 +761,29 @@ pub mod personalities {
             filesets: vec![FileSet {
                 dir: "/pm".into(),
                 count: nfiles,
-                size: Dist::Uniform { lo: 512.0, hi: 16_384.0 },
+                size: Dist::Uniform {
+                    lo: 512.0,
+                    hi: 16_384.0,
+                },
                 prealloc: true,
             }],
             ops: vec![
                 (FlowOp::CreateFile { set: 0 }, 1),
                 (FlowOp::DeleteFile { set: 0 }, 1),
-                (FlowOp::ReadWholeFile { set: 0, iosize: Bytes::kib(8) }, 2),
-                (FlowOp::Append { set: 0, iosize: Bytes::kib(8) }, 2),
+                (
+                    FlowOp::ReadWholeFile {
+                        set: 0,
+                        iosize: Bytes::kib(8),
+                    },
+                    2,
+                ),
+                (
+                    FlowOp::Append {
+                        set: 0,
+                        iosize: Bytes::kib(8),
+                    },
+                    2,
+                ),
             ],
             op_overhead: Nanos::from_micros(40),
             zipf_theta: 0.0,

@@ -97,8 +97,8 @@ impl EvictionPolicy for ArcPolicy {
 
     fn evict(&mut self) -> Option<PageKey> {
         // REPLACE: evict from T1 if it exceeds the target, else from T2.
-        let from_t1 = !self.t1.is_empty()
-            && (self.t1.len() as u64 > self.p.max(1) || self.t2.is_empty());
+        let from_t1 =
+            !self.t1.is_empty() && (self.t1.len() as u64 > self.p.max(1) || self.t2.is_empty());
         let victim = if from_t1 {
             let v = self.t1.pop_front();
             if let Some(k) = v {
@@ -112,7 +112,9 @@ impl EvictionPolicy for ArcPolicy {
             }
             v
         };
-        let victim = victim.or_else(|| self.t1.pop_front()).or_else(|| self.t2.pop_front());
+        let victim = victim
+            .or_else(|| self.t1.pop_front())
+            .or_else(|| self.t2.pop_front());
         self.trim_ghosts();
         victim
     }
@@ -214,7 +216,10 @@ mod tests {
             }
         }
         let surviving_hot = (0..4).filter(|&i| a.contains(key(i))).count();
-        assert!(surviving_hot >= 3, "scan evicted hot set: {surviving_hot}/4 left");
+        assert!(
+            surviving_hot >= 3,
+            "scan evicted hot set: {surviving_hot}/4 left"
+        );
     }
 
     #[test]
@@ -228,6 +233,10 @@ mod tests {
         }
         let (t1, t2, b1, b2) = a.list_sizes();
         assert!(t1 + t2 <= 16);
-        assert!(t1 + t2 + b1 + b2 <= 32, "directory leak: {:?}", (t1, t2, b1, b2));
+        assert!(
+            t1 + t2 + b1 + b2 <= 32,
+            "directory leak: {:?}",
+            (t1, t2, b1, b2)
+        );
     }
 }

@@ -240,13 +240,7 @@ impl PageCache {
     ///
     /// Pages are dirtied in place (no read-modify-write is modelled for
     /// partial pages; the stack issues whole-page writes).
-    pub fn write(
-        &mut self,
-        file: FileId,
-        first: PageNo,
-        count: u64,
-        now: Nanos,
-    ) -> WriteOutcome {
+    pub fn write(&mut self, file: FileId, first: PageNo, count: u64, now: Nanos) -> WriteOutcome {
         for page in first..first + count {
             let key = PageKey::new(file, page);
             if self.resident.contains_key(&key) {
@@ -256,7 +250,9 @@ impl PageCache {
             }
             self.writeback.mark_dirty(key, now);
         }
-        WriteOutcome { writeback_pages: self.evict_to_capacity() }
+        WriteOutcome {
+            writeback_pages: self.evict_to_capacity(),
+        }
     }
 
     /// Collects dirty pages due for background writeback at `now`.
@@ -291,8 +287,12 @@ impl PageCache {
     /// Drops every page of `file` (unlink / truncate). Dirty pages are
     /// discarded, as POSIX unlink discards un-synced data.
     pub fn invalidate_file(&mut self, file: FileId) {
-        let mine: Vec<PageKey> =
-            self.resident.keys().copied().filter(|k| k.file == file).collect();
+        let mine: Vec<PageKey> = self
+            .resident
+            .keys()
+            .copied()
+            .filter(|k| k.file == file)
+            .collect();
         for k in mine {
             self.resident.remove(&k);
             self.policy.remove(k);
@@ -462,7 +462,10 @@ mod tests {
             capacity_pages: 100,
             policy: PolicyKind::Lru,
             readahead: ReadaheadConfig::disabled(),
-            writeback: WritebackConfig { dirty_ratio: 0.1, ..Default::default() },
+            writeback: WritebackConfig {
+                dirty_ratio: 0.1,
+                ..Default::default()
+            },
         });
         for p in 0..30 {
             c.write(1, p, 1, Nanos::from_secs(1));

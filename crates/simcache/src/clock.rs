@@ -62,7 +62,11 @@ impl EvictionPolicy for Clock {
             return;
         }
         self.index.insert(key, self.ring.len());
-        self.ring.push(Slot { key, referenced: false, live: true });
+        self.ring.push(Slot {
+            key,
+            referenced: false,
+            live: true,
+        });
     }
 
     fn touch(&mut self, key: PageKey) {

@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn prefetch_accuracy_math() {
-        let s = CacheStats { prefetched: 10, prefetch_hits: 4, ..Default::default() };
+        let s = CacheStats {
+            prefetched: 10,
+            prefetch_hits: 4,
+            ..Default::default()
+        };
         assert!((s.prefetch_accuracy() - 0.4).abs() < 1e-12);
         assert_eq!(CacheStats::default().prefetch_accuracy(), 0.0);
     }

@@ -63,8 +63,12 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All policies, for sweeps.
-    pub const ALL: [PolicyKind; 4] =
-        [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::TwoQ, PolicyKind::Arc];
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::TwoQ,
+        PolicyKind::Arc,
+    ];
 
     /// Instantiates the policy for a cache of `capacity_pages`.
     pub fn build(self, capacity_pages: u64) -> Box<dyn EvictionPolicy> {
@@ -105,7 +109,11 @@ pub(crate) mod conformance {
         assert!(policy.is_empty());
         for i in 0..10 {
             policy.insert(key(i));
-            assert!(policy.contains(key(i)), "{} lost fresh insert", policy.name());
+            assert!(
+                policy.contains(key(i)),
+                "{} lost fresh insert",
+                policy.name()
+            );
         }
         assert_eq!(policy.len(), 10);
         let mut seen = HashSet::new();
@@ -130,7 +138,11 @@ pub(crate) mod conformance {
         while let Some(v) = policy.evict() {
             evicted.insert(v.page);
         }
-        assert!(!evicted.contains(&3), "{} resurrected removed page", policy.name());
+        assert!(
+            !evicted.contains(&3),
+            "{} resurrected removed page",
+            policy.name()
+        );
         assert!(!evicted.contains(&7));
         assert_eq!(evicted.len(), 6);
     }

@@ -21,14 +21,21 @@ pub struct ReadaheadConfig {
 
 impl Default for ReadaheadConfig {
     fn default() -> Self {
-        ReadaheadConfig { initial_window: 4, max_window: 32, enabled: true }
+        ReadaheadConfig {
+            initial_window: 4,
+            max_window: 32,
+            enabled: true,
+        }
     }
 }
 
 impl ReadaheadConfig {
     /// Readahead disabled (pure demand paging).
     pub fn disabled() -> Self {
-        ReadaheadConfig { enabled: false, ..Default::default() }
+        ReadaheadConfig {
+            enabled: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -60,7 +67,11 @@ pub struct Readahead {
 impl Readahead {
     /// Creates state for a freshly opened file.
     pub fn new(config: ReadaheadConfig) -> Self {
-        Readahead { config, expected_next: None, window: 0 }
+        Readahead {
+            config,
+            expected_next: None,
+            window: 0,
+        }
     }
 
     /// Current window size in pages.

@@ -44,7 +44,11 @@ pub struct Writeback {
 impl Writeback {
     /// Creates an empty tracker.
     pub fn new(config: WritebackConfig) -> Self {
-        Writeback { config, by_age: BTreeMap::new(), age_of: Default::default() }
+        Writeback {
+            config,
+            by_age: BTreeMap::new(),
+            age_of: Default::default(),
+        }
     }
 
     /// The configuration in force.
@@ -157,7 +161,10 @@ mod tests {
 
     #[test]
     fn ratio_pressure_flushes_oldest_first() {
-        let cfg = WritebackConfig { dirty_ratio: 0.5, ..Default::default() };
+        let cfg = WritebackConfig {
+            dirty_ratio: 0.5,
+            ..Default::default()
+        };
         let mut wb = Writeback::new(cfg);
         for i in 0..8 {
             wb.mark_dirty(key(i), Nanos::from_secs(i));
@@ -172,7 +179,11 @@ mod tests {
 
     #[test]
     fn batch_limit_respected() {
-        let cfg = WritebackConfig { batch: 3, dirty_ratio: 0.0, ..Default::default() };
+        let cfg = WritebackConfig {
+            batch: 3,
+            dirty_ratio: 0.0,
+            ..Default::default()
+        };
         let mut wb = Writeback::new(cfg);
         for i in 0..10 {
             wb.mark_dirty(key(i), Nanos::ZERO);

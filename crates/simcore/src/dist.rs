@@ -113,7 +113,8 @@ impl Dist {
                 } else {
                     let la = l.powf(a);
                     let ha = h.powf(a);
-                    (la / (1.0 - la / ha)) * (a / (a - 1.0))
+                    (la / (1.0 - la / ha))
+                        * (a / (a - 1.0))
                         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
                 }
             }
@@ -178,7 +179,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -219,7 +222,10 @@ mod tests {
 
     #[test]
     fn lognormal_mean_matches_closed_form() {
-        let d = Dist::LogNormal { median: 100.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            median: 100.0,
+            sigma: 0.5,
+        };
         let want = d.mean();
         let got = sample_mean(&d, 4, 200_000);
         assert!((got / want - 1.0).abs() < 0.03, "got {got}, want {want}");
@@ -227,7 +233,11 @@ mod tests {
 
     #[test]
     fn pareto_stays_bounded() {
-        let d = Dist::Pareto { lo: 1.0, hi: 1000.0, alpha: 1.2 };
+        let d = Dist::Pareto {
+            lo: 1.0,
+            hi: 1000.0,
+            alpha: 1.2,
+        };
         let mut rng = Rng::new(5);
         for _ in 0..20_000 {
             let x = d.sample(&mut rng);
@@ -237,7 +247,11 @@ mod tests {
 
     #[test]
     fn pareto_mean_matches_closed_form() {
-        let d = Dist::Pareto { lo: 4.0, hi: 4096.0, alpha: 1.3 };
+        let d = Dist::Pareto {
+            lo: 4.0,
+            hi: 4096.0,
+            alpha: 1.3,
+        };
         let want = d.mean();
         let got = sample_mean(&d, 6, 300_000);
         assert!((got / want - 1.0).abs() < 0.05, "got {got}, want {want}");
@@ -245,7 +259,10 @@ mod tests {
 
     #[test]
     fn normal_clamps_at_zero() {
-        let d = Dist::Normal { mean: 0.5, sd: 10.0 };
+        let d = Dist::Normal {
+            mean: 0.5,
+            sd: 10.0,
+        };
         let mut rng = Rng::new(7);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 0.0);

@@ -65,7 +65,11 @@ mod tests {
             "not found: /a/b"
         );
         assert_eq!(
-            SimError::OutOfBounds { offset: 10, size: 4 }.to_string(),
+            SimError::OutOfBounds {
+                offset: 10,
+                size: 4
+            }
+            .to_string(),
             "out of bounds: offset 10 beyond size 4"
         );
         assert_eq!(SimError::NoSpace.to_string(), "no space left on device");

@@ -7,6 +7,25 @@
 //! use this self-contained xoshiro256** implementation (public domain
 //! algorithm by Blackman and Vigna) seeded through SplitMix64.
 
+/// The 64-bit FNV-1a offset basis: the canonical initial value for
+/// [`fnv1a`].
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Incremental 64-bit FNV-1a over `bytes`, starting from `init`
+/// (pass [`FNV_OFFSET`], or a previous return value to chain inputs).
+///
+/// This is the stable, platform-independent hash behind [`Rng::fork`]
+/// label derivation and campaign per-cell seed derivation; its
+/// constants must never change, or every recorded experiment seed
+/// shifts.
+pub fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
 /// SplitMix64 step, used for seeding and stream derivation.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -60,21 +79,13 @@ impl Rng {
     /// and the label, and drawing from the child does not consume parent
     /// state, so component streams stay decoupled.
     pub fn fork(&self, label: &str) -> Rng {
-        // FNV-1a over the label, mixed with the parent state.
-        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01B3);
-        }
+        let h = fnv1a(FNV_OFFSET, label.as_bytes());
         Rng::new(h ^ self.s[0].rotate_left(17) ^ self.s[3])
     }
 
     /// Returns the next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

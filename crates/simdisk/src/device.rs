@@ -33,12 +33,20 @@ pub struct IoRequest {
 impl IoRequest {
     /// Convenience constructor for a read.
     pub fn read(block: BlockNo, count: u64) -> Self {
-        IoRequest { kind: IoKind::Read, block, count }
+        IoRequest {
+            kind: IoKind::Read,
+            block,
+            count,
+        }
     }
 
     /// Convenience constructor for a write.
     pub fn write(block: BlockNo, count: u64) -> Self {
-        IoRequest { kind: IoKind::Write, block, count }
+        IoRequest {
+            kind: IoKind::Write,
+            block,
+            count,
+        }
     }
 
     /// Exclusive end block of the request.

@@ -74,10 +74,17 @@ impl Geometry {
         let cylinders = cylinders.max(1);
         let zones = if zones.is_empty()
             || zones[0].start_cylinder != 0
-            || zones.windows(2).any(|w| w[1].start_cylinder <= w[0].start_cylinder)
-            || zones.iter().any(|z| z.sectors_per_track == 0 || z.start_cylinder >= cylinders)
+            || zones
+                .windows(2)
+                .any(|w| w[1].start_cylinder <= w[0].start_cylinder)
+            || zones
+                .iter()
+                .any(|z| z.sectors_per_track == 0 || z.start_cylinder >= cylinders)
         {
-            vec![Zone { start_cylinder: 0, sectors_per_track: 800 }]
+            vec![Zone {
+                start_cylinder: 0,
+                sectors_per_track: 800,
+            }]
         } else {
             zones
         };
@@ -122,8 +129,14 @@ impl Geometry {
             100,
             Bytes::kib(4),
             vec![
-                Zone { start_cylinder: 0, sectors_per_track: 20 },
-                Zone { start_cylinder: 50, sectors_per_track: 10 },
+                Zone {
+                    start_cylinder: 0,
+                    sectors_per_track: 20,
+                },
+                Zone {
+                    start_cylinder: 50,
+                    sectors_per_track: 10,
+                },
             ],
         )
     }
@@ -268,7 +281,10 @@ mod tests {
             2,
             10,
             Bytes::kib(4),
-            vec![Zone { start_cylinder: 5, sectors_per_track: 4 }],
+            vec![Zone {
+                start_cylinder: 5,
+                sectors_per_track: 4,
+            }],
         );
         assert_eq!(g2.zones().len(), 1);
         assert_eq!(g2.zones()[0].start_cylinder, 0);

@@ -213,9 +213,15 @@ impl Hdd {
         if !self.config.track_buffer {
             return;
         }
-        let chs = self.config.geometry.locate(end_block.saturating_sub(1).max(start));
+        let chs = self
+            .config
+            .geometry
+            .locate(end_block.saturating_sub(1).max(start));
         let to_track_end = chs.sectors_per_track - chs.sector - 1;
-        self.buffer = Some(BufferedRange { start, end: end_block + to_track_end });
+        self.buffer = Some(BufferedRange {
+            start,
+            end: end_block + to_track_end,
+        });
     }
 }
 
@@ -247,7 +253,11 @@ impl BlockDevice for Hdd {
             }
             latency += seek;
             // Head switch onto a different surface.
-            latency += if distance == 0 { Nanos::ZERO } else { self.config.head_switch };
+            latency += if distance == 0 {
+                Nanos::ZERO
+            } else {
+                self.config.head_switch
+            };
             // Rotational delay to the target sector.
             let arrive = now + latency;
             let target_angle = chs.sector as f64 / chs.sectors_per_track as f64;

@@ -80,7 +80,12 @@ pub struct IoQueue {
 impl IoQueue {
     /// Creates an empty queue with the given policy.
     pub fn new(policy: SchedPolicy) -> Self {
-        IoQueue { policy, pending: Vec::new(), head: 0, ascending: true }
+        IoQueue {
+            policy,
+            pending: Vec::new(),
+            head: 0,
+            ascending: true,
+        }
     }
 
     /// The queue's policy.
@@ -127,14 +132,13 @@ impl IoQueue {
                     .min_by_key(|(_, p)| p.req.block);
                 match up {
                     Some((i, _)) => i,
-                    None => {
-                        self.pending
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, p)| p.req.block)
-                            .map(|(i, _)| i)
-                            .unwrap_or(0)
-                    }
+                    None => self
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, p)| p.req.block)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0),
                 }
             }
             SchedPolicy::Deadline { expire } => {
@@ -180,11 +184,7 @@ impl IoQueue {
     /// Dispatches one request to `device` at time `now`, if any.
     ///
     /// Returns the completion, or `None` if the queue is empty.
-    pub fn dispatch_one(
-        &mut self,
-        device: &mut dyn BlockDevice,
-        now: Nanos,
-    ) -> Option<Completion> {
+    pub fn dispatch_one(&mut self, device: &mut dyn BlockDevice, now: Nanos) -> Option<Completion> {
         if self.pending.is_empty() {
             return None;
         }
@@ -193,7 +193,12 @@ impl IoQueue {
         let service = device.service(&p.req, now);
         let finished = now + service;
         self.head = p.req.end();
-        Some(Completion { req: p.req, finished, service, total: finished - p.arrived })
+        Some(Completion {
+            req: p.req,
+            finished,
+            service,
+            total: finished - p.arrived,
+        })
     }
 
     /// Services every queued request back-to-back starting at `now`,

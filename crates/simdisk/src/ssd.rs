@@ -77,7 +77,12 @@ pub struct Ssd {
 impl Ssd {
     /// Creates an SSD in the fresh (fully trimmed) state.
     pub fn new(config: SsdConfig) -> Self {
-        Ssd { config, pages_written: 0, gc_debt: 0.0, stats: DeviceStats::default() }
+        Ssd {
+            config,
+            pages_written: 0,
+            gc_debt: 0.0,
+            stats: DeviceStats::default(),
+        }
     }
 
     /// The configuration this SSD was built with.
@@ -112,13 +117,12 @@ impl BlockDevice for Ssd {
                 // user page, plus an erase every pages_per_erase_block user
                 // pages. Charged to the requests that cross the threshold,
                 // modelling the bursty stalls real drives exhibit.
-                self.gc_debt += (self.config.write_amplification - 1.0).max(0.0)
-                    * req.count as f64;
+                self.gc_debt += (self.config.write_amplification - 1.0).max(0.0) * req.count as f64;
                 while self.gc_debt >= self.config.pages_per_erase_block as f64 {
                     self.gc_debt -= self.config.pages_per_erase_block as f64;
                     latency += self.config.erase_block;
-                    latency += self
-                        .striped(self.config.pages_per_erase_block, self.config.program_page);
+                    latency +=
+                        self.striped(self.config.pages_per_erase_block, self.config.program_page);
                 }
             }
         }

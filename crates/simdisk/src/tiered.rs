@@ -71,11 +71,7 @@ pub struct TieredDevice {
 
 impl TieredDevice {
     /// Builds a tiered device.
-    pub fn new(
-        fast: Box<dyn BlockDevice>,
-        slow: Box<dyn BlockDevice>,
-        config: TierConfig,
-    ) -> Self {
+    pub fn new(fast: Box<dyn BlockDevice>, slow: Box<dyn BlockDevice>, config: TierConfig) -> Self {
         TieredDevice {
             fast,
             slow,
@@ -163,12 +159,14 @@ impl BlockDevice for TieredDevice {
                 // Write-through: slow tier is authoritative; refresh the
                 // fast copy for resident blocks.
                 latency += self.slow.service(req, now);
-                let resident_blocks: Vec<BlockNo> =
-                    (req.block..req.end()).filter(|&b| self.resident(b)).collect();
+                let resident_blocks: Vec<BlockNo> = (req.block..req.end())
+                    .filter(|&b| self.resident(b))
+                    .collect();
                 if !resident_blocks.is_empty() {
-                    latency += self
-                        .fast
-                        .service(&IoRequest::write(req.block, resident_blocks.len() as u64), now + latency);
+                    latency += self.fast.service(
+                        &IoRequest::write(req.block, resident_blocks.len() as u64),
+                        now + latency,
+                    );
                     for b in resident_blocks {
                         self.touch(b);
                     }
@@ -206,7 +204,10 @@ mod tests {
         TieredDevice::new(
             Box::new(Ssd::new(SsdConfig::consumer_sata())),
             Box::new(Hdd::new(HddConfig::maxtor_7l250s0_like())),
-            TierConfig { cache_blocks, promote_on_read: true },
+            TierConfig {
+                cache_blocks,
+                promote_on_read: true,
+            },
         )
     }
 
@@ -216,7 +217,10 @@ mod tests {
         let cold = d.service(&IoRequest::read(500_000, 2), Nanos::ZERO);
         let warm = d.service(&IoRequest::read(500_000, 2), cold);
         assert!(cold.as_millis() >= 1, "cold read should hit the disk");
-        assert!(warm.as_micros() < 1_000, "warm read should hit flash: {warm}");
+        assert!(
+            warm.as_micros() < 1_000,
+            "warm read should hit flash: {warm}"
+        );
         assert_eq!(d.tier_resident(), 2);
         assert!(d.tier_hit_ratio() > 0.4);
     }
@@ -235,7 +239,7 @@ mod tests {
         let mut d = dev(4);
         d.service(&IoRequest::read(0, 2), Nanos::ZERO); // blocks 0,1
         d.service(&IoRequest::read(10, 2), Nanos::ZERO); // blocks 10,11
-        // Touch 0,1 again so 10,11 are the LRU victims.
+                                                         // Touch 0,1 again so 10,11 are the LRU victims.
         d.service(&IoRequest::read(0, 2), Nanos::ZERO);
         d.service(&IoRequest::read(20, 2), Nanos::ZERO); // evicts 10,11
         let hit = d.service(&IoRequest::read(0, 2), Nanos::ZERO);
@@ -290,7 +294,10 @@ mod tests {
         let mut d = TieredDevice::new(
             Box::new(Ssd::new(SsdConfig::consumer_sata())),
             Box::new(Hdd::new(HddConfig::maxtor_7l250s0_like())),
-            TierConfig { cache_blocks: 1024, promote_on_read: false },
+            TierConfig {
+                cache_blocks: 1024,
+                promote_on_read: false,
+            },
         );
         let a = d.service(&IoRequest::read(500, 2), Nanos::ZERO);
         // The HDD's own track buffer may serve the re-read quickly, but

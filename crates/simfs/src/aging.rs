@@ -64,7 +64,11 @@ pub fn age_filesystem(fs: &mut dyn FileSystem, config: &AgingConfig) -> SimResul
     let mut serial = 0u64;
     let mut created = 0u64;
     let mut deleted = 0u64;
-    let span = config.max_size.as_u64().saturating_sub(config.min_size.as_u64()).max(1);
+    let span = config
+        .max_size
+        .as_u64()
+        .saturating_sub(config.min_size.as_u64())
+        .max(1);
     for _ in 0..config.rounds {
         // Create up to the live target.
         while (live.len() as u64) < config.live_files {
@@ -114,8 +118,11 @@ mod tests {
     #[test]
     fn aging_fragments_ext2() {
         let mut fs = Ext2Fs::new(Ext2Config::for_blocks(32_768)); // 128 MiB
-        // High occupancy (~75 %) so free space is genuinely chopped up.
-        let cfg = AgingConfig { live_files: 350, ..Default::default() };
+                                                                  // High occupancy (~75 %) so free space is genuinely chopped up.
+        let cfg = AgingConfig {
+            live_files: 350,
+            ..Default::default()
+        };
         let report = age_filesystem(&mut fs, &cfg).unwrap();
         assert!(report.created > 100);
         assert!(report.deleted > 50);
@@ -127,7 +134,9 @@ mod tests {
 
         let mut virgin = Ext2Fs::new(Ext2Config::for_blocks(32_768));
         let (v, _) = virgin.create("/post").unwrap();
-        virgin.set_size(v, rb_simcore::units::Bytes::mib(16)).unwrap();
+        virgin
+            .set_size(v, rb_simcore::units::Bytes::mib(16))
+            .unwrap();
         let virgin_extents = virgin.tree().get(v).unwrap().extent_count();
         assert!(
             aged_extents > virgin_extents,
@@ -146,7 +155,10 @@ mod tests {
 
     #[test]
     fn xfs_resists_fragmentation_better() {
-        let cfg = AgingConfig { rounds: 10, ..Default::default() };
+        let cfg = AgingConfig {
+            rounds: 10,
+            ..Default::default()
+        };
         let mut e2 = Ext2Fs::new(Ext2Config::for_blocks(32_768));
         let re2 = age_filesystem(&mut e2, &cfg).unwrap();
         let mut xf = XfsFs::new(XfsConfig::for_blocks(32_768));

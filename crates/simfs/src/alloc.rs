@@ -77,7 +77,10 @@ impl BitmapAllocator {
     pub fn reserve(&mut self, block: BlockNo) -> SimResult<()> {
         let i = block as usize;
         if i >= self.bits.len() {
-            return Err(SimError::OutOfBounds { offset: block, size: self.total() });
+            return Err(SimError::OutOfBounds {
+                offset: block,
+                size: self.total(),
+            });
         }
         if self.bits[i] {
             return Err(SimError::AlreadyExists(format!("block {block}")));
@@ -117,7 +120,10 @@ impl BitmapAllocator {
                         left -= 1;
                         b += 1;
                     }
-                    let run = Run { start: run_start, len: b - run_start };
+                    let run = Run {
+                        start: run_start,
+                        len: b - run_start,
+                    };
                     match runs.last_mut() {
                         Some(last) if last.start + last.len == run.start => {
                             last.len += run.len;
@@ -139,11 +145,16 @@ impl BitmapAllocator {
     /// Frees a run of blocks. Double frees are reported as errors.
     pub fn free(&mut self, run: Run) -> SimResult<()> {
         if run.start + run.len > self.total() {
-            return Err(SimError::OutOfBounds { offset: run.start + run.len, size: self.total() });
+            return Err(SimError::OutOfBounds {
+                offset: run.start + run.len,
+                size: self.total(),
+            });
         }
         for b in run.start..run.start + run.len {
             if !self.bits[b as usize] {
-                return Err(SimError::InvalidOperation(format!("double free of block {b}")));
+                return Err(SimError::InvalidOperation(format!(
+                    "double free of block {b}"
+                )));
             }
             self.bits[b as usize] = false;
             self.free += 1;
@@ -200,7 +211,11 @@ impl ExtentAllocator {
         if total > 0 {
             by_start.insert(0, total);
         }
-        ExtentAllocator { by_start, free: total, total }
+        ExtentAllocator {
+            by_start,
+            free: total,
+            total,
+        }
     }
 
     /// Total blocks managed.
@@ -236,7 +251,8 @@ impl ExtentAllocator {
             self.by_start.insert(estart, start - estart);
         }
         if estart + elen > start + len {
-            self.by_start.insert(start + len, (estart + elen) - (start + len));
+            self.by_start
+                .insert(start + len, (estart + elen) - (start + len));
         }
         self.free -= len;
         Ok(())
@@ -273,7 +289,10 @@ impl ExtentAllocator {
                     self.by_start.insert(goal + left, tail);
                 }
                 self.free -= left;
-                runs.push(Run { start: goal, len: left });
+                runs.push(Run {
+                    start: goal,
+                    len: left,
+                });
                 left = 0;
                 continue;
             }
@@ -310,7 +329,10 @@ impl ExtentAllocator {
             return Ok(());
         }
         if run.start + run.len > self.total {
-            return Err(SimError::OutOfBounds { offset: run.start + run.len, size: self.total });
+            return Err(SimError::OutOfBounds {
+                offset: run.start + run.len,
+                size: self.total,
+            });
         }
         // Overlap checks against predecessor and successor.
         if let Some((&ps, &pl)) = self.by_start.range(..=run.start).next_back() {

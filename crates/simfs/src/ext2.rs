@@ -184,8 +184,7 @@ impl Ext2Fs {
                 let gs = g * self.config.blocks_per_group;
                 let ge = gs + self.config.blocks_per_group;
                 let overlap = (r.start + r.len).min(ge) - r.start.max(gs);
-                self.group_free[g as usize] =
-                    self.group_free[g as usize].saturating_sub(overlap);
+                self.group_free[g as usize] = self.group_free[g as usize].saturating_sub(overlap);
                 meta.writes.push(self.block_bitmap_block(g));
             }
         }
@@ -225,9 +224,10 @@ impl Ext2Fs {
     fn ensure_dir_blocks(&mut self, dir: InodeNo, meta: &mut MetaIo) -> SimResult<()> {
         let node = self.tree.get(dir)?;
         // 64 B per entry, 64 entries per 4 KiB block.
-        let needed = node.size.as_u64().div_ceil(
-            DIRENTS_PER_BLOCK * crate::tree::DIRENT_SIZE,
-        );
+        let needed = node
+            .size
+            .as_u64()
+            .div_ceil(DIRENTS_PER_BLOCK * crate::tree::DIRENT_SIZE);
         let have = node.blocks();
         if needed > have {
             let group = self.ino_group.get(&dir).copied().unwrap_or(0);
@@ -251,7 +251,9 @@ impl Ext2Fs {
 
     /// Indirect blocks a file of `blocks` data blocks needs.
     fn indirect_needed(blocks: u64) -> u64 {
-        blocks.saturating_sub(DIRECT_BLOCKS).div_ceil(PTRS_PER_BLOCK)
+        blocks
+            .saturating_sub(DIRECT_BLOCKS)
+            .div_ceil(PTRS_PER_BLOCK)
     }
 
     /// Charges inode-table reads for a resolution chain plus one dirent
@@ -354,8 +356,7 @@ impl FileSystem for Ext2Fs {
             }
         }
         let group = self.ino_group.remove(&ino).unwrap_or(0);
-        self.group_inodes[group as usize] =
-            self.group_inodes[group as usize].saturating_sub(1);
+        self.group_inodes[group as usize] = self.group_inodes[group as usize].saturating_sub(1);
         meta.writes.push(self.inode_bitmap_block(group));
         meta.writes.push(self.inode_table_block(parent));
         if let Some(b) = self.dirent_block(parent, name) {
@@ -392,7 +393,12 @@ impl FileSystem for Ext2Fs {
 
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {
         let node = self.tree.get(ino)?;
-        Ok(FileAttr { ino, size: node.size, blocks: node.blocks(), is_dir: node.is_dir() })
+        Ok(FileAttr {
+            ino,
+            size: node.size,
+            blocks: node.blocks(),
+            is_dir: node.is_dir(),
+        })
     }
 
     fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
@@ -451,14 +457,19 @@ impl FileSystem for Ext2Fs {
             let mut freed = Vec::new();
             let node = self.tree.get_mut(ino)?;
             while to_free > 0 {
-                let Some(last) = node.runs.last_mut() else { break };
+                let Some(last) = node.runs.last_mut() else {
+                    break;
+                };
                 if last.len <= to_free {
                     to_free -= last.len;
                     freed.push(*last);
                     node.runs.pop();
                 } else {
                     last.len -= to_free;
-                    freed.push(Run { start: last.start + last.len, len: to_free });
+                    freed.push(Run {
+                        start: last.start + last.len,
+                        len: to_free,
+                    });
                     to_free = 0;
                 }
             }
@@ -491,7 +502,10 @@ impl FileSystem for Ext2Fs {
                 physical,
                 len: rem.min(max.max(1)),
             }),
-            None => Err(SimError::OutOfBounds { offset: logical, size: node.blocks() }),
+            None => Err(SimError::OutOfBounds {
+                offset: logical,
+                size: node.blocks(),
+            }),
         }
     }
 
@@ -577,7 +591,10 @@ mod tests {
         f.set_size(ino, Bytes::mib(8)).unwrap();
         assert!(f.allocator().free_blocks() < free_after_create);
         let meta = f.unlink("/x").unwrap();
-        assert!(meta.writes.iter().any(|&b| b % 8192 == 1), "block bitmap write");
+        assert!(
+            meta.writes.iter().any(|&b| b % 8192 == 1),
+            "block bitmap write"
+        );
         assert_eq!(f.allocator().free_blocks(), free_after_create);
         assert!(f.lookup("/x").is_err());
     }
@@ -635,7 +652,10 @@ mod tests {
         f.set_size(ino, Bytes::kib(4) * (free - 1)).unwrap();
         let (i2, _) = f.create("/more").unwrap();
         let before = f.allocator().free_blocks();
-        assert!(matches!(f.set_size(i2, Bytes::mib(1)), Err(SimError::NoSpace)));
+        assert!(matches!(
+            f.set_size(i2, Bytes::mib(1)),
+            Err(SimError::NoSpace)
+        ));
         // A failed grow must not leak blocks.
         assert_eq!(f.allocator().free_blocks(), before);
     }

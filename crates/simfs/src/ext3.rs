@@ -28,7 +28,10 @@ impl Ext3Config {
     pub fn for_blocks(total_blocks: u64) -> Self {
         let mut ext2 = Ext2Config::for_blocks(total_blocks);
         ext2.cluster_pages = 4;
-        Ext3Config { ext2, journal_blocks: 8192.min(total_blocks / 8).max(64) }
+        Ext3Config {
+            ext2,
+            journal_blocks: 8192.min(total_blocks / 8).max(64),
+        }
     }
 }
 
@@ -68,7 +71,9 @@ impl Ext3Fs {
         while reserved < jlen && start < total {
             if !inner.allocator().is_allocated(start) {
                 // Direct reservation through a scoped helper.
-                inner.reserve_journal_block(start).expect("journal reservation");
+                inner
+                    .reserve_journal_block(start)
+                    .expect("journal reservation");
                 if first.is_none() {
                     first = Some(start);
                 }

@@ -191,7 +191,9 @@ impl StorageStack {
     fn run_meta(&mut self, meta: &MetaIo) -> Nanos {
         let mut lat = Nanos::ZERO;
         for &block in &meta.reads {
-            let out = self.cache.read(META_FILE, block, 1, u64::MAX, self.clock.now());
+            let out = self
+                .cache
+                .read(META_FILE, block, 1, u64::MAX, self.clock.now());
             for _ in &out.miss_pages {
                 lat += self
                     .disk
@@ -368,7 +370,9 @@ impl StorageStack {
         let file_pages = attr.size.div_ceil(page_size);
         let (first, last) = page_span(offset, len, page_size);
         let count = last - first;
-        let out = self.cache.read(ino, first, count, file_pages, self.clock.now());
+        let out = self
+            .cache
+            .read(ino, first, count, file_pages, self.clock.now());
 
         // Cluster-expand demand misses to the FS fetch granularity.
         let cluster = self.fs.cluster_pages().max(1);
@@ -558,7 +562,10 @@ mod tests {
         s.read(fd, Bytes::kib(20), Bytes::kib(4)).unwrap();
         let ino = 3; // first created inode after root in a fresh tree
         assert!(s.cache().is_resident(ino, 5));
-        assert!(s.cache().is_resident(ino, 4), "cluster neighbour not fetched");
+        assert!(
+            s.cache().is_resident(ino, 4),
+            "cluster neighbour not fetched"
+        );
     }
 
     #[test]

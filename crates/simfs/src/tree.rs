@@ -90,7 +90,11 @@ impl Tree {
                 parent: ROOT_INO,
             },
         );
-        Tree { inodes, next_ino: ROOT_INO + 1, root: ROOT_INO }
+        Tree {
+            inodes,
+            next_ino: ROOT_INO + 1,
+            root: ROOT_INO,
+        }
     }
 
     /// Root inode.
@@ -110,7 +114,9 @@ impl Tree {
 
     /// Immutable inode access.
     pub fn get(&self, ino: InodeNo) -> SimResult<&Inode> {
-        self.inodes.get(&ino).ok_or_else(|| SimError::NotFound(format!("inode {ino}")))
+        self.inodes
+            .get(&ino)
+            .ok_or_else(|| SimError::NotFound(format!("inode {ino}")))
     }
 
     /// Mutable inode access.
@@ -163,10 +169,7 @@ impl Tree {
 
     /// Resolves the parent directory of `path`, returning
     /// `(parent_ino, final_component, traversed)`.
-    pub fn resolve_parent<'p>(
-        &self,
-        path: &'p str,
-    ) -> SimResult<(InodeNo, &'p str, Vec<InodeNo>)> {
+    pub fn resolve_parent<'p>(&self, path: &'p str) -> SimResult<(InodeNo, &'p str, Vec<InodeNo>)> {
         let comps = Self::components(path)?;
         let Some((&name, dirs)) = comps.split_last() else {
             return Err(SimError::InvalidOperation("path is the root".into()));
@@ -185,7 +188,9 @@ impl Tree {
             traversed.push(cur);
         }
         if self.get(cur)?.dir.is_none() {
-            return Err(SimError::InvalidOperation(format!("{path}: parent not a directory")));
+            return Err(SimError::InvalidOperation(format!(
+                "{path}: parent not a directory"
+            )));
         }
         Ok((cur, name, traversed))
     }
@@ -232,7 +237,9 @@ impl Tree {
                 .dir
                 .as_ref()
                 .ok_or_else(|| SimError::InvalidOperation("parent not a directory".into()))?;
-            *pdir.get(name).ok_or_else(|| SimError::NotFound(name.to_string()))?
+            *pdir
+                .get(name)
+                .ok_or_else(|| SimError::NotFound(name.to_string()))?
         };
         if let Some(d) = &self.get(ino)?.dir {
             if !d.is_empty() {
@@ -244,15 +251,20 @@ impl Tree {
         if let Some(pdir) = self.get_mut(parent)?.dir.as_mut() {
             pdir.remove(name);
         }
-        let psize = self.get(parent)?.size.saturating_sub(Bytes::new(DIRENT_SIZE));
+        let psize = self
+            .get(parent)?
+            .size
+            .saturating_sub(Bytes::new(DIRENT_SIZE));
         self.get_mut(parent)?.size = psize;
         Ok((ino, runs))
     }
 
     /// Mean extents per file MiB across regular files (layout metric).
     pub fn avg_file_extents(&self) -> f64 {
-        let files: Vec<&Inode> =
-            self.iter().filter(|i| !i.is_dir() && !i.runs.is_empty()).collect();
+        let files: Vec<&Inode> = self
+            .iter()
+            .filter(|i| !i.is_dir() && !i.runs.is_empty())
+            .collect();
         if files.is_empty() {
             return 0.0;
         }
@@ -328,7 +340,10 @@ mod tests {
         let mut t = Tree::new();
         let d = t.insert_child(ROOT_INO, "d", true).unwrap();
         t.insert_child(d, "f", false).unwrap();
-        assert!(matches!(t.remove_child(ROOT_INO, "d"), Err(SimError::NotEmpty(_))));
+        assert!(matches!(
+            t.remove_child(ROOT_INO, "d"),
+            Err(SimError::NotEmpty(_))
+        ));
         t.remove_child(d, "f").unwrap();
         assert!(t.remove_child(ROOT_INO, "d").is_ok());
     }
@@ -347,8 +362,7 @@ mod tests {
     fn map_block_walks_runs() {
         let mut t = Tree::new();
         let f = t.insert_child(ROOT_INO, "f", false).unwrap();
-        t.get_mut(f).unwrap().runs =
-            vec![Run { start: 100, len: 3 }, Run { start: 500, len: 2 }];
+        t.get_mut(f).unwrap().runs = vec![Run { start: 100, len: 3 }, Run { start: 500, len: 2 }];
         let node = t.get(f).unwrap();
         assert_eq!(node.map_block(0), Some((100, 3)));
         assert_eq!(node.map_block(2), Some((102, 1)));

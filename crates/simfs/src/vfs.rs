@@ -122,8 +122,16 @@ mod tests {
 
     #[test]
     fn metaio_merge_accumulates() {
-        let mut a = MetaIo { reads: vec![1], writes: vec![2], journal_writes: vec![] };
-        let b = MetaIo { reads: vec![3, 4], writes: vec![], journal_writes: vec![9] };
+        let mut a = MetaIo {
+            reads: vec![1],
+            writes: vec![2],
+            journal_writes: vec![],
+        };
+        let b = MetaIo {
+            reads: vec![3, 4],
+            writes: vec![],
+            journal_writes: vec![9],
+        };
         a.merge(b);
         assert_eq!(a.reads, vec![1, 3, 4]);
         assert_eq!(a.writes, vec![2]);

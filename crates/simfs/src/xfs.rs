@@ -177,7 +177,10 @@ impl XfsFs {
             let take = left.min(avail);
             let runs = self.ags[g].alloc.alloc(take, local_goal)?;
             for r in runs {
-                out.push(Run { start: base + r.start, len: r.len });
+                out.push(Run {
+                    start: base + r.start,
+                    len: r.len,
+                });
             }
             left -= take;
             if left == 0 {
@@ -191,7 +194,10 @@ impl XfsFs {
                 let base = self.ags[g].start;
                 self.ags[g]
                     .alloc
-                    .free(Run { start: r.start - base, len: r.len })
+                    .free(Run {
+                        start: r.start - base,
+                        len: r.len,
+                    })
                     .expect("rollback");
             }
             return Err(SimError::NoSpace);
@@ -203,7 +209,10 @@ impl XfsFs {
         for r in runs {
             let g = self.ag_of_block(r.start) as usize;
             let base = self.ags[g].start;
-            self.ags[g].alloc.free(Run { start: r.start - base, len: r.len })?;
+            self.ags[g].alloc.free(Run {
+                start: r.start - base,
+                len: r.len,
+            })?;
         }
         Ok(())
     }
@@ -287,7 +296,8 @@ impl FileSystem for XfsFs {
         let (ino, runs) = self.tree.remove_child(parent, name)?;
         self.free_blocks_runs(&runs)?;
         for r in &runs {
-            meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+            meta.writes
+                .push(self.freespace_root_block(self.ag_of_block(r.start)));
         }
         meta.writes.push(self.inode_table_block(parent));
         let it = self.inode_table_block(ino);
@@ -316,7 +326,12 @@ impl FileSystem for XfsFs {
 
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {
         let node = self.tree.get(ino)?;
-        Ok(FileAttr { ino, size: node.size, blocks: node.blocks(), is_dir: node.is_dir() })
+        Ok(FileAttr {
+            ino,
+            size: node.size,
+            blocks: node.blocks(),
+            is_dir: node.is_dir(),
+        })
     }
 
     fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
@@ -335,7 +350,8 @@ impl FileSystem for XfsFs {
             // so best-fit can find a single extent.
             let runs = self.alloc_blocks(ag, need - have, goal)?;
             for r in &runs {
-                meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+                meta.writes
+                    .push(self.freespace_root_block(self.ag_of_block(r.start)));
             }
             let node = self.tree.get_mut(ino)?;
             for r in runs {
@@ -349,20 +365,26 @@ impl FileSystem for XfsFs {
             let mut freed = Vec::new();
             let node = self.tree.get_mut(ino)?;
             while to_free > 0 {
-                let Some(last) = node.runs.last_mut() else { break };
+                let Some(last) = node.runs.last_mut() else {
+                    break;
+                };
                 if last.len <= to_free {
                     to_free -= last.len;
                     freed.push(*last);
                     node.runs.pop();
                 } else {
                     last.len -= to_free;
-                    freed.push(Run { start: last.start + last.len, len: to_free });
+                    freed.push(Run {
+                        start: last.start + last.len,
+                        len: to_free,
+                    });
                     to_free = 0;
                 }
             }
             self.free_blocks_runs(&freed)?;
             for r in &freed {
-                meta.writes.push(self.freespace_root_block(self.ag_of_block(r.start)));
+                meta.writes
+                    .push(self.freespace_root_block(self.ag_of_block(r.start)));
             }
         }
         self.tree.get_mut(ino)?.size = size;
@@ -372,10 +394,15 @@ impl FileSystem for XfsFs {
     fn map(&self, ino: InodeNo, logical: u64, max: u64) -> SimResult<Extent> {
         let node = self.tree.get(ino)?;
         match node.map_block(logical) {
-            Some((physical, rem)) => {
-                Ok(Extent { logical, physical, len: rem.min(max.max(1)) })
-            }
-            None => Err(SimError::OutOfBounds { offset: logical, size: node.blocks() }),
+            Some((physical, rem)) => Ok(Extent {
+                logical,
+                physical,
+                len: rem.min(max.max(1)),
+            }),
+            None => Err(SimError::OutOfBounds {
+                offset: logical,
+                size: node.blocks(),
+            }),
         }
     }
 

@@ -156,7 +156,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered >= trials * 8 / 10, "covered only {covered}/{trials}");
+        assert!(
+            covered >= trials * 8 / 10,
+            "covered only {covered}/{trials}"
+        );
     }
 
     #[test]

@@ -130,12 +130,7 @@ pub fn transition_window(series: &[(f64, f64)], tolerance: f64) -> Option<(f64, 
 /// A split is accepted only if it reduces the segment's sum of squared
 /// errors by at least `min_gain` (relative, e.g. 0.1 = 10 %). Segments
 /// shorter than `min_len` are never split.
-pub fn binary_segmentation(
-    xs: &[f64],
-    max_k: usize,
-    min_len: usize,
-    min_gain: f64,
-) -> Vec<usize> {
+pub fn binary_segmentation(xs: &[f64], max_k: usize, min_len: usize, min_gain: f64) -> Vec<usize> {
     fn sse(xs: &[f64]) -> f64 {
         let m = Moments::from_slice(xs);
         m.population_variance() * xs.len() as f64

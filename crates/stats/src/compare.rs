@@ -46,8 +46,7 @@ fn betai(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // The continued fraction converges fast for x below the pivot; above
     // it, evaluate the mirrored fraction directly (the `front` factor is
@@ -181,17 +180,35 @@ pub fn welch_t(a: &[f64], b: &[f64]) -> Option<WelchT> {
     let se2 = va / na + vb / nb;
     if se2 <= 0.0 {
         // Both samples constant.
-        let t = if mean_diff.abs() < f64::EPSILON { 0.0 } else { f64::INFINITY };
+        let t = if mean_diff.abs() < f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         let p = if t == 0.0 { 1.0 } else { 0.0 };
-        return Some(WelchT { t, df: na + nb - 2.0, p_value: p, cohens_d: 0.0, mean_diff });
+        return Some(WelchT {
+            t,
+            df: na + nb - 2.0,
+            p_value: p,
+            cohens_d: 0.0,
+            mean_diff,
+        });
     }
     let t = mean_diff / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
-    let pooled_sd =
-        (((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0)).sqrt();
-    let cohens_d = if pooled_sd > 0.0 { mean_diff / pooled_sd } else { 0.0 };
-    Some(WelchT { t, df, p_value: t_pvalue(t, df), cohens_d, mean_diff })
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let pooled_sd = (((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0)).sqrt();
+    let cohens_d = if pooled_sd > 0.0 {
+        mean_diff / pooled_sd
+    } else {
+        0.0
+    };
+    Some(WelchT {
+        t,
+        df,
+        p_value: t_pvalue(t, df),
+        cohens_d,
+        mean_diff,
+    })
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Log2Histogram { counts: [0; BUCKETS], total: 0 }
+        Log2Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
     }
 
     /// Records one latency observation.
@@ -354,7 +357,10 @@ mod tests {
         c.record_n(Nanos::from_millis(8), 10);
         assert!((a.total_variation_distance(&c) - 1.0).abs() < 1e-12);
         // Symmetry.
-        assert_eq!(a.total_variation_distance(&c), c.total_variation_distance(&a));
+        assert_eq!(
+            a.total_variation_distance(&c),
+            c.total_variation_distance(&a)
+        );
         // Half-moved mass: distance 0.5.
         let mut d = Log2Histogram::new();
         d.record_n(Nanos::from_nanos(4096), 50);
@@ -372,8 +378,14 @@ mod tests {
         far.record_n(Nanos::from_millis(8), 100); // bucket 22
         let d_near = base.earth_movers_distance(&near);
         let d_far = base.earth_movers_distance(&far);
-        assert!((d_near - 1.0).abs() < 1e-12, "adjacent shift should be 1: {d_near}");
-        assert!((d_far - 10.0).abs() < 1e-12, "ten-bucket shift should be 10: {d_far}");
+        assert!(
+            (d_near - 1.0).abs() < 1e-12,
+            "adjacent shift should be 1: {d_near}"
+        );
+        assert!(
+            (d_far - 10.0).abs() < 1e-12,
+            "ten-bucket shift should be 10: {d_far}"
+        );
         // TV distance cannot tell these apart; EMD can.
         assert_eq!(
             base.total_variation_distance(&near),

@@ -32,7 +32,13 @@ pub struct Moments {
 impl Moments {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Moments { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Builds an accumulator from a slice.
@@ -187,11 +193,12 @@ mod tests {
 
     #[test]
     fn matches_two_pass_computation() {
-        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0 + 50.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7).sin() * 10.0 + 50.0)
+            .collect();
         let m = Moments::from_slice(&xs);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((m.mean() - mean).abs() < 1e-9);
         assert!((m.sample_variance() - var).abs() < 1e-9);
     }

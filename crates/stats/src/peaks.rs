@@ -67,7 +67,9 @@ pub fn find_peaks(h: &Log2Histogram, min_separation: usize, min_mass: f64) -> Ve
 
     // Merge candidates that are too close, keeping the taller.
     candidates.sort_by(|&a, &b| {
-        frac[b].partial_cmp(&frac[a]).unwrap_or(std::cmp::Ordering::Equal)
+        frac[b]
+            .partial_cmp(&frac[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut kept: Vec<usize> = Vec::new();
     for c in candidates {
@@ -83,7 +85,9 @@ pub fn find_peaks(h: &Log2Histogram, min_separation: usize, min_mass: f64) -> Ve
     let valley = |a: usize, b: usize| -> usize {
         (a..=b)
             .min_by(|&x, &y| {
-                frac[x].partial_cmp(&frac[y]).unwrap_or(std::cmp::Ordering::Equal)
+                frac[x]
+                    .partial_cmp(&frac[y])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap_or(a)
     };
@@ -102,7 +106,11 @@ pub fn find_peaks(h: &Log2Histogram, min_separation: usize, min_mass: f64) -> Ve
         };
         let mass: f64 = (lo_bound..=hi_bound).map(|b| frac[b]).sum();
         if mass >= min_mass {
-            peaks.push(Peak { bucket: k, height: frac[k], mass });
+            peaks.push(Peak {
+                bucket: k,
+                height: frac[k],
+                mass,
+            });
         }
     }
     peaks

@@ -51,7 +51,11 @@ impl WindowedSeries {
     ///
     /// A zero width is coerced to 1 ns to keep the series well-defined.
     pub fn new(width: Nanos) -> Self {
-        let width = if width.is_zero() { Nanos::from_nanos(1) } else { width };
+        let width = if width.is_zero() {
+            Nanos::from_nanos(1)
+        } else {
+            width
+        };
         WindowedSeries {
             width,
             current_index: 0,

@@ -1,4 +1,35 @@
-//! Facade crate re-exporting the rocketbench public API.
+//! # rocketbench — facade crate
+//!
+//! Re-exports the whole rocketbench stack under one roof so downstream
+//! code (and this workspace's examples and integration tests) can
+//! depend on a single crate:
+//!
+//! * [`core`] — the harness: targets, workloads, the multi-run
+//!   protocol, sweep campaigns, paper figures, analysis and reports.
+//! * [`simfs`] — simulated file systems and the composed storage stack.
+//! * [`simcache`] — the simulated page cache.
+//! * [`simdisk`] — simulated block devices.
+//! * [`simcore`] — virtual time, deterministic PRNG, units.
+//! * [`stats`] — the statistics toolkit.
+//!
+//! The `rocketbench` binary (this package's `src/main.rs`) is the CLI
+//! over the same API; `rocketbench help` lists the subcommands,
+//! including the parallel `sweep` campaign runner.
+//!
+//! ```
+//! use rocketbench::core::prelude::*;
+//! use rocketbench::simcore::units::Bytes;
+//!
+//! // The five-dimension taxonomy is data, not prose.
+//! assert_eq!(Dimension::ALL.len(), 5);
+//! // And the paper's testbed is one call away.
+//! let target = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 0);
+//! let _ = target;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use rb_core as core;
 pub use rb_simcache as simcache;
 pub use rb_simcore as simcore;

@@ -6,6 +6,7 @@
 //! usage.
 
 use rb_core::analysis::Regime;
+use rb_core::campaign::{run_campaign, Personality, SweepSpec};
 use rb_core::prelude::*;
 use rb_core::trace::{replay, Recorder, Trace};
 use rb_simcore::time::Nanos;
@@ -74,12 +75,7 @@ fn parse_duration(s: &str) -> Result<Nanos, String> {
 fn make_target(spec: &str, device: Bytes, seed: u64) -> Result<Box<dyn Target>, String> {
     match spec.split_once(':') {
         Some(("sim", fs)) => {
-            let kind = match fs {
-                "ext2" => FsKind::Ext2,
-                "ext3" => FsKind::Ext3,
-                "xfs" => FsKind::Xfs,
-                other => return Err(format!("unknown simulated fs {other:?}")),
-            };
+            let kind = parse_fs(fs)?;
             Ok(Box::new(rb_core::testbed::paper_fs(kind, device, seed)))
         }
         Some(("real", path)) => RealFsTarget::new(path)
@@ -160,14 +156,108 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_nano(opts: &Opts) -> Result<(), String> {
-    let fs = opts.get("fs").unwrap_or("ext2");
-    let kind = match fs {
-        "ext2" => FsKind::Ext2,
-        "ext3" => FsKind::Ext3,
-        "xfs" => FsKind::Xfs,
-        other => return Err(format!("unknown fs {other:?}")),
+/// Splits a comma-separated flag value and parses each element.
+fn parse_list<T>(s: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(parse)
+        .collect()
+}
+
+fn parse_fs(name: &str) -> Result<FsKind, String> {
+    match name {
+        "ext2" => Ok(FsKind::Ext2),
+        "ext3" => Ok(FsKind::Ext3),
+        "xfs" => Ok(FsKind::Xfs),
+        other => Err(format!("unknown fs {other:?}")),
+    }
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let personalities = parse_list(opts.get("workloads").unwrap_or("randomread"), |w| {
+        Personality::parse(w).ok_or_else(|| {
+            let known: Vec<&str> = Personality::ALL.iter().map(|p| p.name()).collect();
+            format!("unknown workload {w:?}; known: {}", known.join(","))
+        })
+    })?;
+    let file_sizes = parse_list(opts.get("sizes").unwrap_or("64M,256M,768M"), parse_size)?;
+    let file_counts = parse_list(opts.get("files").unwrap_or("100"), |f| {
+        f.parse::<u64>()
+            .map_err(|e| format!("bad file count {f:?}: {e}"))
+    })?;
+    let filesystems = parse_list(opts.get("fs").unwrap_or("ext2,ext3,xfs"), parse_fs)?;
+    let cache_capacities = parse_list(opts.get("cache").unwrap_or("410M"), parse_size)?;
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    let mut plan = RunPlan::quick(seed);
+    if let Some(runs) = opts.get("runs") {
+        plan.runs = runs
+            .parse::<u32>()
+            .map_err(|e| format!("bad --runs: {e}"))?;
+        if plan.runs == 0 {
+            return Err("--runs must be at least 1".into());
+        }
+    }
+    if let Some(d) = opts.get("duration") {
+        plan.duration = parse_duration(d)?;
+    }
+    if let Some(w) = opts.get("window") {
+        plan.window = parse_duration(w)?;
+    }
+    if let Some(j) = opts.get("jitter") {
+        plan.cache_jitter = parse_size(j)?;
+    }
+    let jobs = match opts.get("jobs") {
+        Some(j) => j.parse::<usize>().map_err(|e| format!("bad --jobs: {e}"))?,
+        None => std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
     };
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    // Validate output options before burning minutes on the campaign.
+    let format = opts.get("format").unwrap_or("ascii");
+    if !matches!(format, "ascii" | "csv" | "json") {
+        return Err(format!("unknown format {format:?}; use ascii|csv|json"));
+    }
+    let spec = SweepSpec {
+        name: opts.get("name").unwrap_or("sweep").to_string(),
+        personalities,
+        file_sizes,
+        file_counts,
+        filesystems,
+        cache_capacities,
+        plan,
+        device: parse_size(opts.get("device").unwrap_or("2G"))?,
+    };
+    let n_cells = spec.expand().len();
+    eprintln!(
+        "sweeping {} cells x {} runs on {} worker(s)...",
+        n_cells, spec.plan.runs, jobs
+    );
+    let report = run_campaign(&spec, jobs).map_err(|e| e.to_string())?;
+    let rendered = match format {
+        "csv" => report.to_csv(),
+        "json" => report.to_json().to_string(),
+        _ => report.render(),
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_nano(opts: &Opts) -> Result<(), String> {
+    let kind = parse_fs(opts.get("fs").unwrap_or("ext2"))?;
     let config = if opts.get("quick").is_some_and(|v| v == "true") {
         NanoConfig::quick()
     } else {
@@ -225,7 +315,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        other => Err(format!("unknown trace subcommand {other:?}; use record|replay")),
+        other => Err(format!(
+            "unknown trace subcommand {other:?}; use record|replay"
+        )),
     }
 }
 
@@ -238,14 +330,27 @@ USAGE:
                                  fileserver|varmail|postmark|metadata]
                      [--size 64M] [--files 100] [--duration 30s]
                      [--seed 0] [--prewarm true] [--warm true]
+  rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
+                     [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
+                     [--runs 3] [--duration 15s] [--window 3s] [--jitter 3M]
+                     [--jobs N] [--seed 0] [--device 2G] [--name NAME]
+                     [--format ascii|csv|json] [--out FILE]
   rocketbench nano   [--fs ext2|ext3|xfs] [--quick true]
   rocketbench table1
   rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
   rocketbench trace  replay --in FILE [--target sim:xfs]
   rocketbench help
 
+`sweep` runs the declarative campaign engine: the cross product of
+--workloads x --sizes (or --files for fileset workloads) x --fs x
+--cache, each cell repeated --runs times with per-cell deterministic
+seeds, sharded over --jobs worker threads. The report groups results by
+the paper's Section 2 dimensions; identical specs produce identical
+reports at any --jobs value.
+
 Paper-figure regenerators live in rb-bench:
   cargo run -p rb-bench --release --bin fig1|fig1zoom|fig2|fig3|fig4|scaling
+  (fig1/fig1zoom accept --jobs N and run as sharded campaigns)
 "
 }
 
@@ -257,6 +362,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "bench" => Opts::parse(rest).and_then(|o| cmd_bench(&o)),
+        "sweep" => Opts::parse(rest).and_then(|o| cmd_sweep(&o)),
         "nano" => Opts::parse(rest).and_then(|o| cmd_nano(&o)),
         "table1" => cmd_table1(),
         "trace" => cmd_trace(rest),
@@ -299,18 +405,22 @@ mod tests {
 
     #[test]
     fn opts_parser() {
-        let o = Opts::parse(&[
-            "--size".into(),
-            "64M".into(),
-            "--seed".into(),
-            "7".into(),
-        ])
-        .unwrap();
+        let o = Opts::parse(&["--size".into(), "64M".into(), "--seed".into(), "7".into()]).unwrap();
         assert_eq!(o.get("size"), Some("64M"));
         assert_eq!(o.get("seed"), Some("7"));
         assert_eq!(o.get("missing"), None);
         assert!(Opts::parse(&["oops".into()]).is_err());
         assert!(Opts::parse(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_list_splits_and_trims() {
+        let sizes = parse_list("64M, 256M ,1G", parse_size).unwrap();
+        assert_eq!(sizes, vec![Bytes::mib(64), Bytes::mib(256), Bytes::gib(1)]);
+        let fs = parse_list("ext2,xfs", parse_fs).unwrap();
+        assert_eq!(fs, vec![FsKind::Ext2, FsKind::Xfs]);
+        assert!(parse_list("ext2,zfs", parse_fs).is_err());
+        assert!(parse_list("", parse_fs).unwrap().is_empty());
     }
 
     #[test]

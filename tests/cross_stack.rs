@@ -115,8 +115,7 @@ fn filesystems_lay_out_differently() {
         layouts.push((kind.name(), ext.physical));
     }
     // At least two of the three place the file at different addresses.
-    let distinct: std::collections::HashSet<u64> =
-        layouts.iter().map(|&(_, b)| b).collect();
+    let distinct: std::collections::HashSet<u64> = layouts.iter().map(|&(_, b)| b).collect();
     assert!(distinct.len() >= 2, "all layouts identical: {layouts:?}");
 }
 
@@ -156,7 +155,11 @@ fn aging_degrades_sequential_bandwidth() {
     let mut aged = Ext2Fs::new(Ext2Config::for_blocks(65_536));
     age_filesystem(
         &mut aged,
-        &AgingConfig { live_files: 600, rounds: 12, ..Default::default() },
+        &AgingConfig {
+            live_files: 600,
+            rounds: 12,
+            ..Default::default()
+        },
     )
     .unwrap();
     let (ino, _) = aged.create("/big").unwrap();

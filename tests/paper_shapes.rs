@@ -124,10 +124,7 @@ fn e2_fig2_systems_differ_only_in_transition() {
     let end = div.last().unwrap().1;
     assert!(end < 1.10, "end divergence {end:.2}x");
     // Somewhere in the middle: >= 2x apart.
-    let max = div
-        .iter()
-        .map(|&(_, r)| r)
-        .fold(0.0f64, f64::max);
+    let max = div.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
     assert!(max >= 2.0, "max divergence only {max:.2}x");
     // Warm-up ordering: xfs (64 KiB clusters) warms fastest, ext2 (8 KiB)
     // slowest.
@@ -140,7 +137,10 @@ fn e2_fig2_systems_differ_only_in_transition() {
             .warmup_seconds
             .unwrap_or(f64::MAX)
     };
-    assert!(warmup("xfs") < warmup("ext2"), "xfs should warm before ext2");
+    assert!(
+        warmup("xfs") < warmup("ext2"),
+        "xfs should warm before ext2"
+    );
 }
 
 /// E3: histogram modality sequence — unimodal, balanced bimodal,
@@ -160,7 +160,10 @@ fn e3_fig3_modality_progression() {
     // (a) 64 MiB: in-memory, unimodal, microsecond peak.
     assert_eq!(h[0].modality, Modality::Unimodal);
     let mode_a = h[0].histogram.mode_bucket().unwrap();
-    assert!((10..=13).contains(&mode_a), "memory peak at bucket {mode_a}");
+    assert!(
+        (10..=13).contains(&mode_a),
+        "memory peak at bucket {mode_a}"
+    );
 
     // (b) 2x cache: bimodal with roughly equal peaks.
     assert_eq!(h[1].modality, Modality::Bimodal);
@@ -172,7 +175,10 @@ fn e3_fig3_modality_progression() {
     let mode_c = h[2].histogram.mode_bucket().unwrap();
     assert!((21..=25).contains(&mode_c), "disk peak at bucket {mode_c}");
     let hit_mass: f64 = (0..16).map(|k| h[2].histogram.fraction(k)).sum();
-    assert!(hit_mass < 0.05, "memory peak should be negligible: {hit_mass:.3}");
+    assert!(
+        hit_mass < 0.05,
+        "memory peak should be negligible: {hit_mass:.3}"
+    );
 }
 
 /// E4: the histogram timeline — hit mass monotonically (mod noise)

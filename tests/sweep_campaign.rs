@@ -1,0 +1,99 @@
+//! End-to-end campaign test: a tiny 2 x 2 sweep (two file sizes, two
+//! file systems) through the public facade API, exercising expansion,
+//! sharded execution, determinism across job counts, and every report
+//! format.
+
+use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
+use rocketbench::core::dimensions::{Coverage, Dimension};
+use rocketbench::core::runner::RunPlan;
+use rocketbench::core::testbed::FsKind;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+/// 2 sizes x 2 file systems, short runs: fast enough for debug-mode CI.
+fn two_by_two() -> SweepSpec {
+    let mut plan = RunPlan::quick(7);
+    plan.runs = 2;
+    plan.duration = Nanos::from_secs(3);
+    plan.window = Nanos::from_secs(1);
+    plan.tail_windows = 2;
+    SweepSpec {
+        name: "2x2".into(),
+        personalities: vec![Personality::RandomRead],
+        file_sizes: vec![Bytes::mib(4), Bytes::mib(96)],
+        file_counts: vec![10],
+        filesystems: vec![FsKind::Ext2, FsKind::Xfs],
+        cache_capacities: vec![Bytes::mib(48)],
+        plan,
+        device: Bytes::mib(512),
+    }
+}
+
+#[test]
+fn two_by_two_sweep_end_to_end() {
+    let spec = two_by_two();
+    assert_eq!(spec.expand().len(), 4);
+
+    let report = run_campaign(&spec, 2).expect("campaign runs");
+    assert_eq!(report.cells.len(), 4);
+    for cell in &report.cells {
+        assert_eq!(cell.samples.len(), 2);
+        assert!(cell.summary.mean > 0.0, "no throughput: {:?}", cell.cell);
+        assert_eq!(cell.errors, 0);
+    }
+
+    // The small file fits the 48 MiB cache, the large one does not: the
+    // campaign reproduces the paper's cliff within a single report.
+    let small_ext2 = &report.cells[0];
+    let large_ext2 = &report.cells[2];
+    assert_eq!(small_ext2.cell.file_size, Bytes::mib(4));
+    assert_eq!(large_ext2.cell.file_size, Bytes::mib(96));
+    assert!(
+        small_ext2.summary.mean > 3.0 * large_ext2.summary.mean,
+        "no cache cliff across cells: {} vs {}",
+        small_ext2.summary.mean,
+        large_ext2.summary.mean
+    );
+
+    // Random read isolates the caching dimension.
+    assert_eq!(
+        report.coverage().get(Dimension::Caching),
+        Coverage::Isolates
+    );
+    let groups = report.dimension_groups();
+    assert!(groups
+        .iter()
+        .any(|(d, s)| *d == Dimension::Caching && s.n == 4));
+}
+
+#[test]
+fn job_count_does_not_change_any_format() {
+    let spec = two_by_two();
+    let serial = run_campaign(&spec, 1).expect("serial campaign");
+    let sharded = run_campaign(&spec, 4).expect("sharded campaign");
+    assert_eq!(serial.to_csv(), sharded.to_csv());
+    assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+    for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.samples, b.samples);
+    }
+}
+
+#[test]
+fn report_formats_agree_on_cell_count() {
+    let spec = two_by_two();
+    let report = run_campaign(&spec, 4).expect("campaign runs");
+    // CSV: header + one line per cell.
+    assert_eq!(report.to_csv().lines().count(), 5);
+    // JSON: parseable shape markers without a JSON parser dependency.
+    let json = report.to_json().to_string();
+    assert_eq!(json.matches("\"fs\":").count(), 4);
+    assert!(json.contains("\"campaign\":\"2x2\""));
+    assert!(json.contains("\"coverage\":"));
+    // ASCII render: one table row per cell (the chart legend repeats
+    // the personality/fs pair but not the size).
+    let text = report.render();
+    assert_eq!(text.matches("randomread/4.0MiB").count(), 2);
+    assert_eq!(text.matches("randomread/96.0MiB").count(), 2);
+}

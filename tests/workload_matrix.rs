@@ -116,7 +116,10 @@ fn zipf_popularity_improves_hit_ratio() {
         // ~2000 files x ~12 KiB mean ≈ 24 MiB working set, 4 MiB cache:
         // capacity pressure is real, so popularity skew must show.
         t.set_cache_capacity_pages(1024);
-        Engine::run(&mut t, w, &cfg(4, 8)).unwrap().hit_ratio.unwrap()
+        Engine::run(&mut t, w, &cfg(4, 8))
+            .unwrap()
+            .hit_ratio
+            .unwrap()
     };
     let zipf_hits = run(&zipf_w);
     let uniform_hits = run(&uniform_w);
