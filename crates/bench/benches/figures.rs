@@ -9,7 +9,7 @@ use rb_core::figures::{
     Fig4Config,
 };
 use rb_core::nano::{run_suite, NanoConfig};
-use rb_core::runner::RunPlan;
+use rb_core::runner::{Protocol, RunPlan};
 use rb_core::survey::{render_table1, table1};
 use rb_core::testbed::FsKind;
 use rb_simcore::time::Nanos;
@@ -18,7 +18,7 @@ use rb_simcore::units::Bytes;
 /// A trimmed Figure 1: two sizes (one per regime), one run each.
 fn tiny_fig1_config() -> Fig1Config {
     let mut plan = RunPlan::paper_fig1(0);
-    plan.runs = 1;
+    plan.protocol = Protocol::FixedRuns(1);
     plan.duration = Nanos::from_secs(20);
     plan.tail_windows = 1;
     Fig1Config {
@@ -37,7 +37,7 @@ fn bench_fig1(c: &mut Criterion) {
     });
     group.bench_function("fig1zoom_three_points", |b| {
         let mut cfg = Fig1ZoomConfig::quick();
-        cfg.plan.runs = 1;
+        cfg.plan.protocol = Protocol::FixedRuns(1);
         cfg.plan.duration = Nanos::from_secs(20);
         cfg.plan.tail_windows = 1;
         cfg.step = Bytes::mib(32);

@@ -5,30 +5,37 @@
 //! concurrently (one experiment cell per size, sharded over `--jobs N`
 //! workers, default: all cores) with deterministic per-cell seeds.
 //!
-//! Usage: `cargo run -p rb-bench --release --bin fig1 [-- --quick] [--jobs N]`
+//! Usage: `cargo run -p rb-bench --release --bin fig1 [-- --quick] [--jobs N]
+//!         [--protocol fixed|adaptive] [--runs N] [--ci 2%] [--min-runs 5]
+//!         [--max-runs 30]`
 
-use rb_bench::{jobs_requested, quick_requested, write_results};
+use rb_bench::{jobs_requested, protocol_requested, quick_requested, write_results};
 use rb_core::figures::{fig1_campaign, render_fig1, Fig1Config};
 use rb_core::report::{to_csv, to_gnuplot};
 
 fn main() {
-    let config = if quick_requested() {
+    let mut config = if quick_requested() {
         Fig1Config::quick()
     } else {
         Fig1Config::paper()
     };
+    if let Some(protocol) = protocol_requested() {
+        config.plan.protocol = protocol;
+    }
     let jobs = jobs_requested();
     eprintln!(
-        "fig1: {} sizes x {} runs of {}s virtual each on {} worker(s)...",
+        "fig1: {} sizes under {} at {}s virtual per run on {} worker(s)...",
         config.sizes.len(),
-        config.plan.runs,
+        config.plan.protocol,
         config.plan.duration.as_secs(),
         jobs
     );
     let data = fig1_campaign(&config, jobs).expect("fig1 experiment");
     print!("{}", render_fig1(&data));
 
-    // Machine-readable outputs.
+    // Machine-readable outputs. Under an adaptive protocol the sample
+    // count varies per point; rows are ragged-right and the header
+    // covers the widest row.
     let rows: Vec<Vec<String>> = data
         .points
         .iter()
@@ -42,8 +49,14 @@ fn main() {
             row
         })
         .collect();
+    let widest = data
+        .points
+        .iter()
+        .map(|p| p.samples.len())
+        .max()
+        .unwrap_or(0);
     let mut headers = vec!["size_mib", "mean_ops_per_sec", "rsd_percent"];
-    let run_names: Vec<String> = (0..config.plan.runs).map(|i| format!("run{i}")).collect();
+    let run_names: Vec<String> = (0..widest).map(|i| format!("run{i}")).collect();
     headers.extend(run_names.iter().map(|s| s.as_str()));
     write_results("fig1.csv", &to_csv(&headers, &rows));
 

@@ -4,22 +4,27 @@
 //! The fine-grained size ladder is expressed as a campaign spec and
 //! sharded over `--jobs N` workers (default: all cores).
 //!
-//! Usage: `cargo run -p rb-bench --release --bin fig1zoom [-- --quick] [--jobs N]`
+//! Usage: `cargo run -p rb-bench --release --bin fig1zoom [-- --quick] [--jobs N]
+//!         [--protocol fixed|adaptive] [--runs N] [--ci 2%] [--min-runs 5]
+//!         [--max-runs 30]`
 
-use rb_bench::{jobs_requested, quick_requested, write_results};
+use rb_bench::{jobs_requested, protocol_requested, quick_requested, write_results};
 use rb_core::figures::{fig1_zoom_campaign, render_fig1, Fig1ZoomConfig};
 use rb_core::report::to_csv;
 
 fn main() {
-    let config = if quick_requested() {
+    let mut config = if quick_requested() {
         Fig1ZoomConfig::quick()
     } else {
         Fig1ZoomConfig::paper()
     };
+    if let Some(protocol) = protocol_requested() {
+        config.plan.protocol = protocol;
+    }
     let jobs = jobs_requested();
     eprintln!(
-        "fig1zoom: {}..{} step {} on {} worker(s)...",
-        config.lo, config.hi, config.step, jobs
+        "fig1zoom: {}..{} step {} under {} on {} worker(s)...",
+        config.lo, config.hi, config.step, config.plan.protocol, jobs
     );
     let data = fig1_zoom_campaign(&config, jobs).expect("fig1 zoom experiment");
     print!("{}", render_fig1(&data));

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use rb_core::runner::Protocol;
 use std::path::{Path, PathBuf};
 
 /// Returns true if `--quick` was passed on the command line.
@@ -45,6 +46,54 @@ pub fn jobs_requested() -> usize {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+/// Value of a `--flag value` / `--flag=value` pair, if present.
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    args.iter()
+        .position(|a| *a == long)
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&prefixed).map(str::to_string))
+        })
+}
+
+/// Repetition-protocol override from the command line, if any:
+/// `--protocol fixed|adaptive` with `--runs N` (fixed) or
+/// `--ci 2% --min-runs 5 --max-runs 30 --confidence 95%` (adaptive),
+/// parsed by the same [`Protocol::from_flags`] the `rocketbench` CLI
+/// uses (the fixed default here is the paper's 10 runs). Invalid values
+/// are a one-line hard error (exit 2), never a panic or a silent
+/// fallback.
+pub fn protocol_requested() -> Option<Protocol> {
+    let (protocol, runs) = (flag_value("protocol"), flag_value("runs"));
+    let (ci, min_runs) = (flag_value("ci"), flag_value("min-runs"));
+    let (max_runs, confidence) = (flag_value("max-runs"), flag_value("confidence"));
+    if [&protocol, &runs, &ci, &min_runs, &max_runs, &confidence]
+        .iter()
+        .all(|f| f.is_none())
+    {
+        return None;
+    }
+    let flags = rb_core::runner::ProtocolFlags {
+        protocol: protocol.as_deref(),
+        runs: runs.as_deref(),
+        ci: ci.as_deref(),
+        min_runs: min_runs.as_deref(),
+        max_runs: max_runs.as_deref(),
+        confidence: confidence.as_deref(),
+    };
+    match Protocol::from_flags(&flags, 10) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -17,13 +17,13 @@
 //!
 //! ```
 //! use rb_core::campaign::{run_campaign, Personality, SweepSpec};
-//! use rb_core::runner::RunPlan;
+//! use rb_core::runner::{Protocol, RunPlan};
 //! use rb_core::testbed::FsKind;
 //! use rb_simcore::time::Nanos;
 //! use rb_simcore::units::Bytes;
 //!
 //! let mut plan = RunPlan::quick(7);
-//! plan.runs = 1;
+//! plan.protocol = Protocol::FixedRuns(1);
 //! plan.duration = Nanos::from_secs(2);
 //! let spec = SweepSpec {
 //!     name: "doc".into(),
@@ -39,11 +39,12 @@
 
 use crate::dimensions::{Coverage, CoverageProfile, Dimension};
 use crate::report::{self, Json};
-use crate::runner::{run_many, MultiRun, RunPlan};
+use crate::runner::{run_many, MultiRun, RunPlan, Verdict};
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Workload};
 use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::units::Bytes;
+use rb_stats::bootstrap::Interval;
 use rb_stats::summary::Summary;
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -202,6 +203,13 @@ pub struct SweepSpec {
     /// Minimum formatted device size (grown per cell when a file would
     /// not fit comfortably).
     pub device: Bytes,
+    /// Optional shared run budget for the whole campaign. Divided
+    /// evenly across cells *before* execution (each cell's protocol is
+    /// capped at `budget / n_cells` runs, floored at one), so the cap —
+    /// like everything else — depends only on the spec, never on
+    /// scheduling order, and reports stay byte-identical at any
+    /// `--jobs` count.
+    pub run_budget: Option<u64>,
 }
 
 impl Default for SweepSpec {
@@ -217,6 +225,7 @@ impl Default for SweepSpec {
             cache_capacities: vec![testbed::PAPER_CACHE],
             plan: RunPlan::quick(0),
             device: Bytes::gib(1),
+            run_budget: None,
         }
     }
 }
@@ -335,6 +344,14 @@ pub struct CellResult {
     pub samples: Vec<f64>,
     /// Steady-state throughput summary across the cell's runs.
     pub summary: Summary,
+    /// Bootstrap CI on the mean, at the protocol's confidence level.
+    pub ci: Option<Interval>,
+    /// Why the cell's experiment stopped (converged / max-runs /
+    /// mixed-regime / fixed).
+    pub verdict: Verdict,
+    /// Runs actually executed — under an adaptive protocol this varies
+    /// per cell (stable cells stop early; fragile ones run long).
+    pub runs: u32,
     /// Mean cache hit ratio across runs, when the target reports one.
     pub hit_ratio: Option<f64>,
     /// Total failed operations across runs.
@@ -359,6 +376,9 @@ impl CellResult {
             seed,
             samples: mr.samples(),
             summary: mr.summary.clone(),
+            ci: mr.ci,
+            verdict: mr.verdict,
+            runs: mr.runs(),
             hit_ratio,
             errors,
         }
@@ -419,8 +439,12 @@ impl CampaignReport {
                     c.cell.fs.name().to_string(),
                     c.cell.cache.as_mib().to_string(),
                     format!("{}", c.seed),
+                    c.runs.to_string(),
                     format!("{:.1}", c.summary.mean),
                     format!("{:.3}", c.summary.rsd_percent),
+                    c.ci.map(|ci| format!("{:.1}", ci.lo)).unwrap_or_default(),
+                    c.ci.map(|ci| format!("{:.1}", ci.hi)).unwrap_or_default(),
+                    c.verdict.label().to_string(),
                     format!("{:.1}", c.summary.min),
                     format!("{:.1}", c.summary.max),
                     c.hit_ratio.map(|h| format!("{h:.4}")).unwrap_or_default(),
@@ -436,8 +460,12 @@ impl CampaignReport {
                 "fs",
                 "cache_mib",
                 "seed",
+                "runs",
                 "mean_ops_per_sec",
                 "rsd_percent",
+                "ci_lo",
+                "ci_hi",
+                "verdict",
                 "min",
                 "max",
                 "hit_ratio",
@@ -460,12 +488,25 @@ impl CampaignReport {
                     ("fs", Json::Str(c.cell.fs.name().into())),
                     ("cache_bytes", Json::Num(c.cell.cache.as_u64() as f64)),
                     ("seed", Json::Num(c.seed as f64)),
+                    ("runs", Json::Num(c.runs as f64)),
                     (
                         "samples",
                         Json::Arr(c.samples.iter().map(|&s| Json::Num(s)).collect()),
                     ),
                     ("mean_ops_per_sec", Json::Num(c.summary.mean)),
                     ("rsd_percent", Json::Num(c.summary.rsd_percent)),
+                    (
+                        "ci",
+                        match c.ci {
+                            Some(ci) => Json::obj(vec![
+                                ("lo", Json::Num(ci.lo)),
+                                ("hi", Json::Num(ci.hi)),
+                                ("rel_width", Json::Num(ci.rel_width())),
+                            ]),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("verdict", Json::Str(c.verdict.label().into())),
                     ("min", Json::Num(c.summary.min)),
                     ("max", Json::Num(c.summary.max)),
                     (
@@ -518,18 +559,24 @@ impl CampaignReport {
                     } else {
                         format!("{}", c.cell.cache)
                     },
+                    c.runs.to_string(),
                     format!("{:.0}", c.summary.mean),
                     format!("{:.1}", c.summary.rsd_percent),
+                    c.ci.map(|ci| format!("±{:.0}", ci.half_width()))
+                        .unwrap_or_else(|| "-".into()),
                     format!("{:.0}", c.summary.min),
                     format!("{:.0}", c.summary.max),
                     c.hit_ratio
                         .map(|h| format!("{h:.3}"))
                         .unwrap_or_else(|| "-".into()),
+                    c.verdict.label().to_string(),
                 ]
             })
             .collect();
         out.push_str(&report::text_table(
-            &["cell", "cache", "ops/s", "rsd%", "min", "max", "hits"],
+            &[
+                "cell", "cache", "n", "ops/s", "rsd%", "ci", "min", "max", "hits", "verdict",
+            ],
             &rows,
         ));
         out.push('\n');
@@ -623,11 +670,15 @@ fn working_set_estimate(workload: &Workload) -> Bytes {
     Bytes::new(total as u64)
 }
 
-/// Executes one cell under the campaign's plan.
-fn run_cell(spec: &SweepSpec, cell: &Cell) -> SimResult<CellResult> {
+/// Executes one cell under the campaign's plan. `run_cap` is the
+/// per-cell share of the campaign's run budget, if one was set.
+fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<CellResult> {
     let workload = cell.personality.workload(cell.file_size, cell.files);
     let seed = cell.seed(spec.plan.base_seed);
     let mut plan = spec.plan.clone().with_base_seed(seed);
+    if let Some(cap) = run_cap {
+        plan.protocol = plan.protocol.capped(cap);
+    }
     plan.cache_capacity = if cell.cache.is_zero() {
         None
     } else {
@@ -659,11 +710,20 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
             "sweep expands to zero cells; every axis needs at least one value".into(),
         ));
     }
-    if spec.plan.runs == 0 {
-        return Err(SimError::InvalidOperation(
-            "sweep plan needs at least one run per cell".into(),
+    spec.plan.protocol.validate()?;
+    if spec.run_budget == Some(0) {
+        return Err(SimError::BadConfig(
+            "campaign run budget must be at least 1".into(),
         ));
     }
+    // A shared run budget divides evenly across cells up front: the cap
+    // is a function of the spec alone, so scheduling can never leak into
+    // the results. (Redistributing unused runs from early-converging
+    // cells would couple cells through completion order — exactly the
+    // nondeterminism the campaign engine exists to exclude.)
+    let run_cap = spec
+        .run_budget
+        .map(|budget| ((budget / cells.len() as u64).max(1)).min(u32::MAX as u64) as u32);
     let jobs = jobs.clamp(1, cells.len());
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
@@ -679,7 +739,7 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let result = run_cell(spec, cell);
+                let result = run_cell(spec, cell, run_cap);
                 if result.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -716,12 +776,13 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::Protocol;
     use rb_simcore::time::Nanos;
 
     /// A spec small enough for debug-mode unit tests.
     fn tiny_spec() -> SweepSpec {
         let mut plan = RunPlan::quick(42);
-        plan.runs = 2;
+        plan.protocol = Protocol::FixedRuns(2);
         plan.duration = Nanos::from_secs(2);
         plan.window = Nanos::from_secs(1);
         plan.tail_windows = 2;
@@ -734,6 +795,7 @@ mod tests {
             cache_capacities: vec![Bytes::mib(64)],
             plan,
             device: Bytes::mib(256),
+            run_budget: None,
         }
     }
 
@@ -853,7 +915,7 @@ mod tests {
         // Derived seeds span the full u64 range; run indexing must wrap.
         let w = crate::workload::personalities::random_read(Bytes::mib(2));
         let plan = RunPlan {
-            runs: 3,
+            protocol: Protocol::FixedRuns(3),
             duration: Nanos::from_secs(1),
             window: Nanos::from_secs(1),
             tail_windows: 1,
@@ -875,8 +937,46 @@ mod tests {
     #[test]
     fn zero_runs_is_an_error_not_a_panic() {
         let mut spec = tiny_spec();
-        spec.plan.runs = 0;
+        spec.plan.protocol = Protocol::FixedRuns(0);
         assert!(run_campaign(&spec, 1).is_err());
+    }
+
+    #[test]
+    fn run_budget_caps_cells_deterministically() {
+        let mut spec = tiny_spec();
+        spec.plan.protocol = Protocol::FixedRuns(3);
+        // 4 cells, budget 4: one run each.
+        spec.run_budget = Some(4);
+        let capped = run_campaign(&spec, 2).unwrap();
+        assert!(capped.cells.iter().all(|c| c.runs == 1), "cap ignored");
+        // Identical at any job count.
+        let serial = run_campaign(&spec, 1).unwrap();
+        assert_eq!(serial.to_csv(), capped.to_csv());
+        // A generous budget changes nothing.
+        spec.run_budget = Some(1000);
+        let roomy = run_campaign(&spec, 2).unwrap();
+        assert!(roomy.cells.iter().all(|c| c.runs == 3));
+        // A zero budget is a config error, not a silent 1-run campaign.
+        spec.run_budget = Some(0);
+        assert!(run_campaign(&spec, 2).is_err());
+    }
+
+    #[test]
+    fn report_carries_verdicts_and_cis() {
+        let report = run_campaign(&tiny_spec(), 2).unwrap();
+        for c in &report.cells {
+            assert_eq!(c.verdict, Verdict::Fixed);
+            assert_eq!(c.runs, 2);
+            let ci = c.ci.expect("bootstrap ci");
+            assert!(ci.lo <= c.summary.mean && c.summary.mean <= ci.hi);
+        }
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().contains("verdict"));
+        assert!(csv.contains(",fixed,"));
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"verdict\":\"fixed\""));
+        assert!(json.contains("\"ci\":{\"lo\":"));
+        assert!(report.render().contains("verdict"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! same *shape*, which is what the reproduction is judged on.
 
 use crate::analysis::{FragilityReport, WarmupReport};
-use crate::runner::{run_many, RunPlan};
+use crate::runner::{run_many, Protocol, RunPlan};
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Engine, EngineConfig};
 use rb_simcore::error::SimResult;
@@ -47,7 +47,7 @@ impl Fig1Config {
     /// A minutes-scale variant for tests: fewer sizes, shorter runs.
     pub fn quick() -> Self {
         let mut plan = RunPlan::paper_fig1(0);
-        plan.runs = 3;
+        plan.protocol = Protocol::FixedRuns(3);
         plan.duration = Nanos::from_secs(60);
         plan.tail_windows = 2;
         Fig1Config {
@@ -131,6 +131,7 @@ pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
         cache_capacities,
         plan: config.plan.clone(),
         device: config.device,
+        run_budget: None,
     };
     let report = crate::campaign::run_campaign(&spec, jobs)?;
     let points: Vec<Fig1Point> = report
@@ -211,7 +212,7 @@ impl Fig1ZoomConfig {
     /// The paper's zoom: 384 MB → 448 MB, fine steps.
     pub fn paper() -> Self {
         let mut plan = RunPlan::paper_fig1(50_000);
-        plan.runs = 5;
+        plan.protocol = Protocol::FixedRuns(5);
         Fig1ZoomConfig {
             lo: Bytes::mib(384),
             hi: Bytes::mib(448),
@@ -225,7 +226,7 @@ impl Fig1ZoomConfig {
     pub fn quick() -> Self {
         let mut cfg = Self::paper();
         cfg.step = Bytes::mib(8);
-        cfg.plan.runs = 2;
+        cfg.plan.protocol = Protocol::FixedRuns(2);
         cfg.plan.duration = Nanos::from_secs(60);
         cfg.plan.tail_windows = 2;
         cfg
@@ -672,7 +673,7 @@ mod tests {
     #[test]
     fn fig1_campaign_matches_across_job_counts() {
         let mut plan = RunPlan::paper_fig1(0);
-        plan.runs = 2;
+        plan.protocol = Protocol::FixedRuns(2);
         plan.duration = Nanos::from_secs(20);
         plan.tail_windows = 2;
         let config = Fig1Config {

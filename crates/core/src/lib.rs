@@ -11,7 +11,8 @@
 //!   directory.
 //! * [`testbed`] — the paper's Xeon + Maxtor + 512 MiB machine, prewired.
 //! * [`workload`] — Filebench-style flowops and personalities.
-//! * [`runner`] — the 10-runs-with-jitter protocol and summaries.
+//! * [`runner`] — run protocols (fixed-N and convergence-driven), the
+//!   stateful `Experiment` driver, verdicts and summaries.
 //! * [`figures`] — reproduction drivers for Figures 1–4.
 //! * [`nano`] — the Section 4 nano-benchmark suite.
 //! * [`analysis`] — regimes, fragility, warm-up, sound comparisons.
@@ -66,7 +67,9 @@ pub mod prelude {
         Fig2Config, Fig2Data, Fig3Config, Fig3Data, Fig4Config, Fig4Data,
     };
     pub use crate::nano::{run_suite, NanoConfig, NanoReport};
-    pub use crate::runner::{run_many, MultiRun, RunOutcome, RunPlan};
+    pub use crate::runner::{
+        run_many, Experiment, ExperimentStatus, MultiRun, Protocol, RunOutcome, RunPlan, Verdict,
+    };
     pub use crate::scaling::{thread_scaling, ScalingConfig, ScalingCurve, ScalingPoint};
     pub use crate::survey::{render_table1, table1, SurveyRow};
     pub use crate::target::{RealFsTarget, SimTarget, Target};

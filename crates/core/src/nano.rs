@@ -15,12 +15,17 @@
 
 use crate::analysis::WarmupReport;
 use crate::dimensions::Dimension;
+use crate::runner::{Protocol, Verdict};
 use crate::target::{SimTarget, Target};
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Engine, EngineConfig};
 use rb_simcore::error::SimResult;
+use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::{Bytes, PAGE_SIZE};
+use rb_stats::bootstrap::{bootstrap_mean_ci, Interval};
+use rb_stats::sequential::{self, Decision};
+use rb_stats::summary::Summary;
 use std::fmt::Write as _;
 
 /// Suite configuration.
@@ -367,6 +372,155 @@ pub fn run_suite(fs: FsKind, config: &NanoConfig) -> SimResult<NanoReport> {
     })
 }
 
+/// One metric aggregated across repeated suite runs.
+#[derive(Debug, Clone)]
+pub struct NanoMetricSummary {
+    /// Component the metric belongs to.
+    pub component: &'static str,
+    /// Dimension the component isolates.
+    pub dimension: Dimension,
+    /// Metric name.
+    pub name: &'static str,
+    /// Unit.
+    pub unit: &'static str,
+    /// Cross-run summary (mean, RSD, extremes).
+    pub summary: Summary,
+    /// Bootstrap CI on the mean, when computable.
+    pub ci: Option<Interval>,
+}
+
+/// The nano suite executed under a repetition [`Protocol`]: every
+/// metric reported as a distribution (mean ± CI), never a single
+/// number — with an explicit verdict on whether the headline metric
+/// converged.
+#[derive(Debug, Clone)]
+pub struct NanoProtocolReport {
+    /// System under test.
+    pub target: String,
+    /// Protocol the suite ran under.
+    pub protocol: Protocol,
+    /// Individual suite runs, in run order.
+    pub runs: Vec<NanoReport>,
+    /// Per-metric cross-run aggregates, in suite order.
+    pub metrics: Vec<NanoMetricSummary>,
+    /// Verdict from the stopping rule applied to the headline metric.
+    pub verdict: Verdict,
+}
+
+/// The metric the adaptive stopping rule watches: the in-memory read
+/// path's throughput (the suite's most repeatable headline figure).
+const HEADLINE: (&str, &str) = ("in-memory-read", "throughput");
+
+/// Runs the suite repeatedly under `protocol` (run `i` uses
+/// `config.seed + i`), aggregating every metric across runs. Under
+/// [`Protocol::Adaptive`] the stopping rule watches the headline
+/// in-memory throughput metric and stops as soon as its bootstrap CI
+/// meets the target.
+pub fn run_suite_protocol(
+    fs: FsKind,
+    config: &NanoConfig,
+    protocol: &Protocol,
+) -> SimResult<NanoProtocolReport> {
+    protocol.validate()?;
+    let rule = protocol.stopping_rule();
+    let mut runs: Vec<NanoReport> = Vec::new();
+    let mut headline: Vec<f64> = Vec::new();
+    let verdict = loop {
+        let n = runs.len() as u32;
+        match &rule {
+            None => {
+                if n >= protocol.max_runs() {
+                    break Verdict::Fixed;
+                }
+            }
+            Some(rule) => {
+                let mut rng = Rng::new(config.seed).fork("nano-sequential");
+                match sequential::evaluate(&headline, rule, &mut rng) {
+                    Decision::Continue => {}
+                    Decision::Converged(_) => break Verdict::Converged,
+                    Decision::Exhausted(_) => break Verdict::MaxRuns,
+                }
+            }
+        }
+        let mut run_config = config.clone();
+        run_config.seed = config.seed.wrapping_add(n as u64);
+        let report = run_suite(fs, &run_config)?;
+        headline.push(
+            report
+                .component(HEADLINE.0)
+                .and_then(|r| r.metric(HEADLINE.1))
+                .unwrap_or(0.0),
+        );
+        runs.push(report);
+    };
+    let first = runs.first().expect("protocol guarantees at least one run");
+    let mut metrics = Vec::new();
+    for r in &first.results {
+        for m in &r.metrics {
+            let samples: Vec<f64> = runs
+                .iter()
+                .filter_map(|run| run.component(r.component).and_then(|c| c.metric(m.name)))
+                .collect();
+            let Some(summary) = Summary::from_sample(&samples) else {
+                continue;
+            };
+            let mut rng =
+                Rng::new(config.seed).fork(&format!("nano-ci/{}/{}", r.component, m.name));
+            let ci = bootstrap_mean_ci(&samples, 1000, 1.0 - protocol.confidence(), &mut rng);
+            metrics.push(NanoMetricSummary {
+                component: r.component,
+                dimension: r.dimension,
+                name: m.name,
+                unit: m.unit,
+                summary,
+                ci,
+            });
+        }
+    }
+    Ok(NanoProtocolReport {
+        target: first.target.clone(),
+        protocol: *protocol,
+        runs,
+        metrics,
+        verdict,
+    })
+}
+
+/// Renders the protocol-aggregated report: one line per metric with
+/// mean ± CI and cross-run RSD.
+pub fn render_protocol_report(report: &NanoProtocolReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Nano-benchmark suite: {} [{} -> {} run{}, {}]",
+        report.target,
+        report.protocol,
+        report.runs.len(),
+        if report.runs.len() == 1 { "" } else { "s" },
+        report.verdict
+    );
+    let _ = writeln!(
+        out,
+        "(one component per dimension; distributions, not single numbers)"
+    );
+    let mut current = "";
+    for m in &report.metrics {
+        if m.component != current {
+            current = m.component;
+            let _ = writeln!(out, "  [{}] {}", m.dimension.label(), m.component);
+        }
+        let ci =
+            m.ci.map(|ci| format!("±{:.2}", ci.half_width()))
+                .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "      {:<20} {:>14.2} {:>10} ({:>5.1}% rsd) {}",
+            m.name, m.summary.mean, ci, m.summary.rsd_percent, m.unit
+        );
+    }
+    out
+}
+
 /// Renders the multi-dimensional report.
 pub fn render_report(report: &NanoReport) -> String {
     let mut out = String::new();
@@ -431,6 +585,29 @@ mod tests {
             seq_mibs > 5.0 * rnd_mibs,
             "sequential {seq_mibs} MiB/s not ≫ random {rnd_mibs} MiB/s"
         );
+    }
+
+    #[test]
+    fn protocol_suite_aggregates_metrics() {
+        let mut cfg = NanoConfig::quick();
+        cfg.duration = Nanos::from_secs(5);
+        cfg.working_file = Bytes::mib(32);
+        let rep = run_suite_protocol(FsKind::Ext2, &cfg, &Protocol::FixedRuns(2)).unwrap();
+        assert_eq!(rep.runs.len(), 2);
+        assert_eq!(rep.verdict, Verdict::Fixed);
+        let m = rep
+            .metrics
+            .iter()
+            .find(|m| m.component == "in-memory-read" && m.name == "throughput")
+            .expect("headline metric aggregated");
+        assert_eq!(m.summary.n, 2);
+        let ci = m.ci.expect("bootstrap ci");
+        assert!(ci.lo <= m.summary.mean && m.summary.mean <= ci.hi);
+        let render = render_protocol_report(&rep);
+        assert!(render.contains("fixed(2)"));
+        assert!(render.contains("rsd"));
+        // Zero-run protocols are rejected, not looped forever.
+        assert!(run_suite_protocol(FsKind::Ext2, &cfg, &Protocol::FixedRuns(0)).is_err());
     }
 
     #[test]

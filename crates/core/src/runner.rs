@@ -1,31 +1,299 @@
-//! Multi-run experiment execution.
+//! Multi-run experiment execution: fixed-N and convergence-driven.
 //!
-//! The paper's methodology for Figure 1: "For each file size we ran the
-//! benchmark 10 times … to ensure steady-state results we report only the
-//! last minute." The runner makes that protocol explicit and reusable:
-//! N runs with distinct seeds, optional per-run cache-capacity jitter
-//! (modelling the OS's few-megabyte memory wobble that the paper blames
-//! for 35 % RSD), tail-window reporting, and a cross-run summary.
+//! The paper's methodology for Figure 1 was folklore made explicit: "we
+//! ran the benchmark 10 times … to ensure steady-state results we report
+//! only the last minute". This module keeps that protocol available —
+//! byte-for-byte, for exact figure reproduction — as
+//! [`Protocol::FixedRuns`], and adds what the paper (and Hasselbring's
+//! *Benchmarking as Empirical Standard*) actually asks for:
+//! [`Protocol::Adaptive`], a sequential protocol that detects each run's
+//! warm-up with a changepoint test instead of a fixed tail window, keeps
+//! adding runs until the bootstrap confidence interval on the mean is
+//! narrower than a target, and records an explicit [`Verdict`]
+//! (converged / hit the run ceiling / refused because the runs straddle
+//! performance regimes) on every [`MultiRun`].
+//!
+//! The stateful driver is [`Experiment`]; [`run_many`] remains the
+//! one-call convenience wrapper.
 
+use crate::analysis::Regime;
 use crate::target::Target;
 use crate::workload::{Engine, EngineConfig, Recording, Workload};
-use rb_simcore::error::SimResult;
+use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::{Bytes, PAGE_SIZE};
+use rb_stats::bootstrap::{bootstrap_mean_ci, Interval};
+use rb_stats::changepoint::steady_state_start;
+use rb_stats::sequential::{self, Decision, StoppingRule};
 use rb_stats::summary::Summary;
+
+/// RSD limit (%) used by the adaptive protocol's per-run warm-up
+/// detection: steady state starts at the first window from which the
+/// remaining suffix stays within this relative standard deviation.
+pub const WARMUP_RSD_LIMIT: f64 = 5.0;
+
+/// Bootstrap resamples used for the final reported interval.
+const REPORT_RESAMPLES: usize = 1000;
+
+/// How the number of repetitions is decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Protocol {
+    /// Exactly N runs — the paper's "ran it 10 times" folklore, kept for
+    /// exact reproduction of the pre-refactor figures.
+    FixedRuns(u32),
+    /// Convergence-driven: run at least `min_runs`, stop as soon as the
+    /// `confidence`-level bootstrap CI on the mean steady-state
+    /// throughput is narrower than `ci_rel_width` (relative to the
+    /// mean), give up explicitly at `max_runs`.
+    Adaptive {
+        /// Floor on the number of runs (sequential CIs on tiny samples
+        /// are unreliable).
+        min_runs: u32,
+        /// Ceiling on the number of runs; hitting it yields
+        /// [`Verdict::MaxRuns`], never a silent success.
+        max_runs: u32,
+        /// Target relative CI width (e.g. `0.02` = 2 % of the mean).
+        ci_rel_width: f64,
+        /// Confidence level of the interval (e.g. `0.95`).
+        confidence: f64,
+    },
+}
+
+impl Protocol {
+    /// The default adaptive protocol: 5–30 runs, 2 % CI at 95 %.
+    pub fn adaptive_default() -> Protocol {
+        Protocol::Adaptive {
+            min_runs: 5,
+            max_runs: 30,
+            ci_rel_width: 0.02,
+            confidence: 0.95,
+        }
+    }
+
+    /// Upper bound on runs this protocol can execute.
+    pub fn max_runs(&self) -> u32 {
+        match *self {
+            Protocol::FixedRuns(n) => n,
+            Protocol::Adaptive { max_runs, .. } => max_runs,
+        }
+    }
+
+    /// Lower bound on runs this protocol will execute.
+    pub fn min_runs(&self) -> u32 {
+        match *self {
+            Protocol::FixedRuns(n) => n,
+            Protocol::Adaptive { min_runs, .. } => min_runs,
+        }
+    }
+
+    /// True for the convergence-driven variant.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Protocol::Adaptive { .. })
+    }
+
+    /// Checks the protocol for nonsense configurations.
+    pub fn validate(&self) -> SimResult<()> {
+        match *self {
+            Protocol::FixedRuns(0) => Err(SimError::BadConfig(
+                "protocol needs at least one run".into(),
+            )),
+            Protocol::FixedRuns(_) => Ok(()),
+            Protocol::Adaptive {
+                min_runs,
+                max_runs,
+                ci_rel_width,
+                confidence,
+            } => StoppingRule::new(min_runs, max_runs, ci_rel_width, confidence)
+                .validate()
+                .map_err(SimError::BadConfig),
+        }
+    }
+
+    /// The same protocol with its run count capped at `cap` (floored at
+    /// one run). Used by campaigns to divide a shared run budget across
+    /// cells deterministically.
+    pub fn capped(&self, cap: u32) -> Protocol {
+        let cap = cap.max(1);
+        match *self {
+            Protocol::FixedRuns(n) => Protocol::FixedRuns(n.min(cap)),
+            Protocol::Adaptive {
+                min_runs,
+                max_runs,
+                ci_rel_width,
+                confidence,
+            } => Protocol::Adaptive {
+                min_runs: min_runs.min(cap),
+                max_runs: max_runs.min(cap),
+                ci_rel_width,
+                confidence,
+            },
+        }
+    }
+
+    /// The stopping rule for the adaptive variant; `None` for fixed-N.
+    pub fn stopping_rule(&self) -> Option<StoppingRule> {
+        match *self {
+            Protocol::FixedRuns(_) => None,
+            Protocol::Adaptive {
+                min_runs,
+                max_runs,
+                ci_rel_width,
+                confidence,
+            } => Some(StoppingRule::new(
+                min_runs,
+                max_runs,
+                ci_rel_width,
+                confidence,
+            )),
+        }
+    }
+
+    /// Confidence level used for the reported interval.
+    pub fn confidence(&self) -> f64 {
+        match *self {
+            Protocol::FixedRuns(_) => 0.95,
+            Protocol::Adaptive { confidence, .. } => confidence,
+        }
+    }
+
+    /// Parses a percentage like `2%`, `2`, or `0.5%` into a fraction
+    /// (`0.02`, `0.02`, `0.005`). The value is always read as percent;
+    /// the `%` suffix is optional.
+    pub fn parse_percent(s: &str) -> Result<f64, String> {
+        let digits = s.trim().trim_end_matches('%').trim();
+        let v = digits
+            .parse::<f64>()
+            .map_err(|_| format!("bad percentage {s:?}; expected e.g. 2% or 0.5"))?;
+        if !(v > 0.0 && v < 100.0) {
+            return Err(format!("percentage {s:?} must be in (0, 100)"));
+        }
+        Ok(v / 100.0)
+    }
+
+    /// Builds a protocol from command-line flag values — the one parser
+    /// behind both the `rocketbench` CLI and the rb-bench regenerators,
+    /// so the flag semantics cannot drift between them. Every error is
+    /// a single human-readable line.
+    pub fn from_flags(
+        flags: &ProtocolFlags<'_>,
+        default_fixed_runs: u32,
+    ) -> Result<Protocol, String> {
+        let parse_runs = |flag: &str, v: &str| -> Result<u32, String> {
+            match v.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("bad --{flag}: {v:?} is not a positive run count")),
+            }
+        };
+        match flags.protocol.unwrap_or("fixed") {
+            "fixed" => {
+                for (name, value) in [
+                    ("ci", flags.ci),
+                    ("min-runs", flags.min_runs),
+                    ("max-runs", flags.max_runs),
+                    ("confidence", flags.confidence),
+                ] {
+                    if value.is_some() {
+                        return Err(format!("--{name} only applies to --protocol adaptive"));
+                    }
+                }
+                let runs = match flags.runs {
+                    Some(v) => parse_runs("runs", v)?,
+                    None => default_fixed_runs,
+                };
+                Ok(Protocol::FixedRuns(runs))
+            }
+            "adaptive" => {
+                if flags.runs.is_some() {
+                    return Err("--runs sets a fixed count; with --protocol adaptive use \
+                         --min-runs/--max-runs"
+                        .into());
+                }
+                let Protocol::Adaptive {
+                    mut min_runs,
+                    mut max_runs,
+                    mut ci_rel_width,
+                    mut confidence,
+                } = Protocol::adaptive_default()
+                else {
+                    unreachable!("adaptive_default is adaptive")
+                };
+                if let Some(v) = flags.ci {
+                    ci_rel_width = Protocol::parse_percent(v).map_err(|e| format!("--ci: {e}"))?;
+                }
+                if let Some(v) = flags.min_runs {
+                    min_runs = parse_runs("min-runs", v)?;
+                }
+                if let Some(v) = flags.max_runs {
+                    max_runs = parse_runs("max-runs", v)?;
+                }
+                if let Some(v) = flags.confidence {
+                    confidence =
+                        Protocol::parse_percent(v).map_err(|e| format!("--confidence: {e}"))?;
+                }
+                let protocol = Protocol::Adaptive {
+                    min_runs,
+                    max_runs,
+                    ci_rel_width,
+                    confidence,
+                };
+                protocol.validate().map_err(|e| e.to_string())?;
+                Ok(protocol)
+            }
+            other => Err(format!("unknown protocol {other:?}; use fixed or adaptive")),
+        }
+    }
+}
+
+/// Raw command-line flag values feeding [`Protocol::from_flags`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProtocolFlags<'a> {
+    /// `--protocol` (`fixed` | `adaptive`); `None` defaults to fixed.
+    pub protocol: Option<&'a str>,
+    /// `--runs` (fixed protocol only).
+    pub runs: Option<&'a str>,
+    /// `--ci` (adaptive only), a percentage.
+    pub ci: Option<&'a str>,
+    /// `--min-runs` (adaptive only).
+    pub min_runs: Option<&'a str>,
+    /// `--max-runs` (adaptive only).
+    pub max_runs: Option<&'a str>,
+    /// `--confidence` (adaptive only), a percentage.
+    pub confidence: Option<&'a str>,
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Protocol::FixedRuns(n) => write!(f, "fixed({n})"),
+            Protocol::Adaptive {
+                min_runs,
+                max_runs,
+                ci_rel_width,
+                confidence,
+            } => write!(
+                f,
+                "adaptive({min_runs}..{max_runs}, ci {:.1}% @ {:.0}%)",
+                ci_rel_width * 100.0,
+                confidence * 100.0
+            ),
+        }
+    }
+}
 
 /// Protocol for a repeated experiment.
 #[derive(Debug, Clone)]
 pub struct RunPlan {
-    /// Number of repetitions.
-    pub runs: u32,
+    /// How many repetitions, and how that is decided.
+    pub protocol: Protocol,
     /// Measured duration per run.
     pub duration: Nanos,
     /// Throughput sampling window.
     pub window: Nanos,
-    /// Windows from the end used for steady-state reporting
-    /// ("the last minute" = 6 × 10 s windows).
+    /// Windows from the end used for steady-state reporting under
+    /// [`Protocol::FixedRuns`] ("the last minute" = 6 × 10 s windows).
+    /// The adaptive protocol detects warm-up per run instead and only
+    /// falls back to this when detection fails.
     pub tail_windows: usize,
     /// Base seed; run `i` uses `base_seed.wrapping_add(i)` (campaigns
     /// derive base seeds spanning the full `u64` range).
@@ -44,7 +312,7 @@ pub struct RunPlan {
 impl Default for RunPlan {
     fn default() -> Self {
         RunPlan {
-            runs: 10,
+            protocol: Protocol::FixedRuns(10),
             duration: Nanos::from_secs(180),
             window: Nanos::from_secs(10),
             tail_windows: 6,
@@ -63,7 +331,7 @@ impl RunPlan {
     /// way, and the simulator's warm-up completes within a minute).
     pub fn paper_fig1(base_seed: u64) -> Self {
         RunPlan {
-            runs: 10,
+            protocol: Protocol::FixedRuns(10),
             duration: Nanos::from_secs(180),
             window: Nanos::from_secs(10),
             tail_windows: 6,
@@ -81,7 +349,7 @@ impl RunPlan {
     /// per cell.
     pub fn quick(base_seed: u64) -> Self {
         RunPlan {
-            runs: 3,
+            protocol: Protocol::FixedRuns(3),
             duration: Nanos::from_secs(15),
             window: Nanos::from_secs(3),
             tail_windows: 3,
@@ -97,6 +365,12 @@ impl RunPlan {
     /// each cell with its derived, scheduling-independent seed.
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
+        self
+    }
+
+    /// The same plan under a different repetition protocol.
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -123,8 +397,59 @@ pub struct RunOutcome {
     pub seed: u64,
     /// Cache capacity in effect (pages), if controlled.
     pub cache_pages: Option<u64>,
-    /// Steady-state throughput (tail-window mean).
+    /// Steady-state throughput. Under [`Protocol::FixedRuns`] this is
+    /// the tail-window mean (the paper's "last minute"); under
+    /// [`Protocol::Adaptive`] it is the mean over the windows after the
+    /// detected warm-up changepoint.
     pub steady_ops_per_sec: f64,
+    /// Window index where steady state was detected to begin
+    /// (changepoint over the throughput series). `None` when the run
+    /// never held steady for at least `tail_windows` windows.
+    pub steady_from_window: Option<usize>,
+    /// The performance regime this run executed in.
+    pub regime: Regime,
+}
+
+/// Why a multi-run experiment stopped, and whether its aggregate is
+/// trustworthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Fixed-N protocol: no stopping rule was applied (the pre-refactor
+    /// behavior, kept for exact reproduction).
+    Fixed,
+    /// Adaptive protocol: the CI met its target within the run bounds.
+    Converged,
+    /// Adaptive protocol: `max_runs` reached without convergence. The
+    /// aggregate is reported, but flagged.
+    MaxRuns,
+    /// The runs straddle performance regimes (memory- vs disk-bound):
+    /// the mean describes neither, so the experiment refuses to bless
+    /// it. The paper's Section 3.1 failure mode, detected.
+    MixedRegime,
+}
+
+impl Verdict {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Fixed => "fixed",
+            Verdict::Converged => "converged",
+            Verdict::MaxRuns => "max-runs",
+            Verdict::MixedRegime => "mixed-regime",
+        }
+    }
+
+    /// Whether the aggregate behind this verdict is methodologically
+    /// sound to quote as a single mean.
+    pub fn is_sound(self) -> bool {
+        matches!(self, Verdict::Fixed | Verdict::Converged)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// A completed multi-run experiment.
@@ -134,6 +459,11 @@ pub struct MultiRun {
     pub outcomes: Vec<RunOutcome>,
     /// Summary of steady-state throughput across runs.
     pub summary: Summary,
+    /// Why the experiment stopped.
+    pub verdict: Verdict,
+    /// Bootstrap CI on the mean steady-state throughput (at the
+    /// protocol's confidence level), when computable.
+    pub ci: Option<Interval>,
 }
 
 impl MultiRun {
@@ -142,31 +472,92 @@ impl MultiRun {
         self.outcomes.iter().map(|o| o.steady_ops_per_sec).collect()
     }
 
+    /// Number of runs executed.
+    pub fn runs(&self) -> u32 {
+        self.outcomes.len() as u32
+    }
+
     /// Relative standard deviation (%) across runs — Figure 1's right
-    /// axis.
+    /// axis. A spread needs at least two samples; fewer report `0.0`
+    /// (never `NaN` — `Moments` defines the zero-sample-variance and
+    /// zero-mean cases, and the tests below pin the contract).
     pub fn rsd_percent(&self) -> f64 {
         self.summary.rsd_percent
     }
 }
 
-/// Runs `workload` `plan.runs` times, building a fresh target per run via
-/// `make_target(seed)`.
-pub fn run_many<T, F>(
-    mut make_target: F,
-    workload: &Workload,
-    plan: &RunPlan,
-) -> SimResult<MultiRun>
+/// What an [`Experiment`] decided after the most recent run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentStatus {
+    /// More runs are needed.
+    Continue,
+    /// The experiment is complete with this verdict.
+    Done(Verdict),
+}
+
+/// A stateful multi-run experiment driver.
+///
+/// Owns the workload and plan, executes one run at a time
+/// ([`Experiment::run_next`]), and evaluates the plan's protocol after
+/// each ([`Experiment::status`]). [`Experiment::run_to_completion`]
+/// drives the loop to a [`MultiRun`]; [`run_many`] wraps construction
+/// and completion in one call.
+///
+/// Every run's seed derives from `plan.base_seed + run_index`, and the
+/// stopping rule's bootstrap derives from `plan.base_seed` alone, so an
+/// experiment is a pure function of (plan, workload, target factory) —
+/// campaigns can schedule cells in any order on any number of workers
+/// without changing a single byte of output.
+pub struct Experiment<T, F>
 where
     T: Target,
     F: FnMut(u64) -> T,
 {
-    let mut outcomes = Vec::with_capacity(plan.runs as usize);
-    for i in 0..plan.runs {
-        let seed = plan.base_seed.wrapping_add(i as u64);
-        let mut target = make_target(seed);
+    make_target: F,
+    workload: Workload,
+    plan: RunPlan,
+    outcomes: Vec<RunOutcome>,
+}
+
+impl<T, F> Experiment<T, F>
+where
+    T: Target,
+    F: FnMut(u64) -> T,
+{
+    /// Creates a driver, validating the plan's protocol.
+    pub fn new(make_target: F, workload: &Workload, plan: &RunPlan) -> SimResult<Self> {
+        plan.protocol.validate()?;
+        Ok(Experiment {
+            make_target,
+            workload: workload.clone(),
+            plan: plan.clone(),
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// Runs completed so far.
+    pub fn completed_runs(&self) -> u32 {
+        self.outcomes.len() as u32
+    }
+
+    /// Steady-state samples collected so far.
+    pub fn samples(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.steady_ops_per_sec).collect()
+    }
+
+    /// The outcomes collected so far.
+    pub fn outcomes(&self) -> &[RunOutcome] {
+        &self.outcomes
+    }
+
+    /// Executes the next run.
+    pub fn run_next(&mut self) -> SimResult<&RunOutcome> {
+        let i = self.outcomes.len() as u32;
+        let seed = self.plan.base_seed.wrapping_add(i as u64);
+        let mut target = (self.make_target)(seed);
         // Per-run memory pressure: capacity = nominal ± jitter.
-        let cache_pages = plan.cache_capacity.map(|base| {
-            let jitter = plan.cache_jitter.as_u64();
+        let cache_pages = self.plan.cache_capacity.map(|base| {
+            let jitter = self.plan.cache_jitter.as_u64();
             let mut rng = Rng::new(seed).fork("cache-jitter");
             let delta = if jitter == 0 {
                 0
@@ -178,21 +569,125 @@ where
             target.set_cache_capacity_pages(pages);
             pages
         });
-        let config = plan.engine_config(i);
-        let recording = Engine::run(&mut target, workload, &config)?;
-        let steady = recording
-            .tail_ops_per_sec(plan.tail_windows)
-            .unwrap_or_else(|| recording.ops_per_sec());
-        outcomes.push(RunOutcome {
+        let config = self.plan.engine_config(i);
+        let recording = Engine::run(&mut target, &self.workload, &config)?;
+        let ys: Vec<f64> = recording.windows.iter().map(|w| w.ops_per_sec).collect();
+        // Changepoint-detected warm-up end. `steady_state_start` accepts
+        // any trailing suffix (a 1-window suffix is trivially "stable"),
+        // so demand the steady phase cover at least `tail_windows`
+        // windows — a shorter one means the run never really settled,
+        // and averaging a couple of windows would be a far noisier
+        // sample than the tail rule.
+        let min_steady = self.plan.tail_windows.max(1);
+        let steady_from_window =
+            steady_state_start(&ys, WARMUP_RSD_LIMIT).filter(|&s| ys.len() - s >= min_steady);
+        let steady = if self.plan.protocol.is_adaptive() {
+            // Average the detected steady phase; fall back to the
+            // tail-window rule (then the whole run) when the series
+            // never stabilizes for long enough.
+            steady_from_window
+                .map(|s| ys[s..].iter().sum::<f64>() / (ys.len() - s) as f64)
+                .or_else(|| recording.tail_ops_per_sec(self.plan.tail_windows))
+                .unwrap_or_else(|| recording.ops_per_sec())
+        } else {
+            recording
+                .tail_ops_per_sec(self.plan.tail_windows)
+                .unwrap_or_else(|| recording.ops_per_sec())
+        };
+        let regime = Regime::classify(&recording);
+        self.outcomes.push(RunOutcome {
             recording,
             seed,
             cache_pages,
             steady_ops_per_sec: steady,
+            steady_from_window,
+            regime,
         });
+        Ok(self.outcomes.last().expect("just pushed"))
     }
-    let samples: Vec<f64> = outcomes.iter().map(|o| o.steady_ops_per_sec).collect();
-    let summary = Summary::from_sample(&samples).expect("at least one run");
-    Ok(MultiRun { outcomes, summary })
+
+    /// Do the collected runs straddle performance regimes?
+    fn regimes_mixed(&self) -> bool {
+        let first = match self.outcomes.first() {
+            Some(o) => o.regime,
+            None => return false,
+        };
+        self.outcomes.iter().any(|o| o.regime != first)
+    }
+
+    /// Evaluates the protocol against the runs collected so far.
+    pub fn status(&self) -> ExperimentStatus {
+        let n = self.completed_runs();
+        match self.plan.protocol.stopping_rule() {
+            None => {
+                if n < self.plan.protocol.max_runs() {
+                    ExperimentStatus::Continue
+                } else if self.regimes_mixed() {
+                    ExperimentStatus::Done(Verdict::MixedRegime)
+                } else {
+                    ExperimentStatus::Done(Verdict::Fixed)
+                }
+            }
+            Some(rule) => {
+                if n < rule.min_runs {
+                    return ExperimentStatus::Continue;
+                }
+                // A sample that straddles regimes is bimodal: no amount
+                // of extra runs makes its mean meaningful. Refuse early
+                // instead of burning the rest of the budget.
+                if self.regimes_mixed() {
+                    return ExperimentStatus::Done(Verdict::MixedRegime);
+                }
+                let mut rng = Rng::new(self.plan.base_seed).fork("sequential-ci");
+                match sequential::evaluate(&self.samples(), &rule, &mut rng) {
+                    Decision::Continue => ExperimentStatus::Continue,
+                    Decision::Converged(_) => ExperimentStatus::Done(Verdict::Converged),
+                    Decision::Exhausted(_) => ExperimentStatus::Done(Verdict::MaxRuns),
+                }
+            }
+        }
+    }
+
+    /// Drives the experiment until its protocol says stop, then
+    /// aggregates.
+    pub fn run_to_completion(mut self) -> SimResult<MultiRun> {
+        loop {
+            match self.status() {
+                ExperimentStatus::Continue => {
+                    self.run_next()?;
+                }
+                ExperimentStatus::Done(verdict) => {
+                    return self.finish(verdict);
+                }
+            }
+        }
+    }
+
+    /// Aggregates the collected runs into a [`MultiRun`].
+    fn finish(self, verdict: Verdict) -> SimResult<MultiRun> {
+        let samples = self.samples();
+        let summary = Summary::from_sample(&samples)
+            .ok_or_else(|| SimError::BadConfig("experiment finished with zero runs".into()))?;
+        let mut rng = Rng::new(self.plan.base_seed).fork("bootstrap-ci");
+        let alpha = 1.0 - self.plan.protocol.confidence();
+        let ci = bootstrap_mean_ci(&samples, REPORT_RESAMPLES, alpha, &mut rng);
+        Ok(MultiRun {
+            outcomes: self.outcomes,
+            summary,
+            verdict,
+            ci,
+        })
+    }
+}
+
+/// Runs `workload` under `plan`'s protocol, building a fresh target per
+/// run via `make_target(seed)`.
+pub fn run_many<T, F>(make_target: F, workload: &Workload, plan: &RunPlan) -> SimResult<MultiRun>
+where
+    T: Target,
+    F: FnMut(u64) -> T,
+{
+    Experiment::new(make_target, workload, plan)?.run_to_completion()
 }
 
 #[cfg(test)]
@@ -203,7 +698,7 @@ mod tests {
 
     fn quick_plan(runs: u32, secs: u64) -> RunPlan {
         RunPlan {
-            runs,
+            protocol: Protocol::FixedRuns(runs),
             duration: Nanos::from_secs(secs),
             window: Nanos::from_secs(1),
             tail_windows: 3,
@@ -212,6 +707,18 @@ mod tests {
             cache_jitter: Bytes::mib(3),
             cold_start: true,
             prewarm: true,
+        }
+    }
+
+    fn adaptive_plan(min: u32, max: u32, ci: f64, secs: u64) -> RunPlan {
+        RunPlan {
+            protocol: Protocol::Adaptive {
+                min_runs: min,
+                max_runs: max,
+                ci_rel_width: ci,
+                confidence: 0.95,
+            },
+            ..quick_plan(0, secs)
         }
     }
 
@@ -227,6 +734,9 @@ mod tests {
         assert_eq!(mr.outcomes.len(), 4);
         assert_eq!(mr.summary.n, 4);
         assert!(mr.summary.mean > 1000.0);
+        assert_eq!(mr.verdict, Verdict::Fixed);
+        let ci = mr.ci.expect("bootstrap ci");
+        assert!(ci.contains(ci.point));
         // Distinct seeds produced distinct cache capacities.
         let caps: std::collections::HashSet<_> =
             mr.outcomes.iter().map(|o| o.cache_pages.unwrap()).collect();
@@ -244,6 +754,11 @@ mod tests {
         .unwrap();
         // Memory-bound: RSD well under 2 %, as in the paper's left region.
         assert!(mr.rsd_percent() < 2.0, "rsd {}", mr.rsd_percent());
+        // And all runs classify into the same (memory) regime.
+        assert!(mr
+            .outcomes
+            .iter()
+            .all(|o| o.regime == crate::analysis::Regime::MemoryBound));
     }
 
     #[test]
@@ -270,5 +785,177 @@ mod tests {
         };
         let mr = run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
         assert!(mr.outcomes.iter().all(|o| o.cache_pages.is_none()));
+    }
+
+    #[test]
+    fn zero_runs_is_an_error_not_a_panic() {
+        let w = personalities::random_read(Bytes::mib(4));
+        let plan = quick_plan(0, 2);
+        assert!(run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).is_err());
+    }
+
+    #[test]
+    fn rsd_is_zero_never_nan_for_single_run() {
+        let w = personalities::random_read(Bytes::mib(4));
+        let mr = run_many(
+            |seed| testbed::paper_ext2(Bytes::gib(1), seed),
+            &w,
+            &quick_plan(1, 3),
+        )
+        .unwrap();
+        assert_eq!(mr.outcomes.len(), 1);
+        let rsd = mr.rsd_percent();
+        assert!(rsd == 0.0 && !rsd.is_nan(), "rsd {rsd}");
+    }
+
+    #[test]
+    fn adaptive_stable_workload_converges_before_max() {
+        // Memory-bound: ~0.5 % RSD, so a 5 % CI target converges at the
+        // minimum run count.
+        let w = personalities::random_read(Bytes::mib(8));
+        let mr = run_many(
+            |seed| testbed::paper_ext2(Bytes::gib(1), seed),
+            &w,
+            &adaptive_plan(3, 12, 0.05, 6),
+        )
+        .unwrap();
+        assert_eq!(mr.verdict, Verdict::Converged);
+        assert!(
+            mr.runs() < 12,
+            "stable workload burned the whole budget: {} runs",
+            mr.runs()
+        );
+        let ci = mr.ci.expect("ci");
+        assert!(ci.rel_width() <= 0.05, "ci rel width {}", ci.rel_width());
+    }
+
+    #[test]
+    fn adaptive_detects_warmup_per_run() {
+        let w = personalities::random_read(Bytes::mib(8));
+        let plan = adaptive_plan(3, 6, 0.05, 6);
+        let mr = run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
+        for o in &mr.outcomes {
+            // Prewarmed in-memory runs stabilize quickly — and the
+            // detected steady phase must cover at least the tail-window
+            // span (a shorter suffix does not count as "detected").
+            let s = o.steady_from_window.expect("steady state detected");
+            let windows = o.recording.windows.len();
+            assert!(
+                windows - s >= plan.tail_windows,
+                "steady suffix too short: start {s} of {windows}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_too_short_steady_phase_falls_back_to_tail_rule() {
+        // With fewer windows than tail_windows, no suffix can satisfy
+        // the minimum steady-phase length: detection must report None
+        // (a trivially "stable" 1-window suffix does not count) and the
+        // steady sample must come from the tail-window rule, never from
+        // averaging a couple of trailing windows.
+        let mut plan = adaptive_plan(1, 1, 0.05, 4);
+        plan.window = Nanos::from_secs(1);
+        plan.tail_windows = 6;
+        let w = personalities::random_read(Bytes::mib(8));
+        let mr = run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
+        let o = &mr.outcomes[0];
+        assert!(o.recording.windows.len() < plan.tail_windows);
+        assert_eq!(
+            o.steady_from_window, None,
+            "a sub-tail-length suffix must not count as steady"
+        );
+        let tail = o.recording.tail_ops_per_sec(plan.tail_windows).unwrap();
+        assert_eq!(o.steady_ops_per_sec, tail);
+    }
+
+    #[test]
+    fn experiment_is_resumable_and_matches_run_many() {
+        let w = personalities::random_read(Bytes::mib(4));
+        let plan = quick_plan(3, 3);
+        let mut exp =
+            Experiment::new(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
+        while exp.status() == ExperimentStatus::Continue {
+            exp.run_next().unwrap();
+        }
+        assert_eq!(exp.status(), ExperimentStatus::Done(Verdict::Fixed));
+        let stepped = exp.run_to_completion().unwrap();
+        let direct = run_many(|seed| testbed::paper_ext2(Bytes::gib(1), seed), &w, &plan).unwrap();
+        assert_eq!(stepped.samples(), direct.samples());
+        assert_eq!(stepped.verdict, direct.verdict);
+    }
+
+    #[test]
+    fn protocol_validation_and_capping() {
+        assert!(Protocol::FixedRuns(0).validate().is_err());
+        assert!(Protocol::FixedRuns(1).validate().is_ok());
+        assert!(Protocol::adaptive_default().validate().is_ok());
+        let bad = Protocol::Adaptive {
+            min_runs: 10,
+            max_runs: 5,
+            ci_rel_width: 0.02,
+            confidence: 0.95,
+        };
+        assert!(bad.validate().is_err());
+        assert_eq!(Protocol::FixedRuns(10).capped(3), Protocol::FixedRuns(3));
+        assert_eq!(Protocol::FixedRuns(2).capped(0), Protocol::FixedRuns(1));
+        match Protocol::adaptive_default().capped(4) {
+            Protocol::Adaptive {
+                min_runs, max_runs, ..
+            } => {
+                assert_eq!((min_runs, max_runs), (4, 4));
+            }
+            other => panic!("capping changed the variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_from_flags_shared_parser() {
+        let empty = ProtocolFlags::default();
+        assert_eq!(
+            Protocol::from_flags(&empty, 10).unwrap(),
+            Protocol::FixedRuns(10)
+        );
+        assert_eq!(
+            Protocol::from_flags(&empty, 3).unwrap(),
+            Protocol::FixedRuns(3)
+        );
+        let adaptive = ProtocolFlags {
+            protocol: Some("adaptive"),
+            ci: Some("2%"),
+            max_runs: Some("30"),
+            ..Default::default()
+        };
+        assert_eq!(
+            Protocol::from_flags(&adaptive, 10).unwrap(),
+            Protocol::adaptive_default()
+        );
+        // Mismatched flags are one-line errors, regardless of caller.
+        let mixed = ProtocolFlags {
+            ci: Some("2%"),
+            ..Default::default()
+        };
+        assert!(Protocol::from_flags(&mixed, 10).is_err());
+        let fixed_runs_with_adaptive = ProtocolFlags {
+            protocol: Some("adaptive"),
+            runs: Some("5"),
+            ..Default::default()
+        };
+        assert!(Protocol::from_flags(&fixed_runs_with_adaptive, 10).is_err());
+        let unknown = ProtocolFlags {
+            protocol: Some("warp"),
+            ..Default::default()
+        };
+        assert!(Protocol::from_flags(&unknown, 10).is_err());
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::FixedRuns(10).to_string(), "fixed(10)");
+        let label = Protocol::adaptive_default().to_string();
+        assert!(label.contains("adaptive(5..30"), "{label}");
+        assert_eq!(Verdict::MixedRegime.label(), "mixed-regime");
+        assert!(Verdict::Converged.is_sound());
+        assert!(!Verdict::MaxRuns.is_sound());
     }
 }

@@ -74,6 +74,24 @@ pub enum TraceOp {
     Unlink(String),
 }
 
+impl TraceOp {
+    /// The path the operation addresses.
+    pub fn path(&self) -> &str {
+        match self {
+            TraceOp::Create(p)
+            | TraceOp::Mkdir(p)
+            | TraceOp::Open(p)
+            | TraceOp::Close(p)
+            | TraceOp::Fsync(p)
+            | TraceOp::Stat(p)
+            | TraceOp::Unlink(p) => p,
+            TraceOp::Read { path, .. }
+            | TraceOp::Write { path, .. }
+            | TraceOp::SetSize { path, .. } => path,
+        }
+    }
+}
+
 /// A recorded trace.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -83,7 +101,21 @@ pub struct Trace {
 
 impl Trace {
     /// Serializes to the portable text format.
-    pub fn to_text(&self) -> String {
+    ///
+    /// The format is whitespace-separated, so paths containing
+    /// whitespace (or empty paths, or `#`-prefixed paths that would
+    /// read back as comments) cannot round-trip; serializing them is an
+    /// error rather than a silently corrupted trace.
+    pub fn to_text(&self) -> SimResult<String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            let path = op.path();
+            if path.is_empty() || path.starts_with('#') || path.chars().any(|c| c.is_whitespace()) {
+                return Err(SimError::BadConfig(format!(
+                    "op {i}: path {path:?} cannot be represented in the \
+                     whitespace-separated trace format"
+                )));
+            }
+        }
         let mut out = String::from("# rocketbench-trace v1\n");
         for op in &self.ops {
             match op {
@@ -119,11 +151,11 @@ impl Trace {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Parses the text format. Unknown lines are errors; comments and
-    /// blank lines are skipped.
+    /// Parses the text format. Unknown lines, missing fields and
+    /// trailing junk are errors; comments and blank lines are skipped.
     pub fn from_text(text: &str) -> SimResult<Trace> {
         let mut ops = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -174,6 +206,16 @@ impl Trace {
                     )))
                 }
             };
+            // A path with whitespace serializes into extra tokens; the
+            // old parser silently ignored them, so such a trace parsed
+            // into *different* operations than were recorded. Reject
+            // trailing junk instead.
+            if let Some(extra) = parts.next() {
+                return Err(SimError::BadConfig(format!(
+                    "line {}: trailing token {extra:?} after {verb}",
+                    lineno + 1
+                )));
+            }
             ops.push(op);
         }
         Ok(Trace { ops })
@@ -423,36 +465,71 @@ mod tests {
     use crate::testbed;
     use crate::workload::{personalities, Engine, EngineConfig};
 
+    /// One instance of every [`TraceOp`] variant.
+    fn all_variants() -> Vec<TraceOp> {
+        vec![
+            TraceOp::Mkdir("/d".into()),
+            TraceOp::Create("/d/f".into()),
+            TraceOp::Open("/d/f".into()),
+            TraceOp::SetSize {
+                path: "/d/f".into(),
+                size: 65536,
+            },
+            TraceOp::Read {
+                path: "/d/f".into(),
+                offset: 8192,
+                len: 4096,
+            },
+            TraceOp::Write {
+                path: "/d/f".into(),
+                offset: 0,
+                len: 4096,
+            },
+            TraceOp::Fsync("/d/f".into()),
+            TraceOp::Stat("/d/f".into()),
+            TraceOp::Close("/d/f".into()),
+            TraceOp::Unlink("/d/f".into()),
+        ]
+    }
+
     #[test]
     fn text_roundtrip() {
         let trace = Trace {
-            ops: vec![
-                TraceOp::Mkdir("/d".into()),
-                TraceOp::Create("/d/f".into()),
-                TraceOp::Open("/d/f".into()),
-                TraceOp::SetSize {
-                    path: "/d/f".into(),
-                    size: 65536,
-                },
-                TraceOp::Read {
-                    path: "/d/f".into(),
-                    offset: 8192,
-                    len: 4096,
-                },
-                TraceOp::Write {
-                    path: "/d/f".into(),
-                    offset: 0,
-                    len: 4096,
-                },
-                TraceOp::Fsync("/d/f".into()),
-                TraceOp::Stat("/d/f".into()),
-                TraceOp::Close("/d/f".into()),
-                TraceOp::Unlink("/d/f".into()),
-            ],
+            ops: all_variants(),
         };
-        let text = trace.to_text();
+        let text = trace.to_text().unwrap();
         let parsed = Trace::from_text(&text).unwrap();
         assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn every_variant_roundtrips_individually() {
+        // serialize -> parse -> serialize must be a fixed point for each
+        // variant on its own (not just for the combined trace).
+        for op in all_variants() {
+            let trace = Trace { ops: vec![op] };
+            let text = trace.to_text().unwrap();
+            let parsed = Trace::from_text(&text).unwrap();
+            assert_eq!(parsed, trace, "asymmetry for {text:?}");
+            assert_eq!(parsed.to_text().unwrap(), text, "reserialize differs");
+        }
+    }
+
+    #[test]
+    fn whitespace_paths_are_rejected_at_serialization() {
+        // A path with a space would serialize into extra tokens and
+        // parse back as a *different* operation; to_text refuses.
+        for bad in ["/a b", "", " ", "/x\ty", "/new\nline", "#comment"] {
+            let trace = Trace {
+                ops: vec![TraceOp::Create(bad.into())],
+            };
+            assert!(trace.to_text().is_err(), "accepted path {bad:?}");
+        }
+        // And the parser refuses the trailing tokens such a line would
+        // contain, instead of silently dropping them.
+        assert!(Trace::from_text("create /a b").is_err());
+        assert!(Trace::from_text("read /x 0 4096 junk").is_err());
+        assert!(Trace::from_text("unlink /x /y").is_err());
     }
 
     #[test]

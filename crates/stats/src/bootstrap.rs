@@ -24,6 +24,28 @@ impl Interval {
         self.hi - self.lo
     }
 
+    /// Half the width — the `±` figure quoted next to a mean.
+    pub fn half_width(&self) -> f64 {
+        self.width() / 2.0
+    }
+
+    /// Width relative to the point estimate's magnitude — the quantity a
+    /// sequential stopping rule compares against its target ("stop once
+    /// the CI is narrower than 2 % of the mean"). Infinite for a zero
+    /// point estimate with a non-degenerate interval.
+    pub fn rel_width(&self) -> f64 {
+        let denom = self.point.abs();
+        if denom < f64::EPSILON {
+            if self.width().abs() < f64::EPSILON {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.width() / denom
+        }
+    }
+
     /// Returns true if the interval contains `x`.
     pub fn contains(&self, x: f64) -> bool {
         (self.lo..=self.hi).contains(&x)
@@ -175,5 +197,29 @@ mod tests {
         let ci = bootstrap_mean_ci(&[3.0], 100, 0.05, &mut Rng::new(5)).unwrap();
         assert_eq!(ci.lo, 3.0);
         assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    fn relative_and_half_widths() {
+        let ci = Interval {
+            lo: 98.0,
+            point: 100.0,
+            hi: 103.0,
+        };
+        assert!((ci.half_width() - 2.5).abs() < 1e-12);
+        assert!((ci.rel_width() - 0.05).abs() < 1e-12);
+        // Degenerate zero-point intervals stay well-defined.
+        let flat = Interval {
+            lo: 0.0,
+            point: 0.0,
+            hi: 0.0,
+        };
+        assert_eq!(flat.rel_width(), 0.0);
+        let wide = Interval {
+            lo: -1.0,
+            point: 0.0,
+            hi: 1.0,
+        };
+        assert!(wide.rel_width().is_infinite());
     }
 }

@@ -177,7 +177,7 @@ impl Log2Histogram {
     /// half the L1 distance between the two bucket distributions.
     ///
     /// 0 means identical profiles, 1 means disjoint. This is the OSprof
-    /// (paper reference [6]) notion of comparing latency *profiles*
+    /// (paper reference \[6\]) notion of comparing latency *profiles*
     /// rather than means: two systems with equal averages but different
     /// peak structure are far apart here.
     pub fn total_variation_distance(&self, other: &Log2Histogram) -> f64 {

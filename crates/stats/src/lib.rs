@@ -3,9 +3,9 @@
 //! The statistical machinery the paper says file-system benchmarking
 //! lacks: OSprof-style log2 latency histograms, streaming moments and
 //! relative standard deviation, distribution-free bootstrap intervals,
-//! peak/modality analysis, cliff and changepoint detection, windowed
-//! throughput time series, and Welch's t-test for defensible two-system
-//! comparisons.
+//! sequential (convergence-driven) stopping rules, peak/modality
+//! analysis, cliff and changepoint detection, windowed throughput time
+//! series, and Welch's t-test for defensible two-system comparisons.
 //!
 //! Everything here is deterministic: randomized procedures (the
 //! bootstrap) take an explicit [`rb_simcore::rng::Rng`].
@@ -19,6 +19,7 @@ pub mod compare;
 pub mod histogram;
 pub mod moments;
 pub mod peaks;
+pub mod sequential;
 pub mod summary;
 pub mod timeseries;
 
@@ -32,6 +33,7 @@ pub mod prelude {
     pub use crate::histogram::{bucket_label, bucket_midpoint, Log2Histogram, BUCKETS};
     pub use crate::moments::Moments;
     pub use crate::peaks::{bimodal_balance, classify_modality, find_peaks, Modality, Peak};
+    pub use crate::sequential::{evaluate, Decision, StoppingRule};
     pub use crate::summary::{percentile, percentile_sorted, Summary};
     pub use crate::timeseries::{tail_mean_ops_per_sec, Window, WindowedSeries};
 }

@@ -14,7 +14,7 @@ use rb_simcore::units::Bytes;
 /// Measures steady-state random-read throughput: N runs on one kind.
 fn sample(kind: FsKind, size: Bytes, runs: u32) -> (Vec<f64>, Regime) {
     let plan = RunPlan {
-        runs,
+        protocol: Protocol::FixedRuns(runs),
         duration: Nanos::from_secs(60),
         window: Nanos::from_secs(10),
         tail_windows: 3,

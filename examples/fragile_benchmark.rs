@@ -15,7 +15,7 @@ fn main() {
     // 10 runs per size, ±3 MiB cache jitter: the few megabytes of OS
     // memory wobble the paper says you cannot control.
     let plan = RunPlan {
-        runs: 10,
+        protocol: Protocol::FixedRuns(10),
         duration: Nanos::from_secs(90),
         window: Nanos::from_secs(10),
         tail_windows: 6,
@@ -42,7 +42,15 @@ fn main() {
             &plan,
         )
         .expect("experiment");
-        println!("  {:>9}  {}", format!("{size}"), mr.summary.render());
+        // The verdict is the harness noticing regime-straddling runs on
+        // its own: fragile sizes report "mixed-regime", stable ones
+        // "fixed" (no stopping rule under FixedRuns).
+        println!(
+            "  {:>9}  {}  [{}]",
+            format!("{size}"),
+            mr.summary.render(),
+            mr.verdict
+        );
         sweep.push((size.as_mib_f64(), mr.samples()));
     }
 

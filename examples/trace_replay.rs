@@ -26,7 +26,7 @@ fn main() {
     };
     Engine::run(&mut recorder, &workload, &config).expect("record");
     let trace = recorder.finish();
-    let text = trace.to_text();
+    let text = trace.to_text().expect("engine paths are whitespace-free");
     println!(
         "recorded {} operations ({} bytes as text)\n",
         trace.ops.len(),

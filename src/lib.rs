@@ -4,8 +4,9 @@
 //! code (and this workspace's examples and integration tests) can
 //! depend on a single crate:
 //!
-//! * [`core`] — the harness: targets, workloads, the multi-run
-//!   protocol, sweep campaigns, paper figures, analysis and reports.
+//! * [`core`] — the harness: targets, workloads, the run protocols
+//!   (fixed-N and convergence-driven), sweep campaigns, paper figures,
+//!   analysis and reports.
 //! * [`simfs`] — simulated file systems and the composed storage stack.
 //! * [`simcache`] — the simulated page cache.
 //! * [`simdisk`] — simulated block devices.

@@ -174,6 +174,22 @@ fn parse_fs(name: &str) -> Result<FsKind, String> {
     }
 }
 
+/// Builds the repetition protocol from `--protocol`, `--runs`, `--ci`,
+/// `--min-runs`, `--max-runs` and `--confidence` via the shared
+/// [`Protocol::from_flags`] parser. The fixed-protocol default of 3
+/// runs matches `RunPlan::quick`'s smoke protocol.
+fn parse_protocol(opts: &Opts) -> Result<Protocol, String> {
+    let flags = rb_core::runner::ProtocolFlags {
+        protocol: opts.get("protocol"),
+        runs: opts.get("runs"),
+        ci: opts.get("ci"),
+        min_runs: opts.get("min-runs"),
+        max_runs: opts.get("max-runs"),
+        confidence: opts.get("confidence"),
+    };
+    Protocol::from_flags(&flags, 3)
+}
+
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let personalities = parse_list(opts.get("workloads").unwrap_or("randomread"), |w| {
         Personality::parse(w).ok_or_else(|| {
@@ -194,14 +210,14 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
     let mut plan = RunPlan::quick(seed);
-    if let Some(runs) = opts.get("runs") {
-        plan.runs = runs
-            .parse::<u32>()
-            .map_err(|e| format!("bad --runs: {e}"))?;
-        if plan.runs == 0 {
-            return Err("--runs must be at least 1".into());
-        }
-    }
+    plan.protocol = parse_protocol(opts)?;
+    let run_budget = opts
+        .get("budget")
+        .map(|b| match b.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("bad --budget: {b:?} is not a positive run count")),
+        })
+        .transpose()?;
     if let Some(d) = opts.get("duration") {
         plan.duration = parse_duration(d)?;
     }
@@ -234,11 +250,12 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         cache_capacities,
         plan,
         device: parse_size(opts.get("device").unwrap_or("2G"))?,
+        run_budget,
     };
     let n_cells = spec.expand().len();
     eprintln!(
-        "sweeping {} cells x {} runs on {} worker(s)...",
-        n_cells, spec.plan.runs, jobs
+        "sweeping {} cells under {} on {} worker(s)...",
+        n_cells, spec.plan.protocol, jobs
     );
     let report = run_campaign(&spec, jobs).map_err(|e| e.to_string())?;
     let rendered = match format {
@@ -295,7 +312,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             };
             Engine::run(&mut recorder, &workload, &config).map_err(|e| e.to_string())?;
             let trace = recorder.finish();
-            std::fs::write(out, trace.to_text()).map_err(|e| e.to_string())?;
+            let text = trace.to_text().map_err(|e| e.to_string())?;
+            std::fs::write(out, text).map_err(|e| e.to_string())?;
             println!("recorded {} ops to {out}", trace.ops.len());
             Ok(())
         }
@@ -332,21 +350,35 @@ USAGE:
                      [--seed 0] [--prewarm true] [--warm true]
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
-                     [--runs 3] [--duration 15s] [--window 3s] [--jitter 3M]
+                     [--protocol fixed|adaptive] [--runs 3]
+                     [--ci 2%] [--min-runs 5] [--max-runs 30]
+                     [--confidence 95%] [--budget RUNS]
+                     [--duration 15s] [--window 3s] [--jitter 3M]
                      [--jobs N] [--seed 0] [--device 2G] [--name NAME]
                      [--format ascii|csv|json] [--out FILE]
   rocketbench nano   [--fs ext2|ext3|xfs] [--quick true]
   rocketbench table1
   rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
   rocketbench trace  replay --in FILE [--target sim:xfs]
+  rocketbench version | --version
   rocketbench help
 
 `sweep` runs the declarative campaign engine: the cross product of
 --workloads x --sizes (or --files for fileset workloads) x --fs x
---cache, each cell repeated --runs times with per-cell deterministic
-seeds, sharded over --jobs worker threads. The report groups results by
-the paper's Section 2 dimensions; identical specs produce identical
-reports at any --jobs value.
+--cache, each cell run under the chosen protocol with per-cell
+deterministic seeds, sharded over --jobs worker threads.
+
+  --protocol fixed     exactly --runs repetitions per cell (default 3)
+  --protocol adaptive  convergence-driven: at least --min-runs, stop as
+                       soon as the bootstrap CI on the mean is narrower
+                       than --ci (relative, at --confidence), give up at
+                       --max-runs; every cell reports a verdict
+                       (converged | max-runs | mixed-regime)
+  --budget RUNS        shared run budget, divided evenly across cells
+
+The report carries per-cell run counts, bootstrap CIs and verdicts in
+all formats, groups results by the paper's Section 2 dimensions, and is
+byte-identical at any --jobs value.
 
 Paper-figure regenerators live in rb-bench:
   cargo run -p rb-bench --release --bin fig1|fig1zoom|fig2|fig3|fig4|scaling
@@ -366,6 +398,10 @@ fn main() -> ExitCode {
         "nano" => Opts::parse(rest).and_then(|o| cmd_nano(&o)),
         "table1" => cmd_table1(),
         "trace" => cmd_trace(rest),
+        "version" | "--version" | "-V" => {
+            println!("rocketbench {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
@@ -421,6 +457,64 @@ mod tests {
         assert_eq!(fs, vec![FsKind::Ext2, FsKind::Xfs]);
         assert!(parse_list("ext2,zfs", parse_fs).is_err());
         assert!(parse_list("", parse_fs).unwrap().is_empty());
+    }
+
+    fn opts(pairs: &[(&str, &str)]) -> Opts {
+        let mut flags = std::collections::HashMap::new();
+        for (k, v) in pairs {
+            flags.insert(k.to_string(), v.to_string());
+        }
+        Opts { flags }
+    }
+
+    #[test]
+    fn parse_percent_forms() {
+        assert!((Protocol::parse_percent("2%").unwrap() - 0.02).abs() < 1e-12);
+        assert!((Protocol::parse_percent("2").unwrap() - 0.02).abs() < 1e-12);
+        assert!((Protocol::parse_percent("0.5%").unwrap() - 0.005).abs() < 1e-12);
+        assert!(Protocol::parse_percent("0").is_err());
+        assert!(Protocol::parse_percent("100").is_err());
+        assert!(Protocol::parse_percent("x%").is_err());
+    }
+
+    #[test]
+    fn protocol_defaults_to_fixed() {
+        assert_eq!(parse_protocol(&opts(&[])).unwrap(), Protocol::FixedRuns(3));
+        assert_eq!(
+            parse_protocol(&opts(&[("runs", "7")])).unwrap(),
+            Protocol::FixedRuns(7)
+        );
+        assert!(parse_protocol(&opts(&[("runs", "0")])).is_err());
+    }
+
+    #[test]
+    fn protocol_adaptive_flags() {
+        let p = parse_protocol(&opts(&[
+            ("protocol", "adaptive"),
+            ("ci", "2%"),
+            ("max-runs", "30"),
+        ]))
+        .unwrap();
+        assert_eq!(
+            p,
+            Protocol::Adaptive {
+                min_runs: 5,
+                max_runs: 30,
+                ci_rel_width: 0.02,
+                confidence: 0.95,
+            }
+        );
+        // One-line errors, never panics.
+        assert!(parse_protocol(&opts(&[("protocol", "magic")])).is_err());
+        assert!(parse_protocol(&opts(&[("protocol", "adaptive"), ("ci", "banana")])).is_err());
+        assert!(parse_protocol(&opts(&[("protocol", "adaptive"), ("runs", "5")])).is_err());
+        assert!(parse_protocol(&opts(&[("ci", "2%")])).is_err());
+        assert!(parse_protocol(&opts(&[
+            ("protocol", "adaptive"),
+            ("min-runs", "9"),
+            ("max-runs", "3"),
+        ]))
+        .is_err());
     }
 
     #[test]

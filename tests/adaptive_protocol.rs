@@ -1,0 +1,122 @@
+//! End-to-end tests of the convergence-driven run protocol through the
+//! campaign engine: adaptive cells converge early when the measurement
+//! is stable, keep running when it is fragile, refuse mixed-regime
+//! aggregates, and — like every campaign — produce byte-identical
+//! reports at any worker count.
+
+use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
+use rocketbench::core::runner::{Protocol, RunPlan, Verdict};
+use rocketbench::core::testbed::FsKind;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+/// An adaptive protocol sized for debug-mode CI: 3–8 runs of 3 virtual
+/// seconds, 5 % CI target.
+fn adaptive_plan(seed: u64) -> RunPlan {
+    let mut plan = RunPlan::quick(seed);
+    plan.protocol = Protocol::Adaptive {
+        min_runs: 3,
+        max_runs: 8,
+        ci_rel_width: 0.05,
+        confidence: 0.95,
+    };
+    plan.duration = Nanos::from_secs(3);
+    plan.window = Nanos::from_secs(1);
+    plan.tail_windows = 2;
+    plan
+}
+
+/// Two cells under one adaptive protocol: a 4 MiB file deep inside the
+/// 48 MiB cache (stable, memory-bound) and a 64 MiB file straddling it
+/// (fragile: every read mixes hits and misses).
+fn stable_vs_fragile() -> SweepSpec {
+    SweepSpec {
+        name: "adaptive".into(),
+        personalities: vec![Personality::RandomRead],
+        file_sizes: vec![Bytes::mib(4), Bytes::mib(64)],
+        file_counts: vec![10],
+        filesystems: vec![FsKind::Ext2],
+        cache_capacities: vec![Bytes::mib(48)],
+        plan: adaptive_plan(21),
+        device: Bytes::mib(512),
+        run_budget: None,
+    }
+}
+
+#[test]
+fn stable_cell_converges_early_fragile_cell_runs_longer() {
+    let report = run_campaign(&stable_vs_fragile(), 2).expect("campaign");
+    assert_eq!(report.cells.len(), 2);
+    let stable = &report.cells[0];
+    let fragile = &report.cells[1];
+    assert_eq!(stable.cell.file_size, Bytes::mib(4));
+
+    // The memory-bound cell converges at the floor, well under the
+    // ceiling FixedRuns(10)-style folklore would have burned.
+    assert_eq!(stable.verdict, Verdict::Converged);
+    assert_eq!(stable.runs, 3, "stable cell used {} runs", stable.runs);
+    let ci = stable.ci.expect("converged cell has a CI");
+    assert!(ci.rel_width() <= 0.05, "ci rel width {}", ci.rel_width());
+
+    // The straddling cell keeps collecting runs and ends with an
+    // explicit non-converged verdict (max-runs if every run stayed in
+    // the transition regime, mixed-regime if the jitter flipped one
+    // across) — never a silent single number.
+    assert!(
+        fragile.runs >= stable.runs,
+        "fragile cell stopped earlier ({} vs {})",
+        fragile.runs,
+        stable.runs
+    );
+    assert_ne!(fragile.verdict, Verdict::Converged, "fragile cell blessed");
+    assert!(!fragile.verdict.is_sound());
+}
+
+#[test]
+fn adaptive_campaign_is_byte_identical_across_jobs() {
+    let spec = stable_vs_fragile();
+    let serial = run_campaign(&spec, 1).expect("serial");
+    let sharded = run_campaign(&spec, 4).expect("sharded");
+    assert_eq!(serial.to_csv(), sharded.to_csv());
+    assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+    for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.ci, b.ci);
+    }
+}
+
+#[test]
+fn verdicts_and_cis_appear_in_every_format() {
+    let report = run_campaign(&stable_vs_fragile(), 2).expect("campaign");
+    let csv = report.to_csv();
+    let header = csv.lines().next().unwrap();
+    for col in ["runs", "ci_lo", "ci_hi", "verdict"] {
+        assert!(header.contains(col), "csv header missing {col}: {header}");
+    }
+    assert!(csv.contains("converged"), "csv: {csv}");
+    let json = report.to_json().to_string();
+    assert!(json.contains("\"verdict\":\"converged\""), "json: {json}");
+    assert!(json.contains("\"ci\":{\"lo\":"));
+    assert!(json.contains("\"runs\":3"));
+    let text = report.render();
+    assert!(text.contains("converged"), "render: {text}");
+    assert!(text.contains("verdict"));
+}
+
+#[test]
+fn shared_run_budget_is_deterministic_and_binding() {
+    let mut spec = stable_vs_fragile();
+    // Budget of 8 runs over 2 cells: each cell capped at 4.
+    spec.run_budget = Some(8);
+    let report = run_campaign(&spec, 2).expect("campaign");
+    assert!(
+        report.cells.iter().all(|c| c.runs <= 4),
+        "budget exceeded: {:?}",
+        report.cells.iter().map(|c| c.runs).collect::<Vec<_>>()
+    );
+    let serial = run_campaign(&spec, 1).expect("serial");
+    assert_eq!(serial.to_csv(), report.to_csv());
+}

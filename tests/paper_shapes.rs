@@ -6,7 +6,7 @@ use rocketbench::core::figures::{
     fig1, fig1_zoom, fig2, fig3, fig4, Fig1Config, Fig1ZoomConfig, Fig2Config, Fig3Config,
     Fig4Config,
 };
-use rocketbench::core::runner::RunPlan;
+use rocketbench::core::runner::{Protocol, RunPlan};
 use rocketbench::simcore::time::Nanos;
 use rocketbench::simcore::units::Bytes;
 use rocketbench::stats::peaks::{bimodal_balance, Modality};
@@ -16,7 +16,7 @@ use rocketbench::stats::peaks::{bimodal_balance, Modality};
 #[test]
 fn e1_fig1_cliff_and_rsd_spike() {
     let mut plan = RunPlan::paper_fig1(0);
-    plan.runs = 4;
+    plan.protocol = Protocol::FixedRuns(4);
     plan.duration = Nanos::from_secs(70);
     plan.tail_windows = 6;
     let config = Fig1Config {
@@ -66,7 +66,7 @@ fn e1_fig1_cliff_and_rsd_spike() {
 #[test]
 fn e1_boundary_rsd_skyrockets() {
     let mut plan = RunPlan::paper_fig1(9_000);
-    plan.runs = 8;
+    plan.protocol = Protocol::FixedRuns(8);
     plan.duration = Nanos::from_secs(70);
     plan.tail_windows = 6;
     let config = Fig1Config {
@@ -91,7 +91,7 @@ fn e1_boundary_rsd_skyrockets() {
 #[test]
 fn e1z_zoom_drop_is_narrow() {
     let mut plan = RunPlan::paper_fig1(500);
-    plan.runs = 3;
+    plan.protocol = Protocol::FixedRuns(3);
     plan.duration = Nanos::from_secs(70);
     plan.tail_windows = 6;
     plan.cache_jitter = Bytes::ZERO; // isolate the boundary itself

@@ -5,7 +5,7 @@
 
 use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
 use rocketbench::core::dimensions::{Coverage, Dimension};
-use rocketbench::core::runner::RunPlan;
+use rocketbench::core::runner::{Protocol, RunPlan};
 use rocketbench::core::testbed::FsKind;
 use rocketbench::simcore::time::Nanos;
 use rocketbench::simcore::units::Bytes;
@@ -13,7 +13,7 @@ use rocketbench::simcore::units::Bytes;
 /// 2 sizes x 2 file systems, short runs: fast enough for debug-mode CI.
 fn two_by_two() -> SweepSpec {
     let mut plan = RunPlan::quick(7);
-    plan.runs = 2;
+    plan.protocol = Protocol::FixedRuns(2);
     plan.duration = Nanos::from_secs(3);
     plan.window = Nanos::from_secs(1);
     plan.tail_windows = 2;
@@ -26,6 +26,7 @@ fn two_by_two() -> SweepSpec {
         cache_capacities: vec![Bytes::mib(48)],
         plan,
         device: Bytes::mib(512),
+        run_budget: None,
     }
 }
 
