@@ -1,10 +1,12 @@
 //! # rb-bench — paper-artifact regenerators and performance benches
 //!
 //! One binary per paper artifact (`fig1`, `fig1zoom`, `fig2`, `fig3`,
-//! `fig4`, `table1`, `nano`); each prints the rows/series the paper
-//! reports and drops machine-readable `.csv`/`.dat` files under
-//! `results/`. Criterion benches cover the simulation substrate and the
-//! harness's ablation studies (cache policies, I/O schedulers,
+//! `fig4`, `table1`, `nano`), plus `figreplay` — the replay-taxonomy
+//! demonstration: one recorded trace under `afap`/`faithful`/`scaled`
+//! timing policies on every file system. Each prints the rows/series
+//! the paper reports and drops machine-readable `.csv`/`.dat` files
+//! under `results/`. Criterion benches cover the simulation substrate
+//! and the harness's ablation studies (cache policies, I/O schedulers,
 //! allocators).
 //!
 //! Run `cargo run -p rb-bench --release --bin fig1 -- --quick` for a

@@ -39,9 +39,11 @@
 
 use crate::dimensions::{Coverage, CoverageProfile, Dimension};
 use crate::report::{self, Json};
-use crate::runner::{run_many, MultiRun, RunPlan, Verdict};
+use crate::runner::{drive_protocol, jittered_cache_pages, run_many, MultiRun, RunPlan, Verdict};
+use crate::target::Target as _;
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Workload};
+use rb_replay::{characterize, replay_with, ReplayConfig, Timing, Trace, TraceProfile};
 use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::units::Bytes;
 use rb_stats::bootstrap::Interval;
@@ -49,7 +51,7 @@ use rb_stats::summary::Summary;
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A named workload personality — the campaign's workload axis.
 ///
@@ -179,6 +181,69 @@ impl std::fmt::Display for Personality {
     }
 }
 
+/// A trace-backed workload for sweeps: a captured (or transformed)
+/// [`Trace`] replayed under one [`Timing`] policy — the campaign's
+/// answer to "trace-based evaluation is popular but irreproducible".
+///
+/// The `name` is the source's identity in cell keys and reports, so two
+/// sources with the same name and timing are the same cell (dedup keeps
+/// the first). The trace itself is shared (`Arc`) across worker threads
+/// without copies.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    /// Report/identity name (e.g. the trace file's stem).
+    pub name: String,
+    /// The trace to replay.
+    pub trace: Arc<Trace>,
+    /// Timing policy each replay runs under.
+    pub timing: Timing,
+}
+
+impl TraceSource {
+    /// Wraps a trace as a sweep axis value.
+    pub fn new(name: impl Into<String>, trace: Trace, timing: Timing) -> TraceSource {
+        TraceSource {
+            name: name.into(),
+            trace: Arc::new(trace),
+            timing,
+        }
+    }
+
+    /// Section 2 coverage of this source. Everything is
+    /// [`Coverage::Depends`] — the paper's ⋆ marker: what a trace
+    /// exercises depends on the trace — limited to the dimensions its
+    /// operations actually touch.
+    pub fn coverage(&self) -> CoverageProfile {
+        trace_coverage(&characterize(&self.trace))
+    }
+}
+
+/// Derives the Section 2 coverage of a characterized trace from its
+/// operation mix, using the paper's ⋆ ("depends on the workload/trace")
+/// marker.
+pub fn trace_coverage(profile: &TraceProfile) -> CoverageProfile {
+    let count = |verb: &str| {
+        profile
+            .op_counts
+            .iter()
+            .find(|(v, _)| v == verb)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    let mut pairs = Vec::new();
+    if profile.reads + profile.writes > 0 {
+        pairs.push((Dimension::Io, Coverage::Depends));
+        pairs.push((Dimension::Caching, Coverage::Depends));
+    }
+    if profile.writes + count("setsize") + count("fsync") + count("create") + count("unlink") > 0 {
+        pairs.push((Dimension::OnDisk, Coverage::Depends));
+    }
+    if count("create") + count("mkdir") + count("stat") + count("open") + count("unlink") > 0 {
+        pairs.push((Dimension::Metadata, Coverage::Depends));
+    }
+    CoverageProfile::new(&pairs)
+}
+
 /// A declarative sweep: the cross product of every listed axis, run
 /// under one repetition protocol.
 #[derive(Debug, Clone)]
@@ -187,6 +252,10 @@ pub struct SweepSpec {
     pub name: String,
     /// Workload-personality axis.
     pub personalities: Vec<Personality>,
+    /// Trace-backed workload axis: each source crosses with the
+    /// file-system and cache axes (file size/count do not apply — a
+    /// trace brings its own namespace and sizes).
+    pub traces: Vec<TraceSource>,
     /// File-size axis (applies to size-driven personalities).
     pub file_sizes: Vec<Bytes>,
     /// File-count axis (applies to fileset-driven personalities).
@@ -219,6 +288,7 @@ impl Default for SweepSpec {
         SweepSpec {
             name: "sweep".into(),
             personalities: vec![Personality::RandomRead],
+            traces: Vec::new(),
             file_sizes: vec![Bytes::mib(64)],
             file_counts: vec![100],
             filesystems: vec![FsKind::Ext2],
@@ -257,7 +327,7 @@ impl SweepSpec {
                     for &fs in &self.filesystems {
                         for &cache in &self.cache_capacities {
                             let cell = Cell {
-                                personality,
+                                workload: CellWorkload::Personality(personality),
                                 file_size,
                                 files,
                                 fs,
@@ -271,18 +341,57 @@ impl SweepSpec {
                 }
             }
         }
+        // Trace-backed cells cross with the fs and cache axes only.
+        for (index, source) in self.traces.iter().enumerate() {
+            for &fs in &self.filesystems {
+                for &cache in &self.cache_capacities {
+                    let cell = Cell {
+                        workload: CellWorkload::Trace {
+                            index,
+                            name: source.name.clone(),
+                            timing: source.timing.label(),
+                        },
+                        file_size: Bytes::ZERO,
+                        files: 0,
+                        fs,
+                        cache,
+                    };
+                    if seen.insert(cell.key()) {
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
         cells
     }
+}
+
+/// What a cell runs: a synthetic personality or a replayed trace.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellWorkload {
+    /// A synthetic flowop personality.
+    Personality(Personality),
+    /// A trace replayed under a timing policy.
+    Trace {
+        /// Index into [`SweepSpec::traces`].
+        index: usize,
+        /// The source's identity name.
+        name: String,
+        /// Canonical timing label (`afap`/`faithful`/`scaled=N`); part
+        /// of the cell identity because the policy changes what the
+        /// cell measures.
+        timing: String,
+    },
 }
 
 /// One point of the experiment grid.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Cell {
-    /// Workload personality.
-    pub personality: Personality,
-    /// File size ([`Bytes::ZERO`] when the personality ignores it).
+    /// What the cell runs.
+    pub workload: CellWorkload,
+    /// File size ([`Bytes::ZERO`] when the workload ignores it).
     pub file_size: Bytes,
-    /// File count (`0` when the personality ignores it).
+    /// File count (`0` when the workload ignores it).
     pub files: u64,
     /// File system under test.
     pub fs: FsKind,
@@ -291,12 +400,41 @@ pub struct Cell {
 }
 
 impl Cell {
+    /// The cell's personality, when it runs one.
+    pub fn personality(&self) -> Option<Personality> {
+        match self.workload {
+            CellWorkload::Personality(p) => Some(p),
+            CellWorkload::Trace { .. } => None,
+        }
+    }
+
+    /// Report name of the cell's workload (`"varmail"`,
+    /// `"trace:mail@faithful"`, …).
+    pub fn workload_name(&self) -> String {
+        match &self.workload {
+            CellWorkload::Personality(p) => p.name().to_string(),
+            CellWorkload::Trace { name, timing, .. } => format!("trace:{name}@{timing}"),
+        }
+    }
+
+    /// Whether the file-size axis applies to this cell.
+    pub fn uses_file_size(&self) -> bool {
+        self.personality().is_some_and(|p| p.uses_file_size())
+    }
+
     /// Canonical identity string: the dedup key and the seed-derivation
     /// input. Must not depend on axis ordering or scheduling.
+    ///
+    /// Personality cells keep the exact pre-trace format, so their
+    /// derived seeds — and therefore every personality campaign's
+    /// numbers — are unchanged by the trace axis existing.
     pub fn key(&self) -> String {
         format!(
             "{}|size={}|files={}|fs={}|cache={}",
-            self.personality.name(),
+            match &self.workload {
+                CellWorkload::Personality(p) => p.name().to_string(),
+                CellWorkload::Trace { name, timing, .. } => format!("trace:{name}@{timing}"),
+            },
             self.file_size.as_u64(),
             self.files,
             self.fs.name(),
@@ -306,14 +444,21 @@ impl Cell {
 
     /// Human-oriented label for tables and charts.
     pub fn label(&self) -> String {
-        let mut parts = vec![self.personality.name().to_string()];
-        if self.personality.uses_file_size() {
-            parts.push(format!("{}", self.file_size));
-        } else {
-            parts.push(format!("{}f", self.files));
+        match &self.workload {
+            CellWorkload::Personality(p) => {
+                let mut parts = vec![p.name().to_string()];
+                if p.uses_file_size() {
+                    parts.push(format!("{}", self.file_size));
+                } else {
+                    parts.push(format!("{}f", self.files));
+                }
+                parts.push(self.fs.name().to_string());
+                parts.join("/")
+            }
+            CellWorkload::Trace { name, timing, .. } => {
+                format!("{name}@{timing}/{}", self.fs.name())
+            }
         }
-        parts.push(self.fs.name().to_string());
-        parts.join("/")
     }
 
     /// The cell's derived base seed: a 64-bit FNV-1a hash of the cell
@@ -337,6 +482,9 @@ pub fn derive_seed(base_seed: u64, key: &str) -> u64 {
 pub struct CellResult {
     /// The cell.
     pub cell: Cell,
+    /// Section 2 coverage of the cell's workload (a personality's
+    /// static profile, or a trace's ⋆-derived profile).
+    pub coverage: CoverageProfile,
     /// Derived base seed the cell ran under.
     pub seed: u64,
     /// Steady-state throughput of each run, in run order — the "range
@@ -359,7 +507,12 @@ pub struct CellResult {
 }
 
 impl CellResult {
-    fn from_multi_run(cell: Cell, seed: u64, mr: &MultiRun) -> CellResult {
+    fn from_multi_run(
+        cell: Cell,
+        coverage: CoverageProfile,
+        seed: u64,
+        mr: &MultiRun,
+    ) -> CellResult {
         let ratios: Vec<f64> = mr
             .outcomes
             .iter()
@@ -373,6 +526,7 @@ impl CellResult {
         let errors = mr.outcomes.iter().map(|o| o.recording.errors).sum();
         CellResult {
             cell,
+            coverage,
             seed,
             samples: mr.samples(),
             summary: mr.summary.clone(),
@@ -397,12 +551,12 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Union coverage of every cell's personality — what the whole
+    /// Union coverage of every cell's workload — what the whole
     /// campaign exercised, in the Section 2 taxonomy.
     pub fn coverage(&self) -> CoverageProfile {
-        self.cells.iter().fold(CoverageProfile::EMPTY, |acc, c| {
-            acc.union(&c.cell.personality.coverage())
-        })
+        self.cells
+            .iter()
+            .fold(CoverageProfile::EMPTY, |acc, c| acc.union(&c.coverage))
     }
 
     /// Per-dimension grouping: for each taxonomy dimension the cells
@@ -417,7 +571,7 @@ impl CampaignReport {
                 let means: Vec<f64> = self
                     .cells
                     .iter()
-                    .filter(|c| c.cell.personality.coverage().get(d) != Coverage::None)
+                    .filter(|c| c.coverage.get(d) != Coverage::None)
                     .map(|c| c.summary.mean)
                     .collect();
                 Summary::from_sample(&means).map(|s| (d, s))
@@ -433,7 +587,7 @@ impl CampaignReport {
             .iter()
             .map(|c| {
                 vec![
-                    c.cell.personality.name().to_string(),
+                    c.cell.workload_name(),
                     c.cell.file_size.as_mib().to_string(),
                     c.cell.files.to_string(),
                     c.cell.fs.name().to_string(),
@@ -482,7 +636,7 @@ impl CampaignReport {
             .iter()
             .map(|c| {
                 Json::obj(vec![
-                    ("workload", Json::Str(c.cell.personality.name().into())),
+                    ("workload", Json::Str(c.cell.workload_name())),
                     ("size_bytes", Json::Num(c.cell.file_size.as_u64() as f64)),
                     ("files", Json::Num(c.cell.files as f64)),
                     ("fs", Json::Str(c.cell.fs.name().into())),
@@ -629,15 +783,15 @@ impl CampaignReport {
         let caches: HashSet<Bytes> = self
             .cells
             .iter()
-            .filter(|c| c.cell.personality.uses_file_size())
+            .filter(|c| c.cell.uses_file_size())
             .map(|c| c.cell.cache)
             .collect();
         let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         for c in &self.cells {
-            if !c.cell.personality.uses_file_size() {
+            if !c.cell.uses_file_size() {
                 continue;
             }
-            let mut label = format!("{}/{}", c.cell.personality.name(), c.cell.fs.name());
+            let mut label = format!("{}/{}", c.cell.workload_name(), c.cell.fs.name());
             if caches.len() > 1 {
                 let _ = write!(label, "/{}", c.cell.cache);
             }
@@ -673,7 +827,11 @@ fn working_set_estimate(workload: &Workload) -> Bytes {
 /// Executes one cell under the campaign's plan. `run_cap` is the
 /// per-cell share of the campaign's run budget, if one was set.
 fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<CellResult> {
-    let workload = cell.personality.workload(cell.file_size, cell.files);
+    let personality = match &cell.workload {
+        CellWorkload::Personality(p) => *p,
+        CellWorkload::Trace { index, .. } => return run_trace_cell(spec, cell, *index, run_cap),
+    };
+    let workload = personality.workload(cell.file_size, cell.files);
     let seed = cell.seed(spec.plan.base_seed);
     let mut plan = spec.plan.clone().with_base_seed(seed);
     if let Some(cap) = run_cap {
@@ -692,7 +850,83 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
         .max(Bytes::new(working_set.as_u64().saturating_mul(2)));
     let fs = cell.fs;
     let mr = run_many(|s| testbed::paper_fs(fs, device, s), &workload, &plan)?;
-    Ok(CellResult::from_multi_run(cell.clone(), seed, &mr))
+    Ok(CellResult::from_multi_run(
+        cell.clone(),
+        personality.coverage(),
+        seed,
+        &mr,
+    ))
+}
+
+/// Executes one trace-backed cell: N replays of the source's trace
+/// under its timing policy, repeated per the campaign protocol.
+///
+/// Each run `i` builds a fresh target seeded `cell_seed + i`, applies
+/// the cell's cache capacity with the plan's per-run jitter (the same
+/// memory-pressure discipline as workload cells), and replays with the
+/// run seed driving the stream merge — so a multi-stream trace samples
+/// a different legal interleaving per run, which is exactly the
+/// run-to-run variance the protocol's CI then quantifies. The sample is
+/// replay throughput (ops/s of the virtual clock).
+fn run_trace_cell(
+    spec: &SweepSpec,
+    cell: &Cell,
+    index: usize,
+    run_cap: Option<u32>,
+) -> SimResult<CellResult> {
+    let source = spec.traces.get(index).ok_or_else(|| {
+        SimError::BadConfig(format!("trace cell references missing source {index}"))
+    })?;
+    let seed = cell.seed(spec.plan.base_seed);
+    let mut protocol = spec.plan.protocol;
+    if let Some(cap) = run_cap {
+        protocol = protocol.capped(cap);
+    }
+    // One characterization pass serves both the device sizing and the
+    // cell's ⋆ coverage profile.
+    let profile = characterize(&source.trace);
+    let device = spec
+        .device
+        .max(Bytes::new(profile.working_set.as_u64().saturating_mul(2)));
+    let fs = cell.fs;
+    let mut errors = 0u64;
+    let mut ratios: Vec<f64> = Vec::new();
+    let drive = drive_protocol(&protocol, seed, |_, run_seed| {
+        let mut target = testbed::paper_fs(fs, device, run_seed);
+        if !cell.cache.is_zero() {
+            let pages = jittered_cache_pages(cell.cache, spec.plan.cache_jitter, run_seed);
+            target.set_cache_capacity_pages(pages);
+        }
+        let config = ReplayConfig {
+            timing: source.timing,
+            seed: run_seed,
+        };
+        let result = replay_with(&mut target, &source.trace, &config);
+        errors += result.errors;
+        if let Some(h) = target.cache_hit_ratio() {
+            ratios.push(h);
+        }
+        Ok(result.ops_per_sec())
+    })?;
+    let summary = Summary::from_sample(&drive.samples)
+        .ok_or_else(|| SimError::BadConfig("trace cell finished with zero runs".into()))?;
+    let hit_ratio = if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    };
+    Ok(CellResult {
+        cell: cell.clone(),
+        coverage: trace_coverage(&profile),
+        seed,
+        runs: drive.samples.len() as u32,
+        samples: drive.samples,
+        summary,
+        ci: drive.ci,
+        verdict: drive.verdict,
+        hit_ratio,
+        errors,
+    })
 }
 
 /// Runs every cell of `spec`, sharded across `jobs` worker threads.
@@ -789,6 +1023,7 @@ mod tests {
         SweepSpec {
             name: "tiny".into(),
             personalities: vec![Personality::RandomRead],
+            traces: Vec::new(),
             file_sizes: vec![Bytes::mib(4), Bytes::mib(8)],
             file_counts: vec![10],
             filesystems: vec![FsKind::Ext2, FsKind::Ext3],
@@ -959,6 +1194,124 @@ mod tests {
         // A zero budget is a config error, not a silent 1-run campaign.
         spec.run_budget = Some(0);
         assert!(run_campaign(&spec, 2).is_err());
+    }
+
+    /// A small trace that replays cleanly on a fresh simulated target,
+    /// with two streams and real inter-arrival gaps.
+    fn tiny_trace() -> Trace {
+        Trace::from_text(
+            "# rocketbench-trace v2\n\
+             0 0 mkdir /t\n\
+             0 500000 create /t/a\n\
+             0 1000000 open /t/a\n\
+             0 1500000 setsize /t/a 262144\n\
+             1 2000000 create /t/b\n\
+             1 2500000 open /t/b\n\
+             1 3000000 setsize /t/b 262144\n\
+             0 3500000 read /t/a 0 8192\n\
+             1 4000000 write /t/b 0 8192\n\
+             0 4500000 read /t/a 131072 8192\n\
+             1 5000000 fsync /t/b\n\
+             0 5500000 read /t/a 8192 8192\n\
+             1 6000000 read /t/b 0 8192\n\
+             0 6500000 close /t/a\n\
+             1 7000000 close /t/b\n",
+        )
+        .unwrap()
+    }
+
+    fn tiny_trace_spec() -> SweepSpec {
+        let mut spec = tiny_spec();
+        spec.personalities = Vec::new();
+        spec.traces = vec![
+            TraceSource::new("tt", tiny_trace(), Timing::Afap),
+            TraceSource::new("tt", tiny_trace(), Timing::Faithful),
+        ];
+        spec
+    }
+
+    #[test]
+    fn trace_cells_cross_with_fs_and_cache() {
+        let spec = tiny_trace_spec();
+        let cells = spec.expand();
+        // 2 sources x 2 fs x 1 cache; the file-size/count axes are
+        // normalized away.
+        assert_eq!(cells.len(), 4);
+        assert!(cells
+            .iter()
+            .all(|c| c.file_size == Bytes::ZERO && c.files == 0));
+        assert_eq!(cells[0].workload_name(), "trace:tt@afap");
+        assert_eq!(cells[0].label(), "tt@afap/ext2");
+        // Identity includes the timing policy: same trace under two
+        // policies is two distinct cells with distinct seeds.
+        assert_ne!(cells[0].key(), cells[2].key());
+        assert_ne!(cells[0].seed(42), cells[2].seed(42));
+        // Duplicate (name, timing) pairs dedup.
+        let mut dup = spec.clone();
+        dup.traces
+            .push(TraceSource::new("tt", tiny_trace(), Timing::Afap));
+        assert_eq!(dup.expand().len(), 4);
+    }
+
+    #[test]
+    fn trace_campaign_reports_like_personality_cells() {
+        let report = run_campaign(&tiny_trace_spec(), 2).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        for c in &report.cells {
+            assert_eq!(c.verdict, Verdict::Fixed);
+            assert_eq!(c.runs, 2);
+            assert_eq!(c.errors, 0, "{}: replay diverged", c.cell.label());
+            assert!(c.summary.mean > 0.0);
+            let ci = c.ci.expect("bootstrap ci");
+            assert!(ci.lo <= c.summary.mean && c.summary.mean <= ci.hi);
+            assert!(c.hit_ratio.is_some());
+            // Trace coverage is the paper's ⋆ marker.
+            assert_eq!(c.coverage.get(Dimension::Io), Coverage::Depends);
+        }
+        // The afap and faithful cells measure different things.
+        let afap = &report.cells[0];
+        let faithful = &report.cells[2];
+        assert!(afap.summary.mean > faithful.summary.mean);
+        // Reports carry the cells in every format.
+        let csv = report.to_csv();
+        assert!(csv.contains("trace:tt@afap"));
+        assert!(csv.contains("trace:tt@faithful"));
+        assert!(report.to_json().to_string().contains("trace:tt@afap"));
+        assert!(report.render().contains("tt@afap/ext2"));
+    }
+
+    #[test]
+    fn trace_campaign_is_jobs_deterministic() {
+        let mut spec = tiny_trace_spec();
+        // Mixed grid: personalities and traces in one campaign.
+        spec.personalities = vec![Personality::RandomRead];
+        spec.file_sizes = vec![Bytes::mib(4)];
+        let serial = run_campaign(&spec, 1).unwrap();
+        let sharded = run_campaign(&spec, 4).unwrap();
+        assert_eq!(serial.cells.len(), 6); // (1 size + 2 sources) x 2 fs
+        assert_eq!(serial.to_csv(), sharded.to_csv());
+        assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+        // The campaign coverage row unions personality and ⋆ markers
+        // (the stronger marker wins: Depends > Exercises < Isolates).
+        let cov = serial.coverage();
+        assert_eq!(cov.get(Dimension::Io), Coverage::Depends);
+        assert_eq!(cov.get(Dimension::Caching), Coverage::Isolates);
+        assert_eq!(cov.get(Dimension::OnDisk), Coverage::Depends);
+    }
+
+    #[test]
+    fn trace_coverage_follows_the_op_mix() {
+        let read_only = Trace::from_text("open /a\nread /a 0 4096\nclose /a\n").unwrap();
+        let cov = trace_coverage(&characterize(&read_only));
+        assert_eq!(cov.get(Dimension::Io), Coverage::Depends);
+        assert_eq!(cov.get(Dimension::Caching), Coverage::Depends);
+        assert_eq!(cov.get(Dimension::OnDisk), Coverage::None);
+        // open/close are namespace traffic.
+        assert_eq!(cov.get(Dimension::Metadata), Coverage::Depends);
+        let meta_only = Trace::from_text("create /a\nstat /a\nunlink /a\n").unwrap();
+        let cov = trace_coverage(&characterize(&meta_only));
+        assert_eq!(cov.get(Dimension::Io), Coverage::None);
+        assert_eq!(cov.get(Dimension::Metadata), Coverage::Depends);
     }
 
     #[test]

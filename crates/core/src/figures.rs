@@ -125,6 +125,7 @@ pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
     let spec = crate::campaign::SweepSpec {
         name: "fig1".into(),
         personalities: vec![crate::campaign::Personality::RandomRead],
+        traces: Vec::new(),
         file_sizes: config.sizes.clone(),
         file_counts: vec![0],
         filesystems: vec![FsKind::Ext2],

@@ -59,7 +59,8 @@ pub mod prelude {
         compare_systems, ComparisonVerdict, FragilityReport, Regime, WarmupReport,
     };
     pub use crate::campaign::{
-        run_campaign, CampaignReport, Cell, CellResult, Personality, SweepSpec,
+        run_campaign, CampaignReport, Cell, CellResult, CellWorkload, Personality, SweepSpec,
+        TraceSource,
     };
     pub use crate::dimensions::{Coverage, CoverageProfile, Dimension};
     pub use crate::figures::{
@@ -74,7 +75,10 @@ pub mod prelude {
     pub use crate::survey::{render_table1, table1, SurveyRow};
     pub use crate::target::{RealFsTarget, SimTarget, Target};
     pub use crate::testbed::{FsKind, Testbed};
-    pub use crate::trace::{replay, Recorder, ReplayResult, Trace, TraceOp};
+    pub use crate::trace::{
+        characterize, replay, replay_with, Recorder, ReplayConfig, ReplayResult, Timing, Trace,
+        TraceOp, TraceProfile,
+    };
     pub use crate::workload::{
         personalities, Engine, EngineConfig, FileSet, FlowOp, Recording, Workload,
     };

@@ -557,15 +557,7 @@ where
         let mut target = (self.make_target)(seed);
         // Per-run memory pressure: capacity = nominal ± jitter.
         let cache_pages = self.plan.cache_capacity.map(|base| {
-            let jitter = self.plan.cache_jitter.as_u64();
-            let mut rng = Rng::new(seed).fork("cache-jitter");
-            let delta = if jitter == 0 {
-                0
-            } else {
-                rng.below(2 * jitter + 1) as i64 - jitter as i64
-            };
-            let bytes = (base.as_u64() as i64 + delta).max(PAGE_SIZE.as_u64() as i64) as u64;
-            let pages = Bytes::new(bytes).div_ceil(PAGE_SIZE);
+            let pages = jittered_cache_pages(base, self.plan.cache_jitter, seed);
             target.set_cache_capacity_pages(pages);
             pages
         });
@@ -688,6 +680,87 @@ where
     F: FnMut(u64) -> T,
 {
     Experiment::new(make_target, workload, plan)?.run_to_completion()
+}
+
+/// One run's controlled cache capacity in pages: the nominal capacity
+/// plus a seeded uniform ± `jitter` perturbation, floored at one page —
+/// the per-run memory-pressure model shared by the workload
+/// [`Experiment`] and trace-backed campaign cells.
+pub fn jittered_cache_pages(base: Bytes, jitter: Bytes, seed: u64) -> u64 {
+    let jitter = jitter.as_u64();
+    let mut rng = Rng::new(seed).fork("cache-jitter");
+    let delta = if jitter == 0 {
+        0
+    } else {
+        rng.below(2 * jitter + 1) as i64 - jitter as i64
+    };
+    let bytes = (base.as_u64() as i64 + delta).max(PAGE_SIZE.as_u64() as i64) as u64;
+    Bytes::new(bytes).div_ceil(PAGE_SIZE)
+}
+
+/// Outcome of a generic protocol-driven sample loop.
+///
+/// [`drive_protocol`] is the repetition discipline of [`Experiment`] —
+/// same stopping rule, same seed derivation, same bootstrap RNG forks —
+/// for experiments whose per-run body is not the flowop engine (e.g.
+/// trace replay): every run `i` gets seed `base_seed + i`, the adaptive
+/// rule is re-evaluated after each run once `min_runs` are in, and the
+/// reported CI comes from the deterministic `bootstrap-ci` stream.
+/// Unlike [`Experiment`] it has no [`Recording`]s, so it cannot detect
+/// mixed performance regimes; callers that can classify regimes should
+/// do so themselves.
+#[derive(Debug, Clone)]
+pub struct ProtocolDrive {
+    /// One sample per executed run, in run order.
+    pub samples: Vec<f64>,
+    /// Why the loop stopped.
+    pub verdict: Verdict,
+    /// Bootstrap CI on the mean sample, at the protocol's confidence.
+    pub ci: Option<Interval>,
+}
+
+/// Drives `run(run_index, run_seed) -> sample` under a repetition
+/// protocol; see [`ProtocolDrive`].
+pub fn drive_protocol<F>(
+    protocol: &Protocol,
+    base_seed: u64,
+    mut run: F,
+) -> SimResult<ProtocolDrive>
+where
+    F: FnMut(u32, u64) -> SimResult<f64>,
+{
+    protocol.validate()?;
+    let mut samples: Vec<f64> = Vec::new();
+    let verdict = loop {
+        let n = samples.len() as u32;
+        match protocol.stopping_rule() {
+            None => {
+                if n >= protocol.max_runs() {
+                    break Verdict::Fixed;
+                }
+            }
+            Some(rule) => {
+                if n >= rule.min_runs {
+                    let mut rng = Rng::new(base_seed).fork("sequential-ci");
+                    match sequential::evaluate(&samples, &rule, &mut rng) {
+                        Decision::Continue => {}
+                        Decision::Converged(_) => break Verdict::Converged,
+                        Decision::Exhausted(_) => break Verdict::MaxRuns,
+                    }
+                }
+            }
+        }
+        let seed = base_seed.wrapping_add(n as u64);
+        samples.push(run(n, seed)?);
+    };
+    let mut rng = Rng::new(base_seed).fork("bootstrap-ci");
+    let alpha = 1.0 - protocol.confidence();
+    let ci = bootstrap_mean_ci(&samples, REPORT_RESAMPLES, alpha, &mut rng);
+    Ok(ProtocolDrive {
+        samples,
+        verdict,
+        ci,
+    })
 }
 
 #[cfg(test)]
@@ -947,6 +1020,71 @@ mod tests {
             ..Default::default()
         };
         assert!(Protocol::from_flags(&unknown, 10).is_err());
+    }
+
+    #[test]
+    fn drive_protocol_runs_fixed_counts_with_derived_seeds() {
+        let mut seeds = Vec::new();
+        let drive = drive_protocol(&Protocol::FixedRuns(4), 100, |i, seed| {
+            seeds.push((i, seed));
+            Ok(1000.0 + i as f64)
+        })
+        .unwrap();
+        assert_eq!(drive.samples.len(), 4);
+        assert_eq!(drive.verdict, Verdict::Fixed);
+        assert!(drive.ci.is_some());
+        assert_eq!(seeds, vec![(0, 100), (1, 101), (2, 102), (3, 103)]);
+        // Zero-run protocols are rejected, not an empty success.
+        assert!(drive_protocol(&Protocol::FixedRuns(0), 0, |_, _| Ok(1.0)).is_err());
+    }
+
+    #[test]
+    fn drive_protocol_adaptive_stops_on_stable_samples() {
+        let drive = drive_protocol(&Protocol::adaptive_default(), 7, |_, _| Ok(5000.0)).unwrap();
+        assert_eq!(drive.verdict, Verdict::Converged);
+        assert_eq!(drive.samples.len(), 5, "constant samples converge at min");
+        // Wildly noisy samples exhaust the budget instead.
+        let mut noise = Rng::new(9);
+        let drive = drive_protocol(
+            &Protocol::Adaptive {
+                min_runs: 3,
+                max_runs: 6,
+                ci_rel_width: 0.0001,
+                confidence: 0.95,
+            },
+            9,
+            |_, _| Ok(1000.0 + noise.next_f64() * 900.0),
+        )
+        .unwrap();
+        assert_eq!(drive.verdict, Verdict::MaxRuns);
+        assert_eq!(drive.samples.len(), 6);
+    }
+
+    #[test]
+    fn drive_protocol_propagates_run_errors() {
+        let err = drive_protocol(&Protocol::FixedRuns(3), 0, |i, _| {
+            if i == 1 {
+                Err(SimError::BadConfig("boom".into()))
+            } else {
+                Ok(1.0)
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn jittered_cache_pages_is_seeded_and_floored() {
+        let base = Bytes::mib(64);
+        let a = jittered_cache_pages(base, Bytes::mib(3), 5);
+        assert_eq!(a, jittered_cache_pages(base, Bytes::mib(3), 5));
+        assert_ne!(a, jittered_cache_pages(base, Bytes::mib(3), 6));
+        // No jitter: exact page count.
+        assert_eq!(
+            jittered_cache_pages(base, Bytes::ZERO, 5),
+            base.div_ceil(PAGE_SIZE)
+        );
+        // A pathological jitter can never drive capacity below one page.
+        assert!(jittered_cache_pages(Bytes::new(1), Bytes::new(1 << 40), 3) >= 1);
     }
 
     #[test]

@@ -1,0 +1,679 @@
+//! The trace model: operations, entries and the portable text formats.
+//!
+//! The paper's survey found trace-based evaluation popular (35 of the
+//! 2009–2010 uses) but nearly useless to the community because "almost
+//! none of those traces are widely available". rocketbench therefore
+//! treats traces as first-class, portable artifacts: any workload run
+//! can be recorded, written to a plain-text format, shipped, and
+//! replayed against any [`Target`](crate::Target).
+//!
+//! Two format versions exist, both one operation per line,
+//! whitespace-separated:
+//!
+//! **v1** — the operation stream alone:
+//!
+//! ```text
+//! # rocketbench-trace v1
+//! create /set0/f000001
+//! open   /set0/f000001
+//! read   /set0/f000001 65536 8192
+//! fsync  /set0/f000001
+//! unlink /set0/f000001
+//! ```
+//!
+//! **v2** — each operation prefixed by its stream (thread) id and its
+//! arrival time in nanoseconds relative to trace start, which is what
+//! makes timing-faithful and dependency-aware replay possible:
+//!
+//! ```text
+//! # rocketbench-trace v2
+//! 0 0     create /set0/f000001
+//! 0 1200  open   /set0/f000001
+//! 1 1350  read   /set1/f000007 65536 8192
+//! 0 2100  fsync  /set0/f000001
+//! ```
+//!
+//! The parser reads both; unknown `# rocketbench-trace vN` versions are
+//! rejected with a clear error. CRLF line endings and a final line
+//! without a trailing newline are accepted.
+
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::time::Nanos;
+use std::fmt::Write as _;
+
+/// One traced operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// Create a file.
+    Create(String),
+    /// Create a directory.
+    Mkdir(String),
+    /// Open a file (subsequent ops address it by path).
+    Open(String),
+    /// Close a file.
+    Close(String),
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Path (must be opened).
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Write `len` bytes at `offset`.
+    Write {
+        /// Path (must be opened).
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Set a file's size.
+    SetSize {
+        /// Path (must be opened).
+        path: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// fsync a file.
+    Fsync(String),
+    /// stat a path.
+    Stat(String),
+    /// Unlink a file.
+    Unlink(String),
+}
+
+impl TraceOp {
+    /// Every verb the text formats know, in serialization order.
+    pub const VERBS: [&'static str; 10] = [
+        "create", "mkdir", "open", "close", "read", "write", "setsize", "fsync", "stat", "unlink",
+    ];
+
+    /// The path the operation addresses.
+    pub fn path(&self) -> &str {
+        match self {
+            TraceOp::Create(p)
+            | TraceOp::Mkdir(p)
+            | TraceOp::Open(p)
+            | TraceOp::Close(p)
+            | TraceOp::Fsync(p)
+            | TraceOp::Stat(p)
+            | TraceOp::Unlink(p) => p,
+            TraceOp::Read { path, .. }
+            | TraceOp::Write { path, .. }
+            | TraceOp::SetSize { path, .. } => path,
+        }
+    }
+
+    /// The operation's format verb (`"read"`, `"fsync"`, …).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            TraceOp::Create(_) => "create",
+            TraceOp::Mkdir(_) => "mkdir",
+            TraceOp::Open(_) => "open",
+            TraceOp::Close(_) => "close",
+            TraceOp::Read { .. } => "read",
+            TraceOp::Write { .. } => "write",
+            TraceOp::SetSize { .. } => "setsize",
+            TraceOp::Fsync(_) => "fsync",
+            TraceOp::Stat(_) => "stat",
+            TraceOp::Unlink(_) => "unlink",
+        }
+    }
+
+    /// The same operation addressing a different path (used by the
+    /// remap/scale transformations).
+    pub fn with_path(&self, new: String) -> TraceOp {
+        match self {
+            TraceOp::Create(_) => TraceOp::Create(new),
+            TraceOp::Mkdir(_) => TraceOp::Mkdir(new),
+            TraceOp::Open(_) => TraceOp::Open(new),
+            TraceOp::Close(_) => TraceOp::Close(new),
+            TraceOp::Read { offset, len, .. } => TraceOp::Read {
+                path: new,
+                offset: *offset,
+                len: *len,
+            },
+            TraceOp::Write { offset, len, .. } => TraceOp::Write {
+                path: new,
+                offset: *offset,
+                len: *len,
+            },
+            TraceOp::SetSize { size, .. } => TraceOp::SetSize {
+                path: new,
+                size: *size,
+            },
+            TraceOp::Fsync(_) => TraceOp::Fsync(new),
+            TraceOp::Stat(_) => TraceOp::Stat(new),
+            TraceOp::Unlink(_) => TraceOp::Unlink(new),
+        }
+    }
+
+    /// Renders the operation as one v1 text line (no newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            TraceOp::Create(p) => format!("create {p}"),
+            TraceOp::Mkdir(p) => format!("mkdir {p}"),
+            TraceOp::Open(p) => format!("open {p}"),
+            TraceOp::Close(p) => format!("close {p}"),
+            TraceOp::Read { path, offset, len } => format!("read {path} {offset} {len}"),
+            TraceOp::Write { path, offset, len } => format!("write {path} {offset} {len}"),
+            TraceOp::SetSize { path, size } => format!("setsize {path} {size}"),
+            TraceOp::Fsync(p) => format!("fsync {p}"),
+            TraceOp::Stat(p) => format!("stat {p}"),
+            TraceOp::Unlink(p) => format!("unlink {p}"),
+        }
+    }
+}
+
+/// Text-format version of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceVersion {
+    /// The original op-stream-only format.
+    #[default]
+    V1,
+    /// Ops stamped with stream id and relative arrival time.
+    V2,
+}
+
+impl TraceVersion {
+    /// The version's header line.
+    pub fn header(self) -> &'static str {
+        match self {
+            TraceVersion::V1 => "# rocketbench-trace v1",
+            TraceVersion::V2 => "# rocketbench-trace v2",
+        }
+    }
+
+    /// Report label (`"v1"` / `"v2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceVersion::V1 => "v1",
+            TraceVersion::V2 => "v2",
+        }
+    }
+}
+
+/// One trace entry: an operation plus its v2 metadata.
+///
+/// In a v1 trace the metadata is neutral (`at == 0`, `stream == 0`), so
+/// every v1 trace is also a valid single-stream v2 trace with no timing
+/// information — the upgrade path the format was designed around.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// Arrival time relative to trace start.
+    pub at: Nanos,
+    /// Stream (thread) id the operation was issued from.
+    pub stream: u32,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+impl TraceEntry {
+    /// A v1-style entry: no timing, stream 0.
+    pub fn bare(op: TraceOp) -> TraceEntry {
+        TraceEntry {
+            at: Nanos::ZERO,
+            stream: 0,
+            op,
+        }
+    }
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Serialization version. Transformations that introduce multiple
+    /// streams promote a trace to [`TraceVersion::V2`] automatically so
+    /// no information is silently dropped on the way to disk.
+    pub version: TraceVersion,
+    /// Entries in trace order. Within one stream this order is program
+    /// order; across streams it is the global happens-before order used
+    /// by dependency-aware replay.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Builds a v1 trace from a bare operation stream.
+    pub fn from_ops(ops: Vec<TraceOp>) -> Trace {
+        Trace {
+            version: TraceVersion::V1,
+            entries: ops.into_iter().map(TraceEntry::bare).collect(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the trace holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The bare operations, in trace order.
+    pub fn ops(&self) -> impl Iterator<Item = &TraceOp> {
+        self.entries.iter().map(|e| &e.op)
+    }
+
+    /// Sorted list of distinct stream ids.
+    pub fn stream_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.entries.iter().map(|e| e.stream).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The largest relative timestamp (the trace's recorded span).
+    pub fn span(&self) -> Nanos {
+        self.entries
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// The same trace stamped as v2 (entries unchanged; a v1 trace
+    /// becomes a single-stream v2 trace with zero timestamps).
+    pub fn to_v2(mut self) -> Trace {
+        self.version = TraceVersion::V2;
+        self
+    }
+
+    /// Sets the version to v2 when any entry carries information the v1
+    /// format cannot represent (a nonzero stream or timestamp); leaves
+    /// it alone otherwise. Transformations call this so their output
+    /// never serializes lossily.
+    pub fn normalize_version(&mut self) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.stream != 0 || !e.at.is_zero())
+        {
+            self.version = TraceVersion::V2;
+        }
+    }
+
+    fn check_paths(&self) -> SimResult<()> {
+        for (i, e) in self.entries.iter().enumerate() {
+            let path = e.op.path();
+            if path.is_empty() || path.starts_with('#') || path.chars().any(|c| c.is_whitespace()) {
+                return Err(SimError::BadConfig(format!(
+                    "op {i}: path {path:?} cannot be represented in the \
+                     whitespace-separated trace format"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the portable text format at the trace's own
+    /// version: a v1 trace writes v1 (byte-identical to the original
+    /// format), a v2 trace writes v2.
+    ///
+    /// The format is whitespace-separated, so paths containing
+    /// whitespace (or empty paths, or `#`-prefixed paths that would
+    /// read back as comments) cannot round-trip; serializing them is an
+    /// error rather than a silently corrupted trace.
+    pub fn to_text(&self) -> SimResult<String> {
+        match self.version {
+            TraceVersion::V1 => self.to_text_v1(),
+            TraceVersion::V2 => self.to_text_v2(),
+        }
+    }
+
+    /// Serializes as v1, dropping timestamps and stream ids.
+    ///
+    /// Lossy by design (the explicit downgrade path for consumers that
+    /// only understand v1); multi-stream traces refuse, because
+    /// flattening interleaved streams into one op list would fabricate
+    /// a total order the trace never promised.
+    pub fn to_text_v1(&self) -> SimResult<String> {
+        self.check_paths()?;
+        if self.stream_ids().len() > 1 {
+            return Err(SimError::BadConfig(
+                "multi-stream trace cannot serialize as v1; use v2 \
+                 (to_text_v2) or filter to one stream first"
+                    .into(),
+            ));
+        }
+        let mut out = String::from(concat!("# rocketbench-trace v1", "\n"));
+        for e in &self.entries {
+            let _ = writeln!(out, "{}", e.op.to_line());
+        }
+        Ok(out)
+    }
+
+    /// Serializes as v2 (stream id and relative timestamp per line).
+    pub fn to_text_v2(&self) -> SimResult<String> {
+        self.check_paths()?;
+        let mut out = String::from("# rocketbench-trace v2\n# columns: stream t_ns op args...\n");
+        for e in &self.entries {
+            let _ = writeln!(out, "{} {} {}", e.stream, e.at.as_nanos(), e.op.to_line());
+        }
+        Ok(out)
+    }
+
+    /// Parses the text format, v1 or v2.
+    ///
+    /// The `# rocketbench-trace vN` header selects the version (absent
+    /// header means v1, for compatibility with hand-written traces);
+    /// unknown versions are a clear error, not a generic parse failure.
+    /// Unknown lines, missing fields and trailing junk are errors;
+    /// comments and blank lines are skipped. CRLF line endings and a
+    /// missing final newline are tolerated.
+    pub fn from_text(text: &str) -> SimResult<Trace> {
+        let mut version: Option<TraceVersion> = None;
+        let mut entries = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            // `str::lines` splits on `\n`; trimming also strips the `\r`
+            // a CRLF file leaves behind (and any stray indentation).
+            let line = raw.trim();
+            if let Some(rest) = line.strip_prefix("# rocketbench-trace") {
+                let v = match rest.trim() {
+                    "v1" => TraceVersion::V1,
+                    "v2" => TraceVersion::V2,
+                    other => {
+                        return Err(SimError::BadConfig(format!(
+                            "line {}: unsupported trace version {other:?} \
+                             (this build reads v1 and v2)",
+                            lineno + 1
+                        )))
+                    }
+                };
+                match version {
+                    None => version = Some(v),
+                    Some(prev) if prev == v => {}
+                    Some(prev) => {
+                        return Err(SimError::BadConfig(format!(
+                            "line {}: conflicting version directives ({} then {})",
+                            lineno + 1,
+                            prev.label(),
+                            v.label()
+                        )))
+                    }
+                }
+                continue;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (at, stream) = match version.unwrap_or(TraceVersion::V1) {
+                TraceVersion::V1 => (Nanos::ZERO, 0u32),
+                TraceVersion::V2 => {
+                    let stream = parts
+                        .next()
+                        .ok_or_else(|| {
+                            SimError::BadConfig(format!("line {}: missing stream id", lineno + 1))
+                        })?
+                        .parse::<u32>()
+                        .map_err(|e| {
+                            SimError::BadConfig(format!("line {}: bad stream id: {e}", lineno + 1))
+                        })?;
+                    let at = parts
+                        .next()
+                        .ok_or_else(|| {
+                            SimError::BadConfig(format!("line {}: missing timestamp", lineno + 1))
+                        })?
+                        .parse::<u64>()
+                        .map_err(|e| {
+                            SimError::BadConfig(format!("line {}: bad timestamp: {e}", lineno + 1))
+                        })?;
+                    (Nanos::from_nanos(at), stream)
+                }
+            };
+            let verb = parts.next().unwrap_or_default();
+            let mut arg = |name: &str| -> SimResult<String> {
+                parts.next().map(str::to_string).ok_or_else(|| {
+                    SimError::BadConfig(format!("line {}: missing {name}", lineno + 1))
+                })
+            };
+            let op = match verb {
+                "create" => TraceOp::Create(arg("path")?),
+                "mkdir" => TraceOp::Mkdir(arg("path")?),
+                "open" => TraceOp::Open(arg("path")?),
+                "close" => TraceOp::Close(arg("path")?),
+                "read" | "write" => {
+                    let path = arg("path")?;
+                    let offset = arg("offset")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
+                    let len = arg("len")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
+                    if verb == "read" {
+                        TraceOp::Read { path, offset, len }
+                    } else {
+                        TraceOp::Write { path, offset, len }
+                    }
+                }
+                "setsize" => {
+                    let path = arg("path")?;
+                    let size = arg("size")?
+                        .parse::<u64>()
+                        .map_err(|e| SimError::BadConfig(format!("line {}: {e}", lineno + 1)))?;
+                    TraceOp::SetSize { path, size }
+                }
+                "fsync" => TraceOp::Fsync(arg("path")?),
+                "stat" => TraceOp::Stat(arg("path")?),
+                "unlink" => TraceOp::Unlink(arg("path")?),
+                other => {
+                    return Err(SimError::BadConfig(format!(
+                        "line {}: unknown op {other:?}",
+                        lineno + 1
+                    )))
+                }
+            };
+            // A path with whitespace serializes into extra tokens; the
+            // old parser silently ignored them, so such a trace parsed
+            // into *different* operations than were recorded. Reject
+            // trailing junk instead.
+            if let Some(extra) = parts.next() {
+                return Err(SimError::BadConfig(format!(
+                    "line {}: trailing token {extra:?} after {verb}",
+                    lineno + 1
+                )));
+            }
+            entries.push(TraceEntry { at, stream, op });
+        }
+        Ok(Trace {
+            version: version.unwrap_or(TraceVersion::V1),
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// One instance of every [`TraceOp`] variant.
+    pub(crate) fn all_variants() -> Vec<TraceOp> {
+        vec![
+            TraceOp::Mkdir("/d".into()),
+            TraceOp::Create("/d/f".into()),
+            TraceOp::Open("/d/f".into()),
+            TraceOp::SetSize {
+                path: "/d/f".into(),
+                size: 65536,
+            },
+            TraceOp::Read {
+                path: "/d/f".into(),
+                offset: 8192,
+                len: 4096,
+            },
+            TraceOp::Write {
+                path: "/d/f".into(),
+                offset: 0,
+                len: 4096,
+            },
+            TraceOp::Fsync("/d/f".into()),
+            TraceOp::Stat("/d/f".into()),
+            TraceOp::Close("/d/f".into()),
+            TraceOp::Unlink("/d/f".into()),
+        ]
+    }
+
+    #[test]
+    fn v1_text_roundtrip() {
+        let trace = Trace::from_ops(all_variants());
+        let text = trace.to_text().unwrap();
+        assert!(text.starts_with("# rocketbench-trace v1\n"));
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn v2_text_roundtrip() {
+        let mut trace = Trace {
+            version: TraceVersion::V2,
+            entries: Vec::new(),
+        };
+        for (i, op) in all_variants().into_iter().enumerate() {
+            trace.entries.push(TraceEntry {
+                at: Nanos::from_micros(17 * i as u64),
+                stream: (i % 3) as u32,
+                op,
+            });
+        }
+        let text = trace.to_text().unwrap();
+        assert!(text.starts_with("# rocketbench-trace v2\n"));
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.to_text().unwrap(), text, "reserialize differs");
+    }
+
+    #[test]
+    fn every_variant_roundtrips_individually() {
+        // serialize -> parse -> serialize must be a fixed point for each
+        // variant on its own (not just for the combined trace), in both
+        // format versions.
+        for op in all_variants() {
+            let v1 = Trace::from_ops(vec![op.clone()]);
+            let text = v1.to_text().unwrap();
+            let parsed = Trace::from_text(&text).unwrap();
+            assert_eq!(parsed, v1, "v1 asymmetry for {text:?}");
+            assert_eq!(parsed.to_text().unwrap(), text, "v1 reserialize differs");
+
+            let v2 = v1.clone().to_v2();
+            let text = v2.to_text().unwrap();
+            let parsed = Trace::from_text(&text).unwrap();
+            assert_eq!(parsed, v2, "v2 asymmetry for {text:?}");
+            assert_eq!(parsed.to_text().unwrap(), text, "v2 reserialize differs");
+        }
+    }
+
+    #[test]
+    fn v1_to_v2_promotion_is_stable() {
+        // Promoting a v1 trace to v2 and shipping it through text must
+        // preserve the op stream exactly, with neutral metadata.
+        let v1 = Trace::from_ops(all_variants());
+        let v2 = Trace::from_text(&v1.clone().to_v2().to_text().unwrap()).unwrap();
+        assert_eq!(v2.version, TraceVersion::V2);
+        let ops1: Vec<&TraceOp> = v1.ops().collect();
+        let ops2: Vec<&TraceOp> = v2.ops().collect();
+        assert_eq!(ops1, ops2);
+        assert!(v2.entries.iter().all(|e| e.stream == 0 && e.at.is_zero()));
+    }
+
+    #[test]
+    fn crlf_and_missing_final_newline_are_accepted() {
+        let unix = "# rocketbench-trace v1\ncreate /a\nstat /a\n";
+        let dos = "# rocketbench-trace v1\r\ncreate /a\r\nstat /a\r\n";
+        let bare_tail = "# rocketbench-trace v1\ncreate /a\nstat /a";
+        let reference = Trace::from_text(unix).unwrap();
+        assert_eq!(Trace::from_text(dos).unwrap(), reference);
+        assert_eq!(Trace::from_text(bare_tail).unwrap(), reference);
+        // Same for v2 lines.
+        let v2_dos = "# rocketbench-trace v2\r\n0 10 create /a\r\n1 20 stat /a";
+        let t = Trace::from_text(v2_dos).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries[1].stream, 1);
+        assert_eq!(t.entries[1].at, Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn unknown_versions_are_a_clear_error() {
+        let err = Trace::from_text("# rocketbench-trace v3\ncreate /a\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported trace version"), "{msg}");
+        assert!(msg.contains("v3"), "{msg}");
+        // Conflicting directives are rejected too.
+        assert!(
+            Trace::from_text("# rocketbench-trace v1\n# rocketbench-trace v2\ncreate /a\n")
+                .is_err()
+        );
+        // Repeating the same directive is harmless.
+        assert!(
+            Trace::from_text("# rocketbench-trace v1\n# rocketbench-trace v1\ncreate /a\n").is_ok()
+        );
+    }
+
+    #[test]
+    fn headerless_text_parses_as_v1() {
+        let t = Trace::from_text("create /a\nstat /a\n").unwrap();
+        assert_eq!(t.version, TraceVersion::V1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_paths_are_rejected_at_serialization() {
+        // A path with a space would serialize into extra tokens and
+        // parse back as a *different* operation; to_text refuses.
+        for bad in ["/a b", "", " ", "/x\ty", "/new\nline", "#comment"] {
+            let trace = Trace::from_ops(vec![TraceOp::Create(bad.into())]);
+            assert!(trace.to_text().is_err(), "v1 accepted path {bad:?}");
+            let trace = trace.to_v2();
+            assert!(trace.to_text().is_err(), "v2 accepted path {bad:?}");
+        }
+        // And the parser refuses the trailing tokens such a line would
+        // contain, instead of silently dropping them.
+        assert!(Trace::from_text("create /a b").is_err());
+        assert!(Trace::from_text("read /x 0 4096 junk").is_err());
+        assert!(Trace::from_text("unlink /x /y").is_err());
+        assert!(Trace::from_text("# rocketbench-trace v2\n0 0 unlink /x /y").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::from_text("explode /x").is_err());
+        assert!(Trace::from_text("read /x notanumber 12").is_err());
+        assert!(Trace::from_text("read /x").is_err());
+        // v2 metadata must be numeric and present.
+        assert!(Trace::from_text("# rocketbench-trace v2\nx 0 create /a").is_err());
+        assert!(Trace::from_text("# rocketbench-trace v2\n0 y create /a").is_err());
+        assert!(Trace::from_text("# rocketbench-trace v2\n0 create /a").is_err());
+        // Comments and blanks are fine.
+        let t = Trace::from_text("# hi\n\n  \ncreate /a\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn multi_stream_refuses_v1_serialization() {
+        let mut t = Trace::from_ops(vec![TraceOp::Create("/a".into())]);
+        t.entries.push(TraceEntry {
+            at: Nanos::ZERO,
+            stream: 1,
+            op: TraceOp::Stat("/a".into()),
+        });
+        assert!(t.to_text_v1().is_err());
+        assert!(t.to_text_v2().is_ok());
+        // normalize_version notices the second stream.
+        t.normalize_version();
+        assert_eq!(t.version, TraceVersion::V2);
+    }
+
+    #[test]
+    fn span_and_streams() {
+        let t = Trace::from_text(
+            "# rocketbench-trace v2\n2 100 create /a\n0 50 stat /b\n2 400 stat /a\n",
+        )
+        .unwrap();
+        assert_eq!(t.span(), Nanos::from_nanos(400));
+        assert_eq!(t.stream_ids(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,203 @@
+//! Recording proxy: wraps a [`Target`], passing operations through
+//! while appending them to a [`Trace`].
+//!
+//! The recorder emits v2 traces: every operation is stamped with its
+//! arrival time (the target clock when the operation was issued,
+//! relative to when recording started) and the recorder's current
+//! stream id. A harness driving several logical threads through one
+//! recorder calls [`Recorder::set_stream`] at context switches so the
+//! trace keeps the per-thread structure that dependency-aware replay
+//! needs.
+
+use crate::model::{Trace, TraceEntry, TraceOp, TraceVersion};
+use crate::target::Target;
+use rb_simcore::error::SimResult;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use rb_simfs::stack::Fd;
+use std::collections::HashMap;
+
+/// A recording proxy: wraps a target, passing operations through while
+/// appending them to a trace.
+pub struct Recorder<'t, T: Target> {
+    inner: &'t mut T,
+    trace: Trace,
+    paths: HashMap<Fd, String>,
+    start: Nanos,
+    stream: u32,
+}
+
+impl<'t, T: Target> Recorder<'t, T> {
+    /// Wraps a target; timestamps are relative to the target's clock at
+    /// this moment.
+    pub fn new(inner: &'t mut T) -> Self {
+        let start = inner.now();
+        Recorder {
+            inner,
+            trace: Trace {
+                version: TraceVersion::V2,
+                entries: Vec::new(),
+            },
+            paths: HashMap::new(),
+            start,
+            stream: 0,
+        }
+    }
+
+    /// Sets the stream (thread) id stamped on subsequent operations.
+    pub fn set_stream(&mut self, stream: u32) {
+        self.stream = stream;
+    }
+
+    /// The stream id currently being stamped.
+    pub fn stream(&self) -> u32 {
+        self.stream
+    }
+
+    /// Finishes recording, returning the (v2) trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    fn path_of(&self, fd: Fd) -> String {
+        self.paths
+            .get(&fd)
+            .cloned()
+            .unwrap_or_else(|| format!("<fd{fd}>"))
+    }
+
+    /// Arrival timestamp for an operation issued now.
+    fn at(&self) -> Nanos {
+        self.inner.now() - self.start
+    }
+
+    fn push(&mut self, at: Nanos, op: TraceOp) {
+        self.trace.entries.push(TraceEntry {
+            at,
+            stream: self.stream,
+            op,
+        });
+    }
+}
+
+impl<T: Target> Target for Recorder<'_, T> {
+    fn name(&self) -> String {
+        format!("record:{}", self.inner.name())
+    }
+
+    fn now(&self) -> Nanos {
+        self.inner.now()
+    }
+
+    fn advance(&mut self, d: Nanos) {
+        self.inner.advance(d);
+    }
+
+    fn create(&mut self, path: &str) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.create(path)?;
+        self.push(at, TraceOp::Create(path.to_string()));
+        Ok(r)
+    }
+
+    fn mkdir(&mut self, path: &str) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.mkdir(path)?;
+        self.push(at, TraceOp::Mkdir(path.to_string()));
+        Ok(r)
+    }
+
+    fn unlink(&mut self, path: &str) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.unlink(path)?;
+        self.push(at, TraceOp::Unlink(path.to_string()));
+        Ok(r)
+    }
+
+    fn stat(&mut self, path: &str) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.stat(path)?;
+        self.push(at, TraceOp::Stat(path.to_string()));
+        Ok(r)
+    }
+
+    fn open(&mut self, path: &str) -> SimResult<Fd> {
+        let at = self.at();
+        let fd = self.inner.open(path)?;
+        self.paths.insert(fd, path.to_string());
+        self.push(at, TraceOp::Open(path.to_string()));
+        Ok(fd)
+    }
+
+    fn close(&mut self, fd: Fd) -> SimResult<()> {
+        let at = self.at();
+        let path = self.path_of(fd);
+        self.inner.close(fd)?;
+        self.paths.remove(&fd);
+        self.push(at, TraceOp::Close(path));
+        Ok(())
+    }
+
+    fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.set_size(fd, size)?;
+        let op = TraceOp::SetSize {
+            path: self.path_of(fd),
+            size: size.as_u64(),
+        };
+        self.push(at, op);
+        Ok(r)
+    }
+
+    fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.read(fd, offset, len)?;
+        let op = TraceOp::Read {
+            path: self.path_of(fd),
+            offset: offset.as_u64(),
+            len: len.as_u64(),
+        };
+        self.push(at, op);
+        Ok(r)
+    }
+
+    fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.write(fd, offset, len)?;
+        let op = TraceOp::Write {
+            path: self.path_of(fd),
+            offset: offset.as_u64(),
+            len: len.as_u64(),
+        };
+        self.push(at, op);
+        Ok(r)
+    }
+
+    fn fsync(&mut self, fd: Fd) -> SimResult<Nanos> {
+        let at = self.at();
+        let r = self.inner.fsync(fd)?;
+        let op = TraceOp::Fsync(self.path_of(fd));
+        self.push(at, op);
+        Ok(r)
+    }
+
+    fn drop_caches(&mut self) -> bool {
+        self.inner.drop_caches()
+    }
+
+    fn set_cache_capacity_pages(&mut self, pages: u64) {
+        self.inner.set_cache_capacity_pages(pages);
+    }
+
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        self.inner.cache_hit_ratio()
+    }
+
+    fn cache_stats(&self) -> Option<rb_simcache::page::CacheStats> {
+        self.inner.cache_stats()
+    }
+
+    fn background_tick(&mut self) {
+        self.inner.background_tick();
+    }
+}

@@ -1,0 +1,84 @@
+//! The system-under-test interface: what a recorder can observe and a
+//! replayer can drive.
+//!
+//! [`Target`] is the contract between every workload driver in the
+//! stack — the flowop engine, the trace [`Recorder`](crate::Recorder)
+//! and the [replay driver](crate::replay_with) — and whatever is being
+//! measured. `rb_core` provides the two canonical implementations: the
+//! deterministic simulated storage stack (`SimTarget`) and a real host
+//! directory (`RealFsTarget`). The trait lives here, in the replay
+//! crate, because replay is the most demanding consumer: a trace is
+//! only a portable artifact if *any* target can execute it.
+
+use rb_simcore::error::SimResult;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use rb_simfs::stack::Fd;
+
+/// A system under test.
+pub trait Target {
+    /// Short name for reports, e.g. `"sim:ext2"`.
+    fn name(&self) -> String;
+
+    /// Monotonic time since target creation (virtual or wall).
+    fn now(&self) -> Nanos;
+
+    /// Passes time without doing I/O (per-op framework overhead, think
+    /// time, recorded inter-arrival gaps). Real targets treat this as a
+    /// no-op: their overhead is already real.
+    fn advance(&mut self, d: Nanos);
+
+    /// Creates a regular file.
+    fn create(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Creates a directory.
+    fn mkdir(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Removes a file.
+    fn unlink(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Stats a path.
+    fn stat(&mut self, path: &str) -> SimResult<Nanos>;
+
+    /// Opens a file.
+    fn open(&mut self, path: &str) -> SimResult<Fd>;
+
+    /// Closes a handle.
+    fn close(&mut self, fd: Fd) -> SimResult<()>;
+
+    /// Sets a file's size (pre-allocation).
+    fn set_size(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos>;
+
+    /// Reads `len` bytes at `offset`; returns service latency.
+    fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos>;
+
+    /// Writes `len` bytes at `offset`; returns service latency.
+    fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos>;
+
+    /// Flushes a file to stable storage.
+    fn fsync(&mut self, fd: Fd) -> SimResult<Nanos>;
+
+    /// Empties the page cache if the target can; returns whether it did.
+    fn drop_caches(&mut self) -> bool;
+
+    /// Adjusts cache capacity in pages (memory-pressure modelling).
+    /// Targets without a controllable cache ignore this.
+    fn set_cache_capacity_pages(&mut self, _pages: u64) {}
+
+    /// Cache hit ratio so far, if the target can report one.
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        None
+    }
+
+    /// Cumulative cache statistics snapshot, if the target has a
+    /// controllable cache. Used by the engine to compute per-phase hit
+    /// ratios as deltas.
+    fn cache_stats(&self) -> Option<rb_simcache::page::CacheStats> {
+        None
+    }
+
+    /// Background maintenance hook (the kernel flusher thread): called
+    /// periodically by the engine and by timed replay. Real targets rely
+    /// on the host kernel.
+    fn background_tick(&mut self) {}
+}

@@ -7,6 +7,9 @@
 //! * [`core`] — the harness: targets, workloads, the run protocols
 //!   (fixed-N and convergence-driven), sweep campaigns, paper figures,
 //!   analysis and reports.
+//! * [`replay`] — the trace subsystem: v1/v2 trace formats, the
+//!   recorder, timing policies, dependency-aware multi-stream replay,
+//!   transformations and characterization.
 //! * [`simfs`] — simulated file systems and the composed storage stack.
 //! * [`simcache`] — the simulated page cache.
 //! * [`simdisk`] — simulated block devices.
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub use rb_core as core;
+pub use rb_replay as replay;
 pub use rb_simcache as simcache;
 pub use rb_simcore as simcore;
 pub use rb_simdisk as simdisk;

@@ -6,9 +6,11 @@
 //! usage.
 
 use rb_core::analysis::Regime;
-use rb_core::campaign::{run_campaign, Personality, SweepSpec};
+use rb_core::campaign::{run_campaign, Personality, SweepSpec, TraceSource};
 use rb_core::prelude::*;
-use rb_core::trace::{replay, Recorder, Trace};
+use rb_core::trace::{
+    characterize, merge, replay_with, Recorder, ReplayConfig, Timing, Trace, Transform,
+};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use std::process::ExitCode;
@@ -190,8 +192,53 @@ fn parse_protocol(opts: &Opts) -> Result<Protocol, String> {
     Protocol::from_flags(&flags, 3)
 }
 
+/// Loads `--traces` files as sweep sources, each named by its file stem
+/// and replayed under the shared `--trace-timing` policy.
+fn parse_trace_sources(opts: &Opts) -> Result<Vec<TraceSource>, String> {
+    let Some(spec) = opts.get("traces") else {
+        return Ok(Vec::new());
+    };
+    let timing = match opts.get("trace-timing") {
+        Some(t) => Timing::parse(t).map_err(|e| format!("--trace-timing: {e}"))?,
+        None => Timing::Afap,
+    };
+    let sources = parse_list(spec, |path| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let trace = Trace::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path)
+            .to_string();
+        Ok(TraceSource::new(name, trace, timing))
+    })?;
+    // The stem is the cell identity; two files sharing one stem would
+    // silently dedup to a single cell. Refuse instead.
+    for (i, a) in sources.iter().enumerate() {
+        if sources[..i].iter().any(|b| b.name == a.name) {
+            return Err(format!(
+                "duplicate trace name {:?} in --traces (cells are keyed by \
+                 file stem); rename one of the files",
+                a.name
+            ));
+        }
+    }
+    Ok(sources)
+}
+
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    let personalities = parse_list(opts.get("workloads").unwrap_or("randomread"), |w| {
+    let traces = parse_trace_sources(opts)?;
+    if opts.get("trace-timing").is_some() && traces.is_empty() {
+        return Err("--trace-timing only applies with --traces".into());
+    }
+    // With trace sources and no explicit --workloads, sweep the traces
+    // alone instead of silently adding the personality default.
+    let workloads = match opts.get("workloads") {
+        Some(w) => w,
+        None if !traces.is_empty() => "",
+        None => "randomread",
+    };
+    let personalities = parse_list(workloads, |w| {
         Personality::parse(w).ok_or_else(|| {
             let known: Vec<&str> = Personality::ALL.iter().map(|p| p.name()).collect();
             format!("unknown workload {w:?}; known: {}", known.join(","))
@@ -244,6 +291,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let spec = SweepSpec {
         name: opts.get("name").unwrap_or("sweep").to_string(),
         personalities,
+        traces,
         file_sizes,
         file_counts,
         filesystems,
@@ -314,16 +362,29 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             let trace = recorder.finish();
             let text = trace.to_text().map_err(|e| e.to_string())?;
             std::fs::write(out, text).map_err(|e| e.to_string())?;
-            println!("recorded {} ops to {out}", trace.ops.len());
+            println!(
+                "recorded {} ops ({}) to {out}",
+                trace.len(),
+                trace.version.label()
+            );
             Ok(())
         }
         "replay" => {
             let input = opts.get("in").ok_or("trace replay needs --in FILE")?;
             let target_spec = opts.get("target").unwrap_or("sim:ext2");
+            let timing = match opts.get("timing") {
+                Some(t) => Timing::parse(t).map_err(|e| format!("--timing: {e}"))?,
+                None => Timing::Afap,
+            };
+            let seed = opts
+                .get("seed")
+                .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+                .transpose()?
+                .unwrap_or(0);
             let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
             let trace = Trace::from_text(&text).map_err(|e| e.to_string())?;
             let mut target = make_target(target_spec, Bytes::gib(1), 0)?;
-            let result = replay(target.as_mut(), &trace);
+            let result = replay_with(target.as_mut(), &trace, &ReplayConfig { timing, seed });
             println!(
                 "replayed {} ops ({} errors) in {} on {}",
                 result.ops,
@@ -331,10 +392,77 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 result.duration,
                 target.name()
             );
+            // A failing replay must fail the command: the summary above
+            // is printed either way, but CI scripting needs the exit
+            // code — and the operator needs to know *what* failed first.
+            match result.first_error {
+                Some(first) if result.errors > 0 => Err(format!(
+                    "replay finished with {} failed op(s); first failure: {first}",
+                    result.errors
+                )),
+                _ => Ok(()),
+            }
+        }
+        "stats" => {
+            let input = opts.get("in").ok_or("trace stats needs --in FILE")?;
+            let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+            let trace = Trace::from_text(&text).map_err(|e| e.to_string())?;
+            print!("{}", characterize(&trace).render());
+            Ok(())
+        }
+        "transform" => {
+            let input = opts.get("in").ok_or("trace transform needs --in FILE")?;
+            let out = opts.get("out").ok_or("trace transform needs --out FILE")?;
+            let text = std::fs::read_to_string(input).map_err(|e| e.to_string())?;
+            let mut trace = Trace::from_text(&text).map_err(|e| e.to_string())?;
+            let before = trace.len();
+            if let Some(extra) = opts.get("merge") {
+                let mut traces = vec![trace];
+                for path in extra.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    traces.push(Trace::from_text(&text).map_err(|e| format!("{path}: {e}"))?);
+                }
+                trace = merge(&traces);
+            }
+            let mut pipeline = Vec::new();
+            if let Some(verbs) = opts.get("keep-ops") {
+                pipeline.push(Transform::KeepOps(
+                    verbs.split(',').map(|v| v.trim().to_string()).collect(),
+                ));
+            }
+            if let Some(prefix) = opts.get("keep-prefix") {
+                pipeline.push(Transform::KeepPrefix(prefix.to_string()));
+            }
+            if let Some(remap) = opts.get("remap") {
+                let (from, to) = remap
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --remap {remap:?}; expected FROM=TO"))?;
+                pipeline.push(Transform::Remap {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                });
+            }
+            if let Some(clones) = opts.get("scale") {
+                let clones = clones
+                    .parse::<u32>()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                pipeline.push(Transform::Scale { clones });
+            }
+            let transformed =
+                rb_core::trace::apply(&trace, &pipeline).map_err(|e| e.to_string())?;
+            let text = transformed.to_text().map_err(|e| e.to_string())?;
+            std::fs::write(out, text).map_err(|e| e.to_string())?;
+            println!(
+                "transformed {} -> {} ops ({}) to {out}",
+                before,
+                transformed.len(),
+                transformed.version.label()
+            );
             Ok(())
         }
         other => Err(format!(
-            "unknown trace subcommand {other:?}; use record|replay"
+            "unknown trace subcommand {other:?}; use record|replay|stats|transform"
         )),
     }
 }
@@ -350,6 +478,7 @@ USAGE:
                      [--seed 0] [--prewarm true] [--warm true]
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
+                     [--traces a.trace,b.trace] [--trace-timing afap|faithful|scaled=N]
                      [--protocol fixed|adaptive] [--runs 3]
                      [--ci 2%] [--min-runs 5] [--max-runs 30]
                      [--confidence 95%] [--budget RUNS]
@@ -360,13 +489,30 @@ USAGE:
   rocketbench table1
   rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
   rocketbench trace  replay --in FILE [--target sim:xfs]
+                     [--timing afap|faithful|scaled=N] [--seed 0]
+  rocketbench trace  stats --in FILE
+  rocketbench trace  transform --in FILE --out FILE [--merge FILE2,...]
+                     [--keep-ops read,write] [--keep-prefix /mail]
+                     [--remap /mail=/spool] [--scale CLONES]
   rocketbench version | --version
   rocketbench help
 
 `sweep` runs the declarative campaign engine: the cross product of
 --workloads x --sizes (or --files for fileset workloads) x --fs x
 --cache, each cell run under the chosen protocol with per-cell
-deterministic seeds, sharded over --jobs worker threads.
+deterministic seeds, sharded over --jobs worker threads. Trace files
+given via --traces become additional cells (trace x fs x cache), each
+replayed under --trace-timing with verdict/CI columns like any other
+cell; with --traces and no --workloads, only the traces sweep.
+
+`trace` makes workloads portable artifacts: `record` captures any
+workload run as a v2 trace (ops stamped with stream ids and relative
+timestamps; the parser still reads v1), `replay` executes one under a
+timing policy (afap = peak capacity, faithful = the recorded load,
+scaled=N = temporal what-if) and exits non-zero if any op fails,
+`stats` prints the characterization report (op mix, working set,
+sequentiality, inter-arrival histogram), and `transform` derives new
+scenarios (merge, filter, remap, spatial scale) from captured ones.
 
   --protocol fixed     exactly --runs repetitions per cell (default 3)
   --protocol adaptive  convergence-driven: at least --min-runs, stop as
@@ -515,6 +661,40 @@ mod tests {
             ("max-runs", "3"),
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_sources_parse_from_files() {
+        let dir = std::env::temp_dir().join(format!("rb-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mailspool.trace");
+        std::fs::write(&path, "# rocketbench-trace v1\ncreate /a\nstat /a\n").unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let none = parse_trace_sources(&opts(&[])).unwrap();
+        assert!(none.is_empty());
+        let sources = parse_trace_sources(&opts(&[("traces", &path)])).unwrap();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].name, "mailspool");
+        assert_eq!(sources[0].timing, Timing::Afap);
+        assert_eq!(sources[0].trace.len(), 2);
+        let timed =
+            parse_trace_sources(&opts(&[("traces", &path), ("trace-timing", "scaled=4")])).unwrap();
+        assert_eq!(timed[0].timing, Timing::Scaled { factor: 4.0 });
+        // Two files sharing a stem would collapse into one cell; refuse.
+        let twin_dir = dir.join("twin");
+        std::fs::create_dir_all(&twin_dir).unwrap();
+        let twin = twin_dir.join("mailspool.trace");
+        std::fs::write(&twin, "create /b\n").unwrap();
+        let both = format!("{},{}", path, twin.display());
+        let err = parse_trace_sources(&opts(&[("traces", &both)])).unwrap_err();
+        assert!(err.contains("duplicate trace name"), "{err}");
+        // Bad inputs are one-line errors.
+        assert!(parse_trace_sources(&opts(&[("traces", "/no/such/file")])).is_err());
+        assert!(
+            parse_trace_sources(&opts(&[("traces", &path), ("trace-timing", "warp")])).is_err()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

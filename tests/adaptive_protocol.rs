@@ -33,6 +33,7 @@ fn stable_vs_fragile() -> SweepSpec {
     SweepSpec {
         name: "adaptive".into(),
         personalities: vec![Personality::RandomRead],
+        traces: Vec::new(),
         file_sizes: vec![Bytes::mib(4), Bytes::mib(64)],
         file_counts: vec![10],
         filesystems: vec![FsKind::Ext2],

@@ -1,0 +1,78 @@
+//! Golden-trace regression tests: the committed v1 and v2 traces in
+//! `examples/` must keep parsing, replaying cleanly, and producing
+//! byte-identical characterization reports. Any change to the trace
+//! format, the characterization math, or the render shows up here (and
+//! in the matching CI job) as a diff against the committed snapshot —
+//! format drift cannot land silently.
+
+use rocketbench::core::prelude::*;
+use rocketbench::replay::{replay_with, ReplayConfig};
+use rocketbench::simcore::units::Bytes;
+
+fn repo_file(name: &str) -> String {
+    let path = format!("{}/examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn golden(name: &str) -> Trace {
+    Trace::from_text(&repo_file(name)).expect("golden trace parses")
+}
+
+#[test]
+fn golden_v1_profile_matches_snapshot() {
+    let profile = characterize(&golden("golden_v1.trace")).render();
+    assert_eq!(
+        profile,
+        repo_file("golden_v1.profile.txt"),
+        "characterization drifted; if intentional, regenerate \
+         examples/golden_v1.profile.txt with `rocketbench trace stats`"
+    );
+}
+
+#[test]
+fn golden_v2_profile_matches_snapshot() {
+    let profile = characterize(&golden("golden_v2.trace")).render();
+    assert_eq!(
+        profile,
+        repo_file("golden_v2.profile.txt"),
+        "characterization drifted; if intentional, regenerate \
+         examples/golden_v2.profile.txt with `rocketbench trace stats`"
+    );
+}
+
+#[test]
+fn golden_traces_replay_cleanly_under_every_policy() {
+    for name in ["golden_v1.trace", "golden_v2.trace"] {
+        let trace = golden(name);
+        for timing in [
+            Timing::Afap,
+            Timing::Faithful,
+            Timing::Scaled { factor: 10.0 },
+        ] {
+            for seed in [0, 1, 99] {
+                let mut target = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 5);
+                let result = replay_with(&mut target, &trace, &ReplayConfig { timing, seed });
+                assert_eq!(
+                    result.errors, 0,
+                    "{name} under {timing} seed {seed}: {:?}",
+                    result.first_error
+                );
+                assert_eq!(result.ops, trace.len() as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_traces_roundtrip_and_stay_versioned() {
+    let v1 = golden("golden_v1.trace");
+    assert_eq!(v1.version, rocketbench::replay::TraceVersion::V1);
+    let v2 = golden("golden_v2.trace");
+    assert_eq!(v2.version, rocketbench::replay::TraceVersion::V2);
+    assert_eq!(v2.stream_ids().len(), 2);
+    // serialize -> parse is a fixed point for both.
+    for t in [v1, v2] {
+        let text = t.to_text().expect("serializes");
+        assert_eq!(Trace::from_text(&text).expect("reparses"), t);
+    }
+}

@@ -20,6 +20,7 @@ fn two_by_two() -> SweepSpec {
     SweepSpec {
         name: "2x2".into(),
         personalities: vec![Personality::RandomRead],
+        traces: Vec::new(),
         file_sizes: vec![Bytes::mib(4), Bytes::mib(96)],
         file_counts: vec![10],
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],

@@ -1,0 +1,122 @@
+//! End-to-end trace-backed sweep: the acceptance path for the replay
+//! subsystem. A recorded trace becomes campaign cells (trace × fs)
+//! under distinct timing policies, runs under both the fixed and the
+//! adaptive protocol, and reports per-cell verdict/CI columns that are
+//! byte-identical at any worker count.
+
+use rocketbench::core::campaign::{run_campaign, SweepSpec, TraceSource};
+use rocketbench::core::prelude::*;
+use rocketbench::core::runner::Protocol;
+use rocketbench::core::testbed::FsKind;
+use rocketbench::replay::Recorder;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+/// Records a short varmail session on the paper's ext2 testbed.
+fn record_trace() -> Trace {
+    let mut origin = rocketbench::core::testbed::paper_ext2(Bytes::gib(1), 11);
+    let mut recorder = Recorder::new(&mut origin);
+    let workload = personalities::varmail(8);
+    let config = EngineConfig {
+        duration: Nanos::from_secs(1),
+        window: Nanos::from_secs(1),
+        seed: 11,
+        cold_start: false,
+        prewarm: false,
+        ..Default::default()
+    };
+    Engine::run(&mut recorder, &workload, &config).expect("record");
+    recorder.finish()
+}
+
+fn trace_spec(trace: &Trace) -> SweepSpec {
+    let mut plan = RunPlan::quick(23);
+    plan.protocol = Protocol::FixedRuns(2);
+    SweepSpec {
+        name: "trace-sweep".into(),
+        personalities: Vec::new(),
+        traces: vec![
+            TraceSource::new("varmail", trace.clone(), Timing::Afap),
+            TraceSource::new("varmail", trace.clone(), Timing::Faithful),
+            TraceSource::new("varmail", trace.clone(), Timing::Scaled { factor: 2.0 }),
+        ],
+        file_sizes: Vec::new(),
+        file_counts: Vec::new(),
+        filesystems: vec![FsKind::Ext2, FsKind::Xfs],
+        cache_capacities: vec![Bytes::mib(64)],
+        plan,
+        device: Bytes::mib(256),
+        run_budget: None,
+    }
+}
+
+#[test]
+fn trace_sweep_end_to_end() {
+    let trace = record_trace();
+    assert!(trace.len() > 100, "recording produced a trivial trace");
+    let spec = trace_spec(&trace);
+    // 3 timing policies x 2 fs.
+    assert_eq!(spec.expand().len(), 6);
+
+    let report = run_campaign(&spec, 2).expect("trace campaign runs");
+    assert_eq!(report.cells.len(), 6);
+    for c in &report.cells {
+        assert_eq!(c.runs, 2, "{}", c.cell.label());
+        assert_eq!(c.errors, 0, "{}: replay diverged", c.cell.label());
+        assert!(c.summary.mean > 0.0);
+        // Verdict/CI columns exist exactly like personality cells.
+        assert_eq!(c.verdict, Verdict::Fixed);
+        let ci = c.ci.expect("bootstrap ci");
+        assert!(ci.lo <= c.summary.mean && c.summary.mean <= ci.hi);
+    }
+    // On ext2 (fast enough to saturate) the policies measure different
+    // things: afap beats faithful.
+    let by_label = |label: &str| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.cell.label() == label)
+            .unwrap_or_else(|| panic!("missing cell {label}"))
+    };
+    let afap = by_label("varmail@afap/ext2");
+    let faithful = by_label("varmail@faithful/ext2");
+    assert!(afap.summary.mean > faithful.summary.mean);
+
+    // Rendering paths carry the trace cells.
+    let csv = report.to_csv();
+    assert!(csv.contains("trace:varmail@afap"));
+    assert!(csv.contains("trace:varmail@scaled=2"));
+    assert!(report.render().contains("varmail@faithful/ext2"));
+}
+
+#[test]
+fn trace_sweep_is_jobs_deterministic() {
+    let trace = record_trace();
+    let spec = trace_spec(&trace);
+    let serial = run_campaign(&spec, 1).expect("serial");
+    let sharded = run_campaign(&spec, 4).expect("sharded");
+    assert_eq!(serial.to_csv(), sharded.to_csv());
+    assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+}
+
+#[test]
+fn trace_sweep_supports_adaptive_protocol() {
+    let trace = record_trace();
+    let mut spec = trace_spec(&trace);
+    spec.traces.truncate(1);
+    spec.filesystems = vec![FsKind::Ext2];
+    spec.plan.protocol = Protocol::Adaptive {
+        min_runs: 3,
+        max_runs: 8,
+        ci_rel_width: 0.10,
+        confidence: 0.95,
+    };
+    let report = run_campaign(&spec, 2).expect("adaptive trace campaign");
+    let cell = &report.cells[0];
+    // Replay throughput is highly repeatable, so a 10% CI converges at
+    // the floor — and the verdict says so.
+    assert_eq!(cell.verdict, Verdict::Converged);
+    assert!(cell.runs >= 3 && cell.runs < 8, "runs {}", cell.runs);
+    let ci = cell.ci.expect("ci");
+    assert!(ci.rel_width() <= 0.10);
+}
