@@ -1,0 +1,389 @@
+//! perfgate: times the harness itself and records the bench trajectory.
+//!
+//! The paper's complaint is that benchmarks report unqualified numbers;
+//! the harness should hold itself to the same bar. `perfgate` times
+//! three canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! sweep-cell grid, and an as-fast-as-possible replay of the golden v2
+//! trace spatially scaled ×32 — over N repetitions, and writes
+//! `BENCH_PR<n>.json` with median + IQR wall time, throughput in
+//! scenario work units per second, and peak RSS (from
+//! `/proc/self/status` where available). One such file per PR is the
+//! performance trajectory of the harness.
+//!
+//! By default each scenario runs in its own child process (`--only`
+//! re-invocation), so a heavyweight scenario cannot pollute the heap or
+//! allocator state of the ones after it; the parent merges the
+//! children's JSON.
+//!
+//! Usage:
+//!   cargo run -p rb-bench --release --bin perfgate [-- --quick]
+//!       [--reps N] [--out FILE] [--baseline FILE] [--only NAME]
+//!
+//! `--quick` runs fewer repetitions (a CI smoke that still writes valid
+//! JSON). `--baseline FILE` reads a previous perfgate JSON and reports
+//! per-scenario speedups against it (embedded in the output under
+//! `"speedup_vs_baseline"`).
+
+use rb_core::campaign::{run_campaign, Personality, SweepSpec};
+use rb_core::figures::{fig1_campaign, Fig1Config};
+use rb_core::report::Json;
+use rb_core::runner::RunPlan;
+use rb_core::testbed;
+use rb_core::trace::{apply, replay_with, ReplayConfig, Timing, Trace, Transform};
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+use std::time::Instant;
+
+/// One timed scenario: a name, a unit label, and a closure running the
+/// scenario once, returning how many work units it performed.
+struct Scenario {
+    name: &'static str,
+    unit: &'static str,
+    run: Box<dyn FnMut() -> u64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Peak resident set size in bytes, if the kernel exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
+    args.iter()
+        .position(|a| *a == long)
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&prefixed).map(str::to_string))
+        })
+}
+
+/// The golden v2 trace scaled ×32 (the replay scenario's input).
+fn scaled_golden() -> Trace {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/golden_v2.trace"
+    );
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run from the repo)"));
+    let trace = Trace::from_text(&text).expect("golden trace parses");
+    apply(&trace, &[Transform::Scale { clones: 32 }]).expect("scale x32")
+}
+
+/// Scenario names, in run order (the parent dispatches children by
+/// name without constructing the scenarios themselves).
+const SCENARIO_NAMES: [&str; 3] = ["fig1-quick", "sweep-4x4", "replay-x32"];
+
+/// The three canonical scenarios.
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    // Scenario 1: the quick Figure 1 campaign (single worker so the
+    // measurement is a plain single-thread workload).
+    let fig1_cells = Fig1Config::quick().sizes.len() as u64;
+    let fig1_runs: u64 = match Fig1Config::quick().plan.protocol {
+        rb_core::runner::Protocol::FixedRuns(n) => u64::from(n),
+        ref p => panic!("fig1-quick work accounting expects a fixed protocol, got {p}"),
+    };
+    let fig1 = Scenario {
+        name: "fig1-quick",
+        unit: "cell-runs",
+        run: Box::new(move || {
+            let data = fig1_campaign(&Fig1Config::quick(), 1).expect("fig1 quick");
+            assert_eq!(data.points.len() as u64, fig1_cells);
+            fig1_cells * fig1_runs
+        }),
+    };
+
+    // Scenario 2: a 4×4 sweep-cell grid (4 file sizes × 4 cache
+    // capacities, random read on ext2), one fixed run per cell.
+    let sweep = Scenario {
+        name: "sweep-4x4",
+        unit: "cells",
+        run: Box::new(|| {
+            let mut plan = RunPlan::quick(0);
+            plan.duration = Nanos::from_secs(2);
+            plan.window = Nanos::from_secs(1);
+            let spec = SweepSpec {
+                name: "perfgate-4x4".into(),
+                personalities: vec![Personality::RandomRead],
+                traces: Vec::new(),
+                file_sizes: [16u64, 32, 48, 64].iter().map(|&m| Bytes::mib(m)).collect(),
+                file_counts: vec![0],
+                filesystems: vec![rb_core::testbed::FsKind::Ext2],
+                cache_capacities: [8u64, 16, 32, 64].iter().map(|&m| Bytes::mib(m)).collect(),
+                plan,
+                device: Bytes::mib(512),
+                run_budget: None,
+            };
+            let report = run_campaign(&spec, 1).expect("sweep 4x4");
+            report.cells.len() as u64
+        }),
+    };
+
+    // Scenario 3: afap replay of golden_v2 ×32, repeated onto fresh
+    // targets within one timed repetition so the sample is long enough
+    // to measure.
+    let trace = scaled_golden();
+    let trace_ops = trace.len() as u64;
+    let inner: u64 = if quick { 8 } else { 64 };
+    let replay = Scenario {
+        name: "replay-x32",
+        unit: "ops",
+        run: Box::new(move || {
+            let mut total = 0u64;
+            for i in 0..inner {
+                let mut target = testbed::paper_ext2(Bytes::mib(256), i);
+                let result = replay_with(
+                    &mut target,
+                    &trace,
+                    &ReplayConfig {
+                        timing: Timing::Afap,
+                        seed: 0,
+                    },
+                );
+                assert_eq!(result.errors, 0, "replay failed: {:?}", result.first_error);
+                total += result.ops;
+            }
+            assert_eq!(total, trace_ops * inner);
+            total
+        }),
+    };
+    vec![fig1, sweep, replay]
+}
+
+/// Extracts `(name, wall_ms_median)` pairs from a perfgate JSON (a
+/// targeted scan, not a general JSON parser — enough for files perfgate
+/// itself wrote).
+fn medians_of(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\":\"") {
+        rest = &rest[pos + 8..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(mpos) = rest.find("\"wall_ms_median\":") else {
+            break;
+        };
+        let tail = &rest[mpos + 17..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Extracts the contents of the `"scenarios":[...]` array from a child
+/// run's JSON via a bracket-balance scan.
+fn scenario_fragment(text: &str) -> Option<String> {
+    let start = text.find("\"scenarios\":[")? + "\"scenarios\":[".len();
+    let mut depth = 1usize;
+    for (i, c) in text[start..].char_indices() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..start + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Runs every scenario in its own child process (`--only NAME`),
+/// returning the merged scenario-array fragments and the max child
+/// RSS. `None` means spawning itself failed and the caller should fall
+/// back to in-process measurement; a child that *ran* and failed is a
+/// real scenario failure and exits with its name on stderr instead of
+/// being silently re-run.
+fn run_isolated(names: &[&'static str], reps: usize, quick: bool) -> Option<(String, Option<u64>)> {
+    let exe = std::env::current_exe().ok()?;
+    let mut fragments = Vec::new();
+    let mut rss: Option<u64> = None;
+    for name in names {
+        let tmp =
+            std::env::temp_dir().join(format!("perfgate-{}-{}.json", std::process::id(), name));
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--only")
+            .arg(name)
+            .arg("--reps")
+            .arg(reps.to_string())
+            .arg("--out")
+            .arg(&tmp);
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().ok()?;
+        if !status.success() {
+            eprintln!("error: scenario {name} failed ({status}); see its output above");
+            std::process::exit(1);
+        }
+        let text = std::fs::read_to_string(&tmp).ok()?;
+        let _ = std::fs::remove_file(&tmp);
+        fragments.push(scenario_fragment(&text)?);
+        if let Some(pos) = text.find("\"peak_rss_bytes\":") {
+            let tail = &text[pos + 17..];
+            let num: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(v) = num.parse::<u64>() {
+                rss = Some(rss.unwrap_or(0).max(v));
+            }
+        }
+    }
+    Some((fragments.join(","), rss))
+}
+
+/// Assembles and writes the final JSON, with the optional baseline
+/// comparison, from an already-rendered scenario-array body.
+fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out_path: &str) {
+    let mut speedup = String::new();
+    if let Some(base_path) = flag("baseline") {
+        match std::fs::read_to_string(&base_path) {
+            Ok(base_text) => {
+                let base = medians_of(&base_text);
+                let mut parts = Vec::new();
+                for (name, ms) in medians_of(&scenario_body) {
+                    if let Some((_, base_ms)) = base.iter().find(|(n, _)| *n == name) {
+                        if ms > 0.0 {
+                            let ratio = (base_ms / ms * 100.0).round() / 100.0;
+                            eprintln!("{name}: {ratio}x vs {base_path}");
+                            parts.push(format!("{}:{ratio}", Json::Str(name.clone())));
+                        }
+                    }
+                }
+                if !parts.is_empty() {
+                    speedup = format!(",\"speedup_vs_baseline\":{{{}}}", parts.join(","));
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot read --baseline {base_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rss_field = match rss {
+        Some(v) => format!(",\"peak_rss_bytes\":{v}"),
+        None => String::new(),
+    };
+    let json = format!(
+        "{{\"bench\":\"perfgate\",\"pr\":4,\"schema\":1,\"quick\":{quick},\
+         \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
+    );
+    match std::fs::write(out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    let reps: usize = match flag("reps") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --reps needs a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None if quick => 3,
+        None => 7,
+    };
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let only = flag("only");
+
+    // The parent dispatches children by name; only a child (--only) or
+    // the in-process fallback pays for scenario construction.
+    match &only {
+        Some(only) => {
+            if !SCENARIO_NAMES.contains(&only.as_str()) {
+                eprintln!("error: --only {only:?} matches no scenario");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            eprintln!("perfgate: {reps} repetition(s) per scenario, one process each...");
+            if let Some((body, rss)) = run_isolated(&SCENARIO_NAMES, reps, quick) {
+                finish(body, rss, quick, reps, &out_path);
+                return;
+            }
+            eprintln!("perfgate: child spawn failed; measuring in-process");
+        }
+    }
+
+    let mut scenarios = scenarios(quick);
+    if let Some(only) = &only {
+        scenarios.retain(|s| s.name == only.as_str());
+    }
+    println!(
+        "{:<12} {:>6} {:>12} {:>10} {:>14}",
+        "scenario", "reps", "median ms", "iqr ms", "work/s"
+    );
+    let mut rendered: Vec<String> = Vec::new();
+    for s in &mut scenarios {
+        let mut walls_ms = Vec::with_capacity(reps);
+        let mut units = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            units = (s.run)();
+            walls_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let mut sorted = walls_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = percentile(&sorted, 0.5);
+        let iqr = percentile(&sorted, 0.75) - percentile(&sorted, 0.25);
+        let per_sec = if median > 0.0 {
+            units as f64 / (median / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<12} {:>6} {:>12.1} {:>10.1} {:>14.0}",
+            s.name, reps, median, iqr, per_sec
+        );
+        rendered.push(
+            Json::obj(vec![
+                ("name", Json::Str(s.name.to_string())),
+                ("unit", Json::Str(s.unit.to_string())),
+                ("work_units", Json::Num(units as f64)),
+                ("wall_ms_median", Json::Num((median * 10.0).round() / 10.0)),
+                ("wall_ms_iqr", Json::Num((iqr * 10.0).round() / 10.0)),
+                ("units_per_sec", Json::Num(per_sec.round())),
+                (
+                    "wall_ms_samples",
+                    Json::Arr(
+                        walls_ms
+                            .iter()
+                            .map(|w| Json::Num((*w * 10.0).round() / 10.0))
+                            .collect(),
+                    ),
+                ),
+            ])
+            .to_string(),
+        );
+    }
+    finish(rendered.join(","), peak_rss_bytes(), quick, reps, &out_path);
+}

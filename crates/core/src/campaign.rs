@@ -470,10 +470,11 @@ impl Cell {
 }
 
 /// Folds `key` into `base_seed` with 64-bit FNV-1a (the shared
-/// [`rb_simcore::rng::fnv1a`]). Stable across platforms and releases;
+/// [`rb_simcore::fnv::fnv1a`] — the same primitive that hashes the
+/// hot-path maps). Stable across platforms and releases;
 /// scheduling-independent by construction.
 pub fn derive_seed(base_seed: u64, key: &str) -> u64 {
-    use rb_simcore::rng::{fnv1a, FNV_OFFSET};
+    use rb_simcore::fnv::{fnv1a, FNV_OFFSET};
     fnv1a(fnv1a(FNV_OFFSET, &base_seed.to_le_bytes()), key.as_bytes())
 }
 

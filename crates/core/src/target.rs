@@ -13,6 +13,7 @@
 use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
+use rb_simfs::intern::PathId;
 use rb_simfs::stack::{Fd, StorageStack};
 
 pub use rb_replay::target::Target;
@@ -72,6 +73,30 @@ impl Target for SimTarget {
 
     fn open(&mut self, path: &str) -> SimResult<Fd> {
         self.stack.open(path)
+    }
+
+    fn prepare_path(&mut self, path: &str) -> Option<PathId> {
+        self.stack.resolve_path(path).ok()
+    }
+
+    fn create_id(&mut self, id: PathId, _path: &str) -> SimResult<Nanos> {
+        self.stack.create_id(id)
+    }
+
+    fn mkdir_id(&mut self, id: PathId, _path: &str) -> SimResult<Nanos> {
+        self.stack.mkdir_id(id)
+    }
+
+    fn unlink_id(&mut self, id: PathId, _path: &str) -> SimResult<Nanos> {
+        self.stack.unlink_id(id)
+    }
+
+    fn stat_id(&mut self, id: PathId, _path: &str) -> SimResult<Nanos> {
+        self.stack.stat_id(id)
+    }
+
+    fn open_id(&mut self, id: PathId, _path: &str) -> SimResult<Fd> {
+        self.stack.open_id(id)
     }
 
     fn close(&mut self, fd: Fd) -> SimResult<()> {

@@ -14,6 +14,7 @@ use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
+use rb_simfs::intern::PathId;
 use rb_simfs::stack::Fd;
 use rb_stats::histogram::Log2Histogram;
 use rb_stats::timeseries::{Window, WindowedSeries};
@@ -228,6 +229,9 @@ impl Recording {
 pub struct LiveFile {
     /// Target path.
     pub path: String,
+    /// The path pre-resolved on the target (when the target caches
+    /// resolutions), so per-op path operations skip the string walk.
+    pub pid: Option<PathId>,
     /// Open handle.
     pub fd: Fd,
     /// Current logical size.
@@ -257,14 +261,24 @@ impl Engine {
             let mut live = Vec::with_capacity(fs.count as usize);
             for i in 0..fs.count {
                 let path = fs.path(i);
-                target.create(&path)?;
-                let fd = target.open(&path)?;
+                // Split/intern the path once here; every later op on
+                // this file resolves by id.
+                let pid = target.prepare_path(&path);
+                match pid {
+                    Some(id) => target.create_id(id, &path)?,
+                    None => target.create(&path)?,
+                };
+                let fd = match pid {
+                    Some(id) => target.open_id(id, &path)?,
+                    None => target.open(&path)?,
+                };
                 let size = Bytes::new(fs.size.sample(&mut rng).max(0.0) as u64);
                 if fs.prealloc && !size.is_zero() {
                     target.set_size(fd, size)?;
                 }
                 live.push(LiveFile {
                     path,
+                    pid,
                     fd,
                     size,
                     cursor: Bytes::ZERO,
@@ -511,10 +525,18 @@ impl Engine {
                 let _ = size_dist; // new files start empty and grow by appends
                 let path = format!("{}/c{:08}", dir, *created_serial);
                 *created_serial += 1;
-                let lat = target.create(&path)?;
-                let fd = target.open(&path)?;
+                let pid = target.prepare_path(&path);
+                let lat = match pid {
+                    Some(id) => target.create_id(id, &path)?,
+                    None => target.create(&path)?,
+                };
+                let fd = match pid {
+                    Some(id) => target.open_id(id, &path)?,
+                    None => target.open(&path)?,
+                };
                 sets[set].push(LiveFile {
                     path,
+                    pid,
                     fd,
                     size: Bytes::ZERO,
                     cursor: Bytes::ZERO,
@@ -531,22 +553,25 @@ impl Engine {
                 let idx = rng.below(live.len() as u64) as usize;
                 let f = live.swap_remove(idx);
                 let _ = target.close(f.fd);
-                target.unlink(&f.path)
+                match f.pid {
+                    Some(id) => target.unlink_id(id, &f.path),
+                    None => target.unlink(&f.path),
+                }
             }
             FlowOp::StatFile { set } => {
-                let path = {
-                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
-                    f.path.clone()
-                };
-                target.stat(&path)
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                match f.pid {
+                    Some(id) => target.stat_id(id, &f.path),
+                    None => target.stat(&f.path),
+                }
             }
             FlowOp::OpenClose { set } => {
-                let path = {
-                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
-                    f.path.clone()
-                };
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
                 let t0 = target.now();
-                let fd = target.open(&path)?;
+                let fd = match f.pid {
+                    Some(id) => target.open_id(id, &f.path)?,
+                    None => target.open(&f.path)?,
+                };
                 target.close(fd)?;
                 Ok(target.now() - t0)
             }

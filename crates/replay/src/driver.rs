@@ -38,12 +38,13 @@ use crate::model::{Trace, TraceOp};
 use crate::target::Target;
 use crate::timing::Timing;
 use rb_simcore::error::SimResult;
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
+use rb_simfs::intern::PathId;
 use rb_simfs::stack::Fd;
 use rb_stats::histogram::Log2Histogram;
-use std::collections::HashMap;
 
 /// Background-tick cadence during timed replay (the workload engine's
 /// flusher cadence).
@@ -112,30 +113,80 @@ impl ReplayResult {
     }
 }
 
-/// Executes one operation against the target, resolving handles by path
-/// (opening on demand if the trace omitted the `open`).
-fn apply_op(target: &mut dyn Target, fds: &mut HashMap<String, Fd>, op: &TraceOp) -> SimResult<()> {
-    let ensure_open =
-        |target: &mut dyn Target, fds: &mut HashMap<String, Fd>, path: &str| -> SimResult<Fd> {
-            if let Some(&fd) = fds.get(path) {
-                return Ok(fd);
+/// The driver's handle table: path → open fd, keyed by pre-resolved
+/// [`PathId`] when the target provides one (one integer probe per data
+/// op) and by path string otherwise.
+#[derive(Default)]
+struct FdTable {
+    by_id: FnvHashMap<PathId, Fd>,
+    by_path: FnvHashMap<String, Fd>,
+}
+
+impl FdTable {
+    fn get(&self, id: Option<PathId>, path: &str) -> Option<Fd> {
+        match id {
+            Some(i) => self.by_id.get(&i).copied(),
+            None => self.by_path.get(path).copied(),
+        }
+    }
+
+    fn insert(&mut self, id: Option<PathId>, path: &str, fd: Fd) {
+        match id {
+            Some(i) => {
+                self.by_id.insert(i, fd);
             }
-            let fd = target.open(path)?;
-            fds.insert(path.to_string(), fd);
-            Ok(fd)
+            None => {
+                self.by_path.insert(path.to_string(), fd);
+            }
+        }
+    }
+
+    fn remove(&mut self, id: Option<PathId>, path: &str) -> Option<Fd> {
+        match id {
+            Some(i) => self.by_id.remove(&i),
+            None => self.by_path.remove(path),
+        }
+    }
+}
+
+/// Executes one operation against the target, resolving handles by path
+/// (opening on demand if the trace omitted the `open`). `id` is the
+/// entry's pre-resolved path, when the target resolves paths.
+fn apply_op(
+    target: &mut dyn Target,
+    fds: &mut FdTable,
+    op: &TraceOp,
+    id: Option<PathId>,
+) -> SimResult<()> {
+    let ensure_open = |target: &mut dyn Target, fds: &mut FdTable, path: &str| -> SimResult<Fd> {
+        if let Some(fd) = fds.get(id, path) {
+            return Ok(fd);
+        }
+        let fd = match id {
+            Some(i) => target.open_id(i, path)?,
+            None => target.open(path)?,
         };
+        fds.insert(id, path, fd);
+        Ok(fd)
+    };
     match op {
         TraceOp::Create(p) => {
-            target.create(p)?;
+            match id {
+                Some(i) => target.create_id(i, p)?,
+                None => target.create(p)?,
+            };
         }
         TraceOp::Mkdir(p) => {
-            target.mkdir(p)?;
+            match id {
+                Some(i) => target.mkdir_id(i, p)?,
+                None => target.mkdir(p)?,
+            };
         }
         TraceOp::Open(p) => {
             ensure_open(target, fds, p)?;
         }
         TraceOp::Close(p) => {
-            if let Some(fd) = fds.remove(p) {
+            if let Some(fd) = fds.remove(id, p) {
                 target.close(fd)?;
             }
         }
@@ -156,13 +207,19 @@ fn apply_op(target: &mut dyn Target, fds: &mut HashMap<String, Fd>, op: &TraceOp
             target.fsync(fd)?;
         }
         TraceOp::Stat(p) => {
-            target.stat(p)?;
+            match id {
+                Some(i) => target.stat_id(i, p)?,
+                None => target.stat(p)?,
+            };
         }
         TraceOp::Unlink(p) => {
-            if let Some(fd) = fds.remove(p) {
+            if let Some(fd) = fds.remove(id, p) {
                 let _ = target.close(fd);
             }
-            target.unlink(p)?;
+            match id {
+                Some(i) => target.unlink_id(i, p)?,
+                None => target.unlink(p)?,
+            };
         }
     }
     Ok(())
@@ -180,7 +237,8 @@ pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
     let n = entries.len();
     // Streams, preserving trace order within each.
     let ids = trace.stream_ids();
-    let stream_index: HashMap<u32, usize> = ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let stream_index: FnvHashMap<u32, usize> =
+        ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     let mut queues: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
     for (i, e) in entries.iter().enumerate() {
         queues[stream_index[&e.stream]].push(i);
@@ -199,7 +257,7 @@ pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
             Some(k) => Some(&path[..k]),
         }
     }
-    let mut last_on_path: HashMap<&str, usize> = HashMap::new();
+    let mut last_on_path: FnvHashMap<&str, usize> = FnvHashMap::default();
     let mut dep: Vec<[Option<usize>; 2]> = vec![[None; 2]; n];
     for (i, e) in entries.iter().enumerate() {
         let path = e.op.path();
@@ -277,7 +335,23 @@ pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
 /// callers can surface it.
 pub fn replay_with(target: &mut dyn Target, trace: &Trace, config: &ReplayConfig) -> ReplayResult {
     let order = schedule(trace, config.timing, config.seed);
-    let mut fds: HashMap<String, Fd> = HashMap::new();
+    // Pre-resolve every distinct path once (pure bookkeeping on the
+    // target, free of simulation side effects), so per-op dispatch is
+    // an id probe instead of a string hash + split.
+    let path_ids: Vec<Option<PathId>> = {
+        let mut seen: FnvHashMap<&str, Option<PathId>> = FnvHashMap::default();
+        trace
+            .entries
+            .iter()
+            .map(|e| {
+                let path = e.op.path();
+                *seen
+                    .entry(path)
+                    .or_insert_with(|| target.prepare_path(path))
+            })
+            .collect()
+    };
+    let mut fds = FdTable::default();
     let mut ops = 0u64;
     let mut errors = 0u64;
     let mut histogram = Log2Histogram::new();
@@ -306,7 +380,7 @@ pub fn replay_with(target: &mut dyn Target, trace: &Trace, config: &ReplayConfig
             }
         }
         let before = target.now();
-        match apply_op(target, &mut fds, &entry.op) {
+        match apply_op(target, &mut fds, &entry.op, path_ids[i]) {
             Ok(()) => {
                 ops += 1;
                 histogram.record(target.now() - before);

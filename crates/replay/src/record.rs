@@ -12,17 +12,17 @@
 use crate::model::{Trace, TraceEntry, TraceOp, TraceVersion};
 use crate::target::Target;
 use rb_simcore::error::SimResult;
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_simfs::stack::Fd;
-use std::collections::HashMap;
 
 /// A recording proxy: wraps a target, passing operations through while
 /// appending them to a trace.
 pub struct Recorder<'t, T: Target> {
     inner: &'t mut T,
     trace: Trace,
-    paths: HashMap<Fd, String>,
+    paths: FnvHashMap<Fd, String>,
     start: Nanos,
     stream: u32,
 }
@@ -38,7 +38,7 @@ impl<'t, T: Target> Recorder<'t, T> {
                 version: TraceVersion::V2,
                 entries: Vec::new(),
             },
-            paths: HashMap::new(),
+            paths: FnvHashMap::default(),
             start,
             stream: 0,
         }

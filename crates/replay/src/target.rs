@@ -13,6 +13,7 @@
 use rb_simcore::error::SimResult;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
+use rb_simfs::intern::PathId;
 use rb_simfs::stack::Fd;
 
 /// A system under test.
@@ -42,6 +43,49 @@ pub trait Target {
 
     /// Opens a file.
     fn open(&mut self, path: &str) -> SimResult<Fd>;
+
+    /// Pre-resolves a path for repeated use, if the target caches path
+    /// resolutions. Pure bookkeeping (no simulated cost, no namespace
+    /// effect): drivers call it at workload-build or trace-load time so
+    /// per-op path work drops to an index. Targets without a resolution
+    /// cache return `None`, and drivers fall back to the string forms.
+    fn prepare_path(&mut self, path: &str) -> Option<PathId> {
+        let _ = path;
+        None
+    }
+
+    /// [`Target::create`] for a path pre-resolved by
+    /// [`Target::prepare_path`]. `path` is the same path, for targets
+    /// that ignore ids. Implementations must behave identically to the
+    /// string form.
+    fn create_id(&mut self, id: PathId, path: &str) -> SimResult<Nanos> {
+        let _ = id;
+        self.create(path)
+    }
+
+    /// [`Target::mkdir`] for a pre-resolved path.
+    fn mkdir_id(&mut self, id: PathId, path: &str) -> SimResult<Nanos> {
+        let _ = id;
+        self.mkdir(path)
+    }
+
+    /// [`Target::unlink`] for a pre-resolved path.
+    fn unlink_id(&mut self, id: PathId, path: &str) -> SimResult<Nanos> {
+        let _ = id;
+        self.unlink(path)
+    }
+
+    /// [`Target::stat`] for a pre-resolved path.
+    fn stat_id(&mut self, id: PathId, path: &str) -> SimResult<Nanos> {
+        let _ = id;
+        self.stat(path)
+    }
+
+    /// [`Target::open`] for a pre-resolved path.
+    fn open_id(&mut self, id: PathId, path: &str) -> SimResult<Fd> {
+        let _ = id;
+        self.open(path)
+    }
 
     /// Closes a handle.
     fn close(&mut self, fd: Fd) -> SimResult<()>;

@@ -11,9 +11,9 @@ use crate::page::{CacheStats, FileId, PageKey};
 use crate::policy::{EvictionPolicy, PolicyKind};
 use crate::readahead::{Readahead, ReadaheadConfig};
 use crate::writeback::{Writeback, WritebackConfig};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::PageNo;
-use std::collections::HashMap;
 
 /// Page cache configuration.
 #[derive(Debug, Clone)]
@@ -92,8 +92,17 @@ pub struct WriteOutcome {
 pub struct PageCache {
     config: CacheConfig,
     policy: Box<dyn EvictionPolicy>,
-    resident: HashMap<PageKey, Meta>,
-    readahead: HashMap<FileId, Readahead>,
+    // Residency and readahead sit on the per-page hot path: FNV-keyed
+    // maps (see `rb_simcore::fnv`) — a 16-byte key hash per probe
+    // instead of SipHash.
+    resident: FnvHashMap<PageKey, Meta>,
+    // Per-file page index so fsync and invalidate_file touch only the
+    // file's own pages instead of scanning the whole resident map
+    // (fsync/unlink-heavy workloads spent most of their time in that
+    // scan). Sets are unordered; every consumer either sorts
+    // (`fsync`) or is order-insensitive (`invalidate_file`).
+    by_file: FnvHashMap<FileId, rb_simcore::fnv::FnvHashSet<PageNo>>,
+    readahead: FnvHashMap<FileId, Readahead>,
     writeback: Writeback,
     stats: CacheStats,
 }
@@ -106,8 +115,9 @@ impl PageCache {
         PageCache {
             config,
             policy,
-            resident: HashMap::new(),
-            readahead: HashMap::new(),
+            resident: FnvHashMap::default(),
+            by_file: FnvHashMap::default(),
+            readahead: FnvHashMap::default(),
             writeback,
             stats: CacheStats::default(),
         }
@@ -147,12 +157,23 @@ impl PageCache {
         self.evict_to_capacity()
     }
 
+    /// Drops a page from the residency maps (not the policy).
+    fn forget_page(&mut self, key: PageKey) {
+        self.resident.remove(&key);
+        if let Some(pages) = self.by_file.get_mut(&key.file) {
+            pages.remove(&key.page);
+            if pages.is_empty() {
+                self.by_file.remove(&key.file);
+            }
+        }
+    }
+
     fn evict_to_capacity(&mut self) -> Vec<PageKey> {
         let mut dirty = Vec::new();
         while self.resident.len() as u64 > self.config.capacity_pages {
             match self.policy.evict() {
                 Some(victim) => {
-                    self.resident.remove(&victim);
+                    self.forget_page(victim);
                     if self.writeback.is_dirty(victim) {
                         self.writeback.clear(victim);
                         self.stats.evicted_dirty += 1;
@@ -172,6 +193,7 @@ impl PageCache {
             return;
         }
         self.resident.insert(key, Meta { prefetched });
+        self.by_file.entry(key.file).or_default().insert(key.page);
         self.policy.insert(key);
         self.stats.insertions += 1;
         if prefetched {
@@ -265,12 +287,14 @@ impl PageCache {
 
     /// Flushes every dirty page of `file` (fsync). Pages stay resident.
     pub fn fsync(&mut self, file: FileId) -> Vec<PageKey> {
-        let mine: Vec<PageKey> = self
-            .resident
-            .keys()
-            .copied()
-            .filter(|k| k.file == file && self.writeback.is_dirty(*k))
-            .collect();
+        let mine: Vec<PageKey> = match self.by_file.get(&file) {
+            Some(pages) => pages
+                .iter()
+                .map(|&p| PageKey::new(file, p))
+                .filter(|k| self.writeback.is_dirty(*k))
+                .collect(),
+            None => Vec::new(),
+        };
         for k in &mine {
             self.writeback.clear(*k);
         }
@@ -287,16 +311,13 @@ impl PageCache {
     /// Drops every page of `file` (unlink / truncate). Dirty pages are
     /// discarded, as POSIX unlink discards un-synced data.
     pub fn invalidate_file(&mut self, file: FileId) {
-        let mine: Vec<PageKey> = self
-            .resident
-            .keys()
-            .copied()
-            .filter(|k| k.file == file)
-            .collect();
-        for k in mine {
-            self.resident.remove(&k);
-            self.policy.remove(k);
-            self.writeback.clear(k);
+        if let Some(pages) = self.by_file.remove(&file) {
+            for p in pages {
+                let k = PageKey::new(file, p);
+                self.resident.remove(&k);
+                self.policy.remove(k);
+                self.writeback.clear(k);
+            }
         }
         self.readahead.remove(&file);
     }
@@ -309,6 +330,7 @@ impl PageCache {
             self.policy.remove(k);
             self.writeback.clear(k);
         }
+        self.by_file.clear();
         self.readahead.clear();
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::page::PageKey;
 use crate::policy::EvictionPolicy;
-use std::collections::HashMap;
+use rb_simcore::fnv::FnvHashMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Slot {
@@ -22,7 +22,7 @@ struct Slot {
 #[derive(Debug, Default)]
 pub struct Clock {
     ring: Vec<Slot>,
-    index: HashMap<PageKey, usize>,
+    index: FnvHashMap<PageKey, usize>,
     hand: usize,
     dead: usize,
 }

@@ -1,7 +1,8 @@
 //! Internal ordered-set primitive shared by the 2Q and ARC policies.
 
 use crate::page::PageKey;
-use std::collections::{BTreeMap, HashMap};
+use rb_simcore::fnv::FnvHashMap;
+use std::collections::BTreeMap;
 
 /// A set of page keys ordered by insertion/refresh recency.
 ///
@@ -9,7 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 /// O(log n) via a monotone stamp index.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct OrderedSet {
-    stamp_of: HashMap<PageKey, u64>,
+    stamp_of: FnvHashMap<PageKey, u64>,
     by_stamp: BTreeMap<u64, PageKey>,
     next_stamp: u64,
 }

@@ -6,6 +6,7 @@
 //! paper's hidden dimensions made explicit and controllable here.
 
 use crate::page::PageKey;
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::time::Nanos;
 use std::collections::BTreeMap;
 
@@ -38,7 +39,8 @@ pub struct Writeback {
     config: WritebackConfig,
     /// Dirty pages ordered by the instant they were first dirtied.
     by_age: BTreeMap<(Nanos, PageKey), ()>,
-    age_of: std::collections::HashMap<PageKey, Nanos>,
+    /// Dirty-state probe map (`is_dirty` runs on every eviction).
+    age_of: FnvHashMap<PageKey, Nanos>,
 }
 
 impl Writeback {

@@ -1,0 +1,146 @@
+//! Shared FNV-1a hashing: the zero-dependency hasher behind seed
+//! derivation *and* the hot-path hash maps.
+//!
+//! The default `std` hash maps use SipHash-1-3, a keyed hash built to
+//! resist collision flooding from untrusted input. Every map in the
+//! simulation hot path — cache residency, inode tables, directory
+//! entries, replay happens-before indices — is keyed by values the
+//! simulator itself generates, so that defence buys nothing and costs a
+//! measurable fraction of each simulated operation. [`FnvHashMap`] and
+//! [`FnvHashSet`] swap in 64-bit FNV-1a: a multiply-xor per byte, no
+//! per-map key material, and — like everything in this crate —
+//! platform-independent and deterministic.
+//!
+//! The same primitive ([`fnv1a`], re-exported from
+//! [`rng`](crate::rng) for compatibility) has derived campaign cell
+//! seeds and RNG fork streams since PR 1; this module promotes it to a
+//! shared home. Its constants must never change, or every recorded
+//! experiment seed shifts.
+//!
+//! # Examples
+//!
+//! ```
+//! use rb_simcore::fnv::FnvHashMap;
+//!
+//! let mut m: FnvHashMap<u64, &str> = FnvHashMap::default();
+//! m.insert(2, "root inode");
+//! assert_eq!(m.get(&2), Some(&"root inode"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit FNV-1a offset basis: the canonical initial value for
+/// [`fnv1a`].
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The 64-bit FNV prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+/// Incremental 64-bit FNV-1a over `bytes`, starting from `init`
+/// (pass [`FNV_OFFSET`], or a previous return value to chain inputs).
+///
+/// This is the stable, platform-independent hash behind
+/// [`Rng::fork`](crate::rng::Rng::fork) label derivation and campaign
+/// per-cell seed derivation.
+pub fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A [`Hasher`] running 64-bit FNV-1a.
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = fnv1a(self.0, bytes);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(FNV_PRIME);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write(&n.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FnvHasher`]s (no per-map key material).
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` hashed with FNV-1a. Use on hot paths keyed by
+/// simulator-generated values; construct with `FnvHashMap::default()`.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` hashed with FNV-1a.
+pub type FnvHashSet<T> = std::collections::HashSet<T, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn hasher_matches_free_function_on_bytes() {
+        let mut h = FnvHasher::default();
+        h.write(b"rocketbench");
+        assert_eq!(h.finish(), fnv1a(FNV_OFFSET, b"rocketbench"));
+    }
+
+    #[test]
+    fn hasher_integer_writes_are_le_bytes() {
+        let mut a = FnvHasher::default();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = FnvHasher::default();
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FnvHashMap<String, u32> = FnvHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(m.len(), 2);
+        let mut s: FnvHashSet<u64> = FnvHashSet::default();
+        for i in 0..1000 {
+            s.insert(i * 7919);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod dist;
 pub mod error;
 pub mod events;
+pub mod fnv;
 pub mod rng;
 pub mod time;
 pub mod units;
@@ -36,6 +37,7 @@ pub mod prelude {
     pub use crate::dist::{Dist, Zipf};
     pub use crate::error::{SimError, SimResult};
     pub use crate::events::EventQueue;
+    pub use crate::fnv::{FnvHashMap, FnvHashSet};
     pub use crate::rng::Rng;
     pub use crate::time::{Nanos, VirtualClock};
     pub use crate::units::{page_span, BlockNo, Bytes, PageNo, PAGE_SIZE};

@@ -7,24 +7,10 @@
 //! use this self-contained xoshiro256** implementation (public domain
 //! algorithm by Blackman and Vigna) seeded through SplitMix64.
 
-/// The 64-bit FNV-1a offset basis: the canonical initial value for
-/// [`fnv1a`].
-pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-
-/// Incremental 64-bit FNV-1a over `bytes`, starting from `init`
-/// (pass [`FNV_OFFSET`], or a previous return value to chain inputs).
-///
-/// This is the stable, platform-independent hash behind [`Rng::fork`]
-/// label derivation and campaign per-cell seed derivation; its
-/// constants must never change, or every recorded experiment seed
-/// shifts.
-pub fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
-    let mut h = init;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-    }
-    h
-}
+// The FNV-1a primitive moved to the shared `fnv` module (it now backs
+// the hot-path hash maps as well as seed derivation); re-exported here
+// because `rng::fnv1a` has been its public address since PR 1.
+pub use crate::fnv::{fnv1a, FNV_OFFSET};
 
 /// SplitMix64 step, used for seeding and stream derivation.
 fn splitmix64(state: &mut u64) -> u64 {

@@ -8,9 +8,10 @@
 //! multi-step working-set curves.
 
 use crate::device::{BlockDevice, DeviceStats, IoKind, IoRequest};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::{BlockNo, Bytes};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Configuration for the flash tier.
 #[derive(Debug, Clone)]
@@ -60,7 +61,7 @@ pub struct TieredDevice {
     slow: Box<dyn BlockDevice>,
     config: TierConfig,
     /// LRU residency: block -> stamp, plus the stamp index.
-    stamp_of: HashMap<BlockNo, u64>,
+    stamp_of: FnvHashMap<BlockNo, u64>,
     by_stamp: BTreeMap<u64, BlockNo>,
     next_stamp: u64,
     stats: DeviceStats,
@@ -76,7 +77,7 @@ impl TieredDevice {
             fast,
             slow,
             config,
-            stamp_of: HashMap::new(),
+            stamp_of: FnvHashMap::default(),
             by_stamp: BTreeMap::new(),
             next_stamp: 0,
             stats: DeviceStats::default(),

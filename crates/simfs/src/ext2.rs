@@ -8,11 +8,12 @@
 //! related data together until fragmentation sets in.
 
 use crate::alloc::{BitmapAllocator, Run};
+use crate::intern::{PathSpec, Symbol};
 use crate::tree::{Tree, ROOT_INO};
 use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};
 use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::units::{BlockNo, Bytes};
-use std::collections::HashMap;
 
 /// Ext2 model configuration.
 #[derive(Debug, Clone)]
@@ -73,9 +74,9 @@ pub struct Ext2Fs {
     /// Inodes allocated per group.
     group_inodes: Vec<u64>,
     /// Which group each inode's metadata lives in.
-    ino_group: HashMap<InodeNo, u64>,
+    ino_group: FnvHashMap<InodeNo, u64>,
     /// Indirect mapping blocks owned by each file.
-    indirect: HashMap<InodeNo, Vec<BlockNo>>,
+    indirect: FnvHashMap<InodeNo, Vec<BlockNo>>,
 }
 
 impl Ext2Fs {
@@ -100,8 +101,8 @@ impl Ext2Fs {
             alloc,
             group_free,
             group_inodes: vec![0; groups as usize],
-            ino_group: HashMap::new(),
-            indirect: HashMap::new(),
+            ino_group: FnvHashMap::default(),
+            indirect: FnvHashMap::default(),
         };
         fs.ino_group.insert(ROOT_INO, 0);
         fs.group_inodes[0] = 1;
@@ -211,11 +212,7 @@ impl Ext2Fs {
         if nblocks == 0 {
             return None;
         }
-        let mut h: u64 = 0xcbf29ce484222325;
-        for b in name.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100000001b3);
-        }
+        let h = rb_simcore::fnv::fnv1a(rb_simcore::fnv::FNV_OFFSET, name.as_bytes());
         let (phys, _) = node.map_block(h % nblocks)?;
         Some(phys)
     }
@@ -256,16 +253,21 @@ impl Ext2Fs {
             .div_ceil(PTRS_PER_BLOCK)
     }
 
+    /// [`Ext2Fs::dirent_block`] for an interned component.
+    fn dirent_block_sym(&self, dir: InodeNo, name: Symbol) -> Option<BlockNo> {
+        self.dirent_block(dir, self.tree.name(name))
+    }
+
     /// Charges inode-table reads for a resolution chain plus one dirent
     /// block probe per directory step.
-    fn charge_lookup(&self, traversed: &[InodeNo], comps: &[&str], meta: &mut MetaIo) {
+    fn charge_lookup(&self, traversed: &[InodeNo], comps: &[Symbol], meta: &mut MetaIo) {
         for ino in traversed {
             meta.reads.push(self.inode_table_block(*ino));
         }
         // traversed = [root, d1, ..., target]; component i is looked up in
         // traversed[i].
-        for (i, name) in comps.iter().enumerate() {
-            if let Some(b) = self.dirent_block(traversed[i], name) {
+        for (i, &name) in comps.iter().enumerate() {
+            if let Some(b) = self.dirent_block_sym(traversed[i], name) {
                 meta.reads.push(b);
             }
         }
@@ -285,64 +287,67 @@ impl FileSystem for Ext2Fs {
         self.config.cluster_pages
     }
 
-    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let comps = Tree::components(path)?;
-        let (ino, traversed) = self.tree.resolve(path)?;
+    fn intern_path(&mut self, path: &str) -> SimResult<PathSpec> {
+        self.tree.make_spec(path)
+    }
+
+    fn lookup_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve_spec(spec)?;
         let mut meta = MetaIo::default();
-        self.charge_lookup(&traversed, &comps, &mut meta);
+        self.charge_lookup(&traversed, spec.components(), &mut meta);
         Ok((ino, meta))
     }
 
-    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
-        if self.tree.resolve(path).is_ok() {
-            return Err(SimError::AlreadyExists(path.to_string()));
+    fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
+        if self.tree.resolve_spec(spec).is_ok() {
+            return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
-        let comps = Tree::components(path)?;
+        let comps = spec.components();
         self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
         let group = self.pick_group(parent, false);
-        let ino = self.tree.insert_child(parent, name, false)?;
+        let ino = self.tree.insert_child_sym(parent, name, false)?;
         self.ino_group.insert(ino, group);
         self.group_inodes[group as usize] += 1;
         self.ensure_dir_blocks(parent, &mut meta)?;
         meta.writes.push(self.inode_bitmap_block(group));
         meta.writes.push(self.inode_table_block(ino));
         meta.writes.push(self.inode_table_block(parent));
-        if let Some(b) = self.dirent_block(parent, name) {
+        if let Some(b) = self.dirent_block_sym(parent, name) {
             meta.writes.push(b);
         }
         Ok((ino, meta))
     }
 
-    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
-        if self.tree.resolve(path).is_ok() {
-            return Err(SimError::AlreadyExists(path.to_string()));
+    fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
+        if self.tree.resolve_spec(spec).is_ok() {
+            return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
-        let comps = Tree::components(path)?;
+        let comps = spec.components();
         self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
         let group = self.pick_group(parent, true);
-        let ino = self.tree.insert_child(parent, name, true)?;
+        let ino = self.tree.insert_child_sym(parent, name, true)?;
         self.ino_group.insert(ino, group);
         self.group_inodes[group as usize] += 1;
         self.ensure_dir_blocks(parent, &mut meta)?;
         meta.writes.push(self.inode_bitmap_block(group));
         meta.writes.push(self.inode_table_block(ino));
         meta.writes.push(self.inode_table_block(parent));
-        if let Some(b) = self.dirent_block(parent, name) {
+        if let Some(b) = self.dirent_block_sym(parent, name) {
             meta.writes.push(b);
         }
         Ok((ino, meta))
     }
 
-    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
         let mut meta = MetaIo::default();
-        let comps = Tree::components(path)?;
+        let comps = spec.components();
         self.charge_lookup(&traversed, &comps[..comps.len() - 1], &mut meta);
-        let (ino, runs) = self.tree.remove_child(parent, name)?;
+        let (ino, runs) = self.tree.remove_child_sym(parent, name)?;
         for r in &runs {
             self.alloc.free(*r)?;
         }
@@ -359,36 +364,40 @@ impl FileSystem for Ext2Fs {
         self.group_inodes[group as usize] = self.group_inodes[group as usize].saturating_sub(1);
         meta.writes.push(self.inode_bitmap_block(group));
         meta.writes.push(self.inode_table_block(parent));
-        if let Some(b) = self.dirent_block(parent, name) {
+        if let Some(b) = self.dirent_block_sym(parent, name) {
             meta.writes.push(b);
         }
         Ok(meta)
     }
 
-    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
         // Same machinery; remove_child enforces emptiness.
-        self.unlink(path)
+        self.unlink_spec(spec)
     }
 
-    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
-        let (ino, traversed) = self.tree.resolve(path)?;
-        let comps = Tree::components(path)?;
+    fn readdir_spec(&mut self, spec: &PathSpec) -> SimResult<(u64, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve_spec(spec)?;
         let mut meta = MetaIo::default();
-        self.charge_lookup(&traversed, &comps, &mut meta);
+        self.charge_lookup(&traversed, spec.components(), &mut meta);
         let node = self.tree.get(ino)?;
-        let dir = node
-            .dir
-            .as_ref()
-            .ok_or_else(|| SimError::InvalidOperation(format!("{path}: not a directory")))?;
-        let mut names: Vec<String> = dir.keys().cloned().collect();
-        names.sort_unstable();
+        let dir = node.dir.as_ref().ok_or_else(|| {
+            SimError::InvalidOperation(format!("{}: not a directory", spec.path()))
+        })?;
+        let entries = dir.len() as u64;
         // Reading every entry touches every directory data block.
         for r in &node.runs {
             for b in r.start..r.start + r.len {
                 meta.reads.push(b);
             }
         }
-        Ok((names, meta))
+        Ok((entries, meta))
+    }
+
+    fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
+        let spec = self.tree.make_spec(path)?;
+        let (_, meta) = self.readdir_spec(&spec)?;
+        let (ino, _) = self.tree.resolve_spec(&spec)?;
+        Ok((self.tree.read_names(ino)?, meta))
     }
 
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {
@@ -630,10 +639,15 @@ mod tests {
         f.create("/b").unwrap();
         f.create("/a").unwrap();
         f.mkdir("/c").unwrap();
-        let (names, meta) = f.readdir("/").unwrap();
+        let (names, meta) = f.readdir_names("/").unwrap();
         assert_eq!(names, vec!["a", "b", "c"]);
         assert!(!meta.reads.is_empty());
+        // The counted form charges the same metadata without the names.
+        let (count, meta2) = f.readdir("/").unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(meta, meta2);
         assert!(f.readdir("/a").is_err());
+        assert!(f.readdir_names("/a").is_err());
     }
 
     #[test]

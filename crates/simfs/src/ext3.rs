@@ -10,6 +10,7 @@
 //! sequential.
 
 use crate::ext2::{Ext2Config, Ext2Fs};
+use crate::intern::PathSpec;
 use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};
 use rb_simcore::error::SimResult;
 use rb_simcore::units::{BlockNo, Bytes};
@@ -128,32 +129,40 @@ impl FileSystem for Ext3Fs {
         self.inner.cluster_pages()
     }
 
-    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        self.inner.lookup(path)
+    fn intern_path(&mut self, path: &str) -> SimResult<PathSpec> {
+        self.inner.intern_path(path)
     }
 
-    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (ino, meta) = self.inner.create(path)?;
+    fn lookup_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        self.inner.lookup_spec(spec)
+    }
+
+    fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, meta) = self.inner.create_spec(spec)?;
         Ok((ino, self.journal(meta)))
     }
 
-    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (ino, meta) = self.inner.mkdir(path)?;
+    fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, meta) = self.inner.mkdir_spec(spec)?;
         Ok((ino, self.journal(meta)))
     }
 
-    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
-        let meta = self.inner.unlink(path)?;
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+        let meta = self.inner.unlink_spec(spec)?;
         Ok(self.journal(meta))
     }
 
-    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
-        let meta = self.inner.rmdir(path)?;
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+        let meta = self.inner.rmdir_spec(spec)?;
         Ok(self.journal(meta))
     }
 
-    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
-        self.inner.readdir(path)
+    fn readdir_spec(&mut self, spec: &PathSpec) -> SimResult<(u64, MetaIo)> {
+        self.inner.readdir_spec(spec)
+    }
+
+    fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
+        self.inner.readdir_names(path)
     }
 
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {

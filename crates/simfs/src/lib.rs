@@ -31,6 +31,7 @@ pub mod aging;
 pub mod alloc;
 pub mod ext2;
 pub mod ext3;
+pub mod intern;
 pub mod stack;
 pub mod tree;
 pub mod vfs;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use crate::alloc::{BitmapAllocator, ExtentAllocator, Run};
     pub use crate::ext2::{Ext2Config, Ext2Fs};
     pub use crate::ext3::{Ext3Config, Ext3Fs};
+    pub use crate::intern::{Interner, PathId, PathSpec, Symbol};
     pub use crate::stack::{Fd, StackConfig, StackStats, StorageStack, META_FILE};
     pub use crate::tree::{Inode, Tree, ROOT_INO};
     pub use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};

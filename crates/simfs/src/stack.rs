@@ -8,10 +8,12 @@
 //! them on the device, and charges a memory-copy cost — each step a
 //! separately configurable, separately measurable contribution.
 
+use crate::intern::{PathId, PathSpec};
 use crate::vfs::{FileSystem, InodeNo, MetaIo};
 use rb_simcache::cache::{CacheConfig, PageCache};
 use rb_simcache::page::{FileId, PageKey};
 use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::rng::Rng;
 use rb_simcore::time::{Nanos, VirtualClock};
 use rb_simcore::units::{page_span, Bytes, PageNo};
@@ -94,10 +96,29 @@ pub struct StorageStack {
     disk: Box<dyn BlockDevice>,
     clock: VirtualClock,
     config: StackConfig,
-    open: std::collections::HashMap<Fd, InodeNo>,
+    open: FnvHashMap<Fd, InodeNo>,
+    paths: PathTable,
     next_fd: Fd,
     stats: StackStats,
     rng: Rng,
+}
+
+/// The stack's per-path resolution cache: full path string →
+/// [`PathId`] → pre-interned [`PathSpec`].
+///
+/// The first operation on a path pays one validation + split + intern;
+/// every later operation on it — by string (one FNV probe) or by id
+/// (one vector index) — resolves through symbol tables with zero
+/// allocation. Entries name *paths*, not inodes, so they stay valid
+/// across creates and unlinks — which also means they are never
+/// reclaimed: the table grows with the number of distinct paths ever
+/// touched (tens of bytes per entry), including paths long since
+/// unlinked. That is the deliberate trade for id stability; a
+/// create-heavy month-long run would want an eviction story here.
+#[derive(Debug, Default)]
+struct PathTable {
+    ids: FnvHashMap<Box<str>, PathId>,
+    specs: Vec<PathSpec>,
 }
 
 impl StorageStack {
@@ -116,6 +137,7 @@ impl StorageStack {
             clock: VirtualClock::new(),
             config,
             open: Default::default(),
+            paths: PathTable::default(),
             next_fd: 3,
             stats: StackStats::default(),
             rng,
@@ -263,9 +285,36 @@ impl StorageStack {
         lat
     }
 
+    /// Resolves a path to a stable [`PathId`], interning it on first
+    /// sight (see the stack's `PathTable`). Pure bookkeeping: no
+    /// metadata is charged and the namespace is untouched, so
+    /// pre-resolving a working set at build time is free of simulation
+    /// side effects.
+    pub fn resolve_path(&mut self, path: &str) -> SimResult<PathId> {
+        if let Some(&id) = self.paths.ids.get(path) {
+            return Ok(id);
+        }
+        let spec = self.fs.intern_path(path)?;
+        let id = PathId::from_index(self.paths.specs.len());
+        self.paths.ids.insert(path.into(), id);
+        self.paths.specs.push(spec);
+        Ok(id)
+    }
+
+    /// The pre-interned spec behind a [`PathId`].
+    pub fn path_spec(&self, id: PathId) -> &PathSpec {
+        &self.paths.specs[id.index()]
+    }
+
     /// Creates a regular file.
     pub fn create(&mut self, path: &str) -> SimResult<Nanos> {
-        let (_, meta) = self.fs.create(path)?;
+        let id = self.resolve_path(path)?;
+        self.create_id(id)
+    }
+
+    /// [`StorageStack::create`] for a pre-resolved path.
+    pub fn create_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let (_, meta) = self.fs.create_spec(&self.paths.specs[id.index()])?;
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
@@ -274,7 +323,13 @@ impl StorageStack {
 
     /// Creates a directory.
     pub fn mkdir(&mut self, path: &str) -> SimResult<Nanos> {
-        let (_, meta) = self.fs.mkdir(path)?;
+        let id = self.resolve_path(path)?;
+        self.mkdir_id(id)
+    }
+
+    /// [`StorageStack::mkdir`] for a pre-resolved path.
+    pub fn mkdir_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let (_, meta) = self.fs.mkdir_spec(&self.paths.specs[id.index()])?;
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
@@ -283,8 +338,14 @@ impl StorageStack {
 
     /// Removes a file and drops its cached pages.
     pub fn unlink(&mut self, path: &str) -> SimResult<Nanos> {
-        let (ino, _) = self.fs.lookup(path)?;
-        let meta = self.fs.unlink(path)?;
+        let id = self.resolve_path(path)?;
+        self.unlink_id(id)
+    }
+
+    /// [`StorageStack::unlink`] for a pre-resolved path.
+    pub fn unlink_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let (ino, _) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
+        let meta = self.fs.unlink_spec(&self.paths.specs[id.index()])?;
         self.cache.invalidate_file(ino);
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
@@ -294,16 +355,34 @@ impl StorageStack {
 
     /// Stats a path.
     pub fn stat(&mut self, path: &str) -> SimResult<Nanos> {
-        let (_, meta) = self.fs.lookup(path)?;
+        let id = self.resolve_path(path)?;
+        self.stat_id(id)
+    }
+
+    /// [`StorageStack::stat`] for a pre-resolved path.
+    pub fn stat_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let (_, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
         Ok(lat)
     }
 
-    /// Lists a directory.
-    pub fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, Nanos)> {
-        let (names, meta) = self.fs.readdir(path)?;
+    /// Counts a directory's entries, charging the full listing's
+    /// metadata traffic (the hot, allocation-free readdir form).
+    pub fn readdir(&mut self, path: &str) -> SimResult<(u64, Nanos)> {
+        let id = self.resolve_path(path)?;
+        let (entries, meta) = self.fs.readdir_spec(&self.paths.specs[id.index()])?;
+        let lat = self.config.syscall_overhead + self.run_meta(&meta);
+        self.clock.advance(lat);
+        self.stats.meta_ops += 1;
+        Ok((entries, lat))
+    }
+
+    /// Lists a directory's sorted entry names (allocates; same charge
+    /// as [`StorageStack::readdir`]).
+    pub fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, Nanos)> {
+        let (names, meta) = self.fs.readdir_names(path)?;
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
@@ -312,7 +391,13 @@ impl StorageStack {
 
     /// Opens a file, resolving and charging the path walk.
     pub fn open(&mut self, path: &str) -> SimResult<Fd> {
-        let (ino, meta) = self.fs.lookup(path)?;
+        let id = self.resolve_path(path)?;
+        self.open_id(id)
+    }
+
+    /// [`StorageStack::open`] for a pre-resolved path.
+    pub fn open_id(&mut self, id: PathId) -> SimResult<Fd> {
+        let (ino, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
         let lat = self.config.syscall_overhead + self.run_meta(&meta);
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
@@ -370,13 +455,13 @@ impl StorageStack {
         let file_pages = attr.size.div_ceil(page_size);
         let (first, last) = page_span(offset, len, page_size);
         let count = last - first;
-        let out = self
+        let mut out = self
             .cache
             .read(ino, first, count, file_pages, self.clock.now());
 
         // Cluster-expand demand misses to the FS fetch granularity.
         let cluster = self.fs.cluster_pages().max(1);
-        let mut writebacks = out.writeback_pages.clone();
+        let mut writebacks = std::mem::take(&mut out.writeback_pages);
         let mut fetch: Vec<PageNo> = Vec::with_capacity(out.miss_pages.len() * 2);
         for &p in &out.miss_pages {
             let cstart = p - p % cluster;

@@ -3,11 +3,19 @@
 //! Every simulated file system layers its *placement policy* over this
 //! common tree, so namespace semantics (POSIX-ish path rules, link
 //! counting, empty-directory checks) are implemented — and tested — once.
+//!
+//! Resolution has two entry points: the classic `&str` API (validates
+//! and splits on every call — the compatibility path) and the
+//! [`PathSpec`] API, which resolves a pre-split path by walking
+//! [`Symbol`]-keyed directory tables with zero allocation. Both produce
+//! identical results and identical errors; the spec path is what the
+//! storage stack's per-path cache uses on every hot operation.
 
 use crate::alloc::Run;
+use crate::intern::{Interner, PathSpec, Symbol};
 use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::units::Bytes;
-use std::collections::HashMap;
 
 use crate::vfs::InodeNo;
 
@@ -23,8 +31,9 @@ pub struct Inode {
     pub size: Bytes,
     /// Data runs in logical order (cumulative mapping).
     pub runs: Vec<Run>,
-    /// Directory payload, if this is a directory.
-    pub dir: Option<HashMap<String, InodeNo>>,
+    /// Directory payload, if this is a directory: entry name symbol →
+    /// child inode. Resolve symbols through [`Tree::name`].
+    pub dir: Option<FnvHashMap<Symbol, InodeNo>>,
     /// Parent directory inode (self for the root).
     pub parent: InodeNo,
 }
@@ -62,7 +71,8 @@ impl Inode {
 /// The namespace: an inode table plus path resolution.
 #[derive(Debug, Clone)]
 pub struct Tree {
-    inodes: HashMap<InodeNo, Inode>,
+    inodes: FnvHashMap<InodeNo, Inode>,
+    interner: Interner,
     next_ino: InodeNo,
     root: InodeNo,
 }
@@ -79,19 +89,20 @@ impl Default for Tree {
 impl Tree {
     /// Creates a namespace containing only `/`.
     pub fn new() -> Self {
-        let mut inodes = HashMap::new();
+        let mut inodes = FnvHashMap::default();
         inodes.insert(
             ROOT_INO,
             Inode {
                 ino: ROOT_INO,
                 size: Bytes::ZERO,
                 runs: Vec::new(),
-                dir: Some(HashMap::new()),
+                dir: Some(FnvHashMap::default()),
                 parent: ROOT_INO,
             },
         );
         Tree {
             inodes,
+            interner: Interner::new(),
             next_ino: ROOT_INO + 1,
             root: ROOT_INO,
         }
@@ -131,40 +142,134 @@ impl Tree {
         self.inodes.values()
     }
 
-    /// Splits a path into components, rejecting malformed input.
-    pub fn components(path: &str) -> SimResult<Vec<&str>> {
+    /// The name behind an interned component symbol.
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Interns a component name (see [`Interner::intern`]).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        self.interner.intern(name)
+    }
+
+    /// Validates a path shape: absolute, no `.`/`..` components.
+    pub fn validate(path: &str) -> SimResult<()> {
         if !path.starts_with('/') {
             return Err(SimError::InvalidOperation(format!(
                 "path must be absolute: {path}"
             )));
         }
-        let comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
-        if comps.iter().any(|c| *c == "." || *c == "..") {
+        if path.split('/').any(|c| c == "." || c == "..") {
             return Err(SimError::InvalidOperation(format!(
                 "path must be canonical: {path}"
             )));
         }
-        Ok(comps)
+        Ok(())
+    }
+
+    /// Iterates a path's components without allocating, rejecting
+    /// malformed input up front. This is the single splitting routine
+    /// behind every resolution and interning entry point.
+    pub fn components_iter(path: &str) -> SimResult<impl Iterator<Item = &str>> {
+        Self::validate(path)?;
+        Ok(path.split('/').filter(|c| !c.is_empty()))
+    }
+
+    /// Splits a path into components, rejecting malformed input.
+    ///
+    /// Allocates the returned vector; resolution paths use
+    /// [`Tree::components_iter`] or a pre-built [`PathSpec`] instead.
+    pub fn components(path: &str) -> SimResult<Vec<&str>> {
+        Ok(Self::components_iter(path)?.collect())
+    }
+
+    /// Validates, splits and interns a path once, producing the spec
+    /// the zero-allocation resolution API consumes.
+    pub fn make_spec(&mut self, path: &str) -> SimResult<PathSpec> {
+        let mut comps = Vec::new();
+        for c in Self::components_iter(path)? {
+            comps.push(self.interner.intern(c));
+        }
+        Ok(PathSpec::new(path, comps))
+    }
+
+    /// Resolves a pre-split path to an inode, also returning every
+    /// directory inode traversed (for metadata charging). Behaviour and
+    /// errors are identical to [`Tree::resolve`].
+    pub fn resolve_spec(&self, spec: &PathSpec) -> SimResult<(InodeNo, Vec<InodeNo>)> {
+        let mut cur = self.root;
+        let mut traversed = Vec::with_capacity(spec.components().len() + 1);
+        traversed.push(self.root);
+        for &sym in spec.components() {
+            cur = self.step(cur, sym, spec.path())?;
+            traversed.push(cur);
+        }
+        Ok((cur, traversed))
+    }
+
+    /// Resolves the parent directory of a pre-split path, returning
+    /// `(parent_ino, final_component, traversed)`. Behaviour and errors
+    /// are identical to [`Tree::resolve_parent`].
+    pub fn resolve_parent_spec(
+        &self,
+        spec: &PathSpec,
+    ) -> SimResult<(InodeNo, Symbol, Vec<InodeNo>)> {
+        let Some((leaf, dirs)) = spec.split_last() else {
+            return Err(SimError::InvalidOperation("path is the root".into()));
+        };
+        let mut cur = self.root;
+        let mut traversed = Vec::with_capacity(dirs.len() + 1);
+        traversed.push(self.root);
+        for &sym in dirs {
+            cur = self.step(cur, sym, spec.path())?;
+            traversed.push(cur);
+        }
+        if self.get(cur)?.dir.is_none() {
+            return Err(SimError::InvalidOperation(format!(
+                "{}: parent not a directory",
+                spec.path()
+            )));
+        }
+        Ok((cur, leaf, traversed))
+    }
+
+    /// One resolution step: child of `cur` named `sym`, with the same
+    /// errors the string walk produced.
+    #[inline]
+    fn step(&self, cur: InodeNo, sym: Symbol, path: &str) -> SimResult<InodeNo> {
+        let node = self.get(cur)?;
+        let dir = node.dir.as_ref().ok_or_else(|| {
+            SimError::InvalidOperation(format!("{}: not a directory", self.name(sym)))
+        })?;
+        dir.get(&sym)
+            .copied()
+            .ok_or_else(|| SimError::NotFound(path.to_string()))
     }
 
     /// Resolves a path to an inode, also returning every directory inode
     /// traversed (for metadata charging).
     pub fn resolve(&self, path: &str) -> SimResult<(InodeNo, Vec<InodeNo>)> {
-        let comps = Self::components(path)?;
         let mut cur = self.root;
         let mut traversed = vec![self.root];
-        for c in comps {
-            let node = self.get(cur)?;
-            let dir = node
-                .dir
-                .as_ref()
-                .ok_or_else(|| SimError::InvalidOperation(format!("{c}: not a directory")))?;
-            cur = *dir
-                .get(c)
-                .ok_or_else(|| SimError::NotFound(path.to_string()))?;
+        for c in Self::components_iter(path)? {
+            cur = self.step_named(cur, c, path)?;
             traversed.push(cur);
         }
         Ok((cur, traversed))
+    }
+
+    /// [`Tree::step`] for a component that may never have been interned
+    /// (a name that was never created certainly is not in the tree).
+    fn step_named(&self, cur: InodeNo, name: &str, path: &str) -> SimResult<InodeNo> {
+        let node = self.get(cur)?;
+        let dir = node
+            .dir
+            .as_ref()
+            .ok_or_else(|| SimError::InvalidOperation(format!("{name}: not a directory")))?;
+        self.interner
+            .lookup(name)
+            .and_then(|sym| dir.get(&sym).copied())
+            .ok_or_else(|| SimError::NotFound(path.to_string()))
     }
 
     /// Resolves the parent directory of `path`, returning
@@ -177,14 +282,7 @@ impl Tree {
         let mut cur = self.root;
         let mut traversed = vec![self.root];
         for c in dirs {
-            let node = self.get(cur)?;
-            let dir = node
-                .dir
-                .as_ref()
-                .ok_or_else(|| SimError::InvalidOperation(format!("{c}: not a directory")))?;
-            cur = *dir
-                .get(*c)
-                .ok_or_else(|| SimError::NotFound(path.to_string()))?;
+            cur = self.step_named(cur, c, path)?;
             traversed.push(cur);
         }
         if self.get(cur)?.dir.is_none() {
@@ -204,13 +302,28 @@ impl Tree {
         name: &str,
         is_dir: bool,
     ) -> SimResult<InodeNo> {
+        let sym = self.interner.intern(name);
+        self.insert_child_sym(parent, sym, is_dir)
+    }
+
+    /// [`Tree::insert_child`] with a pre-interned name.
+    pub fn insert_child_sym(
+        &mut self,
+        parent: InodeNo,
+        name: Symbol,
+        is_dir: bool,
+    ) -> SimResult<InodeNo> {
         let ino = self.next_ino;
         self.next_ino += 1;
         let node = Inode {
             ino,
             size: Bytes::ZERO,
             runs: Vec::new(),
-            dir: if is_dir { Some(HashMap::new()) } else { None },
+            dir: if is_dir {
+                Some(FnvHashMap::default())
+            } else {
+                None
+            },
             parent,
         };
         self.inodes.insert(ino, node);
@@ -219,7 +332,7 @@ impl Tree {
             .dir
             .as_mut()
             .ok_or_else(|| SimError::InvalidOperation("parent not a directory".into()))?;
-        pdir.insert(name.to_string(), ino);
+        pdir.insert(name, ino);
         // Directory grows by one entry.
         let psize = self.get(parent)?.size + Bytes::new(DIRENT_SIZE);
         self.get_mut(parent)?.size = psize;
@@ -231,6 +344,19 @@ impl Tree {
     ///
     /// Directories must be empty.
     pub fn remove_child(&mut self, parent: InodeNo, name: &str) -> SimResult<(InodeNo, Vec<Run>)> {
+        let sym = self
+            .interner
+            .lookup(name)
+            .ok_or_else(|| SimError::NotFound(name.to_string()))?;
+        self.remove_child_sym(parent, sym)
+    }
+
+    /// [`Tree::remove_child`] with a pre-interned name.
+    pub fn remove_child_sym(
+        &mut self,
+        parent: InodeNo,
+        name: Symbol,
+    ) -> SimResult<(InodeNo, Vec<Run>)> {
         let ino = {
             let pdir = self
                 .get(parent)?
@@ -238,18 +364,18 @@ impl Tree {
                 .as_ref()
                 .ok_or_else(|| SimError::InvalidOperation("parent not a directory".into()))?;
             *pdir
-                .get(name)
-                .ok_or_else(|| SimError::NotFound(name.to_string()))?
+                .get(&name)
+                .ok_or_else(|| SimError::NotFound(self.name(name).to_string()))?
         };
         if let Some(d) = &self.get(ino)?.dir {
             if !d.is_empty() {
-                return Err(SimError::NotEmpty(name.to_string()));
+                return Err(SimError::NotEmpty(self.name(name).to_string()));
             }
         }
         let runs = self.get(ino)?.runs.clone();
         self.inodes.remove(&ino);
         if let Some(pdir) = self.get_mut(parent)?.dir.as_mut() {
-            pdir.remove(name);
+            pdir.remove(&name);
         }
         let psize = self
             .get(parent)?
@@ -259,17 +385,41 @@ impl Tree {
         Ok((ino, runs))
     }
 
+    /// Number of entries in a directory (the counted readdir form).
+    pub fn dir_len(&self, ino: InodeNo) -> SimResult<u64> {
+        self.get(ino)?
+            .dir
+            .as_ref()
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| SimError::InvalidOperation(format!("inode {ino}: not a directory")))
+    }
+
+    /// Sorted entry names of a directory (allocates; readdir's listing
+    /// form, off the hot path).
+    pub fn read_names(&self, ino: InodeNo) -> SimResult<Vec<String>> {
+        let dir =
+            self.get(ino)?.dir.as_ref().ok_or_else(|| {
+                SimError::InvalidOperation(format!("inode {ino}: not a directory"))
+            })?;
+        let mut names: Vec<String> = dir.keys().map(|&s| self.name(s).to_string()).collect();
+        names.sort_unstable();
+        Ok(names)
+    }
+
     /// Mean extents per file MiB across regular files (layout metric).
     pub fn avg_file_extents(&self) -> f64 {
-        let files: Vec<&Inode> = self
-            .iter()
-            .filter(|i| !i.is_dir() && !i.runs.is_empty())
-            .collect();
-        if files.is_empty() {
+        let mut files = 0usize;
+        let mut total_ext = 0usize;
+        for i in self.iter() {
+            if !i.is_dir() && !i.runs.is_empty() {
+                files += 1;
+                total_ext += i.extent_count();
+            }
+        }
+        if files == 0 {
             return 0.0;
         }
-        let total_ext: usize = files.iter().map(|i| i.extent_count()).sum();
-        total_ext as f64 / files.len() as f64
+        total_ext as f64 / files as f64
     }
 }
 
@@ -299,12 +449,35 @@ mod tests {
     }
 
     #[test]
+    fn spec_resolution_agrees_with_string_resolution() {
+        let mut t = Tree::new();
+        let d = t.insert_child(ROOT_INO, "dir", true).unwrap();
+        let f = t.insert_child(d, "file", false).unwrap();
+        for path in ["/", "/dir", "/dir/file", "/dir/missing", "/dir/file/deep"] {
+            let spec = t.make_spec(path).unwrap();
+            match (t.resolve(path), t.resolve_spec(&spec)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{path}"),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{path}"),
+                (a, b) => panic!("{path}: string {a:?} vs spec {b:?}"),
+            }
+        }
+        let spec = t.make_spec("/dir/file").unwrap();
+        let (ino, _) = t.resolve_spec(&spec).unwrap();
+        assert_eq!(ino, f);
+    }
+
+    #[test]
     fn resolve_parent_of_missing_leaf_ok() {
         let mut t = Tree::new();
         t.insert_child(ROOT_INO, "dir", true).unwrap();
         let (parent, name, _) = t.resolve_parent("/dir/new").unwrap();
         assert_eq!(name, "new");
         assert_eq!(parent, t.resolve("/dir").unwrap().0);
+        // Same through the spec API.
+        let spec = t.make_spec("/dir/new").unwrap();
+        let (p2, leaf, _) = t.resolve_parent_spec(&spec).unwrap();
+        assert_eq!(p2, parent);
+        assert_eq!(t.name(leaf), "new");
     }
 
     #[test]
@@ -314,6 +487,21 @@ mod tests {
         assert!(t.resolve("/a/../b").is_err());
         assert!(Tree::components("/a/./b").is_err());
         assert!(t.resolve_parent("/").is_err());
+        let mut t = Tree::new();
+        assert!(t.make_spec("relative").is_err());
+        assert!(t.make_spec("/a/../b").is_err());
+        let root_spec = t.make_spec("/").unwrap();
+        assert!(t.resolve_parent_spec(&root_spec).is_err());
+    }
+
+    #[test]
+    fn components_iter_does_not_allocate_a_vec() {
+        let mut it = Tree::components_iter("/a/b/c").unwrap();
+        assert_eq!(it.next(), Some("a"));
+        assert_eq!(it.next(), Some("b"));
+        assert_eq!(it.next(), Some("c"));
+        assert_eq!(it.next(), None);
+        assert_eq!(Tree::components("/a//b").unwrap(), vec!["a", "b"]);
     }
 
     #[test]
@@ -322,6 +510,9 @@ mod tests {
         t.insert_child(ROOT_INO, "f", false).unwrap();
         assert!(t.resolve("/f/child").is_err());
         assert!(t.resolve_parent("/f/child").is_err());
+        let spec = t.make_spec("/f/child").unwrap();
+        assert!(t.resolve_spec(&spec).is_err());
+        assert!(t.resolve_parent_spec(&spec).is_err());
     }
 
     #[test]
@@ -333,6 +524,11 @@ mod tests {
         assert_eq!(ino, f);
         assert_eq!(runs, vec![Run { start: 100, len: 5 }]);
         assert!(t.resolve("/f").is_err());
+        // Removing a never-interned name is NotFound, not a panic.
+        assert!(matches!(
+            t.remove_child(ROOT_INO, "ghost"),
+            Err(SimError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -356,6 +552,18 @@ mod tests {
         assert_eq!(t.get(ROOT_INO).unwrap().size, Bytes::new(2 * DIRENT_SIZE));
         t.remove_child(ROOT_INO, "a").unwrap();
         assert_eq!(t.get(ROOT_INO).unwrap().size, Bytes::new(DIRENT_SIZE));
+    }
+
+    #[test]
+    fn read_names_sorted_and_dir_len_counts() {
+        let mut t = Tree::new();
+        t.insert_child(ROOT_INO, "b", false).unwrap();
+        t.insert_child(ROOT_INO, "a", false).unwrap();
+        assert_eq!(t.read_names(ROOT_INO).unwrap(), vec!["a", "b"]);
+        assert_eq!(t.dir_len(ROOT_INO).unwrap(), 2);
+        let f = t.resolve("/a").unwrap().0;
+        assert!(t.read_names(f).is_err());
+        assert!(t.dir_len(f).is_err());
     }
 
     #[test]

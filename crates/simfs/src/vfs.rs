@@ -8,6 +8,7 @@
 //! page cache, so every file system sees identical caching — isolating
 //! the on-disk-layout dimension exactly as the paper asks.
 
+use crate::intern::PathSpec;
 use rb_simcore::error::SimResult;
 use rb_simcore::units::{BlockNo, Bytes};
 
@@ -66,6 +67,15 @@ pub struct Extent {
 /// A simulated file system.
 ///
 /// All paths are absolute, `/`-separated, with no `.`/`..` components.
+///
+/// Every namespace operation exists in two forms: the `*_spec` form
+/// takes a [`PathSpec`] — a path validated, split and interned once via
+/// [`FileSystem::intern_path`] — and resolves with zero allocation;
+/// the `&str` form is a thin compatibility shim that builds the spec
+/// on the spot. Hot paths (the storage stack's per-path cache, the
+/// replay driver, the workload engine) pre-intern and call the spec
+/// form; both forms produce identical metadata traffic and identical
+/// errors.
 pub trait FileSystem {
     /// Model name for reports (e.g. `"ext2"`).
     fn name(&self) -> &'static str;
@@ -77,23 +87,72 @@ pub trait FileSystem {
     /// miss (modelling per-FS block clustering).
     fn cluster_pages(&self) -> u64;
 
+    /// Validates and interns a path for repeated spec-based use.
+    ///
+    /// Pure bookkeeping: never touches the namespace, charges no
+    /// metadata, and is valid for paths that do not (yet) exist.
+    fn intern_path(&mut self, path: &str) -> SimResult<PathSpec>;
+
+    /// Resolves a pre-interned path, charging directory/inode reads.
+    fn lookup_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Creates a regular file at a pre-interned path.
+    fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Creates a directory at a pre-interned path.
+    fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
+
+    /// Removes a regular file at a pre-interned path, freeing its
+    /// blocks.
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo>;
+
+    /// Removes an empty directory at a pre-interned path.
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo>;
+
+    /// Counts a directory's entries, charging the same metadata reads a
+    /// full listing would (the counted readdir form — no name
+    /// allocation on the hot path).
+    fn readdir_spec(&mut self, spec: &PathSpec) -> SimResult<(u64, MetaIo)>;
+
     /// Resolves a path, charging directory/inode reads.
-    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let spec = self.intern_path(path)?;
+        self.lookup_spec(&spec)
+    }
 
     /// Creates a regular file.
-    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let spec = self.intern_path(path)?;
+        self.create_spec(&spec)
+    }
 
     /// Creates a directory.
-    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)>;
+    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
+        let spec = self.intern_path(path)?;
+        self.mkdir_spec(&spec)
+    }
 
     /// Removes a regular file, freeing its blocks.
-    fn unlink(&mut self, path: &str) -> SimResult<MetaIo>;
+    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
+        let spec = self.intern_path(path)?;
+        self.unlink_spec(&spec)
+    }
 
     /// Removes an empty directory.
-    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo>;
+    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
+        let spec = self.intern_path(path)?;
+        self.rmdir_spec(&spec)
+    }
 
-    /// Lists a directory's entries.
-    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)>;
+    /// Counts a directory's entries (see [`FileSystem::readdir_spec`]).
+    fn readdir(&mut self, path: &str) -> SimResult<(u64, MetaIo)> {
+        let spec = self.intern_path(path)?;
+        self.readdir_spec(&spec)
+    }
+
+    /// Lists a directory's entries as sorted names (allocates; the
+    /// listing form, off the hot path).
+    fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)>;
 
     /// Attributes by inode.
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr>;

@@ -9,11 +9,12 @@
 //! differentiates its cache warm-up curve in the paper's Figure 2.
 
 use crate::alloc::{ExtentAllocator, Run};
+use crate::intern::PathSpec;
 use crate::tree::{Tree, ROOT_INO};
 use crate::vfs::{Extent, FileAttr, FileSystem, InodeNo, MetaIo};
 use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::units::{BlockNo, Bytes};
-use std::collections::HashMap;
 
 /// XFS model configuration.
 #[derive(Debug, Clone)]
@@ -69,7 +70,7 @@ pub struct XfsFs {
     tree: Tree,
     ags: Vec<AllocGroup>,
     /// AG of each inode.
-    ino_ag: HashMap<InodeNo, u64>,
+    ino_ag: FnvHashMap<InodeNo, u64>,
     /// Round-robin cursor for directory placement.
     next_dir_ag: u64,
     /// Log region (in AG 0).
@@ -116,7 +117,7 @@ impl XfsFs {
             config,
             tree: Tree::new(),
             ags,
-            ino_ag: HashMap::new(),
+            ino_ag: FnvHashMap::default(),
             next_dir_ag: 1,
             log_start,
             log_head: 0,
@@ -252,48 +253,52 @@ impl FileSystem for XfsFs {
         self.config.cluster_pages
     }
 
-    fn lookup(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (ino, traversed) = self.tree.resolve(path)?;
+    fn intern_path(&mut self, path: &str) -> SimResult<PathSpec> {
+        self.tree.make_spec(path)
+    }
+
+    fn lookup_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve_spec(spec)?;
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
         Ok((ino, meta))
     }
 
-    fn create(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
-        if self.tree.resolve(path).is_ok() {
-            return Err(SimError::AlreadyExists(path.to_string()));
+    fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
+        if self.tree.resolve_spec(spec).is_ok() {
+            return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
         let ag = self.pick_ag(parent, false);
-        let ino = self.tree.insert_child(parent, name, false)?;
+        let ino = self.tree.insert_child_sym(parent, name, false)?;
         self.ino_ag.insert(ino, ag);
         meta.writes.push(self.inode_table_block(ino));
         meta.writes.push(self.inode_table_block(parent));
         Ok((ino, self.log(meta)))
     }
 
-    fn mkdir(&mut self, path: &str) -> SimResult<(InodeNo, MetaIo)> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
-        if self.tree.resolve(path).is_ok() {
-            return Err(SimError::AlreadyExists(path.to_string()));
+    fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
+        if self.tree.resolve_spec(spec).is_ok() {
+            return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
         let ag = self.pick_ag(parent, true);
-        let ino = self.tree.insert_child(parent, name, true)?;
+        let ino = self.tree.insert_child_sym(parent, name, true)?;
         self.ino_ag.insert(ino, ag);
         meta.writes.push(self.inode_table_block(ino));
         meta.writes.push(self.inode_table_block(parent));
         Ok((ino, self.log(meta)))
     }
 
-    fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
-        let (parent, name, traversed) = self.tree.resolve_parent(path)?;
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+        let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
-        let (ino, runs) = self.tree.remove_child(parent, name)?;
+        let (ino, runs) = self.tree.remove_child_sym(parent, name)?;
         self.free_blocks_runs(&runs)?;
         for r in &runs {
             meta.writes
@@ -306,22 +311,25 @@ impl FileSystem for XfsFs {
         Ok(self.log(meta))
     }
 
-    fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
-        self.unlink(path)
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+        self.unlink_spec(spec)
     }
 
-    fn readdir(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
-        let (ino, traversed) = self.tree.resolve(path)?;
+    fn readdir_spec(&mut self, spec: &PathSpec) -> SimResult<(u64, MetaIo)> {
+        let (ino, traversed) = self.tree.resolve_spec(spec)?;
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
-        let node = self.tree.get(ino)?;
-        let dir = node
-            .dir
-            .as_ref()
-            .ok_or_else(|| SimError::InvalidOperation(format!("{path}: not a directory")))?;
-        let mut names: Vec<String> = dir.keys().cloned().collect();
-        names.sort_unstable();
-        Ok((names, meta))
+        let dir = self.tree.get(ino)?.dir.as_ref().ok_or_else(|| {
+            SimError::InvalidOperation(format!("{}: not a directory", spec.path()))
+        })?;
+        Ok((dir.len() as u64, meta))
+    }
+
+    fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, MetaIo)> {
+        let spec = self.tree.make_spec(path)?;
+        let (_, meta) = self.readdir_spec(&spec)?;
+        let (ino, _) = self.tree.resolve_spec(&spec)?;
+        Ok((self.tree.read_names(ino)?, meta))
     }
 
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr> {

@@ -181,4 +181,52 @@ proptest! {
             prop_assert!(fs.map(ino, blocks, 1).is_err() || blocks == 0);
         }
     }
+
+    /// Interned (PathSpec) and string path resolution agree — same
+    /// inode, same traversal, same error text — on random valid and
+    /// invalid paths over a randomly grown namespace. This is the
+    /// correctness property behind the zero-alloc resolution pipeline.
+    #[test]
+    fn interned_and_string_resolution_agree(
+        dirs in proptest::collection::vec("[a-c]{1,2}", 0..6),
+        files in proptest::collection::vec("[a-e]{1,2}", 0..6),
+        probes in proptest::collection::vec("(/[a-e.]{1,2}){1,3}|[a-e]{1,2}|/", 1..24),
+    ) {
+        use rb_simfs::tree::{Tree, ROOT_INO};
+        let mut tree = Tree::new();
+        let mut dir_inos = vec![ROOT_INO];
+        for d in &dirs {
+            let parent = dir_inos[dir_inos.len() / 2];
+            if let Ok(ino) = tree.insert_child(parent, d, true) {
+                dir_inos.push(ino);
+            }
+        }
+        for f in &files {
+            let parent = dir_inos[dir_inos.len() - 1];
+            let _ = tree.insert_child(parent, f, false);
+        }
+        for probe in &probes {
+            let via_string = tree.resolve(probe);
+            let via_spec = tree.make_spec(probe).and_then(|s| tree.resolve_spec(&s));
+            match (via_string, via_spec) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "resolution diverged for {}", probe),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.to_string(), b.to_string(), "errors diverged for {}", probe
+                ),
+                (a, b) => prop_assert!(false, "{}: string {:?} vs spec {:?}", probe, a, b),
+            }
+            // Parent resolution agrees too.
+            let via_string = tree.resolve_parent(probe).map(|(p, name, t)| (p, name.to_string(), t));
+            let via_spec = tree
+                .make_spec(probe)
+                .and_then(|s| tree.resolve_parent_spec(&s).map(|(p, leaf, t)| (p, tree.name(leaf).to_string(), t)));
+            match (via_string, via_spec) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "parent resolution diverged for {}", probe),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.to_string(), b.to_string(), "parent errors diverged for {}", probe
+                ),
+                (a, b) => prop_assert!(false, "{}: string {:?} vs spec {:?}", probe, a, b),
+            }
+        }
+    }
 }
