@@ -2,13 +2,16 @@
 //!
 //! The paper's complaint is that benchmarks report unqualified numbers;
 //! the harness should hold itself to the same bar. `perfgate` times
-//! three canonical scenarios — the quick Figure 1 campaign, a 4×4
-//! sweep-cell grid, and an as-fast-as-possible replay of the golden v2
-//! trace spatially scaled ×32 — over N repetitions, and writes
+//! four canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! sweep-cell grid, an as-fast-as-possible replay of the golden v2
+//! trace spatially scaled ×32, and an 8-process fileserver run through
+//! the discrete-event scheduler — over N repetitions, and writes
 //! `BENCH_PR<n>.json` with median + IQR wall time, throughput in
 //! scenario work units per second, and peak RSS (from
 //! `/proc/self/status` where available). One such file per PR is the
-//! performance trajectory of the harness.
+//! performance trajectory of the harness. The first three scenarios
+//! run the serial engine, so their trajectory records that
+//! single-process hot-path speed survives the concurrency refactor.
 //!
 //! By default each scenario runs in its own child process (`--only`
 //! re-invocation), so a heavyweight scenario cannot pollute the heap or
@@ -30,6 +33,7 @@ use rb_core::report::Json;
 use rb_core::runner::RunPlan;
 use rb_core::testbed;
 use rb_core::trace::{apply, replay_with, ReplayConfig, Timing, Trace, Transform};
+use rb_core::workload::{personalities, Engine, EngineConfig};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use std::time::Instant;
@@ -92,9 +96,9 @@ fn scaled_golden() -> Trace {
 
 /// Scenario names, in run order (the parent dispatches children by
 /// name without constructing the scenarios themselves).
-const SCENARIO_NAMES: [&str; 3] = ["fig1-quick", "sweep-4x4", "replay-x32"];
+const SCENARIO_NAMES: [&str; 4] = ["fig1-quick", "sweep-4x4", "replay-x32", "scaling-8p"];
 
-/// The three canonical scenarios.
+/// The four canonical scenarios.
 fn scenarios(quick: bool) -> Vec<Scenario> {
     // Scenario 1: the quick Figure 1 campaign (single worker so the
     // measurement is a plain single-thread workload).
@@ -130,6 +134,7 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 file_counts: vec![0],
                 filesystems: vec![rb_core::testbed::FsKind::Ext2],
                 cache_capacities: [8u64, 16, 32, 64].iter().map(|&m| Bytes::mib(m)).collect(),
+                processes: vec![1],
                 plan,
                 device: Bytes::mib(512),
                 run_budget: None,
@@ -167,7 +172,35 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             total
         }),
     };
-    vec![fig1, sweep, replay]
+
+    // Scenario 4: an 8-process fileserver on ext2 through the
+    // discrete-event scheduler — times the concurrency substrate itself
+    // (event queue, core tokens, device queue, timed stack ops) on a
+    // fixed virtual duration.
+    let scaling_secs: u64 = if quick { 2 } else { 5 };
+    let scaling = Scenario {
+        name: "scaling-8p",
+        unit: "ops",
+        run: Box::new(move || {
+            let mut target = testbed::paper_fs(testbed::FsKind::Ext2, Bytes::gib(1), 5);
+            let workload = personalities::fileserver(50);
+            let config = EngineConfig {
+                duration: Nanos::from_secs(scaling_secs),
+                window: Nanos::from_secs(1),
+                seed: 5,
+                cold_start: false,
+                prewarm: false,
+                cpu_jitter_sigma: 0.005,
+                max_errors: 100,
+                processes: 8,
+                cores: 4,
+            };
+            let rec = Engine::run(&mut target, &workload, &config).expect("scaling-8p");
+            assert!(rec.ops > 0);
+            rec.ops
+        }),
+    };
+    vec![fig1, sweep, replay, scaling]
 }
 
 /// Extracts `(name, wall_ms_median)` pairs from a perfgate JSON (a
@@ -290,7 +323,7 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
         None => String::new(),
     };
     let json = format!(
-        "{{\"bench\":\"perfgate\",\"pr\":4,\"schema\":1,\"quick\":{quick},\
+        "{{\"bench\":\"perfgate\",\"pr\":5,\"schema\":1,\"quick\":{quick},\
          \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
     );
     match std::fs::write(out_path, &json) {
@@ -312,7 +345,7 @@ fn main() {
         None if quick => 3,
         None => 7,
     };
-    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let only = flag("only");
 
     // The parent dispatches children by name; only a child (--only) or

@@ -266,6 +266,12 @@ pub struct SweepSpec {
     /// [`Bytes::ZERO`] means "uncontrolled": the target keeps its
     /// default cache and no per-run capacity jitter is applied.
     pub cache_capacities: Vec<Bytes>,
+    /// Concurrency axis (the paper's scaling dimension): closed-loop
+    /// process counts each personality cell runs under. Trace cells
+    /// ignore it — a trace's concurrency is its recorded streams.
+    /// Cells at `1` run the classic serial engine and keep their
+    /// pre-axis identity (keys, seeds and report bytes unchanged).
+    pub processes: Vec<u32>,
     /// Repetition protocol applied to every cell. `plan.base_seed` is
     /// the campaign seed; each cell derives its own base seed from it.
     pub plan: RunPlan,
@@ -293,6 +299,7 @@ impl Default for SweepSpec {
             file_counts: vec![100],
             filesystems: vec![FsKind::Ext2],
             cache_capacities: vec![testbed::PAPER_CACHE],
+            processes: vec![1],
             plan: RunPlan::quick(0),
             device: Bytes::gib(1),
             run_budget: None,
@@ -311,6 +318,12 @@ impl SweepSpec {
     pub fn expand(&self) -> Vec<Cell> {
         let mut seen = HashSet::new();
         let mut cells = Vec::new();
+        // An empty processes axis means the implicit serial default.
+        let processes: &[u32] = if self.processes.is_empty() {
+            &[1]
+        } else {
+            &self.processes
+        };
         for &personality in &self.personalities {
             let sizes: &[Bytes] = if personality.uses_file_size() {
                 &self.file_sizes
@@ -326,22 +339,27 @@ impl SweepSpec {
                 for &files in counts {
                     for &fs in &self.filesystems {
                         for &cache in &self.cache_capacities {
-                            let cell = Cell {
-                                workload: CellWorkload::Personality(personality),
-                                file_size,
-                                files,
-                                fs,
-                                cache,
-                            };
-                            if seen.insert(cell.key()) {
-                                cells.push(cell);
+                            for &procs in processes {
+                                let cell = Cell {
+                                    workload: CellWorkload::Personality(personality),
+                                    file_size,
+                                    files,
+                                    fs,
+                                    cache,
+                                    processes: procs.max(1),
+                                };
+                                if seen.insert(cell.key()) {
+                                    cells.push(cell);
+                                }
                             }
                         }
                     }
                 }
             }
         }
-        // Trace-backed cells cross with the fs and cache axes only.
+        // Trace-backed cells cross with the fs and cache axes only: a
+        // trace's concurrency is its recorded stream structure, not a
+        // knob.
         for (index, source) in self.traces.iter().enumerate() {
             for &fs in &self.filesystems {
                 for &cache in &self.cache_capacities {
@@ -355,6 +373,7 @@ impl SweepSpec {
                         files: 0,
                         fs,
                         cache,
+                        processes: 1,
                     };
                     if seen.insert(cell.key()) {
                         cells.push(cell);
@@ -397,6 +416,8 @@ pub struct Cell {
     pub fs: FsKind,
     /// Controlled cache capacity ([`Bytes::ZERO`] = uncontrolled).
     pub cache: Bytes,
+    /// Closed-loop processes the cell runs under (`1` = serial).
+    pub processes: u32,
 }
 
 impl Cell {
@@ -427,9 +448,12 @@ impl Cell {
     ///
     /// Personality cells keep the exact pre-trace format, so their
     /// derived seeds — and therefore every personality campaign's
-    /// numbers — are unchanged by the trace axis existing.
+    /// numbers — are unchanged by the trace axis existing. The same
+    /// discipline applies to the concurrency axis: serial cells
+    /// (`processes == 1`) omit the marker entirely, so every pre-axis
+    /// campaign's seeds and report bytes are preserved.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|size={}|files={}|fs={}|cache={}",
             match &self.workload {
                 CellWorkload::Personality(p) => p.name().to_string(),
@@ -439,7 +463,11 @@ impl Cell {
             self.files,
             self.fs.name(),
             self.cache.as_u64()
-        )
+        );
+        if self.processes > 1 {
+            let _ = write!(key, "|procs={}", self.processes);
+        }
+        key
     }
 
     /// Human-oriented label for tables and charts.
@@ -453,6 +481,9 @@ impl Cell {
                     parts.push(format!("{}f", self.files));
                 }
                 parts.push(self.fs.name().to_string());
+                if self.processes > 1 {
+                    parts.push(format!("{}p", self.processes));
+                }
                 parts.join("/")
             }
             CellWorkload::Trace { name, timing, .. } => {
@@ -580,19 +611,33 @@ impl CampaignReport {
             .collect()
     }
 
+    /// Whether any cell runs concurrently. Reports only grow their
+    /// `processes` column when the axis is actually swept, so every
+    /// pre-axis campaign's CSV/JSON/table stays byte-identical.
+    pub fn sweeps_processes(&self) -> bool {
+        self.cells.iter().any(|c| c.cell.processes > 1)
+    }
+
     /// The campaign table as CSV (one row per cell, runs' spread
-    /// included).
+    /// included). Campaigns that sweep the concurrency axis get a
+    /// `processes` column after `cache_mib`.
     pub fn to_csv(&self) -> String {
+        let procs = self.sweeps_processes();
         let rows: Vec<Vec<String>> = self
             .cells
             .iter()
             .map(|c| {
-                vec![
+                let mut row = vec![
                     c.cell.workload_name(),
                     c.cell.file_size.as_mib().to_string(),
                     c.cell.files.to_string(),
                     c.cell.fs.name().to_string(),
                     c.cell.cache.as_mib().to_string(),
+                ];
+                if procs {
+                    row.push(c.cell.processes.to_string());
+                }
+                row.extend([
                     format!("{}", c.seed),
                     c.runs.to_string(),
                     format!("{:.1}", c.summary.mean),
@@ -604,44 +649,50 @@ impl CampaignReport {
                     format!("{:.1}", c.summary.max),
                     c.hit_ratio.map(|h| format!("{h:.4}")).unwrap_or_default(),
                     c.errors.to_string(),
-                ]
+                ]);
+                row
             })
             .collect();
-        report::to_csv(
-            &[
-                "workload",
-                "size_mib",
-                "files",
-                "fs",
-                "cache_mib",
-                "seed",
-                "runs",
-                "mean_ops_per_sec",
-                "rsd_percent",
-                "ci_lo",
-                "ci_hi",
-                "verdict",
-                "min",
-                "max",
-                "hit_ratio",
-                "errors",
-            ],
-            &rows,
-        )
+        let mut header = vec!["workload", "size_mib", "files", "fs", "cache_mib"];
+        if procs {
+            header.push("processes");
+        }
+        header.extend([
+            "seed",
+            "runs",
+            "mean_ops_per_sec",
+            "rsd_percent",
+            "ci_lo",
+            "ci_hi",
+            "verdict",
+            "min",
+            "max",
+            "hit_ratio",
+            "errors",
+        ]);
+        report::to_csv(&header, &rows)
     }
 
     /// The campaign as a JSON document (cells + aggregate coverage).
+    /// Like the CSV, the per-cell `processes` field only appears when
+    /// the concurrency axis is swept.
     pub fn to_json(&self) -> Json {
+        let procs = self.sweeps_processes();
         let cells = self
             .cells
             .iter()
             .map(|c| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("workload", Json::Str(c.cell.workload_name())),
                     ("size_bytes", Json::Num(c.cell.file_size.as_u64() as f64)),
                     ("files", Json::Num(c.cell.files as f64)),
                     ("fs", Json::Str(c.cell.fs.name().into())),
                     ("cache_bytes", Json::Num(c.cell.cache.as_u64() as f64)),
+                ];
+                if procs {
+                    fields.push(("processes", Json::Num(c.cell.processes as f64)));
+                }
+                fields.extend([
                     ("seed", Json::Num(c.seed as f64)),
                     ("runs", Json::Num(c.runs as f64)),
                     (
@@ -669,7 +720,8 @@ impl CampaignReport {
                         c.hit_ratio.map(Json::Num).unwrap_or(Json::Null),
                     ),
                     ("errors", Json::Num(c.errors as f64)),
-                ])
+                ]);
+                Json::obj(fields)
             })
             .collect();
         let coverage = self.coverage();
@@ -703,17 +755,23 @@ impl CampaignReport {
             self.jobs,
             if self.jobs == 1 { "" } else { "s" }
         );
+        let procs = self.sweeps_processes();
         let rows: Vec<Vec<String>> = self
             .cells
             .iter()
             .map(|c| {
-                vec![
+                let mut row = vec![
                     c.cell.label(),
                     if c.cell.cache.is_zero() {
                         "-".into()
                     } else {
                         format!("{}", c.cell.cache)
                     },
+                ];
+                if procs {
+                    row.push(c.cell.processes.to_string());
+                }
+                row.extend([
                     c.runs.to_string(),
                     format!("{:.0}", c.summary.mean),
                     format!("{:.1}", c.summary.rsd_percent),
@@ -725,15 +783,16 @@ impl CampaignReport {
                         .map(|h| format!("{h:.3}"))
                         .unwrap_or_else(|| "-".into()),
                     c.verdict.label().to_string(),
-                ]
+                ]);
+                row
             })
             .collect();
-        out.push_str(&report::text_table(
-            &[
-                "cell", "cache", "n", "ops/s", "rsd%", "ci", "min", "max", "hits", "verdict",
-            ],
-            &rows,
-        ));
+        let mut header = vec!["cell", "cache"];
+        if procs {
+            header.push("procs");
+        }
+        header.extend(["n", "ops/s", "rsd%", "ci", "min", "max", "hits", "verdict"]);
+        out.push_str(&report::text_table(&header, &rows));
         out.push('\n');
         let groups = self.dimension_groups();
         if !groups.is_empty() {
@@ -787,6 +846,12 @@ impl CampaignReport {
             .filter(|c| c.cell.uses_file_size())
             .map(|c| c.cell.cache)
             .collect();
+        let proc_counts: HashSet<u32> = self
+            .cells
+            .iter()
+            .filter(|c| c.cell.uses_file_size())
+            .map(|c| c.cell.processes)
+            .collect();
         let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
         for c in &self.cells {
             if !c.cell.uses_file_size() {
@@ -795,6 +860,9 @@ impl CampaignReport {
             let mut label = format!("{}/{}", c.cell.workload_name(), c.cell.fs.name());
             if caches.len() > 1 {
                 let _ = write!(label, "/{}", c.cell.cache);
+            }
+            if proc_counts.len() > 1 {
+                let _ = write!(label, "/{}p", c.cell.processes);
             }
             let point = (c.cell.file_size.as_mib_f64(), c.summary.mean);
             match series.iter_mut().find(|(l, _)| *l == label) {
@@ -834,7 +902,11 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
     };
     let workload = personality.workload(cell.file_size, cell.files);
     let seed = cell.seed(spec.plan.base_seed);
-    let mut plan = spec.plan.clone().with_base_seed(seed);
+    let mut plan = spec
+        .plan
+        .clone()
+        .with_base_seed(seed)
+        .with_processes(cell.processes);
     if let Some(cap) = run_cap {
         plan.protocol = plan.protocol.capped(cap);
     }
@@ -851,9 +923,18 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
         .max(Bytes::new(working_set.as_u64().saturating_mul(2)));
     let fs = cell.fs;
     let mr = run_many(|s| testbed::paper_fs(fs, device, s), &workload, &plan)?;
+    // A concurrent cell exercises the scaling dimension on top of the
+    // personality's static profile.
+    let mut coverage = personality.coverage();
+    if cell.processes > 1 {
+        coverage = coverage.union(&CoverageProfile::new(&[(
+            Dimension::Scaling,
+            Coverage::Exercises,
+        )]));
+    }
     Ok(CellResult::from_multi_run(
         cell.clone(),
-        personality.coverage(),
+        coverage,
         seed,
         &mr,
     ))
@@ -1029,6 +1110,7 @@ mod tests {
             file_counts: vec![10],
             filesystems: vec![FsKind::Ext2, FsKind::Ext3],
             cache_capacities: vec![Bytes::mib(64)],
+            processes: vec![1],
             plan,
             device: Bytes::mib(256),
             run_budget: None,
@@ -1160,6 +1242,7 @@ mod tests {
             cache_jitter: Bytes::mib(1),
             cold_start: false,
             prewarm: false,
+            processes: 1,
         };
         let mr = run_many(
             |s| testbed::paper_fs(FsKind::Ext2, Bytes::mib(64), s),

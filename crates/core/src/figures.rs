@@ -130,6 +130,7 @@ pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
         file_counts: vec![0],
         filesystems: vec![FsKind::Ext2],
         cache_capacities,
+        processes: vec![1],
         plan: config.plan.clone(),
         device: config.device,
         run_budget: None,
@@ -364,6 +365,8 @@ pub fn fig2(config: &Fig2Config) -> SimResult<Fig2Data> {
             prewarm: false,
             cpu_jitter_sigma: 0.005,
             max_errors: 100,
+            processes: 1,
+            cores: 4,
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let warmup = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -481,6 +484,8 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             prewarm: true,
             cpu_jitter_sigma: 0.005,
             max_errors: 100,
+            processes: 1,
+            cores: 4,
         };
         let _ = Engine::run_prepared(&mut target, &workload, &warm_cfg, &mut sets)?;
         // Measured phase.
@@ -492,6 +497,8 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             prewarm: false,
             cpu_jitter_sigma: 0.005,
             max_errors: 100,
+            processes: 1,
+            cores: 4,
         };
         let rec = Engine::run_prepared(&mut target, &workload, &measure_cfg, &mut sets)?;
         let modality = classify_modality(&rec.histogram);
@@ -615,6 +622,8 @@ pub fn fig4(config: &Fig4Config) -> SimResult<Fig4Data> {
         prewarm: false,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
     Ok(Fig4Data {

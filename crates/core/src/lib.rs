@@ -13,6 +13,11 @@
 //! * [`workload`] — Filebench-style flowops and personalities.
 //! * [`runner`] — run protocols (fixed-N and convergence-driven), the
 //!   stateful `Experiment` driver, verdicts and summaries.
+//! * [`sched`] — the discrete-event process scheduler behind
+//!   multi-process runs: core tokens, the shared device queue, and the
+//!   closed-loop event pump.
+//! * [`scaling`] — saturation curves over the process-count axis, run
+//!   on the real engine.
 //! * [`figures`] — reproduction drivers for Figures 1–4.
 //! * [`nano`] — the Section 4 nano-benchmark suite.
 //! * [`analysis`] — regimes, fragility, warm-up, sound comparisons.
@@ -47,6 +52,7 @@ pub mod nano;
 pub mod report;
 pub mod runner;
 pub mod scaling;
+pub mod sched;
 pub mod survey;
 pub mod target;
 pub mod testbed;
@@ -72,6 +78,7 @@ pub mod prelude {
         run_many, Experiment, ExperimentStatus, MultiRun, Protocol, RunOutcome, RunPlan, Verdict,
     };
     pub use crate::scaling::{thread_scaling, ScalingConfig, ScalingCurve, ScalingPoint};
+    pub use crate::sched::{CoreSet, DeviceQueue, SchedConfig};
     pub use crate::survey::{render_table1, table1, SurveyRow};
     pub use crate::target::{RealFsTarget, SimTarget, Target};
     pub use crate::testbed::{FsKind, Testbed};

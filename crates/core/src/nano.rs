@@ -137,6 +137,8 @@ fn in_memory_read(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         prewarm: true,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run_prepared(&mut t, &w, &cfg, &mut sets)?;
     let p50 = rec
@@ -169,6 +171,8 @@ fn disk_layout_sequential(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResu
         prewarm: false,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mib_per_sec = rec.ops_per_sec() * 64.0 / 1024.0; // 64 KiB per op
@@ -197,6 +201,8 @@ fn disk_layout_random(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> 
         prewarm: false,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let p50 = rec
@@ -228,6 +234,8 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         prewarm: false,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let report = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -269,6 +277,8 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         prewarm: true,
         cpu_jitter_sigma: 0.005,
         max_errors: 100,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let stats = t.stack().cache().stats();
@@ -300,6 +310,8 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         prewarm: false,
         cpu_jitter_sigma: 0.005,
         max_errors: 200,
+        processes: 1,
+        cores: 4,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mut metrics = vec![Metric::new("throughput", rec.ops_per_sec(), "ops/s")];
@@ -325,16 +337,18 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
     })
 }
 
-/// Scaling: a true closed-loop thread sweep (shared cache, shared
-/// spindle, bounded cores) on a disk-bound working set. Load beyond the
-/// knee queues rather than scales.
+/// Scaling: a true closed-loop process sweep (shared cache, shared
+/// spindle, bounded cores) on a disk-bound working set, run through the
+/// real engine. Load beyond the knee queues rather than scales.
 fn scaling(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
     let scaling_cfg = crate::scaling::ScalingConfig {
-        threads: vec![1, 2, 4, 8],
+        processes: vec![1, 2, 4, 8],
         cores: 4,
+        personality: crate::campaign::Personality::RandomRead,
         file_size: config.working_file,
+        files: 0,
         cache: Bytes::mib(8),
-        cpu_per_op: Nanos::from_micros(100),
+        policy: rb_simcache::policy::PolicyKind::Lru,
         duration: config.duration,
         seed: config.seed,
     };
@@ -350,8 +364,8 @@ fn scaling(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         dimension: Dimension::Scaling,
         metrics: vec![
             Metric::new("saturation", saturation, "ops/s"),
-            Metric::new("speedup-8-threads", last, "x"),
-            Metric::new("knee", curve.knee().unwrap_or(0) as f64, "threads"),
+            Metric::new("speedup-8-procs", last, "x"),
+            Metric::new("knee", curve.knee().unwrap_or(0) as f64, "procs"),
         ],
     })
 }
@@ -614,7 +628,7 @@ mod tests {
     fn scaling_saturates() {
         let report = run_suite(FsKind::Ext2, &NanoConfig::quick()).unwrap();
         let s = report.component("scaling").unwrap();
-        // Disk-bound: 8 threads yield nowhere near 8x.
-        assert!(s.metric("speedup-8-threads").unwrap() < 2.0);
+        // Disk-bound: 8 processes yield nowhere near 8x.
+        assert!(s.metric("speedup-8-procs").unwrap() < 2.0);
     }
 }

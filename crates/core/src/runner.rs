@@ -307,6 +307,9 @@ pub struct RunPlan {
     /// Sequentially prewarm the files before measuring (reaches the
     /// cold-start steady state without simulating the full warm-up).
     pub prewarm: bool,
+    /// Concurrent closed-loop processes per run (`1` = the classic
+    /// serial engine; `> 1` = the discrete-event scheduler).
+    pub processes: u32,
 }
 
 impl Default for RunPlan {
@@ -321,6 +324,7 @@ impl Default for RunPlan {
             cache_jitter: Bytes::ZERO,
             cold_start: true,
             prewarm: false,
+            processes: 1,
         }
     }
 }
@@ -340,6 +344,7 @@ impl RunPlan {
             cache_jitter: Bytes::mib(3),
             cold_start: true,
             prewarm: true,
+            processes: 1,
         }
     }
 
@@ -358,7 +363,15 @@ impl RunPlan {
             cache_jitter: Bytes::mib(3),
             cold_start: true,
             prewarm: true,
+            processes: 1,
         }
+    }
+
+    /// The same plan with a different process count — how campaigns
+    /// stamp cells along the concurrency axis.
+    pub fn with_processes(mut self, processes: u32) -> Self {
+        self.processes = processes.max(1);
+        self
     }
 
     /// The same plan with a different base seed — how a campaign stamps
@@ -384,6 +397,8 @@ impl RunPlan {
             prewarm: self.prewarm,
             cpu_jitter_sigma: 0.005,
             max_errors: 100,
+            processes: self.processes,
+            cores: 4,
         }
     }
 }
@@ -780,6 +795,7 @@ mod tests {
             cache_jitter: Bytes::mib(3),
             cold_start: true,
             prewarm: true,
+            processes: 1,
         }
     }
 

@@ -1,46 +1,53 @@
-//! Thread-scaling simulation (the paper's fifth dimension).
+//! Saturation curves over the process-count axis (the paper's fifth
+//! dimension), measured on the real engine.
 //!
 //! "Finally, we may be interested in studying a file system's ability to
-//! scale with increasing load." This module simulates N closed-loop
-//! threads over the shared storage substrates in virtual time, with the
-//! two real contention points modelled explicitly:
+//! scale with increasing load." Until the concurrency refactor this
+//! module *simulated the simulation*: a hardcoded sidecar with one
+//! file, uniform 8 KiB reads and its own private cache-and-disk
+//! plumbing. It now drives the actual pipeline — any
+//! [`Personality`], any
+//! [`FsKind`], any cache capacity and replacement policy — through
+//! [`Engine::run`] with [`EngineConfig::processes`] swept along the
+//! curve, so the contention it reports is the same contention every
+//! other experiment in the harness sees:
 //!
-//! * CPU phases (syscall overhead, memory copies) run in parallel up to
-//!   the core count, then queue;
-//! * disk phases serialize on the single spindle.
+//! * CPU phases (framework overhead, syscall entry, memory copies) run
+//!   in parallel up to the core count, then queue;
+//! * media phases serialize on the shared device, behind demand I/O
+//!   *and* background writeback.
 //!
 //! A memory-bound workload therefore scales to the core count and then
-//! flattens; a disk-bound workload barely scales at all — the saturation
-//! curve *is* the scaling dimension's result, and no single number
-//! summarizes it.
+//! flattens; a disk-bound workload barely scales at all — the
+//! saturation curve *is* the scaling dimension's result, and no single
+//! number summarizes it.
 
-use crate::testbed::FsKind;
-use rb_simcache::cache::{CacheConfig, PageCache};
-use rb_simcache::readahead::ReadaheadConfig;
-use rb_simcache::writeback::WritebackConfig;
+use crate::campaign::Personality;
+use crate::testbed::{FsKind, Testbed};
+use crate::workload::{Engine, EngineConfig};
+use rb_simcache::policy::PolicyKind;
 use rb_simcore::error::SimResult;
-use rb_simcore::events::EventQueue;
-use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
-use rb_simcore::units::{Bytes, PAGE_SIZE};
-use rb_simdisk::device::{BlockDevice, IoRequest};
-use rb_simdisk::hdd::{Hdd, HddConfig};
-use rb_simfs::vfs::FileSystem;
+use rb_simcore::units::Bytes;
 use rb_stats::histogram::Log2Histogram;
 
 /// Scaling experiment configuration.
 #[derive(Debug, Clone)]
 pub struct ScalingConfig {
-    /// Thread counts to sweep.
-    pub threads: Vec<u32>,
-    /// CPU cores available (the testbed Xeon: 2).
+    /// Process counts to sweep, in curve order.
+    pub processes: Vec<u32>,
+    /// CPU cores available to them.
     pub cores: u32,
-    /// Shared file size.
+    /// Workload personality each point runs.
+    pub personality: Personality,
+    /// File size (size-driven personalities).
     pub file_size: Bytes,
+    /// File count (fileset personalities).
+    pub files: u64,
     /// Page-cache capacity.
     pub cache: Bytes,
-    /// Per-operation CPU cost (overhead + copy).
-    pub cpu_per_op: Nanos,
+    /// Cache replacement policy.
+    pub policy: PolicyKind,
     /// Virtual duration per point.
     pub duration: Nanos,
     /// Seed.
@@ -48,55 +55,69 @@ pub struct ScalingConfig {
 }
 
 impl ScalingConfig {
-    /// Memory-bound preset: the whole file fits in cache.
+    /// Memory-bound preset: random 8 KiB reads of a file the cache
+    /// holds entirely.
     pub fn memory_bound() -> Self {
         ScalingConfig {
-            threads: vec![1, 2, 4, 8, 16],
+            processes: vec![1, 2, 4, 8, 16],
             cores: 4,
+            personality: Personality::RandomRead,
             file_size: Bytes::mib(64),
+            files: 0,
             cache: Bytes::mib(410),
-            cpu_per_op: Nanos::from_micros(100),
+            policy: PolicyKind::Lru,
             duration: Nanos::from_secs(20),
             seed: 0,
         }
     }
 
-    /// Disk-bound preset: the cache is crushed.
+    /// Disk-bound preset: the cache is crushed, every read queues on
+    /// the spindle.
     pub fn disk_bound() -> Self {
         ScalingConfig {
-            threads: vec![1, 2, 4, 8, 16],
+            processes: vec![1, 2, 4, 8, 16],
             cores: 4,
+            personality: Personality::RandomRead,
             file_size: Bytes::mib(256),
+            files: 0,
             cache: Bytes::mib(8),
-            cpu_per_op: Nanos::from_micros(100),
+            policy: PolicyKind::Lru,
             duration: Nanos::from_secs(60),
             seed: 0,
         }
+    }
+
+    /// The same configuration under a different personality, with a
+    /// fileset size for the fileset-driven ones.
+    pub fn with_personality(mut self, personality: Personality, files: u64) -> Self {
+        self.personality = personality;
+        self.files = files;
+        self
     }
 }
 
 /// One point of the saturation curve.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPoint {
-    /// Concurrent threads.
-    pub threads: u32,
+    /// Concurrent processes.
+    pub processes: u32,
     /// Aggregate throughput.
     pub ops_per_sec: f64,
-    /// Speedup relative to one thread.
+    /// Speedup relative to one process.
     pub speedup: f64,
 }
 
 /// The full curve plus per-point latency histograms.
 #[derive(Debug, Clone)]
 pub struct ScalingCurve {
-    /// Points in thread order.
+    /// Points in process order.
     pub points: Vec<ScalingPoint>,
     /// Latency histogram per point (queueing delays included).
     pub histograms: Vec<Log2Histogram>,
 }
 
 impl ScalingCurve {
-    /// The knee: the smallest thread count achieving ≥ 90 % of the
+    /// The knee: the smallest process count achieving ≥ 90 % of the
     /// maximum throughput.
     pub fn knee(&self) -> Option<u32> {
         let max = self
@@ -107,147 +128,55 @@ impl ScalingCurve {
         self.points
             .iter()
             .find(|p| p.ops_per_sec >= 0.9 * max)
-            .map(|p| p.threads)
+            .map(|p| p.processes)
     }
 }
 
-/// Per-thread simulation phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Ready to start an operation's CPU part.
-    StartOp,
-    /// CPU part finished; needs the listed disk work (or none).
-    CpuDone,
+/// Expected bytes the personality's filesets occupy once created.
+fn working_set(config: &ScalingConfig) -> Bytes {
+    let workload = config.personality.workload(config.file_size, config.files);
+    let total: f64 = workload
+        .filesets
+        .iter()
+        .map(|fs| fs.count as f64 * fs.size.mean())
+        .sum();
+    config.file_size.max(Bytes::new(total as u64))
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ThreadEvent {
-    thread: u32,
-    phase: Phase,
-    op_started: Nanos,
-}
-
-/// Runs one point: `n` threads of uniform random 8 KiB reads.
-fn run_point(
-    fs: &mut dyn FileSystem,
-    ino: u64,
-    file_pages: u64,
-    config: &ScalingConfig,
-    n: u32,
-) -> (f64, Log2Histogram) {
-    let mut cache = PageCache::new(CacheConfig {
-        capacity_pages: config.cache.div_ceil(PAGE_SIZE),
-        policy: rb_simcache::policy::PolicyKind::Lru,
-        readahead: ReadaheadConfig::disabled(),
-        writeback: WritebackConfig::default(),
-    });
-    let mut disk = Hdd::new(HddConfig::maxtor_7l250s0_like());
-    // Start at steady state: populate the cache as a prior sequential
-    // sweep would have (LRU keeps the file's tail if it does not fit).
-    for page in 0..file_pages {
-        cache.insert_clean(ino, page);
-    }
-    let mut rng = Rng::new(config.seed).fork("scaling");
-    let mut queue: EventQueue<ThreadEvent> = EventQueue::new();
-    // Core tokens: each core's next-free instant.
-    let mut core_free = vec![Nanos::ZERO; config.cores.max(1) as usize];
-    // The single disk's next-free instant.
-    let mut disk_free = Nanos::ZERO;
-    let mut hist = Log2Histogram::new();
-    let mut ops = 0u64;
-
-    for t in 0..n {
-        queue.schedule(
-            Nanos::ZERO,
-            ThreadEvent {
-                thread: t,
-                phase: Phase::StartOp,
-                op_started: Nanos::ZERO,
-            },
-        );
-    }
-    while let Some((now, ev)) = queue.pop() {
-        if now >= config.duration {
-            continue; // drain without scheduling more
-        }
-        match ev.phase {
-            Phase::StartOp => {
-                // Claim the earliest-free core.
-                let core = (0..core_free.len())
-                    .min_by_key(|&i| core_free[i])
-                    .expect("at least one core");
-                let start = core_free[core].max(now);
-                let done = start + config.cpu_per_op;
-                core_free[core] = done;
-                queue.schedule(
-                    done,
-                    ThreadEvent {
-                        thread: ev.thread,
-                        phase: Phase::CpuDone,
-                        op_started: now,
-                    },
-                );
-            }
-            Phase::CpuDone => {
-                // Random 2-page read through the shared cache.
-                let page = rng.below(file_pages.saturating_sub(1).max(1));
-                let out = cache.read(ino, page, 2, file_pages, now);
-                let mut finish = now;
-                if !out.miss_pages.is_empty() {
-                    // Serialize on the disk.
-                    let start = disk_free.max(now);
-                    let mut lat = Nanos::ZERO;
-                    let mut i = 0;
-                    while i < out.miss_pages.len() {
-                        let logical = out.miss_pages[i];
-                        let mut run = 1;
-                        while i + run < out.miss_pages.len()
-                            && out.miss_pages[i + run] == logical + run as u64
-                        {
-                            run += 1;
-                        }
-                        if let Ok(ext) = fs.map(ino, logical, run as u64) {
-                            lat +=
-                                disk.service(&IoRequest::read(ext.physical, ext.len), start + lat);
-                            i += ext.len as usize;
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    disk_free = start + lat;
-                    finish = disk_free;
-                }
-                ops += 1;
-                hist.record(finish - ev.op_started);
-                queue.schedule(
-                    finish,
-                    ThreadEvent {
-                        thread: ev.thread,
-                        phase: Phase::StartOp,
-                        op_started: finish,
-                    },
-                );
-            }
-        }
-    }
-    (ops as f64 / config.duration.as_secs_f64(), hist)
-}
-
-/// Runs the thread-scaling sweep on the given file system kind.
+/// Runs the process-scaling sweep on the given file system kind: one
+/// engine run per point, each on a fresh identically-formatted testbed
+/// with a cold cache and a sequential prewarm, all sharing the
+/// configured personality, cache capacity and policy.
+///
+/// Every point is a pure function of (kind, config): per-point targets
+/// are rebuilt from the same seed, and the multi-process interleaving
+/// is the scheduler's deterministic merge — so curves are byte-stable
+/// across hosts and repetitions.
 pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<ScalingCurve> {
-    let device_blocks = (config.file_size * 4)
-        .max(Bytes::gib(1))
-        .div_ceil(PAGE_SIZE);
+    let device = Bytes::new(working_set(config).as_u64().saturating_mul(4)).max(Bytes::gib(1));
     let mut points = Vec::new();
     let mut histograms = Vec::new();
     let mut base: Option<f64> = None;
-    for &n in &config.threads {
+    for &n in &config.processes {
         // Fresh substrates per point: identical layout, cold cache.
-        let mut fs = kind.format(device_blocks);
-        let (ino, _) = fs.create("/shared")?;
-        fs.set_size(ino, config.file_size)?;
-        let file_pages = config.file_size.div_ceil(PAGE_SIZE);
-        let (ops_per_sec, hist) = run_point(fs.as_mut(), ino, file_pages, config, n);
+        let mut testbed = Testbed::paper(kind, device, config.seed);
+        testbed.cache = config.cache;
+        testbed.policy = config.policy;
+        let mut target = testbed.build();
+        let workload = config.personality.workload(config.file_size, config.files);
+        let engine_cfg = EngineConfig {
+            duration: config.duration,
+            window: Nanos::from_secs(5),
+            seed: config.seed,
+            cold_start: true,
+            prewarm: true,
+            cpu_jitter_sigma: 0.0,
+            max_errors: 100,
+            processes: n,
+            cores: config.cores,
+        };
+        let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
+        let ops_per_sec = rec.ops_per_sec();
         let speedup = match base {
             Some(b) if b > 0.0 => ops_per_sec / b,
             _ => {
@@ -256,11 +185,11 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
             }
         };
         points.push(ScalingPoint {
-            threads: n,
+            processes: n,
             ops_per_sec,
             speedup,
         });
-        histograms.push(hist);
+        histograms.push(rec.histogram);
     }
     Ok(ScalingCurve { points, histograms })
 }
@@ -269,17 +198,17 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
 pub fn render_curve(label: &str, curve: &ScalingCurve) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "Thread scaling: {label}");
-    let _ = writeln!(out, "{:>8} {:>12} {:>9}", "threads", "ops/sec", "speedup");
+    let _ = writeln!(out, "Process scaling: {label}");
+    let _ = writeln!(out, "{:>8} {:>12} {:>9}", "procs", "ops/sec", "speedup");
     for p in &curve.points {
         let _ = writeln!(
             out,
             "{:>8} {:>12.0} {:>8.2}x",
-            p.threads, p.ops_per_sec, p.speedup
+            p.processes, p.ops_per_sec, p.speedup
         );
     }
     if let Some(knee) = curve.knee() {
-        let _ = writeln!(out, "saturates at ~{knee} threads");
+        let _ = writeln!(out, "saturates at ~{knee} processes");
     }
     out
 }
@@ -290,7 +219,7 @@ mod tests {
 
     fn quick(mut c: ScalingConfig) -> ScalingConfig {
         c.duration = Nanos::from_secs(5);
-        c.threads = vec![1, 2, 4, 8];
+        c.processes = vec![1, 2, 4, 8];
         c
     }
 
@@ -298,20 +227,20 @@ mod tests {
     fn memory_bound_scales_to_cores() {
         let cfg = quick(ScalingConfig::memory_bound());
         let curve = thread_scaling(FsKind::Ext2, &cfg).unwrap();
-        let by_threads: std::collections::HashMap<u32, f64> = curve
+        let by_procs: std::collections::HashMap<u32, f64> = curve
             .points
             .iter()
-            .map(|p| (p.threads, p.speedup))
+            .map(|p| (p.processes, p.speedup))
             .collect();
         // Near-linear to the core count...
-        assert!(by_threads[&2] > 1.7, "2 threads: {}", by_threads[&2]);
-        assert!(by_threads[&4] > 3.2, "4 threads: {}", by_threads[&4]);
-        // ...then flat: 8 threads on 4 cores buys little.
+        assert!(by_procs[&2] > 1.7, "2 procs: {}", by_procs[&2]);
+        assert!(by_procs[&4] > 3.2, "4 procs: {}", by_procs[&4]);
+        // ...then flat: 8 processes on 4 cores buy little.
         assert!(
-            by_threads[&8] < by_threads[&4] * 1.2,
-            "8 threads kept scaling past the cores: {} vs {}",
-            by_threads[&8],
-            by_threads[&4]
+            by_procs[&8] < by_procs[&4] * 1.2,
+            "8 procs kept scaling past the cores: {} vs {}",
+            by_procs[&8],
+            by_procs[&4]
         );
     }
 
@@ -322,21 +251,21 @@ mod tests {
         let last = curve.points.last().unwrap();
         assert!(
             last.speedup < 1.5,
-            "disk-bound workload scaled {}x with threads?!",
+            "disk-bound workload scaled {}x with processes?!",
             last.speedup
         );
     }
 
     #[test]
     fn queueing_shows_in_latency() {
-        // Disk-bound with more threads: same throughput, worse latency.
+        // Disk-bound with more processes: same throughput, worse latency.
         let cfg = quick(ScalingConfig::disk_bound());
         let curve = thread_scaling(FsKind::Ext2, &cfg).unwrap();
         let p1 = curve.histograms.first().unwrap().quantile(0.5).unwrap();
         let p8 = curve.histograms.last().unwrap().quantile(0.5).unwrap();
         assert!(
             p8 > p1 * 2,
-            "queueing delay invisible: median {p1} at 1 thread vs {p8} at 8"
+            "queueing delay invisible: median {p1} at 1 process vs {p8} at 8"
         );
     }
 
@@ -352,11 +281,42 @@ mod tests {
     }
 
     #[test]
+    fn curves_are_deterministic() {
+        let mut cfg = quick(ScalingConfig::memory_bound());
+        cfg.duration = Nanos::from_secs(2);
+        cfg.processes = vec![1, 4];
+        let run = || {
+            thread_scaling(FsKind::Xfs, &cfg)
+                .unwrap()
+                .points
+                .iter()
+                .map(|p| (p.processes, p.ops_per_sec.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn personalities_and_policies_sweep() {
+        // The curve machinery accepts any personality, fs and cache
+        // policy — a churn workload under CLOCK on xfs completes and
+        // produces positive throughput at every point.
+        let mut cfg =
+            quick(ScalingConfig::memory_bound()).with_personality(Personality::Fileserver, 30);
+        cfg.duration = Nanos::from_secs(2);
+        cfg.processes = vec![1, 4];
+        cfg.policy = PolicyKind::Clock;
+        let curve = thread_scaling(FsKind::Xfs, &cfg).unwrap();
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points.iter().all(|p| p.ops_per_sec > 0.0));
+    }
+
+    #[test]
     fn render_lists_all_points() {
         let cfg = quick(ScalingConfig::memory_bound());
         let curve = thread_scaling(FsKind::Ext2, &cfg).unwrap();
         let s = render_curve("test", &curve);
-        assert!(s.contains("threads"));
+        assert!(s.contains("procs"));
         assert!(s.lines().count() >= curve.points.len() + 2);
     }
 }

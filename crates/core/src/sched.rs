@@ -1,0 +1,376 @@
+//! The discrete-event process scheduler: concurrency as a substrate.
+//!
+//! The paper's fifth dimension — scaling under concurrent load — used
+//! to be faked by a sidecar simulation (the old `scaling::run_point`,
+//! deleted in this refactor): one file, uniform 8 KiB reads, its own
+//! private cache and disk plumbing. This module promotes that buried
+//! logic into the substrate every driver shares: N simulated processes
+//! run closed loops over *any* workload against the *real* storage
+//! stack, contending for
+//!
+//! * **cores** — each operation's think phase (the engine's per-op
+//!   framework overhead, [`SchedConfig::think`]) claims the
+//!   earliest-free core token and queues behind other processes when
+//!   all cores are busy ([`CoreSet`]). The stack-level CPU residue
+//!   ([`OpCost::cpu`]: syscall entry + memory copies, a few µs) is
+//!   charged to the process's own timeline without a token — it is
+//!   small against the framework overhead and letting it overlap keeps
+//!   the event pump simple;
+//! * **the device** — each operation's media phase serializes on the
+//!   shared spindle behind both other processes' I/O and background
+//!   writeback ([`DeviceQueue`]).
+//!
+//! Operations execute against the shared stack through the
+//! time-parameterized [`Target`](crate::target::Target) interface
+//! (`*_at`), which mutates cache/fs/device state at an explicit
+//! instant and hands the decomposed [`OpCost`] back to the scheduler
+//! instead of advancing a private clock.
+//!
+//! Determinism is load-bearing, exactly as in the campaign engine: the
+//! interleaving is a pure function of (workload, config, seed). Events
+//! pop from the shared [`EventQueue`] in time order with FIFO tie-break,
+//! core claims resolve ties toward the lowest-index core, and each
+//! process draws from its own forked RNG stream, so adding draws in one
+//! process never perturbs another.
+
+use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::events::EventQueue;
+use rb_simcore::time::Nanos;
+use rb_simfs::stack::OpCost;
+
+// The contention tokens live next to the event queue in rb-simcore so
+// every driver — including the replay crate, which rb-core depends on
+// and therefore cannot import from it — shares one implementation.
+pub use rb_simcore::events::{CoreSet, DeviceQueue};
+
+/// Closed-loop scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Concurrent closed-loop processes.
+    pub processes: u32,
+    /// CPU cores available to them.
+    pub cores: u32,
+    /// Virtual instant the measured phase starts (the target clock's
+    /// position when the scheduler takes over).
+    pub start: Nanos,
+    /// Measured duration: processes stop issuing once `start + duration`
+    /// is reached, and in-flight operations drain.
+    pub duration: Nanos,
+    /// Per-operation framework overhead claimed on a core before the
+    /// operation itself executes (the flowop engine's `op_overhead`).
+    pub think: Nanos,
+    /// Background-flusher cadence ([`Nanos::ZERO`] disables ticks).
+    pub tick_every: Nanos,
+}
+
+/// One operation's life, reported to the caller at its completion
+/// instant. Completions are delivered in completion-time order (FIFO
+/// among ties), which is what lets the caller feed windowed series
+/// directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The process that ran the operation.
+    pub process: u32,
+    /// When the process arrived (started waiting for a core).
+    pub arrived: Nanos,
+    /// When the operation completed (CPU + queueing + device).
+    pub completed: Nanos,
+    /// The operation's raw cost, excluding queueing delays.
+    pub cost: OpCost,
+}
+
+/// What the scheduler pops from its event queue.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Process `p` wants to start its next operation.
+    Arrive(u32),
+    /// Process `p` got its CPU phase; execute the operation now.
+    Issue { process: u32, arrived: Nanos },
+    /// An operation completed (recorded in completion-time order).
+    Done {
+        process: u32,
+        arrived: Nanos,
+        cost: OpCost,
+    },
+    /// Background-flusher tick.
+    Tick,
+}
+
+/// The outcome of a scheduled run.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedOutcome {
+    /// The virtual instant the last completion (or the deadline,
+    /// whichever is later) landed at.
+    pub finished: Nanos,
+}
+
+/// What the scheduler drives: the operation source, the background
+/// flusher, and the completion/error observers, bundled as one object
+/// so a driver can hold the target and all bookkeeping state behind a
+/// single mutable borrow.
+pub trait SchedDriver {
+    /// Executes `process`'s next operation at instant `now` against the
+    /// shared state and returns its decomposed cost. Errors are routed
+    /// to [`SchedDriver::on_error`] and cost the process nothing beyond
+    /// the think time it already spent (no spin).
+    fn exec(&mut self, process: u32, now: Nanos) -> SimResult<OpCost>;
+
+    /// Runs the background flusher as of instant `start`, returning the
+    /// device time consumed. The scheduler charges it to the shared
+    /// device queue, so writeback interference delays process I/O
+    /// exactly as it does in the serial engine.
+    fn tick(&mut self, start: Nanos) -> Nanos;
+
+    /// Observes one successful operation. Completions arrive in
+    /// completion-time order (FIFO among ties). Returning an error
+    /// aborts the run.
+    fn on_complete(&mut self, completion: &Completion) -> SimResult<()>;
+
+    /// Observes one failed operation at its issue instant. Returning an
+    /// error aborts the run (e.g. the engine's consecutive-failure
+    /// limit).
+    fn on_error(&mut self, process: u32, now: Nanos, error: SimError) -> SimResult<()>;
+}
+
+/// Drives `config.processes` closed-loop workers over a shared target.
+///
+/// The schedule is a pure function of the inputs: same driver state,
+/// same config — byte-identical event order.
+pub fn run_closed_loop<D: SchedDriver + ?Sized>(
+    config: &SchedConfig,
+    driver: &mut D,
+) -> SimResult<SchedOutcome> {
+    let end = config.start + config.duration;
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut cores = CoreSet::new(config.cores);
+    let mut device = DeviceQueue::new();
+    let mut live = config.processes.max(1);
+    let mut finished = end;
+
+    for p in 0..config.processes.max(1) {
+        queue.schedule(config.start, Event::Arrive(p));
+    }
+    if !config.tick_every.is_zero() {
+        queue.schedule(config.start + config.tick_every, Event::Tick);
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrive(p) => {
+                if now >= end {
+                    // The process retires; in-flight work drains.
+                    live -= 1;
+                    continue;
+                }
+                let cpu_done = cores.claim(now, config.think);
+                queue.schedule(
+                    cpu_done,
+                    Event::Issue {
+                        process: p,
+                        arrived: now,
+                    },
+                );
+            }
+            Event::Issue { process, arrived } => match driver.exec(process, now) {
+                Ok(cost) => {
+                    let after_cpu = now + cost.cpu;
+                    let completed = if cost.device.is_zero() {
+                        after_cpu
+                    } else {
+                        device.serve(after_cpu, cost.device)
+                    };
+                    queue.schedule(
+                        completed,
+                        Event::Done {
+                            process,
+                            arrived,
+                            cost,
+                        },
+                    );
+                }
+                Err(e) => {
+                    driver.on_error(process, now, e)?;
+                    // Errors still paid the think time; rearrive now.
+                    queue.schedule(now, Event::Arrive(process));
+                }
+            },
+            Event::Done {
+                process,
+                arrived,
+                cost,
+            } => {
+                finished = finished.max(now);
+                driver.on_complete(&Completion {
+                    process,
+                    arrived,
+                    completed: now,
+                    cost,
+                })?;
+                queue.schedule(now, Event::Arrive(process));
+            }
+            Event::Tick => {
+                if live == 0 {
+                    // Every process has retired: stop rescheduling and
+                    // let the queue drain.
+                    continue;
+                }
+                let start = device.next_free().max(now);
+                let spent = driver.tick(start);
+                if !spent.is_zero() {
+                    device.serve(start, spent);
+                }
+                queue.schedule(now + config.tick_every, Event::Tick);
+            }
+        }
+    }
+    Ok(SchedOutcome { finished })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // CoreSet/DeviceQueue have their own unit tests next to their
+    // implementation in rb_simcore::events.
+
+    /// A scripted test driver: `costs(i)` is the i-th executed op's
+    /// outcome; issue order, completions and tick instants are logged.
+    struct Script<F: FnMut(u64) -> SimResult<OpCost>> {
+        costs: F,
+        executed: u64,
+        issued: Vec<u32>,
+        completions: Vec<Nanos>,
+        ticks: Vec<Nanos>,
+        errors_seen: u64,
+        abort_after_errors: Option<u64>,
+    }
+
+    impl<F: FnMut(u64) -> SimResult<OpCost>> Script<F> {
+        fn new(costs: F) -> Self {
+            Script {
+                costs,
+                executed: 0,
+                issued: Vec::new(),
+                completions: Vec::new(),
+                ticks: Vec::new(),
+                errors_seen: 0,
+                abort_after_errors: None,
+            }
+        }
+    }
+
+    impl<F: FnMut(u64) -> SimResult<OpCost>> SchedDriver for Script<F> {
+        fn exec(&mut self, process: u32, _now: Nanos) -> SimResult<OpCost> {
+            self.issued.push(process);
+            let i = self.executed;
+            self.executed += 1;
+            (self.costs)(i)
+        }
+
+        fn tick(&mut self, start: Nanos) -> Nanos {
+            self.ticks.push(start);
+            Nanos::ZERO
+        }
+
+        fn on_complete(&mut self, completion: &Completion) -> SimResult<()> {
+            self.completions.push(completion.completed);
+            Ok(())
+        }
+
+        fn on_error(&mut self, _process: u32, _now: Nanos, _error: SimError) -> SimResult<()> {
+            self.errors_seen += 1;
+            match self.abort_after_errors {
+                Some(n) if self.errors_seen >= n => {
+                    Err(SimError::InvalidOperation("too many failures".into()))
+                }
+                _ => Ok(()),
+            }
+        }
+    }
+
+    /// Equal-instant events drain FIFO: with several processes arriving
+    /// at t=0, the issue order is exactly the process order, repeatably.
+    #[test]
+    fn equal_instant_events_drain_fifo() {
+        let run = || {
+            let config = SchedConfig {
+                processes: 5,
+                cores: 5,
+                start: Nanos::ZERO,
+                duration: Nanos::from_nanos(1),
+                think: Nanos::ZERO,
+                tick_every: Nanos::ZERO,
+            };
+            let mut driver = Script::new(|_| Ok(OpCost::cpu_only(Nanos::from_micros(1))));
+            run_closed_loop(&config, &mut driver).unwrap();
+            driver.issued
+        };
+        let order = run();
+        assert_eq!(&order[..5], &[0, 1, 2, 3, 4]);
+        assert_eq!(order, run());
+    }
+
+    #[test]
+    fn completions_arrive_in_time_order() {
+        let config = SchedConfig {
+            processes: 3,
+            cores: 1,
+            start: Nanos::ZERO,
+            duration: Nanos::from_micros(50),
+            think: Nanos::from_micros(3),
+            tick_every: Nanos::ZERO,
+        };
+        // Alternate fast CPU-only and slow device-bound ops so raw
+        // completion instants would interleave without the Done events.
+        let mut driver = Script::new(|i| {
+            Ok(if i % 2 == 0 {
+                OpCost {
+                    cpu: Nanos::from_micros(1),
+                    device: Nanos::from_micros(9),
+                }
+            } else {
+                OpCost::cpu_only(Nanos::from_micros(1))
+            })
+        });
+        run_closed_loop(&config, &mut driver).unwrap();
+        assert!(driver.completions.len() > 3);
+        assert!(
+            driver.completions.windows(2).all(|w| w[0] <= w[1]),
+            "completions out of order: {:?}",
+            driver.completions
+        );
+    }
+
+    #[test]
+    fn ticks_follow_cadence_and_stop_at_retirement() {
+        let config = SchedConfig {
+            processes: 1,
+            cores: 1,
+            start: Nanos::ZERO,
+            duration: Nanos::from_secs(16),
+            think: Nanos::from_secs(1),
+            tick_every: Nanos::from_secs(5),
+        };
+        let mut driver = Script::new(|_| Ok(OpCost::cpu_only(Nanos::from_millis(1))));
+        run_closed_loop(&config, &mut driver).unwrap();
+        // Ticks at 5, 10, 15 s — never falling behind the cadence.
+        assert_eq!(driver.ticks.len(), 3, "{:?}", driver.ticks);
+    }
+
+    #[test]
+    fn errors_abort_when_handler_says_so() {
+        let config = SchedConfig {
+            processes: 2,
+            cores: 2,
+            start: Nanos::ZERO,
+            duration: Nanos::from_secs(1),
+            think: Nanos::from_micros(10),
+            tick_every: Nanos::ZERO,
+        };
+        let mut driver = Script::new(|_| Err(SimError::NotFound("gone".into())));
+        driver.abort_after_errors = Some(5);
+        let result = run_closed_loop(&config, &mut driver);
+        assert!(result.is_err());
+        assert_eq!(driver.errors_seen, 5);
+    }
+}

@@ -14,7 +14,7 @@ use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_simfs::intern::PathId;
-use rb_simfs::stack::{Fd, StorageStack};
+use rb_simfs::stack::{Fd, OpCost, StorageStack};
 
 pub use rb_replay::target::Target;
 
@@ -39,6 +39,15 @@ impl SimTarget {
     /// Mutable access for experiment-specific surgery.
     pub fn stack_mut(&mut self) -> &mut StorageStack {
         &mut self.stack
+    }
+
+    /// The stack-level [`PathId`] for a timed op: the driver's
+    /// pre-resolved id when present, a fresh resolution otherwise.
+    fn resolve(&mut self, id: Option<PathId>, path: &str) -> SimResult<PathId> {
+        match id {
+            Some(id) => Ok(id),
+            None => self.stack.resolve_path(path),
+        }
     }
 }
 
@@ -138,6 +147,58 @@ impl Target for SimTarget {
 
     fn background_tick(&mut self) {
         self.stack.writeback_tick();
+    }
+
+    // Time-parameterized forms: the stack executes at the scheduler's
+    // instant and its private clock stays untouched.
+
+    fn supports_timed(&self) -> bool {
+        true
+    }
+
+    fn create_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let id = self.resolve(id, path)?;
+        self.stack.create_id_at(id, issue)
+    }
+
+    fn mkdir_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let id = self.resolve(id, path)?;
+        self.stack.mkdir_id_at(id, issue)
+    }
+
+    fn unlink_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let id = self.resolve(id, path)?;
+        self.stack.unlink_id_at(id, issue)
+    }
+
+    fn stat_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let id = self.resolve(id, path)?;
+        self.stack.stat_id_at(id, issue)
+    }
+
+    fn open_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<(Fd, OpCost)> {
+        let id = self.resolve(id, path)?;
+        self.stack.open_id_at(id, issue)
+    }
+
+    fn set_size_at(&mut self, fd: Fd, size: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        self.stack.set_size_fd_at(fd, size, issue)
+    }
+
+    fn read_at(&mut self, fd: Fd, offset: Bytes, len: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        self.stack.read_at(fd, offset, len, issue)
+    }
+
+    fn write_at(&mut self, fd: Fd, offset: Bytes, len: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        self.stack.write_at(fd, offset, len, issue)
+    }
+
+    fn fsync_at(&mut self, fd: Fd, issue: Nanos) -> SimResult<OpCost> {
+        self.stack.fsync_at(fd, issue)
+    }
+
+    fn tick_at(&mut self, issue: Nanos) -> Nanos {
+        self.stack.writeback_tick_at(issue)
     }
 }
 

@@ -22,7 +22,6 @@ pub use rb_replay::transform::{apply, merge, Transform};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::target::Target as _;
     use crate::testbed;
     use crate::workload::{personalities, Engine, EngineConfig};
     use rb_simcore::time::Nanos;

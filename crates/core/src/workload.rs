@@ -8,6 +8,7 @@
 //! the other classic personalities (web server, file server, varmail,
 //! postmark) are provided for the broader suite.
 
+use crate::sched::{Completion, SchedDriver};
 use crate::target::Target;
 use rb_simcore::dist::{Dist, Zipf};
 use rb_simcore::error::{SimError, SimResult};
@@ -15,7 +16,7 @@ use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_simfs::intern::PathId;
-use rb_simfs::stack::Fd;
+use rb_simfs::stack::{Fd, OpCost};
 use rb_stats::histogram::Log2Histogram;
 use rb_stats::timeseries::{Window, WindowedSeries};
 use std::collections::HashMap;
@@ -164,6 +165,16 @@ pub struct EngineConfig {
     pub cpu_jitter_sigma: f64,
     /// Abort after this many consecutive operation errors.
     pub max_errors: u64,
+    /// Concurrent closed-loop worker processes. `1` runs the classic
+    /// serial loop (byte-identical to the pre-concurrency engine);
+    /// `N > 1` drives N workers through the [`crate::sched`]
+    /// discrete-event scheduler, contending for [`EngineConfig::cores`]
+    /// and the shared device. Requires a target that supports
+    /// time-parameterized operations (the simulated stack does).
+    pub processes: u32,
+    /// CPU cores the scheduler hands out to processes (ignored when
+    /// `processes == 1`).
+    pub cores: u32,
 }
 
 impl Default for EngineConfig {
@@ -176,6 +187,8 @@ impl Default for EngineConfig {
             prewarm: false,
             cpu_jitter_sigma: 0.005,
             max_errors: 100,
+            processes: 1,
+            cores: 4,
         }
     }
 }
@@ -319,6 +332,12 @@ impl Engine {
     }
 
     /// Runs the measured phase against already-set-up file sets.
+    ///
+    /// With [`EngineConfig::processes`] `== 1` this is the classic
+    /// serial loop, byte-identical to the pre-concurrency engine. With
+    /// `processes > 1` the same flowop mix drives N closed-loop workers
+    /// through the [`crate::sched`] discrete-event scheduler, contending
+    /// for cores and the shared device.
     pub fn run_prepared(
         target: &mut dyn Target,
         workload: &Workload,
@@ -328,32 +347,17 @@ impl Engine {
         if workload.ops.is_empty() {
             return Err(SimError::BadConfig("workload has no ops".into()));
         }
+        if config.processes > 1 {
+            return Self::run_scheduled(target, workload, config, sets);
+        }
         if config.prewarm {
             Self::prewarm(target, sets)?;
         }
         let stats_before = target.cache_stats();
         let mut rng = Rng::new(config.seed).fork("run");
-        // One CPU-speed factor per run: within-run jitter would average
-        // out over millions of operations, but run-to-run wobble does not.
-        let op_overhead = if config.cpu_jitter_sigma > 0.0 {
-            let factor = Rng::new(config.seed)
-                .fork("cpu-jitter")
-                .lognormal(1.0, config.cpu_jitter_sigma)
-                .clamp(0.8, 1.25);
-            workload.op_overhead.mul_f64(factor)
-        } else {
-            workload.op_overhead
-        };
-        let total_weight: u64 = workload.ops.iter().map(|&(_, w)| w as u64).sum();
-        if total_weight == 0 {
-            return Err(SimError::BadConfig("all op weights are zero".into()));
-        }
-        // Popularity sampler per set (rebuilt when a set's size changes a
-        // lot; Zipf over the max index, clamped to live count).
-        let mut zipfs: Vec<Zipf> = sets
-            .iter()
-            .map(|s| Zipf::new(s.len().max(1), workload.zipf_theta))
-            .collect();
+        let op_overhead = Self::effective_op_overhead(workload, config);
+        let total_weight = Self::total_weight(workload)?;
+        let mut zipfs = Self::build_zipfs(sets, workload);
         let mut series = WindowedSeries::new(config.window);
         let mut histogram = Log2Histogram::new();
         let mut per_op: HashMap<&'static str, Log2Histogram> = HashMap::new();
@@ -368,20 +372,14 @@ impl Engine {
         let tick_every = Nanos::from_secs(5);
         let mut next_tick = start + tick_every;
         while target.now() < end {
-            if target.now() >= next_tick {
+            // Catch up on missed cadences: an op longer than the tick
+            // interval (a disk-bound whole-file read, say) used to slip
+            // the flusher by one period per op, unboundedly.
+            while target.now() >= next_tick {
                 target.background_tick();
                 next_tick += tick_every;
             }
-            // Pick a flowop by weight.
-            let mut pick = rng.below(total_weight);
-            let mut chosen = workload.ops[0].0;
-            for &(op, w) in &workload.ops {
-                if pick < w as u64 {
-                    chosen = op;
-                    break;
-                }
-                pick -= w as u64;
-            }
+            let chosen = Self::pick_weighted(workload, total_weight, &mut rng);
             let result = Self::execute(
                 target,
                 chosen,
@@ -419,8 +417,72 @@ impl Engine {
                 }
             }
         }
-        // Per-phase hit ratio from the stats delta when available.
-        let hit_ratio = match (stats_before, target.cache_stats()) {
+        let hit_ratio = Self::hit_ratio_delta(stats_before, target);
+        Ok(Recording {
+            windows: series.finish(),
+            histogram,
+            per_op,
+            ops,
+            errors,
+            duration: target.now() - start,
+            hit_ratio,
+        })
+    }
+
+    /// The run's per-op framework overhead: one CPU-speed factor drawn
+    /// per run (within-run jitter would average out over millions of
+    /// operations, but run-to-run wobble does not). Shared verbatim by
+    /// the serial and scheduled paths so they can never drift.
+    fn effective_op_overhead(workload: &Workload, config: &EngineConfig) -> Nanos {
+        if config.cpu_jitter_sigma > 0.0 {
+            let factor = Rng::new(config.seed)
+                .fork("cpu-jitter")
+                .lognormal(1.0, config.cpu_jitter_sigma)
+                .clamp(0.8, 1.25);
+            workload.op_overhead.mul_f64(factor)
+        } else {
+            workload.op_overhead
+        }
+    }
+
+    /// Total flowop weight, rejecting all-zero mixes.
+    fn total_weight(workload: &Workload) -> SimResult<u64> {
+        let total: u64 = workload.ops.iter().map(|&(_, w)| w as u64).sum();
+        if total == 0 {
+            return Err(SimError::BadConfig("all op weights are zero".into()));
+        }
+        Ok(total)
+    }
+
+    /// Popularity sampler per set (rebuilt when a set's size changes a
+    /// lot; Zipf over the max index, clamped to live count).
+    fn build_zipfs(sets: &[Vec<LiveFile>], workload: &Workload) -> Vec<Zipf> {
+        sets.iter()
+            .map(|s| Zipf::new(s.len().max(1), workload.zipf_theta))
+            .collect()
+    }
+
+    /// Picks the next flowop by weight from `rng` — one draw per call,
+    /// identical in both engine paths.
+    fn pick_weighted(workload: &Workload, total_weight: u64, rng: &mut Rng) -> FlowOp {
+        let mut pick = rng.below(total_weight);
+        let mut chosen = workload.ops[0].0;
+        for &(op, w) in &workload.ops {
+            if pick < w as u64 {
+                chosen = op;
+                break;
+            }
+            pick -= w as u64;
+        }
+        chosen
+    }
+
+    /// Per-phase hit ratio from the cache-stats delta when available.
+    fn hit_ratio_delta(
+        before: Option<rb_simcache::page::CacheStats>,
+        target: &dyn Target,
+    ) -> Option<f64> {
+        match (before, target.cache_stats()) {
             (Some(b), Some(a)) => {
                 let hits = a.hits - b.hits;
                 let misses = a.misses - b.misses;
@@ -431,16 +493,211 @@ impl Engine {
                 }
             }
             _ => target.cache_hit_ratio(),
+        }
+    }
+
+    /// Runs the measured phase with `processes > 1` workers through the
+    /// discrete-event scheduler. The flowop mix, file sets, Zipf
+    /// samplers and created-file serial are shared state (mutated in
+    /// deterministic event order); each worker draws from its own
+    /// forked RNG stream, so the interleaving is a pure function of
+    /// (workload, config, seed).
+    fn run_scheduled(
+        target: &mut dyn Target,
+        workload: &Workload,
+        config: &EngineConfig,
+        sets: &mut [Vec<LiveFile>],
+    ) -> SimResult<Recording> {
+        if !target.supports_timed() {
+            return Err(SimError::BadConfig(format!(
+                "{} processes need a time-parameterized target, and {} cannot \
+                 decouple execution from its clock; run with processes=1",
+                config.processes,
+                target.name()
+            )));
+        }
+        if config.prewarm {
+            Self::prewarm(target, sets)?;
+        }
+        let stats_before = target.cache_stats();
+        let op_overhead = Self::effective_op_overhead(workload, config);
+        let total_weight = Self::total_weight(workload)?;
+        let zipfs = Self::build_zipfs(sets, workload);
+        // One independent stream per worker: adding draws in one
+        // process never perturbs another.
+        let base_rng = Rng::new(config.seed).fork("run");
+        let rngs: Vec<Rng> = (0..config.processes)
+            .map(|p| base_rng.fork(&format!("proc{p}")))
+            .collect();
+        let start = target.now();
+        let sched_config = crate::sched::SchedConfig {
+            processes: config.processes,
+            cores: config.cores,
+            start,
+            duration: config.duration,
+            think: op_overhead,
+            tick_every: Nanos::from_secs(5),
         };
+        let mut driver = EngineDriver {
+            target: &mut *target,
+            workload,
+            config,
+            sets,
+            zipfs,
+            rngs,
+            total_weight,
+            created_serial: 1_000_000,
+            current_label: vec![""; config.processes as usize],
+            start,
+            series: WindowedSeries::new(config.window),
+            histogram: Log2Histogram::new(),
+            per_op: HashMap::new(),
+            ops: 0,
+            errors: 0,
+            consecutive_errors: 0,
+        };
+        let outcome = crate::sched::run_closed_loop(&sched_config, &mut driver)?;
+        let EngineDriver {
+            series,
+            histogram,
+            per_op,
+            ops,
+            errors,
+            ..
+        } = driver;
+        // The timed ops never moved the target clock; walk it to the
+        // final completion so post-run surgery sees a consistent
+        // timeline (and duration matches the serial convention of
+        // "first instant at or past the deadline").
+        target.advance(outcome.finished - start);
+        let hit_ratio = Self::hit_ratio_delta(stats_before, target);
         Ok(Recording {
             windows: series.finish(),
             histogram,
             per_op,
             ops,
             errors,
-            duration: target.now() - start,
+            duration: outcome.finished - start,
             hit_ratio,
         })
+    }
+
+    /// Executes one flowop at instant `issue` through the target's
+    /// time-parameterized interface, returning the decomposed cost.
+    /// State effects (cache contents, namespace, live-file tables) are
+    /// identical to [`Engine::execute`]; only the clock discipline
+    /// differs. Multi-step flowops (whole-file reads, create-then-open)
+    /// stagger their sub-operations by each step's serialized latency.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_timed(
+        target: &mut dyn Target,
+        op: FlowOp,
+        sets: &mut [Vec<LiveFile>],
+        zipfs: &mut [Zipf],
+        workload: &Workload,
+        rng: &mut Rng,
+        created_serial: &mut u64,
+        issue: Nanos,
+    ) -> SimResult<OpCost> {
+        match op {
+            FlowOp::ReadRandom { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let slots = (f.size.as_u64() / iosize.as_u64().max(1)).max(1);
+                let offset = Bytes::new(rng.below(slots) * iosize.as_u64());
+                target.read_at(f.fd, offset, iosize, issue)
+            }
+            FlowOp::ReadSequential { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                if f.cursor >= f.size {
+                    f.cursor = Bytes::ZERO;
+                }
+                let off = f.cursor;
+                f.cursor += iosize;
+                target.read_at(f.fd, off, iosize, issue)
+            }
+            FlowOp::ReadWholeFile { set, iosize } => {
+                let (fd, size) = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    (f.fd, f.size)
+                };
+                let mut cost = OpCost::default();
+                let mut t = issue;
+                let mut off = Bytes::ZERO;
+                while off < size {
+                    let c = target.read_at(fd, off, iosize, t)?;
+                    cost.cpu += c.cpu;
+                    cost.device += c.device;
+                    t += c.total();
+                    off += iosize;
+                }
+                Ok(cost)
+            }
+            FlowOp::WriteRandom { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let slots = (f.size.as_u64() / iosize.as_u64().max(1)).max(1);
+                let offset = Bytes::new(rng.below(slots) * iosize.as_u64());
+                target.write_at(f.fd, offset, iosize, issue)
+            }
+            FlowOp::Append { set, iosize } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let off = f.size;
+                f.size += iosize;
+                target.write_at(f.fd, off, iosize, issue)
+            }
+            FlowOp::CreateFile { set } => {
+                let dir = workload
+                    .filesets
+                    .get(set)
+                    .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?
+                    .dir
+                    .clone();
+                let path = format!("{}/c{:08}", dir, *created_serial);
+                *created_serial += 1;
+                let pid = target.prepare_path(&path);
+                let created = target.create_at(pid, &path, issue)?;
+                let (fd, opened) = target.open_at(pid, &path, issue + created.total())?;
+                sets[set].push(LiveFile {
+                    path,
+                    pid,
+                    fd,
+                    size: Bytes::ZERO,
+                    cursor: Bytes::ZERO,
+                });
+                Ok(OpCost {
+                    cpu: created.cpu + opened.cpu,
+                    device: created.device + opened.device,
+                })
+            }
+            FlowOp::DeleteFile { set } => {
+                let live = sets
+                    .get_mut(set)
+                    .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?;
+                if live.len() <= 1 {
+                    return Err(SimError::NotFound("set nearly empty".into()));
+                }
+                let idx = rng.below(live.len() as u64) as usize;
+                let f = live.swap_remove(idx);
+                let _ = target.close(f.fd);
+                target.unlink_at(f.pid, &f.path, issue)
+            }
+            FlowOp::StatFile { set } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                target.stat_at(f.pid, &f.path, issue)
+            }
+            FlowOp::OpenClose { set } => {
+                let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                let (fd, cost) = target.open_at(f.pid, &f.path, issue)?;
+                target.close(fd)?;
+                Ok(cost)
+            }
+            FlowOp::Fsync { set } => {
+                let fd = {
+                    let f = Self::pick_file(sets, zipfs, set, workload.zipf_theta, rng)?;
+                    f.fd
+                };
+                target.fsync_at(fd, issue)
+            }
+        }
     }
 
     fn pick_file<'s>(
@@ -583,6 +840,84 @@ impl Engine {
                 target.fsync(fd)
             }
         }
+    }
+}
+
+/// The engine's [`SchedDriver`]: owns the target borrow and all shared
+/// run state, so the scheduler's event pump works through one object.
+struct EngineDriver<'a> {
+    target: &'a mut dyn Target,
+    workload: &'a Workload,
+    config: &'a EngineConfig,
+    sets: &'a mut [Vec<LiveFile>],
+    zipfs: Vec<Zipf>,
+    /// One RNG stream per process, indexed by process id.
+    rngs: Vec<Rng>,
+    total_weight: u64,
+    created_serial: u64,
+    /// The label of each process's in-flight operation (closed loop:
+    /// at most one per process), for per-op histograms at completion.
+    current_label: Vec<&'static str>,
+    start: Nanos,
+    series: WindowedSeries,
+    histogram: Log2Histogram,
+    per_op: HashMap<&'static str, Log2Histogram>,
+    ops: u64,
+    errors: u64,
+    consecutive_errors: u64,
+}
+
+impl SchedDriver for EngineDriver<'_> {
+    fn exec(&mut self, process: u32, now: Nanos) -> SimResult<OpCost> {
+        let rng = &mut self.rngs[process as usize];
+        // The same weighted pick as the serial loop, from this
+        // process's own stream.
+        let chosen = Engine::pick_weighted(self.workload, self.total_weight, rng);
+        self.current_label[process as usize] = chosen.label();
+        Engine::execute_timed(
+            self.target,
+            chosen,
+            self.sets,
+            &mut self.zipfs,
+            self.workload,
+            rng,
+            &mut self.created_serial,
+            now,
+        )
+    }
+
+    fn tick(&mut self, start: Nanos) -> Nanos {
+        self.target.tick_at(start)
+    }
+
+    fn on_complete(&mut self, completion: &Completion) -> SimResult<()> {
+        self.consecutive_errors = 0;
+        let when = completion.completed - self.start;
+        // Same deadline discipline as the serial loop: an operation
+        // completing past the deadline belongs to an unreported window.
+        if when <= self.config.duration {
+            self.ops += 1;
+            let latency = completion.completed - completion.arrived;
+            self.series.record(when, latency);
+            self.histogram.record(latency);
+            self.per_op
+                .entry(self.current_label[completion.process as usize])
+                .or_default()
+                .record(latency);
+        }
+        Ok(())
+    }
+
+    fn on_error(&mut self, _process: u32, _now: Nanos, _error: SimError) -> SimResult<()> {
+        self.errors += 1;
+        self.consecutive_errors += 1;
+        if self.consecutive_errors >= self.config.max_errors {
+            return Err(SimError::InvalidOperation(format!(
+                "aborting: {} consecutive op failures",
+                self.consecutive_errors
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -852,6 +1187,8 @@ mod tests {
             prewarm: false,
             cpu_jitter_sigma: 0.0,
             max_errors: 50,
+            processes: 1,
+            cores: 4,
         }
     }
 

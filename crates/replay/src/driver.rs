@@ -25,25 +25,34 @@
 //!
 //! ## Timing
 //!
-//! Under [`Timing::Faithful`] and [`Timing::Scaled`] the driver waits —
-//! via [`Target::advance`], virtual and free on the simulated stack —
-//! until an operation's (possibly scaled) recorded arrival time before
-//! issuing it, and fires the target's background tick on the same 5 s
-//! cadence the workload engine uses, so writeback behaves as it would
-//! under the original load. Under [`Timing::Afap`] no waiting and no
-//! extra ticks happen: a single-stream afap replay is byte-identical to
-//! the pre-v2 replay loop.
+//! Under [`Timing::Faithful`] and [`Timing::Scaled`] an operation is
+//! not issued before its (possibly scaled) recorded arrival time, and
+//! the target's background tick fires on the same 5 s cadence the
+//! workload engine uses, so writeback behaves as it would under the
+//! original load. On a time-parameterized target, a timed
+//! *multi-stream* trace runs through the overlapped discrete-event
+//! engine ([`replay_with`] dispatches automatically): each recorded
+//! stream issues in program order at `max(due time, predecessor
+//! completion, happens-before completions)` while media phases
+//! serialize on the shared device — the streams genuinely proceed in
+//! parallel instead of taking turns through one serialized clock.
+//! Timed single-stream traces (and untimed targets) keep the
+//! serialized path, waiting via [`Target::advance`]. Under
+//! [`Timing::Afap`] no waiting, no overlap and no extra ticks happen:
+//! a single-stream afap replay is byte-identical to the pre-v2 replay
+//! loop, and multi-stream afap keeps the seeded serialized merge.
 
 use crate::model::{Trace, TraceOp};
 use crate::target::Target;
 use crate::timing::Timing;
 use rb_simcore::error::SimResult;
+use rb_simcore::events::{DeviceQueue, EventQueue};
 use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_simfs::intern::PathId;
-use rb_simfs::stack::Fd;
+use rb_simfs::stack::{Fd, OpCost};
 use rb_stats::histogram::Log2Histogram;
 
 /// Background-tick cadence during timed replay (the workload engine's
@@ -225,40 +234,25 @@ fn apply_op(
     Ok(())
 }
 
-/// The deterministic replay schedule: trace-entry indices in execution
-/// order, a pure function of (trace, timing, seed).
-///
-/// Exposed for tests and analysis; [`replay_with`] consumes it. The
-/// schedule preserves per-stream program order and per-path trace
-/// order, and resolves the remaining freedom with the seeded merge
-/// described in the [module docs](self).
-pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
-    let entries = &trace.entries;
-    let n = entries.len();
-    // Streams, preserving trace order within each.
-    let ids = trace.stream_ids();
-    let stream_index: FnvHashMap<u32, usize> =
-        ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
-    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
-    for (i, e) in entries.iter().enumerate() {
-        queues[stream_index[&e.stream]].push(i);
-    }
-    // Cross-stream happens-before: entry i depends on the latest earlier
-    // entry on the same path from a *different* stream (same-stream
-    // predecessors are covered by program order, and transitivity covers
-    // longer chains). Namespace ops additionally depend on the latest
-    // earlier op on their parent directory, so `create /d/f` never
-    // overtakes the `mkdir /d` that makes it possible. Every edge points
-    // to an earlier trace index, which is what makes the merge below
-    // deadlock-free.
+/// Cross-stream happens-before edges: entry `i` depends on the latest
+/// earlier entry on the same path from a *different* stream
+/// (same-stream predecessors are covered by program order, and
+/// transitivity covers longer chains). Namespace ops additionally
+/// depend on the latest earlier op on their parent directory, so
+/// `create /d/f` never overtakes the `mkdir /d` that makes it
+/// possible. Every edge points to an earlier trace index, which is
+/// what makes both the serialized merge and the overlapped engine
+/// deadlock-free.
+fn dep_edges(trace: &Trace) -> Vec<[Option<usize>; 2]> {
     fn parent(path: &str) -> Option<&str> {
         match path.rfind('/') {
             Some(0) | None => None,
             Some(k) => Some(&path[..k]),
         }
     }
+    let entries = &trace.entries;
     let mut last_on_path: FnvHashMap<&str, usize> = FnvHashMap::default();
-    let mut dep: Vec<[Option<usize>; 2]> = vec![[None; 2]; n];
+    let mut dep: Vec<[Option<usize>; 2]> = vec![[None; 2]; entries.len()];
     for (i, e) in entries.iter().enumerate() {
         let path = e.op.path();
         if let Some(&j) = last_on_path.get(path) {
@@ -275,6 +269,46 @@ pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
         }
         last_on_path.insert(path, i);
     }
+    dep
+}
+
+/// Pre-resolves every distinct path once (pure bookkeeping on the
+/// target, free of simulation side effects), so per-op dispatch is an
+/// id probe instead of a string hash + split.
+fn resolve_paths(target: &mut dyn Target, trace: &Trace) -> Vec<Option<PathId>> {
+    let mut seen: FnvHashMap<&str, Option<PathId>> = FnvHashMap::default();
+    trace
+        .entries
+        .iter()
+        .map(|e| {
+            let path = e.op.path();
+            *seen
+                .entry(path)
+                .or_insert_with(|| target.prepare_path(path))
+        })
+        .collect()
+}
+
+/// The deterministic serialized replay schedule: trace-entry indices in
+/// execution order, a pure function of (trace, timing, seed).
+///
+/// Exposed for tests and analysis; [`replay_with`] consumes it on the
+/// serialized path (afap, single-stream, or untimed targets). The
+/// schedule preserves per-stream program order and per-path trace
+/// order, and resolves the remaining freedom with the seeded merge
+/// described in the [module docs](self).
+pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
+    let entries = &trace.entries;
+    let n = entries.len();
+    // Streams, preserving trace order within each.
+    let ids = trace.stream_ids();
+    let stream_index: FnvHashMap<u32, usize> =
+        ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+    for (i, e) in entries.iter().enumerate() {
+        queues[stream_index[&e.stream]].push(i);
+    }
+    let dep = dep_edges(trace);
 
     let mut rng = Rng::new(seed).fork("replay-merge");
     let mut cursor = vec![0usize; queues.len()];
@@ -333,24 +367,22 @@ pub fn schedule(trace: &Trace, timing: Timing, seed: u64) -> Vec<usize> {
 /// system remain usable on another with a slightly different namespace;
 /// the first failure is reported in [`ReplayResult::first_error`] so
 /// callers can surface it.
+///
+/// Under [`Timing::Faithful`] and [`Timing::Scaled`], a multi-stream
+/// trace on a time-parameterized target runs through the overlapped
+/// discrete-event engine: independent streams genuinely proceed in
+/// parallel, contending for the shared device, instead of being
+/// serialized through one merged order. As-fast-as-possible replay and
+/// single-stream traces keep the classic serialized path byte-for-byte.
 pub fn replay_with(target: &mut dyn Target, trace: &Trace, config: &ReplayConfig) -> ReplayResult {
+    if !matches!(config.timing, Timing::Afap)
+        && trace.stream_ids().len() > 1
+        && target.supports_timed()
+    {
+        return replay_overlapped(target, trace, config);
+    }
     let order = schedule(trace, config.timing, config.seed);
-    // Pre-resolve every distinct path once (pure bookkeeping on the
-    // target, free of simulation side effects), so per-op dispatch is
-    // an id probe instead of a string hash + split.
-    let path_ids: Vec<Option<PathId>> = {
-        let mut seen: FnvHashMap<&str, Option<PathId>> = FnvHashMap::default();
-        trace
-            .entries
-            .iter()
-            .map(|e| {
-                let path = e.op.path();
-                *seen
-                    .entry(path)
-                    .or_insert_with(|| target.prepare_path(path))
-            })
-            .collect()
-    };
+    let path_ids = resolve_paths(target, trace);
     let mut fds = FdTable::default();
     let mut ops = 0u64;
     let mut errors = 0u64;
@@ -401,6 +433,236 @@ pub fn replay_with(target: &mut dyn Target, trace: &Trace, config: &ReplayConfig
         ops,
         errors,
         duration: target.now() - start,
+        histogram,
+        first_error,
+    }
+}
+
+/// Executes one operation at instant `issue` through the target's
+/// time-parameterized interface, returning its decomposed cost. State
+/// effects (handle table, namespace, cache) match [`apply_op`]; only
+/// the clock discipline differs.
+fn apply_op_timed(
+    target: &mut dyn Target,
+    fds: &mut FdTable,
+    op: &TraceOp,
+    id: Option<PathId>,
+    issue: Nanos,
+) -> SimResult<OpCost> {
+    let ensure_open = |target: &mut dyn Target,
+                       fds: &mut FdTable,
+                       path: &str,
+                       at: Nanos|
+     -> SimResult<(Fd, OpCost)> {
+        if let Some(fd) = fds.get(id, path) {
+            return Ok((fd, OpCost::default()));
+        }
+        let (fd, cost) = target.open_at(id, path, at)?;
+        fds.insert(id, path, fd);
+        Ok((fd, cost))
+    };
+    match op {
+        TraceOp::Create(p) => target.create_at(id, p, issue),
+        TraceOp::Mkdir(p) => target.mkdir_at(id, p, issue),
+        TraceOp::Open(p) => ensure_open(target, fds, p, issue).map(|(_, c)| c),
+        TraceOp::Close(p) => {
+            if let Some(fd) = fds.remove(id, p) {
+                target.close(fd)?;
+            }
+            Ok(OpCost::default())
+        }
+        TraceOp::Read { path, offset, len } => {
+            let (fd, open_cost) = ensure_open(target, fds, path, issue)?;
+            let c = target.read_at(
+                fd,
+                Bytes::new(*offset),
+                Bytes::new(*len),
+                issue + open_cost.total(),
+            )?;
+            Ok(OpCost {
+                cpu: open_cost.cpu + c.cpu,
+                device: open_cost.device + c.device,
+            })
+        }
+        TraceOp::Write { path, offset, len } => {
+            let (fd, open_cost) = ensure_open(target, fds, path, issue)?;
+            let c = target.write_at(
+                fd,
+                Bytes::new(*offset),
+                Bytes::new(*len),
+                issue + open_cost.total(),
+            )?;
+            Ok(OpCost {
+                cpu: open_cost.cpu + c.cpu,
+                device: open_cost.device + c.device,
+            })
+        }
+        TraceOp::SetSize { path, size } => {
+            let (fd, open_cost) = ensure_open(target, fds, path, issue)?;
+            let c = target.set_size_at(fd, Bytes::new(*size), issue + open_cost.total())?;
+            Ok(OpCost {
+                cpu: open_cost.cpu + c.cpu,
+                device: open_cost.device + c.device,
+            })
+        }
+        TraceOp::Fsync(p) => {
+            let (fd, open_cost) = ensure_open(target, fds, p, issue)?;
+            let c = target.fsync_at(fd, issue + open_cost.total())?;
+            Ok(OpCost {
+                cpu: open_cost.cpu + c.cpu,
+                device: open_cost.device + c.device,
+            })
+        }
+        TraceOp::Stat(p) => target.stat_at(id, p, issue),
+        TraceOp::Unlink(p) => {
+            if let Some(fd) = fds.remove(id, p) {
+                let _ = target.close(fd);
+            }
+            target.unlink_at(id, p, issue)
+        }
+    }
+}
+
+/// What the overlapped replay engine pops from its event queue.
+#[derive(Debug, Clone, Copy)]
+enum ReplayEvent {
+    /// Re-evaluate stream `s`'s head entry for issue.
+    TryIssue(usize),
+    /// Background-flusher tick.
+    Tick,
+}
+
+/// Timed multi-stream replay with genuine overlap: each trace stream is
+/// a scheduler process issuing its entries in program order at
+/// `max(recorded due time, predecessor completion, dependency
+/// completions)`, with media phases serializing on the shared device
+/// and the flusher ticking on its cadence. The happens-before edges are
+/// the same ones the serialized merge respects, so the replay is
+/// faithful to the trace's ordering semantics — it just stops
+/// pretending the streams took turns.
+fn replay_overlapped(
+    target: &mut dyn Target,
+    trace: &Trace,
+    config: &ReplayConfig,
+) -> ReplayResult {
+    let entries = &trace.entries;
+    let n = entries.len();
+    let ids = trace.stream_ids();
+    let stream_index: FnvHashMap<u32, usize> =
+        ids.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+    for (i, e) in entries.iter().enumerate() {
+        queues[stream_index[&e.stream]].push(i);
+    }
+    let dep = dep_edges(trace);
+    let path_ids = resolve_paths(target, trace);
+    let mut fds = FdTable::default();
+
+    let start = target.now();
+    let due_abs = |i: usize| start + config.timing.due(entries[i].at).unwrap_or(Nanos::ZERO);
+    let mut done = vec![false; n];
+    let mut completion = vec![Nanos::ZERO; n];
+    let mut stream_last = vec![start; queues.len()];
+    let mut cursor = vec![0usize; queues.len()];
+    // The shared-device token from rb-simcore: the same serialization
+    // primitive the workload scheduler uses.
+    let mut device = DeviceQueue::idle_from(start);
+    let mut remaining = n;
+    let mut ops = 0u64;
+    let mut errors = 0u64;
+    let mut histogram = Log2Histogram::new();
+    let mut first_error = None;
+    let mut finished = start;
+
+    let mut queue: EventQueue<ReplayEvent> = EventQueue::new();
+    for (s, q) in queues.iter().enumerate() {
+        if let Some(&i) = q.first() {
+            queue.schedule(due_abs(i), ReplayEvent::TryIssue(s));
+        }
+    }
+    queue.schedule(start + TICK_EVERY, ReplayEvent::Tick);
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            ReplayEvent::Tick => {
+                if remaining == 0 {
+                    continue; // drained: stop rescheduling
+                }
+                let begin = device.next_free().max(now);
+                let spent = target.tick_at(begin);
+                if !spent.is_zero() {
+                    device.serve(begin, spent);
+                }
+                queue.schedule(now + TICK_EVERY, ReplayEvent::Tick);
+            }
+            ReplayEvent::TryIssue(s) => {
+                let Some(&i) = queues[s].get(cursor[s]) else {
+                    continue; // stream already drained
+                };
+                // Blocked on an unexecuted dependency: a broadcast at
+                // that dependency's completion will retrigger us.
+                if dep[i].iter().any(|d| d.is_some_and(|j| !done[j])) {
+                    continue;
+                }
+                let mut ready = due_abs(i).max(stream_last[s]);
+                for d in dep[i].iter().flatten() {
+                    ready = ready.max(completion[*d]);
+                }
+                if ready > now {
+                    queue.schedule(ready, ReplayEvent::TryIssue(s));
+                    continue;
+                }
+                let completed =
+                    match apply_op_timed(target, &mut fds, &entries[i].op, path_ids[i], now) {
+                        Ok(cost) => {
+                            ops += 1;
+                            let after_cpu = now + cost.cpu;
+                            let completed = if cost.device.is_zero() {
+                                after_cpu
+                            } else {
+                                device.serve(after_cpu, cost.device)
+                            };
+                            histogram.record(completed - now);
+                            completed
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            if first_error.is_none() {
+                                first_error = Some(ReplayError {
+                                    index: i,
+                                    op: entries[i].op.to_line(),
+                                    message: e.to_string(),
+                                });
+                            }
+                            now
+                        }
+                    };
+                done[i] = true;
+                completion[i] = completed;
+                stream_last[s] = completed;
+                cursor[s] += 1;
+                remaining -= 1;
+                finished = finished.max(completed);
+                // Wake this stream for its next entry, and every other
+                // stream whose head might have been waiting on `i`.
+                if let Some(&j) = queues[s].get(cursor[s]) {
+                    queue.schedule(completed.max(due_abs(j)), ReplayEvent::TryIssue(s));
+                }
+                for t in 0..queues.len() {
+                    if t != s && queues[t].get(cursor[t]).is_some() {
+                        queue.schedule(completed, ReplayEvent::TryIssue(t));
+                    }
+                }
+            }
+        }
+    }
+    // The timed ops never moved the target clock; walk it forward so
+    // callers see a consistent timeline.
+    target.advance(finished - target.now());
+    ReplayResult {
+        ops,
+        errors,
+        duration: finished - start,
         histogram,
         first_error,
     }

@@ -10,11 +10,16 @@
 //! crate, because replay is the most demanding consumer: a trace is
 //! only a portable artifact if *any* target can execute it.
 
-use rb_simcore::error::SimResult;
+use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_simfs::intern::PathId;
-use rb_simfs::stack::Fd;
+use rb_simfs::stack::{Fd, OpCost};
+
+/// The error every untimed target returns from the `*_at` family.
+fn untimed() -> SimError {
+    SimError::InvalidOperation("target cannot execute time-parameterized operations".into())
+}
 
 /// A system under test.
 pub trait Target {
@@ -125,4 +130,88 @@ pub trait Target {
     /// periodically by the engine and by timed replay. Real targets rely
     /// on the host kernel.
     fn background_tick(&mut self) {}
+
+    // ------------------------------------------------------------------
+    // Time-parameterized operations (the discrete-event interface).
+    //
+    // A multi-process driver cannot let the target advance its own
+    // clock: N simulated processes contend for cores and the device, so
+    // *when* an operation's cost lands is the scheduler's decision. The
+    // `*_at` family executes an operation at an explicit `issue`
+    // instant, mutates target state exactly as the untimed form would,
+    // and returns the cost decomposed into CPU and device components
+    // ([`OpCost`]) without touching the target clock. Only targets with
+    // a virtual clock can support this; everything else keeps the
+    // default "unsupported" behaviour and multi-process drivers must
+    // check [`Target::supports_timed`] first.
+    // ------------------------------------------------------------------
+
+    /// Whether the `*_at` operations are implemented. Drivers must not
+    /// call them when this is `false`.
+    fn supports_timed(&self) -> bool {
+        false
+    }
+
+    /// [`Target::create`] at instant `issue`, without moving the clock.
+    /// `id` is the path pre-resolved by [`Target::prepare_path`], when
+    /// the driver has one.
+    fn create_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (id, path, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::mkdir`] at instant `issue`.
+    fn mkdir_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (id, path, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::unlink`] at instant `issue`.
+    fn unlink_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (id, path, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::stat`] at instant `issue`.
+    fn stat_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (id, path, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::open`] at instant `issue`.
+    fn open_at(&mut self, id: Option<PathId>, path: &str, issue: Nanos) -> SimResult<(Fd, OpCost)> {
+        let _ = (id, path, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::set_size`] at instant `issue`.
+    fn set_size_at(&mut self, fd: Fd, size: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (fd, size, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::read`] at instant `issue`.
+    fn read_at(&mut self, fd: Fd, offset: Bytes, len: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (fd, offset, len, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::write`] at instant `issue`.
+    fn write_at(&mut self, fd: Fd, offset: Bytes, len: Bytes, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (fd, offset, len, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::fsync`] at instant `issue`.
+    fn fsync_at(&mut self, fd: Fd, issue: Nanos) -> SimResult<OpCost> {
+        let _ = (fd, issue);
+        Err(untimed())
+    }
+
+    /// [`Target::background_tick`] at instant `issue`: runs the flusher
+    /// pass as of `issue` and returns the device time it consumed.
+    fn tick_at(&mut self, issue: Nanos) -> Nanos {
+        let _ = issue;
+        Nanos::ZERO
+    }
 }

@@ -53,6 +53,37 @@ impl Default for StackConfig {
     }
 }
 
+/// One operation's simulated cost, decomposed into the two contention
+/// domains of the discrete-event scheduler.
+///
+/// Returned by the time-parameterized `*_at` operations: `cpu` is work
+/// a core performs (syscall entry, memory copies), `device` is media
+/// service time (demand fetches, writeback, journal commits). A serial
+/// caller charges `total()` to its clock; a multi-process scheduler
+/// queues `cpu` on a core token and `device` on the shared device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Core-side cost: syscall overhead plus user-buffer copies.
+    pub cpu: Nanos,
+    /// Device-side cost: total media service time.
+    pub device: Nanos,
+}
+
+impl OpCost {
+    /// A cost with no device component.
+    pub fn cpu_only(cpu: Nanos) -> OpCost {
+        OpCost {
+            cpu,
+            device: Nanos::ZERO,
+        }
+    }
+
+    /// The serialized latency: CPU then device, no queueing.
+    pub fn total(&self) -> Nanos {
+        self.cpu + self.device
+    }
+}
+
 /// Cumulative stack-level counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StackStats {
@@ -192,7 +223,7 @@ impl StorageStack {
     /// pages are written back synchronously.
     pub fn set_cache_capacity_pages(&mut self, pages: u64) {
         let dirty = self.cache.set_capacity_pages(pages);
-        let lat = self.write_pages_to_media(&dirty);
+        let lat = self.write_pages_to_media_at(&dirty, self.clock.now());
         self.clock.advance(lat);
     }
 
@@ -205,39 +236,35 @@ impl StorageStack {
         self.fs.block_size()
     }
 
-    /// Executes metadata traffic through cache and media.
+    /// Executes metadata traffic through cache and media at instant
+    /// `issue`, returning the media time consumed.
     ///
     /// Metadata reads go through the page cache (metadata is cached like
     /// data); metadata writes dirty cache pages; journal writes are
     /// synchronous sequential media writes, as in ordered-mode JBD.
-    fn run_meta(&mut self, meta: &MetaIo) -> Nanos {
+    fn run_meta_at(&mut self, meta: &MetaIo, issue: Nanos) -> Nanos {
         let mut lat = Nanos::ZERO;
         for &block in &meta.reads {
-            let out = self
-                .cache
-                .read(META_FILE, block, 1, u64::MAX, self.clock.now());
+            let out = self.cache.read(META_FILE, block, 1, u64::MAX, issue);
             for _ in &out.miss_pages {
-                lat += self
-                    .disk
-                    .service(&IoRequest::read(block, 1), self.clock.now() + lat);
+                lat += self.disk.service(&IoRequest::read(block, 1), issue + lat);
             }
-            lat += self.write_pages_to_media(&out.writeback_pages);
+            lat += self.write_pages_to_media_at(&out.writeback_pages, issue);
         }
         for &block in &meta.writes {
-            let out = self.cache.write(META_FILE, block, 1, self.clock.now());
-            lat += self.write_pages_to_media(&out.writeback_pages);
+            let out = self.cache.write(META_FILE, block, 1, issue);
+            lat += self.write_pages_to_media_at(&out.writeback_pages, issue);
         }
         for &block in &meta.journal_writes {
-            lat += self
-                .disk
-                .service(&IoRequest::write(block, 1), self.clock.now() + lat);
+            lat += self.disk.service(&IoRequest::write(block, 1), issue + lat);
         }
         lat
     }
 
-    /// Writes evicted/flushed pages to media, mapping data pages through
-    /// the file system. Pages of deleted files are silently dropped.
-    fn write_pages_to_media(&mut self, pages: &[PageKey]) -> Nanos {
+    /// Writes evicted/flushed pages to media starting at instant `base`,
+    /// mapping data pages through the file system. Pages of deleted
+    /// files are silently dropped.
+    fn write_pages_to_media_at(&mut self, pages: &[PageKey], base: Nanos) -> Nanos {
         let mut lat = Nanos::ZERO;
         for key in pages {
             let block = if key.file == META_FILE {
@@ -246,17 +273,15 @@ impl StorageStack {
                 self.fs.map(key.file, key.page, 1).ok().map(|e| e.physical)
             };
             if let Some(b) = block {
-                lat += self
-                    .disk
-                    .service(&IoRequest::write(b, 1), self.clock.now() + lat);
+                lat += self.disk.service(&IoRequest::write(b, 1), base + lat);
             }
         }
         lat
     }
 
-    /// Reads a set of data pages from media, coalescing physically
-    /// contiguous pages into single requests.
-    fn read_pages_from_media(&mut self, ino: InodeNo, pages: &[PageNo]) -> Nanos {
+    /// Reads a set of data pages from media starting at instant `base`,
+    /// coalescing physically contiguous pages into single requests.
+    fn read_pages_from_media_at(&mut self, ino: InodeNo, pages: &[PageNo], base: Nanos) -> Nanos {
         let mut lat = Nanos::ZERO;
         let mut i = 0;
         while i < pages.len() {
@@ -270,10 +295,9 @@ impl StorageStack {
             // Map as much of the run as the extent allows.
             match self.fs.map(ino, logical, run as u64) {
                 Ok(ext) => {
-                    lat += self.disk.service(
-                        &IoRequest::read(ext.physical, ext.len),
-                        self.clock.now() + lat,
-                    );
+                    lat += self
+                        .disk
+                        .service(&IoRequest::read(ext.physical, ext.len), base + lat);
                     i += ext.len as usize;
                 }
                 Err(_) => {
@@ -314,11 +338,21 @@ impl StorageStack {
 
     /// [`StorageStack::create`] for a pre-resolved path.
     pub fn create_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let cost = self.create_id_at(id, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::create`] at instant `issue`, without advancing
+    /// the stack clock (the discrete-event form; see [`OpCost`]).
+    pub fn create_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.create_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Creates a directory.
@@ -329,11 +363,20 @@ impl StorageStack {
 
     /// [`StorageStack::mkdir`] for a pre-resolved path.
     pub fn mkdir_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let cost = self.mkdir_id_at(id, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::mkdir`] at instant `issue` (discrete-event form).
+    pub fn mkdir_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.mkdir_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Removes a file and drops its cached pages.
@@ -344,13 +387,22 @@ impl StorageStack {
 
     /// [`StorageStack::unlink`] for a pre-resolved path.
     pub fn unlink_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let cost = self.unlink_id_at(id, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::unlink`] at instant `issue` (discrete-event form).
+    pub fn unlink_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (ino, _) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
         let meta = self.fs.unlink_spec(&self.paths.specs[id.index()])?;
         self.cache.invalidate_file(ino);
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Stats a path.
@@ -361,11 +413,20 @@ impl StorageStack {
 
     /// [`StorageStack::stat`] for a pre-resolved path.
     pub fn stat_id(&mut self, id: PathId) -> SimResult<Nanos> {
+        let cost = self.stat_id_at(id, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::stat`] at instant `issue` (discrete-event form).
+    pub fn stat_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Counts a directory's entries, charging the full listing's
@@ -373,7 +434,7 @@ impl StorageStack {
     pub fn readdir(&mut self, path: &str) -> SimResult<(u64, Nanos)> {
         let id = self.resolve_path(path)?;
         let (entries, meta) = self.fs.readdir_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
+        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now());
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
         Ok((entries, lat))
@@ -383,7 +444,7 @@ impl StorageStack {
     /// as [`StorageStack::readdir`]).
     pub fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, Nanos)> {
         let (names, meta) = self.fs.readdir_names(path)?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
+        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now());
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
         Ok((names, lat))
@@ -397,14 +458,26 @@ impl StorageStack {
 
     /// [`StorageStack::open`] for a pre-resolved path.
     pub fn open_id(&mut self, id: PathId) -> SimResult<Fd> {
+        let (fd, cost) = self.open_id_at(id, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(fd)
+    }
+
+    /// [`StorageStack::open`] at instant `issue` (discrete-event form).
+    pub fn open_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<(Fd, OpCost)> {
         let (ino, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
         let fd = self.next_fd;
         self.next_fd += 1;
         self.open.insert(fd, ino);
-        Ok(fd)
+        Ok((
+            fd,
+            OpCost {
+                cpu: self.config.syscall_overhead,
+                device,
+            },
+        ))
     }
 
     /// Closes a handle.
@@ -425,12 +498,22 @@ impl StorageStack {
     /// Grows/truncates an open file (allocation + metadata, journaled on
     /// journaling systems).
     pub fn set_size_fd(&mut self, fd: Fd, size: Bytes) -> SimResult<Nanos> {
+        let cost = self.set_size_fd_at(fd, size, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::set_size_fd`] at instant `issue` (discrete-event
+    /// form).
+    pub fn set_size_fd_at(&mut self, fd: Fd, size: Bytes, issue: Nanos) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
         let meta = self.fs.set_size(ino, size)?;
-        let lat = self.config.syscall_overhead + self.run_meta(&meta);
-        self.clock.advance(lat);
+        let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Reads `len` bytes at `offset`, returning the operation latency.
@@ -438,26 +521,38 @@ impl StorageStack {
     /// Reads past end of file are clamped (POSIX short read); a read at
     /// or past EOF costs only the syscall overhead.
     pub fn read(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        let cost = self.read_at(fd, offset, len, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::read`] at instant `issue` (discrete-event form):
+    /// the cache outcome is decided at `issue`, media requests are
+    /// serviced from `issue` onward, and the clock is left untouched.
+    pub fn read_at(
+        &mut self,
+        fd: Fd,
+        offset: Bytes,
+        len: Bytes,
+        issue: Nanos,
+    ) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
         let attr = self.fs.attr(ino)?;
-        let mut lat = self.config.syscall_overhead;
+        let mut cpu = self.config.syscall_overhead;
         let len = if offset >= attr.size {
             Bytes::ZERO
         } else {
             len.min(attr.size - offset)
         };
         if len.is_zero() {
-            self.clock.advance(lat);
             self.stats.reads += 1;
-            return Ok(lat);
+            return Ok(OpCost::cpu_only(cpu));
         }
         let page_size = self.page_size();
         let file_pages = attr.size.div_ceil(page_size);
         let (first, last) = page_span(offset, len, page_size);
         let count = last - first;
-        let mut out = self
-            .cache
-            .read(ino, first, count, file_pages, self.clock.now());
+        let mut out = self.cache.read(ino, first, count, file_pages, issue);
 
         // Cluster-expand demand misses to the FS fetch granularity.
         let cluster = self.fs.cluster_pages().max(1);
@@ -477,56 +572,75 @@ impl StorageStack {
         }
         fetch.sort_unstable();
         fetch.dedup();
-        lat += self.read_pages_from_media(ino, &fetch);
+        let mut device = self.read_pages_from_media_at(ino, &fetch, issue);
 
         // Sequential readahead I/O (window already inserted by the cache).
-        lat += self.read_pages_from_media(ino, &out.prefetch_pages);
+        device += self.read_pages_from_media_at(ino, &out.prefetch_pages, issue);
 
         // Dirty evictions caused by the insertions.
-        lat += self.write_pages_to_media(&writebacks);
+        device += self.write_pages_to_media_at(&writebacks, issue);
 
         // Copy to the user buffer.
-        lat += self.copy_cost(count);
-        self.clock.advance(lat);
+        cpu += self.copy_cost(count);
         self.stats.reads += 1;
-        Ok(lat)
+        Ok(OpCost { cpu, device })
     }
 
     /// Writes `len` bytes at `offset`, extending the file if needed.
     pub fn write(&mut self, fd: Fd, offset: Bytes, len: Bytes) -> SimResult<Nanos> {
+        let cost = self.write_at(fd, offset, len, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::write`] at instant `issue` (discrete-event form).
+    pub fn write_at(
+        &mut self,
+        fd: Fd,
+        offset: Bytes,
+        len: Bytes,
+        issue: Nanos,
+    ) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
         let attr = self.fs.attr(ino)?;
-        let mut lat = self.config.syscall_overhead;
+        let mut cpu = self.config.syscall_overhead;
         if len.is_zero() {
-            self.clock.advance(lat);
             self.stats.writes += 1;
-            return Ok(lat);
+            return Ok(OpCost::cpu_only(cpu));
         }
+        let mut device = Nanos::ZERO;
         let end = offset + len;
         if end > attr.size {
             let meta = self.fs.set_size(ino, end)?;
-            lat += self.run_meta(&meta);
+            device += self.run_meta_at(&meta, issue);
         }
         let page_size = self.page_size();
         let (first, last) = page_span(offset, len, page_size);
         let count = last - first;
-        let out = self.cache.write(ino, first, count, self.clock.now());
-        lat += self.write_pages_to_media(&out.writeback_pages);
-        lat += self.copy_cost(count);
-        self.clock.advance(lat);
+        let out = self.cache.write(ino, first, count, issue);
+        device += self.write_pages_to_media_at(&out.writeback_pages, issue);
+        cpu += self.copy_cost(count);
         self.stats.writes += 1;
-        Ok(lat)
+        Ok(OpCost { cpu, device })
     }
 
     /// Flushes an open file's dirty pages and metadata to media.
     pub fn fsync(&mut self, fd: Fd) -> SimResult<Nanos> {
+        let cost = self.fsync_at(fd, self.clock.now())?;
+        self.clock.advance(cost.total());
+        Ok(cost.total())
+    }
+
+    /// [`StorageStack::fsync`] at instant `issue` (discrete-event form).
+    pub fn fsync_at(&mut self, fd: Fd, issue: Nanos) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
         let dirty = self.cache.fsync(ino);
-        let mut lat = self.config.syscall_overhead;
-        lat += self.write_pages_to_media(&dirty);
-        self.clock.advance(lat);
+        let device = self.write_pages_to_media_at(&dirty, issue);
         self.stats.fsyncs += 1;
-        Ok(lat)
+        Ok(OpCost {
+            cpu: self.config.syscall_overhead,
+            device,
+        })
     }
 
     /// Background writeback tick: flushes until the writeback policy's
@@ -534,15 +648,23 @@ impl StorageStack {
     /// kernel flusher thread does. Returns the media time spent, which
     /// is charged to the timeline — writeback interference is real.
     pub fn writeback_tick(&mut self) -> Nanos {
+        let total = self.writeback_tick_at(self.clock.now());
+        self.clock.advance(total);
+        total
+    }
+
+    /// [`StorageStack::writeback_tick`] at instant `issue`: the flusher
+    /// pass starts at `issue`, each flushed batch pushes the expiry
+    /// horizon forward by its own media time, and the clock is left to
+    /// the caller (discrete-event form).
+    pub fn writeback_tick_at(&mut self, issue: Nanos) -> Nanos {
         let mut total = Nanos::ZERO;
         loop {
-            let due = self.cache.take_writeback_due(self.clock.now());
+            let due = self.cache.take_writeback_due(issue + total);
             if due.is_empty() {
                 break;
             }
-            let lat = self.write_pages_to_media(&due);
-            self.clock.advance(lat);
-            total += lat;
+            total += self.write_pages_to_media_at(&due, issue + total);
         }
         total
     }

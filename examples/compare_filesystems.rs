@@ -23,6 +23,7 @@ fn sample(kind: FsKind, size: Bytes, runs: u32) -> (Vec<f64>, Regime) {
         cache_jitter: Bytes::mib(3),
         cold_start: true,
         prewarm: true,
+        processes: 1,
     };
     let workload = personalities::random_read(size);
     let mr = run_many(

@@ -24,6 +24,7 @@ fn main() {
         cache_jitter: Bytes::mib(3),
         cold_start: true,
         prewarm: true,
+        processes: 1,
     };
 
     println!("10 runs each; mean ± sd (RSD%) of steady-state ops/s\n");

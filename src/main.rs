@@ -251,6 +251,14 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     })?;
     let filesystems = parse_list(opts.get("fs").unwrap_or("ext2,ext3,xfs"), parse_fs)?;
     let cache_capacities = parse_list(opts.get("cache").unwrap_or("410M"), parse_size)?;
+    let processes = parse_list(opts.get("processes").unwrap_or("1"), |p| {
+        match p.parse::<u32>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!(
+                "bad process count {p:?}; expected a positive integer"
+            )),
+        }
+    })?;
     let seed = opts
         .get("seed")
         .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
@@ -296,6 +304,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         file_counts,
         filesystems,
         cache_capacities,
+        processes,
         plan,
         device: parse_size(opts.get("device").unwrap_or("2G"))?,
         run_budget,
@@ -478,6 +487,7 @@ USAGE:
                      [--seed 0] [--prewarm true] [--warm true]
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
+                     [--processes 1,2,4,8]
                      [--traces a.trace,b.trace] [--trace-timing afap|faithful|scaled=N]
                      [--protocol fixed|adaptive] [--runs 3]
                      [--ci 2%] [--min-runs 5] [--max-runs 30]
@@ -499,11 +509,16 @@ USAGE:
 
 `sweep` runs the declarative campaign engine: the cross product of
 --workloads x --sizes (or --files for fileset workloads) x --fs x
---cache, each cell run under the chosen protocol with per-cell
-deterministic seeds, sharded over --jobs worker threads. Trace files
-given via --traces become additional cells (trace x fs x cache), each
-replayed under --trace-timing with verdict/CI columns like any other
-cell; with --traces and no --workloads, only the traces sweep.
+--cache x --processes, each cell run under the chosen protocol with
+per-cell deterministic seeds, sharded over --jobs worker threads.
+--processes is the paper's scaling dimension: cells above 1 drive that
+many closed-loop workers through the discrete-event scheduler
+(contending for cores and the shared disk) and reports grow a
+`processes` column; cells at 1 run the classic serial engine with
+byte-identical output. Trace files given via --traces become
+additional cells (trace x fs x cache), each replayed under
+--trace-timing with verdict/CI columns like any other cell; with
+--traces and no --workloads, only the traces sweep.
 
 `trace` makes workloads portable artifacts: `record` captures any
 workload run as a v2 trace (ops stamped with stream ids and relative

@@ -38,6 +38,7 @@ fn stable_vs_fragile() -> SweepSpec {
         file_counts: vec![10],
         filesystems: vec![FsKind::Ext2],
         cache_capacities: vec![Bytes::mib(48)],
+        processes: vec![1],
         plan: adaptive_plan(21),
         device: Bytes::mib(512),
         run_budget: None,

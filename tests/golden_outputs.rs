@@ -139,6 +139,7 @@ fn small_sweep_spec() -> SweepSpec {
         file_counts: vec![25],
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(32)],
+        processes: vec![1],
         plan,
         device: Bytes::gib(2),
         run_budget: None,

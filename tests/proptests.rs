@@ -223,4 +223,58 @@ proptest! {
             prop_assert_eq!(f1.next_u64(), f2.next_u64());
         }
     }
+
+    /// Any `processes >= 1` schedule is a pure function of
+    /// (workload, config, seed): rerunning reproduces the recording
+    /// bit-for-bit, and sharding the surrounding campaign over any
+    /// worker count never changes a byte of its report.
+    #[test]
+    fn multi_process_schedules_are_seed_and_jobs_deterministic(
+        processes in 1u32..6,
+        seed in any::<u64>(),
+        jobs in 1usize..5,
+    ) {
+        use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
+        use rocketbench::core::prelude::*;
+        use rocketbench::core::testbed;
+
+        // One engine run, repeated: identical ops and histogram.
+        let cfg = EngineConfig {
+            duration: Nanos::from_secs(1),
+            window: Nanos::from_secs(1),
+            seed,
+            cold_start: true,
+            prewarm: false,
+            cpu_jitter_sigma: 0.0,
+            max_errors: 100,
+            processes,
+            cores: 2,
+        };
+        let run = || {
+            let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
+            let w = personalities::varmail(10);
+            let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+            (rec.ops, rec.errors, rec.duration, rec.histogram.clone())
+        };
+        prop_assert_eq!(run(), run());
+
+        // The campaign wrapping: jobs never leak into the bytes.
+        let mut plan = RunPlan::quick(seed);
+        plan.protocol = Protocol::FixedRuns(1);
+        plan.duration = Nanos::from_secs(1);
+        let spec = SweepSpec {
+            name: "prop".into(),
+            personalities: vec![Personality::Varmail],
+            file_counts: vec![10],
+            filesystems: vec![FsKind::Ext2],
+            cache_capacities: vec![Bytes::mib(32)],
+            processes: vec![1, processes],
+            plan,
+            device: Bytes::mib(256),
+            ..SweepSpec::default()
+        };
+        let serial = run_campaign(&spec, 1).unwrap();
+        let sharded = run_campaign(&spec, jobs).unwrap();
+        prop_assert_eq!(serial.to_csv(), sharded.to_csv());
+    }
 }

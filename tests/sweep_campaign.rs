@@ -25,6 +25,7 @@ fn two_by_two() -> SweepSpec {
         file_counts: vec![10],
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(48)],
+        processes: vec![1],
         plan,
         device: Bytes::mib(512),
         run_budget: None,

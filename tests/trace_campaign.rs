@@ -44,6 +44,7 @@ fn trace_spec(trace: &Trace) -> SweepSpec {
         file_counts: Vec::new(),
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(64)],
+        processes: vec![1],
         plan,
         device: Bytes::mib(256),
         run_budget: None,
