@@ -2,10 +2,11 @@
 //!
 //! The paper's complaint is that benchmarks report unqualified numbers;
 //! the harness should hold itself to the same bar. `perfgate` times
-//! four canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! five canonical scenarios — the quick Figure 1 campaign, a 4×4
 //! sweep-cell grid, an as-fast-as-possible replay of the golden v2
-//! trace spatially scaled ×32, and an 8-process fileserver run through
-//! the discrete-event scheduler — over N repetitions, and writes
+//! trace spatially scaled ×32, an 8-process fileserver run through
+//! the discrete-event scheduler, and the same run under an open-loop
+//! Poisson arrival stream — over N repetitions, and writes
 //! `BENCH_PR<n>.json` with median + IQR wall time, throughput in
 //! scenario work units per second, and peak RSS (from
 //! `/proc/self/status` where available). One such file per PR is the
@@ -31,6 +32,7 @@ use rb_core::campaign::{run_campaign, Personality, SweepSpec};
 use rb_core::figures::{fig1_campaign, Fig1Config};
 use rb_core::report::Json;
 use rb_core::runner::RunPlan;
+use rb_core::sched::Arrival;
 use rb_core::testbed;
 use rb_core::trace::{apply, replay_with, ReplayConfig, Timing, Trace, Transform};
 use rb_core::workload::{personalities, Engine, EngineConfig};
@@ -96,9 +98,15 @@ fn scaled_golden() -> Trace {
 
 /// Scenario names, in run order (the parent dispatches children by
 /// name without constructing the scenarios themselves).
-const SCENARIO_NAMES: [&str; 4] = ["fig1-quick", "sweep-4x4", "replay-x32", "scaling-8p"];
+const SCENARIO_NAMES: [&str; 5] = [
+    "fig1-quick",
+    "sweep-4x4",
+    "replay-x32",
+    "scaling-8p",
+    "open-loop-8p",
+];
 
-/// The four canonical scenarios.
+/// The five canonical scenarios.
 fn scenarios(quick: bool) -> Vec<Scenario> {
     // Scenario 1: the quick Figure 1 campaign (single worker so the
     // measurement is a plain single-thread workload).
@@ -135,6 +143,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 filesystems: vec![rb_core::testbed::FsKind::Ext2],
                 cache_capacities: [8u64, 16, 32, 64].iter().map(|&m| Bytes::mib(m)).collect(),
                 processes: vec![1],
+                arrivals: Vec::new(),
+                slo_p99: None,
                 plan,
                 device: Bytes::mib(512),
                 run_budget: None,
@@ -194,13 +204,48 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 max_errors: 100,
                 processes: 8,
                 cores: 4,
+                arrival: Arrival::Closed,
             };
             let rec = Engine::run(&mut target, &workload, &config).expect("scaling-8p");
             assert!(rec.ops > 0);
             rec.ops
         }),
     };
-    vec![fig1, sweep, replay, scaling]
+
+    // Scenario 5: the same 8-process fileserver under an open-loop
+    // Poisson arrival stream — times the admission queue, the arrival
+    // event stream, and the latency bookkeeping on top of the
+    // scheduler substrate scenario 4 measures.
+    let open_secs: u64 = if quick { 2 } else { 5 };
+    let open = Scenario {
+        name: "open-loop-8p",
+        unit: "ops",
+        run: Box::new(move || {
+            let mut target = testbed::paper_fs(testbed::FsKind::Ext2, Bytes::gib(1), 5);
+            let workload = personalities::fileserver(50);
+            let config = EngineConfig {
+                duration: Nanos::from_secs(open_secs),
+                window: Nanos::from_secs(1),
+                seed: 5,
+                cold_start: false,
+                prewarm: false,
+                cpu_jitter_sigma: 0.005,
+                max_errors: 100,
+                processes: 8,
+                cores: 4,
+                arrival: Arrival::Poisson { rate: 20_000 },
+            };
+            let rec = Engine::run(&mut target, &workload, &config).expect("open-loop-8p");
+            let report = rec.open_loop.expect("open-loop report");
+            assert_eq!(
+                report.offered,
+                report.completed + report.failed + report.dropped
+            );
+            assert!(rec.ops > 0);
+            rec.ops
+        }),
+    };
+    vec![fig1, sweep, replay, scaling, open]
 }
 
 /// Extracts `(name, wall_ms_median)` pairs from a perfgate JSON (a
@@ -323,7 +368,7 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
         None => String::new(),
     };
     let json = format!(
-        "{{\"bench\":\"perfgate\",\"pr\":5,\"schema\":1,\"quick\":{quick},\
+        "{{\"bench\":\"perfgate\",\"pr\":6,\"schema\":1,\"quick\":{quick},\
          \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
     );
     match std::fs::write(out_path, &json) {
@@ -345,7 +390,7 @@ fn main() {
         None if quick => 3,
         None => 7,
     };
-    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let only = flag("only");
 
     // The parent dispatches children by name; only a child (--only) or

@@ -235,6 +235,7 @@ mod tests {
             errors: 0,
             duration: Nanos::from_secs(1),
             hit_ratio,
+            open_loop: None,
         }
     }
 

@@ -39,14 +39,19 @@
 
 use crate::dimensions::{Coverage, CoverageProfile, Dimension};
 use crate::report::{self, Json};
-use crate::runner::{drive_protocol, jittered_cache_pages, run_many, MultiRun, RunPlan, Verdict};
+use crate::runner::{
+    drive_protocol, jittered_cache_pages, run_many, MultiRun, Protocol, RunPlan, Verdict,
+};
+use crate::sched::Arrival;
 use crate::target::Target as _;
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Workload};
 use rb_replay::{characterize, replay_with, ReplayConfig, Timing, Trace, TraceProfile};
 use rb_simcore::error::{SimError, SimResult};
+use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use rb_stats::bootstrap::Interval;
+use rb_stats::histogram::Log2Histogram;
 use rb_stats::summary::Summary;
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -272,6 +277,18 @@ pub struct SweepSpec {
     /// Cells at `1` run the classic serial engine and keep their
     /// pre-axis identity (keys, seeds and report bytes unchanged).
     pub processes: Vec<u32>,
+    /// Load-regime axis (the latency dimension): closed-loop and/or
+    /// open-loop arrival processes each personality cell runs under.
+    /// Trace cells ignore it — a trace's arrivals are its timestamps.
+    /// Cells at [`Arrival::Closed`] keep their pre-axis identity (keys,
+    /// seeds and report bytes unchanged); an empty axis means the
+    /// implicit closed-loop default.
+    pub arrivals: Vec<Arrival>,
+    /// Optional SLO target on open-loop p99 latency: when set, every
+    /// open-loop cell also reports the maximum offered load (ops/s)
+    /// that still sustains `p99 <= slo_p99`, found by deterministic
+    /// bisection over the arrival rate.
+    pub slo_p99: Option<Nanos>,
     /// Repetition protocol applied to every cell. `plan.base_seed` is
     /// the campaign seed; each cell derives its own base seed from it.
     pub plan: RunPlan,
@@ -300,6 +317,8 @@ impl Default for SweepSpec {
             filesystems: vec![FsKind::Ext2],
             cache_capacities: vec![testbed::PAPER_CACHE],
             processes: vec![1],
+            arrivals: vec![Arrival::Closed],
+            slo_p99: None,
             plan: RunPlan::quick(0),
             device: Bytes::gib(1),
             run_budget: None,
@@ -324,6 +343,12 @@ impl SweepSpec {
         } else {
             &self.processes
         };
+        // Likewise an empty arrival axis means the closed-loop default.
+        let arrivals: &[Arrival] = if self.arrivals.is_empty() {
+            &[Arrival::Closed]
+        } else {
+            &self.arrivals
+        };
         for &personality in &self.personalities {
             let sizes: &[Bytes] = if personality.uses_file_size() {
                 &self.file_sizes
@@ -340,16 +365,19 @@ impl SweepSpec {
                     for &fs in &self.filesystems {
                         for &cache in &self.cache_capacities {
                             for &procs in processes {
-                                let cell = Cell {
-                                    workload: CellWorkload::Personality(personality),
-                                    file_size,
-                                    files,
-                                    fs,
-                                    cache,
-                                    processes: procs.max(1),
-                                };
-                                if seen.insert(cell.key()) {
-                                    cells.push(cell);
+                                for &arrival in arrivals {
+                                    let cell = Cell {
+                                        workload: CellWorkload::Personality(personality),
+                                        file_size,
+                                        files,
+                                        fs,
+                                        cache,
+                                        processes: procs.max(1),
+                                        arrival,
+                                    };
+                                    if seen.insert(cell.key()) {
+                                        cells.push(cell);
+                                    }
                                 }
                             }
                         }
@@ -374,6 +402,7 @@ impl SweepSpec {
                         fs,
                         cache,
                         processes: 1,
+                        arrival: Arrival::Closed,
                     };
                     if seen.insert(cell.key()) {
                         cells.push(cell);
@@ -418,6 +447,8 @@ pub struct Cell {
     pub cache: Bytes,
     /// Closed-loop processes the cell runs under (`1` = serial).
     pub processes: u32,
+    /// Load regime ([`Arrival::Closed`] = the classic closed loop).
+    pub arrival: Arrival,
 }
 
 impl Cell {
@@ -467,6 +498,11 @@ impl Cell {
         if self.processes > 1 {
             let _ = write!(key, "|procs={}", self.processes);
         }
+        // Closed-loop cells omit the arrival marker entirely, so every
+        // pre-axis campaign's seeds and report bytes are preserved.
+        if self.arrival.is_open() {
+            let _ = write!(key, "|arrival={}", self.arrival.label());
+        }
         key
     }
 
@@ -483,6 +519,9 @@ impl Cell {
                 parts.push(self.fs.name().to_string());
                 if self.processes > 1 {
                     parts.push(format!("{}p", self.processes));
+                }
+                if self.arrival.is_open() {
+                    parts.push(self.arrival.label());
                 }
                 parts.join("/")
             }
@@ -536,6 +575,62 @@ pub struct CellResult {
     pub hit_ratio: Option<f64>,
     /// Total failed operations across runs.
     pub errors: u64,
+    /// Open-loop tail statistics, for cells on the arrival axis
+    /// (`None` for closed-loop cells).
+    pub open_loop: Option<OpenCellStats>,
+}
+
+/// Open-loop statistics aggregated across one cell's runs: the offered
+/// and dropped ledgers summed, the percentile ladder read off the
+/// merged per-run latency histograms (merging is order-independent, so
+/// the ladder is scheduling-independent too).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenCellStats {
+    /// Total ops the arrival process offered, across runs.
+    pub offered: u64,
+    /// Ops dropped at the bounded queue, across runs.
+    pub dropped: u64,
+    /// Median completion latency (arrival to completion).
+    pub p50: Option<Nanos>,
+    /// 99th-percentile completion latency.
+    pub p99: Option<Nanos>,
+    /// 99.9th-percentile completion latency.
+    pub p999: Option<Nanos>,
+    /// Maximum offered load (ops/s) sustaining `p99 <= slo_p99`, when
+    /// the campaign set an SLO target.
+    pub slo_max_rate: Option<u64>,
+}
+
+impl OpenCellStats {
+    /// Fraction of offered ops dropped at the queue.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    fn from_runs(mr: &MultiRun) -> OpenCellStats {
+        let mut offered = 0u64;
+        let mut dropped = 0u64;
+        let mut histogram = Log2Histogram::new();
+        for o in &mr.outcomes {
+            if let Some(report) = &o.recording.open_loop {
+                offered += report.offered;
+                dropped += report.dropped;
+            }
+            histogram.merge(&o.recording.histogram);
+        }
+        OpenCellStats {
+            offered,
+            dropped,
+            p50: histogram.quantile(0.5),
+            p99: histogram.quantile(0.99),
+            p999: histogram.quantile(0.999),
+            slo_max_rate: None,
+        }
+    }
 }
 
 impl CellResult {
@@ -556,6 +651,7 @@ impl CellResult {
             Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
         };
         let errors = mr.outcomes.iter().map(|o| o.recording.errors).sum();
+        let open_loop = cell.arrival.is_open().then(|| OpenCellStats::from_runs(mr));
         CellResult {
             cell,
             coverage,
@@ -567,6 +663,7 @@ impl CellResult {
             runs: mr.runs(),
             hit_ratio,
             errors,
+            open_loop,
         }
     }
 }
@@ -618,11 +715,34 @@ impl CampaignReport {
         self.cells.iter().any(|c| c.cell.processes > 1)
     }
 
+    /// Whether any cell runs open-loop. Like the `processes` column,
+    /// the `arrival` column (and the open-loop tail columns) only
+    /// appear when the axis is actually swept, so every pre-axis
+    /// campaign's CSV/JSON/table stays byte-identical.
+    pub fn sweeps_arrival(&self) -> bool {
+        self.cells.iter().any(|c| c.cell.arrival.is_open())
+    }
+
+    /// Whether any cell carries an SLO verdict.
+    fn has_slo(&self) -> bool {
+        self.cells.iter().any(|c| {
+            c.open_loop
+                .as_ref()
+                .is_some_and(|o| o.slo_max_rate.is_some())
+        })
+    }
+
     /// The campaign table as CSV (one row per cell, runs' spread
     /// included). Campaigns that sweep the concurrency axis get a
     /// `processes` column after `cache_mib`.
     pub fn to_csv(&self) -> String {
         let procs = self.sweeps_processes();
+        let arrival = self.sweeps_arrival();
+        let slo = self.has_slo();
+        let ms = |v: Option<Nanos>| {
+            v.map(|n| format!("{:.3}", n.as_secs_f64() * 1e3))
+                .unwrap_or_default()
+        };
         let rows: Vec<Vec<String>> = self
             .cells
             .iter()
@@ -637,6 +757,9 @@ impl CampaignReport {
                 if procs {
                     row.push(c.cell.processes.to_string());
                 }
+                if arrival {
+                    row.push(c.cell.arrival.label());
+                }
                 row.extend([
                     format!("{}", c.seed),
                     c.runs.to_string(),
@@ -650,12 +773,34 @@ impl CampaignReport {
                     c.hit_ratio.map(|h| format!("{h:.4}")).unwrap_or_default(),
                     c.errors.to_string(),
                 ]);
+                if arrival {
+                    let o = c.open_loop.as_ref();
+                    row.extend([
+                        o.map(|o| o.offered.to_string()).unwrap_or_default(),
+                        o.map(|o| o.dropped.to_string()).unwrap_or_default(),
+                        ms(o.and_then(|o| o.p50)),
+                        ms(o.and_then(|o| o.p99)),
+                        ms(o.and_then(|o| o.p999)),
+                    ]);
+                }
+                if slo {
+                    row.push(
+                        c.open_loop
+                            .as_ref()
+                            .and_then(|o| o.slo_max_rate)
+                            .map(|r| r.to_string())
+                            .unwrap_or_default(),
+                    );
+                }
                 row
             })
             .collect();
         let mut header = vec!["workload", "size_mib", "files", "fs", "cache_mib"];
         if procs {
             header.push("processes");
+        }
+        if arrival {
+            header.push("arrival");
         }
         header.extend([
             "seed",
@@ -670,6 +815,12 @@ impl CampaignReport {
             "hit_ratio",
             "errors",
         ]);
+        if arrival {
+            header.extend(["offered", "dropped", "p50_ms", "p99_ms", "p999_ms"]);
+        }
+        if slo {
+            header.push("slo_max_ops_per_sec");
+        }
         report::to_csv(&header, &rows)
     }
 
@@ -678,6 +829,7 @@ impl CampaignReport {
     /// the concurrency axis is swept.
     pub fn to_json(&self) -> Json {
         let procs = self.sweeps_processes();
+        let arrival = self.sweeps_arrival();
         let cells = self
             .cells
             .iter()
@@ -691,6 +843,9 @@ impl CampaignReport {
                 ];
                 if procs {
                     fields.push(("processes", Json::Num(c.cell.processes as f64)));
+                }
+                if arrival {
+                    fields.push(("arrival", Json::Str(c.cell.arrival.label())));
                 }
                 fields.extend([
                     ("seed", Json::Num(c.seed as f64)),
@@ -721,6 +876,32 @@ impl CampaignReport {
                     ),
                     ("errors", Json::Num(c.errors as f64)),
                 ]);
+                if arrival {
+                    let open = match &c.open_loop {
+                        Some(o) => {
+                            let ms = |v: Option<Nanos>| {
+                                v.map(|n| Json::Num(n.as_secs_f64() * 1e3))
+                                    .unwrap_or(Json::Null)
+                            };
+                            Json::obj(vec![
+                                ("offered", Json::Num(o.offered as f64)),
+                                ("dropped", Json::Num(o.dropped as f64)),
+                                ("drop_ratio", Json::Num(o.drop_ratio())),
+                                ("p50_ms", ms(o.p50)),
+                                ("p99_ms", ms(o.p99)),
+                                ("p999_ms", ms(o.p999)),
+                                (
+                                    "slo_max_ops_per_sec",
+                                    o.slo_max_rate
+                                        .map(|r| Json::Num(r as f64))
+                                        .unwrap_or(Json::Null),
+                                ),
+                            ])
+                        }
+                        None => Json::Null,
+                    };
+                    fields.push(("open_loop", open));
+                }
                 Json::obj(fields)
             })
             .collect();
@@ -756,6 +937,8 @@ impl CampaignReport {
             if self.jobs == 1 { "" } else { "s" }
         );
         let procs = self.sweeps_processes();
+        let arrival = self.sweeps_arrival();
+        let slo = self.has_slo();
         let rows: Vec<Vec<String>> = self
             .cells
             .iter()
@@ -771,6 +954,9 @@ impl CampaignReport {
                 if procs {
                     row.push(c.cell.processes.to_string());
                 }
+                if arrival {
+                    row.push(c.cell.arrival.label());
+                }
                 row.extend([
                     c.runs.to_string(),
                     format!("{:.0}", c.summary.mean),
@@ -784,6 +970,25 @@ impl CampaignReport {
                         .unwrap_or_else(|| "-".into()),
                     c.verdict.label().to_string(),
                 ]);
+                if arrival {
+                    let o = c.open_loop.as_ref();
+                    row.extend([
+                        o.and_then(|o| o.p99)
+                            .map(|p| format!("{:.2}", p.as_secs_f64() * 1e3))
+                            .unwrap_or_else(|| "-".into()),
+                        o.map(|o| format!("{:.3}", o.drop_ratio()))
+                            .unwrap_or_else(|| "-".into()),
+                    ]);
+                }
+                if slo {
+                    row.push(
+                        c.open_loop
+                            .as_ref()
+                            .and_then(|o| o.slo_max_rate)
+                            .map(|r| r.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                }
                 row
             })
             .collect();
@@ -791,7 +996,16 @@ impl CampaignReport {
         if procs {
             header.push("procs");
         }
+        if arrival {
+            header.push("arrival");
+        }
         header.extend(["n", "ops/s", "rsd%", "ci", "min", "max", "hits", "verdict"]);
+        if arrival {
+            header.extend(["p99ms", "drop"]);
+        }
+        if slo {
+            header.push("slo ops/s");
+        }
         out.push_str(&report::text_table(&header, &rows));
         out.push('\n');
         let groups = self.dimension_groups();
@@ -906,7 +1120,8 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
         .plan
         .clone()
         .with_base_seed(seed)
-        .with_processes(cell.processes);
+        .with_processes(cell.processes)
+        .with_arrival(cell.arrival);
     if let Some(cap) = run_cap {
         plan.protocol = plan.protocol.capped(cap);
     }
@@ -932,12 +1147,91 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
             Coverage::Exercises,
         )]));
     }
-    Ok(CellResult::from_multi_run(
-        cell.clone(),
-        coverage,
-        seed,
-        &mr,
-    ))
+    let mut result = CellResult::from_multi_run(cell.clone(), coverage, seed, &mr);
+    if let (Some(stats), Some(slo)) = (result.open_loop.as_mut(), spec.slo_p99) {
+        stats.slo_max_rate = Some(slo_max_rate(spec, cell, slo)?);
+    }
+    Ok(result)
+}
+
+/// Maximum offered load (ops/s) at which one probe run of `cell` still
+/// sustains `p99 <= slo` — the cell's SLO verdict.
+///
+/// Deterministic bisection: double the rate from the cell's configured
+/// arrival rate until a probe breaches the SLO (bracketing), then
+/// bisect the integer interval down to ~5 % relative width. Each probe
+/// is a single engine run under the cell's own seed discipline, so the
+/// verdict is a pure function of (spec, cell) — never of scheduling.
+fn slo_max_rate(spec: &SweepSpec, cell: &Cell, slo: Nanos) -> SimResult<u64> {
+    let personality = match &cell.workload {
+        CellWorkload::Personality(p) => *p,
+        CellWorkload::Trace { .. } => {
+            return Err(SimError::BadConfig(
+                "SLO verdicts apply to open-loop personality cells, not traces".into(),
+            ))
+        }
+    };
+    let workload = personality.workload(cell.file_size, cell.files);
+    let seed = cell.seed(spec.plan.base_seed);
+    let working_set = cell.file_size.max(working_set_estimate(&workload));
+    let device = spec
+        .device
+        .max(Bytes::new(working_set.as_u64().saturating_mul(2)));
+    let fs = cell.fs;
+    let probe = |rate: u64| -> SimResult<bool> {
+        let mut plan = spec
+            .plan
+            .clone()
+            .with_base_seed(seed)
+            .with_processes(cell.processes)
+            .with_arrival(cell.arrival.with_rate(rate))
+            .with_protocol(Protocol::FixedRuns(1));
+        plan.cache_capacity = if cell.cache.is_zero() {
+            None
+        } else {
+            Some(cell.cache)
+        };
+        let mr = run_many(|s| testbed::paper_fs(fs, device, s), &workload, &plan)?;
+        let p99 = mr.outcomes[0].recording.histogram.quantile(0.99);
+        Ok(p99.is_none_or(|p| p <= slo))
+    };
+    let base = cell.arrival.rate().unwrap_or(1).max(1);
+    if !probe(base)? {
+        // Even the configured rate breaches: bisect down from it.
+        let (mut lo, mut hi) = (0u64, base);
+        while hi - lo > (lo / 20).max(1) {
+            let mid = lo + (hi - lo) / 2;
+            if mid == 0 || probe(mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        return Ok(lo);
+    }
+    // Double until a rate breaches (capped to keep the bracket sane).
+    let mut lo = base;
+    let mut hi = base;
+    loop {
+        hi = hi.saturating_mul(2);
+        if !probe(hi)? {
+            break;
+        }
+        lo = hi;
+        if hi >= base.saturating_mul(1 << 12) {
+            // Never breaches within a 4096x bracket: report the bound.
+            return Ok(hi);
+        }
+    }
+    while hi - lo > (lo / 20).max(1) {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
 }
 
 /// Executes one trace-backed cell: N replays of the source's trace
@@ -1008,6 +1302,7 @@ fn run_trace_cell(
         verdict: drive.verdict,
         hit_ratio,
         errors,
+        open_loop: None,
     })
 }
 
@@ -1111,6 +1406,8 @@ mod tests {
             filesystems: vec![FsKind::Ext2, FsKind::Ext3],
             cache_capacities: vec![Bytes::mib(64)],
             processes: vec![1],
+            arrivals: Vec::new(),
+            slo_p99: None,
             plan,
             device: Bytes::mib(256),
             run_budget: None,
@@ -1243,6 +1540,7 @@ mod tests {
             cold_start: false,
             prewarm: false,
             processes: 1,
+            arrival: Arrival::Closed,
         };
         let mr = run_many(
             |s| testbed::paper_fs(FsKind::Ext2, Bytes::mib(64), s),

@@ -9,6 +9,7 @@
 
 use crate::analysis::{FragilityReport, WarmupReport};
 use crate::runner::{run_many, Protocol, RunPlan};
+use crate::sched::Arrival;
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Engine, EngineConfig};
 use rb_simcore::error::SimResult;
@@ -131,6 +132,8 @@ pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
         filesystems: vec![FsKind::Ext2],
         cache_capacities,
         processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan: config.plan.clone(),
         device: config.device,
         run_budget: None,
@@ -367,6 +370,7 @@ pub fn fig2(config: &Fig2Config) -> SimResult<Fig2Data> {
             max_errors: 100,
             processes: 1,
             cores: 4,
+            arrival: Arrival::Closed,
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let warmup = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -486,6 +490,7 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             max_errors: 100,
             processes: 1,
             cores: 4,
+            arrival: Arrival::Closed,
         };
         let _ = Engine::run_prepared(&mut target, &workload, &warm_cfg, &mut sets)?;
         // Measured phase.
@@ -499,6 +504,7 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             max_errors: 100,
             processes: 1,
             cores: 4,
+            arrival: Arrival::Closed,
         };
         let rec = Engine::run_prepared(&mut target, &workload, &measure_cfg, &mut sets)?;
         let modality = classify_modality(&rec.histogram);
@@ -624,6 +630,7 @@ pub fn fig4(config: &Fig4Config) -> SimResult<Fig4Data> {
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
     Ok(Fig4Data {

@@ -78,7 +78,10 @@ pub mod prelude {
         run_many, Experiment, ExperimentStatus, MultiRun, Protocol, RunOutcome, RunPlan, Verdict,
     };
     pub use crate::scaling::{thread_scaling, ScalingConfig, ScalingCurve, ScalingPoint};
-    pub use crate::sched::{CoreSet, DeviceQueue, SchedConfig};
+    pub use crate::sched::{
+        run_open_loop, Arrival, ArrivalGen, CoreSet, DeviceQueue, OpenLoopConfig, OpenOutcome,
+        SchedConfig,
+    };
     pub use crate::survey::{render_table1, table1, SurveyRow};
     pub use crate::target::{RealFsTarget, SimTarget, Target};
     pub use crate::testbed::{FsKind, Testbed};
@@ -87,6 +90,6 @@ pub mod prelude {
         TraceOp, TraceProfile,
     };
     pub use crate::workload::{
-        personalities, Engine, EngineConfig, FileSet, FlowOp, Recording, Workload,
+        personalities, Engine, EngineConfig, FileSet, FlowOp, OpenLoopReport, Recording, Workload,
     };
 }

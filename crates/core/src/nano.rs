@@ -16,6 +16,7 @@
 use crate::analysis::WarmupReport;
 use crate::dimensions::Dimension;
 use crate::runner::{Protocol, Verdict};
+use crate::sched::Arrival;
 use crate::target::{SimTarget, Target};
 use crate::testbed::{self, FsKind};
 use crate::workload::{personalities, Engine, EngineConfig};
@@ -139,6 +140,7 @@ fn in_memory_read(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run_prepared(&mut t, &w, &cfg, &mut sets)?;
     let p50 = rec
@@ -173,6 +175,7 @@ fn disk_layout_sequential(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResu
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mib_per_sec = rec.ops_per_sec() * 64.0 / 1024.0; // 64 KiB per op
@@ -203,6 +206,7 @@ fn disk_layout_random(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> 
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let p50 = rec
@@ -236,6 +240,7 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let report = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -279,6 +284,7 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         max_errors: 100,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let stats = t.stack().cache().stats();
@@ -312,6 +318,7 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         max_errors: 200,
         processes: 1,
         cores: 4,
+        arrival: Arrival::Closed,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mut metrics = vec![Metric::new("throughput", rec.ops_per_sec(), "ops/s")];

@@ -17,6 +17,7 @@
 //! one-call convenience wrapper.
 
 use crate::analysis::Regime;
+use crate::sched::Arrival;
 use crate::target::Target;
 use crate::workload::{Engine, EngineConfig, Recording, Workload};
 use rb_simcore::error::{SimError, SimResult};
@@ -310,6 +311,10 @@ pub struct RunPlan {
     /// Concurrent closed-loop processes per run (`1` = the classic
     /// serial engine; `> 1` = the discrete-event scheduler).
     pub processes: u32,
+    /// Load regime: closed-loop (the classic pump) or an open-loop
+    /// arrival process offering ops at a fixed rate regardless of
+    /// completions.
+    pub arrival: Arrival,
 }
 
 impl Default for RunPlan {
@@ -325,6 +330,7 @@ impl Default for RunPlan {
             cold_start: true,
             prewarm: false,
             processes: 1,
+            arrival: Arrival::Closed,
         }
     }
 }
@@ -345,6 +351,7 @@ impl RunPlan {
             cold_start: true,
             prewarm: true,
             processes: 1,
+            arrival: Arrival::Closed,
         }
     }
 
@@ -364,6 +371,7 @@ impl RunPlan {
             cold_start: true,
             prewarm: true,
             processes: 1,
+            arrival: Arrival::Closed,
         }
     }
 
@@ -371,6 +379,13 @@ impl RunPlan {
     /// stamp cells along the concurrency axis.
     pub fn with_processes(mut self, processes: u32) -> Self {
         self.processes = processes.max(1);
+        self
+    }
+
+    /// The same plan under a different load regime — how campaigns
+    /// stamp cells along the arrival axis.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
         self
     }
 
@@ -399,6 +414,7 @@ impl RunPlan {
             max_errors: 100,
             processes: self.processes,
             cores: 4,
+            arrival: self.arrival,
         }
     }
 }
@@ -796,6 +812,7 @@ mod tests {
             cold_start: true,
             prewarm: true,
             processes: 1,
+            arrival: Arrival::Closed,
         }
     }
 

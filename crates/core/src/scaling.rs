@@ -23,6 +23,7 @@
 //! number summarizes it.
 
 use crate::campaign::Personality;
+use crate::sched::Arrival;
 use crate::testbed::{FsKind, Testbed};
 use crate::workload::{Engine, EngineConfig};
 use rb_simcache::policy::PolicyKind;
@@ -174,6 +175,7 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
             max_errors: 100,
             processes: n,
             cores: config.cores,
+            arrival: Arrival::Closed,
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let ops_per_sec = rec.ops_per_sec();

@@ -35,8 +35,10 @@
 
 use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::events::EventQueue;
+use rb_simcore::rng::Rng;
 use rb_simcore::time::Nanos;
 use rb_simfs::stack::OpCost;
+use std::collections::VecDeque;
 
 // The contention tokens live next to the event queue in rb-simcore so
 // every driver — including the replay crate, which rb-core depends on
@@ -209,9 +211,13 @@ pub fn run_closed_loop<D: SchedDriver + ?Sized>(
                 queue.schedule(now, Event::Arrive(process));
             }
             Event::Tick => {
-                if live == 0 {
-                    // Every process has retired: stop rescheduling and
-                    // let the queue drain.
+                if live == 0 || now >= end {
+                    // Every process has retired, or the deadline has
+                    // passed and only in-flight work is draining: a
+                    // flusher pass now would charge device time past
+                    // the horizon and inflate the virtual end-time of
+                    // short runs. Stop rescheduling and let the queue
+                    // drain.
                     continue;
                 }
                 let start = device.next_free().max(now);
@@ -224,6 +230,411 @@ pub fn run_closed_loop<D: SchedDriver + ?Sized>(
         }
     }
     Ok(SchedOutcome { finished })
+}
+
+/// How requests arrive at the system.
+///
+/// [`Arrival::Closed`] is the classic benchmark loop: each worker
+/// issues its next operation the instant the previous one completes,
+/// so the offered load always equals the capacity and queueing delay
+/// is structurally invisible. The open variants model *offered* load —
+/// requests arrive on their own schedule whether or not the system
+/// keeps up, which is what exposes the latency-vs-load hockey stick
+/// real services live on.
+///
+/// Rates are whole operations per second (integer, so an arrival mode
+/// can sit in hashable cell identities); all randomness comes from a
+/// forked, seed-deterministic [`Rng`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arrival {
+    /// Closed loop: issue-on-completion, no arrival process.
+    Closed,
+    /// Memoryless arrivals: exponential inter-arrival times with mean
+    /// `1/rate`.
+    Poisson {
+        /// Mean offered load, operations per second.
+        rate: u64,
+    },
+    /// ON-OFF bursts: alternating 100 ms phases; the ON phase offers
+    /// Poisson arrivals at `2 * rate`, the OFF phase offers none, so
+    /// the long-run average is `rate`.
+    Bursty {
+        /// Long-run average offered load, operations per second.
+        rate: u64,
+    },
+    /// Diurnal ramp: instantaneous Poisson rate climbs linearly from
+    /// `0.5 * rate` at the start of the run to `1.5 * rate` at the
+    /// end (average `rate`) — a compressed day of traffic.
+    Diurnal {
+        /// Average offered load, operations per second.
+        rate: u64,
+    },
+}
+
+impl Arrival {
+    /// Whether this is an open-loop mode (any variant but `Closed`).
+    pub fn is_open(self) -> bool {
+        !matches!(self, Arrival::Closed)
+    }
+
+    /// The configured average rate, when open.
+    pub fn rate(self) -> Option<u64> {
+        match self {
+            Arrival::Closed => None,
+            Arrival::Poisson { rate } | Arrival::Bursty { rate } | Arrival::Diurnal { rate } => {
+                Some(rate)
+            }
+        }
+    }
+
+    /// The same arrival shape at a different average rate (`Closed`
+    /// stays `Closed`) — how the SLO bisection probes a cell.
+    pub fn with_rate(self, rate: u64) -> Arrival {
+        match self {
+            Arrival::Closed => Arrival::Closed,
+            Arrival::Poisson { .. } => Arrival::Poisson { rate },
+            Arrival::Bursty { .. } => Arrival::Bursty { rate },
+            Arrival::Diurnal { .. } => Arrival::Diurnal { rate },
+        }
+    }
+
+    /// Canonical label: `closed`, `poisson:RATE`, `bursty:RATE`,
+    /// `diurnal:RATE`. Stable — it is part of campaign cell keys.
+    pub fn label(self) -> String {
+        match self {
+            Arrival::Closed => "closed".into(),
+            Arrival::Poisson { rate } => format!("poisson:{rate}"),
+            Arrival::Bursty { rate } => format!("bursty:{rate}"),
+            Arrival::Diurnal { rate } => format!("diurnal:{rate}"),
+        }
+    }
+
+    /// Parses a label produced by [`Arrival::label`] (also the CLI
+    /// `--arrival` syntax). Rates must be positive integers.
+    pub fn parse(s: &str) -> Result<Arrival, String> {
+        if s == "closed" {
+            return Ok(Arrival::Closed);
+        }
+        let (kind, rate) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad arrival {s:?}: expected closed or KIND:RATE"))?;
+        let rate: u64 = rate
+            .parse()
+            .map_err(|_| format!("bad arrival rate {rate:?}: expected ops/sec as an integer"))?;
+        if rate == 0 {
+            return Err(format!("bad arrival {s:?}: rate must be positive"));
+        }
+        match kind {
+            "poisson" => Ok(Arrival::Poisson { rate }),
+            "bursty" => Ok(Arrival::Bursty { rate }),
+            "diurnal" => Ok(Arrival::Diurnal { rate }),
+            other => Err(format!(
+                "unknown arrival process {other:?} (try poisson, bursty, diurnal or closed)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Arrival {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// ON-phase length of the bursty arrival process.
+const BURST_ON: Nanos = Nanos::from_millis(100);
+/// Full ON+OFF period of the bursty arrival process.
+const BURST_PERIOD: Nanos = Nanos::from_millis(200);
+
+/// A deterministic arrival-instant generator: a pure function of
+/// (arrival mode, RNG stream, run horizon).
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    arrival: Arrival,
+    rng: Rng,
+    start: Nanos,
+    duration: Nanos,
+}
+
+impl ArrivalGen {
+    /// Builds a generator for an open arrival mode over
+    /// `[start, start + duration)`. `Closed` is rejected — there is no
+    /// arrival process to generate.
+    pub fn new(arrival: Arrival, rng: Rng, start: Nanos, duration: Nanos) -> SimResult<ArrivalGen> {
+        if !arrival.is_open() {
+            return Err(SimError::BadConfig(
+                "closed-loop mode has no arrival process".into(),
+            ));
+        }
+        Ok(ArrivalGen {
+            arrival,
+            rng,
+            start,
+            duration,
+        })
+    }
+
+    /// One exponential inter-arrival draw at `rate` ops/sec, floored at
+    /// a nanosecond so the generator always makes progress.
+    fn exp_gap(&mut self, rate: u64) -> Nanos {
+        let mean_ns = 1e9 / rate.max(1) as f64;
+        Nanos::from_nanos((self.rng.exponential(mean_ns)).max(1.0) as u64)
+    }
+
+    /// The next arrival instant strictly after `t`. Callers stop the
+    /// stream once this crosses the run horizon.
+    pub fn next_after(&mut self, t: Nanos) -> Nanos {
+        match self.arrival {
+            Arrival::Closed => unreachable!("ArrivalGen::new rejects Closed"),
+            Arrival::Poisson { rate } => t + self.exp_gap(rate),
+            Arrival::Bursty { rate } => {
+                let mut t = t.max(self.start);
+                loop {
+                    let phase = Nanos::from_nanos(
+                        (t - self.start).as_nanos() % BURST_PERIOD.as_nanos().max(1),
+                    );
+                    if phase >= BURST_ON {
+                        // In the OFF phase: jump to the next ON start.
+                        t += BURST_PERIOD - phase;
+                        continue;
+                    }
+                    t += self.exp_gap(rate.saturating_mul(2));
+                    let phase = Nanos::from_nanos(
+                        (t - self.start).as_nanos() % BURST_PERIOD.as_nanos().max(1),
+                    );
+                    if phase < BURST_ON {
+                        return t;
+                    }
+                    // The draw crossed into an OFF phase; loop to skip
+                    // forward and draw again.
+                }
+            }
+            Arrival::Diurnal { rate } => {
+                let elapsed = t.saturating_sub(self.start);
+                let frac = if self.duration.is_zero() {
+                    0.5
+                } else {
+                    (elapsed.as_secs_f64() / self.duration.as_secs_f64()).clamp(0.0, 1.0)
+                };
+                let instantaneous = ((rate as f64) * (0.5 + frac)).max(1.0);
+                let mean_ns = 1e9 / instantaneous;
+                t + Nanos::from_nanos((self.rng.exponential(mean_ns)).max(1.0) as u64)
+            }
+        }
+    }
+}
+
+/// Open-loop scheduler configuration: the closed-loop substrate
+/// ([`SchedConfig`], whose `processes` become the service workers) plus
+/// the arrival process, the admission queue bound and the queue-depth
+/// sampling cadence.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Worker/core/device substrate. `sched.processes` is the number of
+    /// service workers; `sched.duration` is the arrival horizon
+    /// (in-flight and queued work drains past it).
+    pub sched: SchedConfig,
+    /// The arrival process (must be open).
+    pub arrival: Arrival,
+    /// Bounded admission queue: arrivals beyond this many waiting
+    /// requests are dropped (counted, never served).
+    pub queue_cap: u32,
+    /// Queue-depth sampling cadence ([`Nanos::ZERO`] disables the
+    /// timeline).
+    pub sample_every: Nanos,
+}
+
+/// What the open-loop pump pops from its event queue.
+#[derive(Debug, Clone, Copy)]
+enum OpenEvent {
+    /// The next generated request arrives.
+    Arrive,
+    /// Worker `worker` got its CPU phase; execute the request that
+    /// arrived at `arrived` now.
+    Issue { worker: u32, arrived: Nanos },
+    /// A request completed.
+    Done {
+        worker: u32,
+        arrived: Nanos,
+        cost: OpCost,
+    },
+    /// Background-flusher tick.
+    Tick,
+    /// Queue-depth sample.
+    Sample,
+}
+
+/// The outcome of an open-loop run: the end-to-end accounting that a
+/// closed loop cannot produce. `offered` always equals
+/// `completed + failed + dropped` — every generated request is either
+/// served, failed at the target, or rejected at the full queue.
+#[derive(Debug, Clone)]
+pub struct OpenOutcome {
+    /// The virtual instant the last completion (or the deadline,
+    /// whichever is later) landed at.
+    pub finished: Nanos,
+    /// Requests generated by the arrival process within the horizon.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests that reached the target but failed.
+    pub failed: u64,
+    /// Requests rejected because the admission queue was full.
+    pub dropped: u64,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: u32,
+    /// `(instant - start, queue depth)` samples on the configured
+    /// cadence, within the horizon.
+    pub depth_timeline: Vec<(Nanos, u32)>,
+}
+
+/// Drives an open-loop run: the arrival process feeds a bounded queue
+/// in front of `sched.processes` service workers, each serving one
+/// request at a time through the same core/device contention model as
+/// [`run_closed_loop`].
+///
+/// [`Completion::arrived`] is the request's *arrival* instant, so the
+/// latency a driver records (`completed - arrived`) includes the queue
+/// wait — the quantity closed loops structurally hide. The schedule is
+/// a pure function of (driver state, config, `arrival_rng`).
+pub fn run_open_loop<D: SchedDriver + ?Sized>(
+    config: &OpenLoopConfig,
+    arrival_rng: Rng,
+    driver: &mut D,
+) -> SimResult<OpenOutcome> {
+    let sched = &config.sched;
+    let end = sched.start + sched.duration;
+    let workers = sched.processes.max(1) as usize;
+    let mut queue: EventQueue<OpenEvent> = EventQueue::new();
+    let mut cores = CoreSet::new(sched.cores);
+    let mut device = DeviceQueue::new();
+    let mut pending: VecDeque<Nanos> = VecDeque::new();
+    let mut idle = vec![true; workers];
+    let mut gen = ArrivalGen::new(config.arrival, arrival_rng, sched.start, sched.duration)?;
+    let mut out = OpenOutcome {
+        finished: end,
+        offered: 0,
+        completed: 0,
+        failed: 0,
+        dropped: 0,
+        max_queue_depth: 0,
+        depth_timeline: Vec::new(),
+    };
+
+    let first = gen.next_after(sched.start);
+    if first < end {
+        queue.schedule(first, OpenEvent::Arrive);
+    }
+    if !sched.tick_every.is_zero() {
+        queue.schedule(sched.start + sched.tick_every, OpenEvent::Tick);
+    }
+    if !config.sample_every.is_zero() {
+        queue.schedule(sched.start + config.sample_every, OpenEvent::Sample);
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            OpenEvent::Arrive => {
+                out.offered += 1;
+                // Lowest-index idle worker first: deterministic, like
+                // the core tie-break.
+                if let Some(w) = idle.iter().position(|&free| free) {
+                    idle[w] = false;
+                    let cpu_done = cores.claim(now, sched.think);
+                    queue.schedule(
+                        cpu_done,
+                        OpenEvent::Issue {
+                            worker: w as u32,
+                            arrived: now,
+                        },
+                    );
+                } else if (pending.len() as u32) < config.queue_cap {
+                    pending.push_back(now);
+                    out.max_queue_depth = out.max_queue_depth.max(pending.len() as u32);
+                } else {
+                    out.dropped += 1;
+                }
+                let next = gen.next_after(now);
+                if next < end {
+                    queue.schedule(next, OpenEvent::Arrive);
+                }
+            }
+            OpenEvent::Issue { worker, arrived } => match driver.exec(worker, now) {
+                Ok(cost) => {
+                    let after_cpu = now + cost.cpu;
+                    let completed = if cost.device.is_zero() {
+                        after_cpu
+                    } else {
+                        device.serve(after_cpu, cost.device)
+                    };
+                    queue.schedule(
+                        completed,
+                        OpenEvent::Done {
+                            worker,
+                            arrived,
+                            cost,
+                        },
+                    );
+                }
+                Err(e) => {
+                    driver.on_error(worker, now, e)?;
+                    out.failed += 1;
+                    // The request is consumed (open loops don't retry);
+                    // the worker immediately picks up the next one.
+                    match pending.pop_front() {
+                        Some(arrived) => {
+                            let cpu_done = cores.claim(now, sched.think);
+                            queue.schedule(cpu_done, OpenEvent::Issue { worker, arrived });
+                        }
+                        None => idle[worker as usize] = true,
+                    }
+                }
+            },
+            OpenEvent::Done {
+                worker,
+                arrived,
+                cost,
+            } => {
+                out.finished = out.finished.max(now);
+                out.completed += 1;
+                driver.on_complete(&Completion {
+                    process: worker,
+                    arrived,
+                    completed: now,
+                    cost,
+                })?;
+                match pending.pop_front() {
+                    Some(arrived) => {
+                        let cpu_done = cores.claim(now, sched.think);
+                        queue.schedule(cpu_done, OpenEvent::Issue { worker, arrived });
+                    }
+                    None => idle[worker as usize] = true,
+                }
+            }
+            OpenEvent::Tick => {
+                if now >= end {
+                    // Same horizon discipline as the closed loop: no
+                    // flusher interference while the tail drains.
+                    continue;
+                }
+                let start = device.next_free().max(now);
+                let spent = driver.tick(start);
+                if !spent.is_zero() {
+                    device.serve(start, spent);
+                }
+                queue.schedule(now + sched.tick_every, OpenEvent::Tick);
+            }
+            OpenEvent::Sample => {
+                if now >= end {
+                    continue;
+                }
+                out.depth_timeline
+                    .push((now - sched.start, pending.len() as u32));
+                queue.schedule(now + config.sample_every, OpenEvent::Sample);
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -355,6 +766,159 @@ mod tests {
         run_closed_loop(&config, &mut driver).unwrap();
         // Ticks at 5, 10, 15 s — never falling behind the cadence.
         assert_eq!(driver.ticks.len(), 3, "{:?}", driver.ticks);
+    }
+
+    /// A tick popped past the horizon while operations are still in
+    /// flight must neither run the flusher nor reschedule: a short run
+    /// with one long op used to have its drain inflated by post-horizon
+    /// writeback.
+    #[test]
+    fn ticks_past_the_horizon_are_skipped_during_drain() {
+        let config = SchedConfig {
+            processes: 1,
+            cores: 1,
+            start: Nanos::ZERO,
+            duration: Nanos::from_secs(2),
+            think: Nanos::from_micros(1),
+            tick_every: Nanos::from_secs(5),
+        };
+        // One op that outlives the whole run: in flight at the 5 s tick.
+        let mut driver = Script::new(|_| {
+            Ok(OpCost {
+                cpu: Nanos::from_micros(1),
+                device: Nanos::from_secs(10),
+            })
+        });
+        run_closed_loop(&config, &mut driver).unwrap();
+        assert!(
+            driver.ticks.is_empty(),
+            "post-horizon tick ran the flusher at {:?}",
+            driver.ticks
+        );
+    }
+
+    #[test]
+    fn arrival_labels_round_trip() {
+        for a in [
+            Arrival::Closed,
+            Arrival::Poisson { rate: 5000 },
+            Arrival::Bursty { rate: 250 },
+            Arrival::Diurnal { rate: 12 },
+        ] {
+            assert_eq!(Arrival::parse(&a.label()), Ok(a));
+        }
+        assert!(Arrival::parse("poisson").is_err());
+        assert!(Arrival::parse("poisson:0").is_err());
+        assert!(Arrival::parse("poisson:-3").is_err());
+        assert!(Arrival::parse("sawtooth:100").is_err());
+    }
+
+    fn open_config(duration: Nanos, arrival: Arrival, workers: u32, cap: u32) -> OpenLoopConfig {
+        OpenLoopConfig {
+            sched: SchedConfig {
+                processes: workers,
+                cores: workers,
+                start: Nanos::ZERO,
+                duration,
+                think: Nanos::from_micros(10),
+                tick_every: Nanos::ZERO,
+            },
+            arrival,
+            queue_cap: cap,
+            sample_every: Nanos::ZERO,
+        }
+    }
+
+    /// Every generated request is accounted for: served, failed or
+    /// dropped — under overload, with a tiny queue, with errors mixed in.
+    #[test]
+    fn open_loop_accounting_sums_to_offered() {
+        let config = open_config(Nanos::from_secs(1), Arrival::Poisson { rate: 20_000 }, 2, 8);
+        // Service slower than arrivals (2 workers x ~10k ops/s max each
+        // on device time alone), every 7th op fails.
+        let mut driver = Script::new(|i| {
+            if i % 7 == 3 {
+                Err(SimError::NotFound("flaky".into()))
+            } else {
+                Ok(OpCost {
+                    cpu: Nanos::from_micros(20),
+                    device: Nanos::from_micros(120),
+                })
+            }
+        });
+        let out = run_open_loop(&config, Rng::new(7).fork("arrivals"), &mut driver).unwrap();
+        assert!(out.offered > 0);
+        assert!(out.dropped > 0, "overload never filled the 8-slot queue");
+        assert!(out.failed > 0);
+        assert_eq!(out.offered, out.completed + out.failed + out.dropped);
+        assert_eq!(out.completed, driver.completions.len() as u64);
+    }
+
+    /// The open-loop schedule is a pure function of (config, seed).
+    #[test]
+    fn open_loop_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let config = open_config(
+                Nanos::from_millis(200),
+                Arrival::Bursty { rate: 5_000 },
+                3,
+                64,
+            );
+            let mut driver = Script::new(|i| {
+                Ok(OpCost {
+                    cpu: Nanos::from_micros(5),
+                    device: Nanos::from_micros(50 + (i % 5) * 20),
+                })
+            });
+            let out = run_open_loop(&config, Rng::new(seed).fork("arrivals"), &mut driver).unwrap();
+            (out.offered, out.completed, out.dropped, driver.completions)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).0, run(4).0, "seed had no effect on arrivals");
+    }
+
+    /// An under-loaded open loop keeps the queue shallow and drops
+    /// nothing; latencies (completed - arrived) include no queueing to
+    /// speak of.
+    #[test]
+    fn underload_drops_nothing() {
+        let config = open_config(Nanos::from_secs(1), Arrival::Poisson { rate: 500 }, 2, 16);
+        let mut driver = Script::new(|_| {
+            Ok(OpCost {
+                cpu: Nanos::from_micros(10),
+                device: Nanos::from_micros(100),
+            })
+        });
+        let out = run_open_loop(&config, Rng::new(0).fork("arrivals"), &mut driver).unwrap();
+        assert_eq!(out.dropped, 0);
+        assert!(out.offered > 300, "rate 500/s over 1 s offered too little");
+        assert_eq!(out.offered, out.completed);
+    }
+
+    /// The depth timeline samples on its cadence, inside the horizon.
+    #[test]
+    fn depth_timeline_follows_cadence() {
+        let mut config = open_config(
+            Nanos::from_secs(1),
+            Arrival::Poisson { rate: 20_000 },
+            1,
+            1_000_000,
+        );
+        config.sample_every = Nanos::from_millis(100);
+        let mut driver = Script::new(|_| {
+            Ok(OpCost {
+                cpu: Nanos::from_micros(10),
+                device: Nanos::from_micros(200),
+            })
+        });
+        let out = run_open_loop(&config, Rng::new(1).fork("arrivals"), &mut driver).unwrap();
+        assert_eq!(out.depth_timeline.len(), 9, "{:?}", out.depth_timeline);
+        // Saturated at 1 worker: the unbounded queue grows monotonically.
+        let depths: Vec<u32> = out.depth_timeline.iter().map(|&(_, d)| d).collect();
+        assert!(depths.windows(2).all(|w| w[1] >= w[0]), "{depths:?}");
+        // Arrivals keep pushing after the last sample, so the true max
+        // is at least the sampled max.
+        assert!(out.max_queue_depth >= *depths.iter().max().unwrap());
     }
 
     #[test]

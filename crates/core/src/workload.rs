@@ -8,7 +8,7 @@
 //! the other classic personalities (web server, file server, varmail,
 //! postmark) are provided for the broader suite.
 
-use crate::sched::{Completion, SchedDriver};
+use crate::sched::{Arrival, Completion, OpenLoopConfig, SchedDriver};
 use crate::target::Target;
 use rb_simcore::dist::{Dist, Zipf};
 use rb_simcore::error::{SimError, SimResult};
@@ -175,6 +175,14 @@ pub struct EngineConfig {
     /// CPU cores the scheduler hands out to processes (ignored when
     /// `processes == 1`).
     pub cores: u32,
+    /// How requests arrive. [`Arrival::Closed`] (the default) is the
+    /// classic issue-on-completion loop; any open mode generates
+    /// offered load on its own seed-deterministic schedule, feeds a
+    /// bounded queue in front of [`EngineConfig::processes`] service
+    /// workers, and reports tail latency, queue depth and drops in
+    /// [`Recording::open_loop`]. Open modes require a
+    /// time-parameterized target, like `processes > 1`.
+    pub arrival: Arrival,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +197,7 @@ impl Default for EngineConfig {
             max_errors: 100,
             processes: 1,
             cores: 4,
+            arrival: Arrival::Closed,
         }
     }
 }
@@ -210,6 +219,50 @@ pub struct Recording {
     pub duration: Nanos,
     /// Cache hit ratio over the run, when the target reports one.
     pub hit_ratio: Option<f64>,
+    /// Open-loop accounting (offered load, drops, tail percentiles,
+    /// queue depth), present only when the run used an open
+    /// [`EngineConfig::arrival`] mode.
+    pub open_loop: Option<OpenLoopReport>,
+}
+
+/// What an open-loop run measures beyond the closed-loop recording:
+/// the offered-vs-served ledger and the tail of the latency
+/// distribution *including queue wait*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopReport {
+    /// The arrival mode the run used.
+    pub arrival: Arrival,
+    /// Requests the arrival process generated within the horizon.
+    pub offered: u64,
+    /// Requests served to completion (including past-deadline drain).
+    pub completed: u64,
+    /// Requests that reached the target but failed.
+    pub failed: u64,
+    /// Requests rejected at the full admission queue.
+    pub dropped: u64,
+    /// Median end-to-end latency (arrival to completion), from the
+    /// run's log2 histogram. `None` when nothing was recorded.
+    pub p50: Option<Nanos>,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Option<Nanos>,
+    /// 99.9th-percentile end-to-end latency.
+    pub p999: Option<Nanos>,
+    /// Deepest the admission queue ever got.
+    pub max_queue_depth: u32,
+    /// `(instant since start, queue depth)` sampled once per
+    /// [`EngineConfig::window`].
+    pub depth_timeline: Vec<(Nanos, u32)>,
+}
+
+impl OpenLoopReport {
+    /// Fraction of offered requests that were dropped at the queue.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
 }
 
 impl Recording {
@@ -347,6 +400,9 @@ impl Engine {
         if workload.ops.is_empty() {
             return Err(SimError::BadConfig("workload has no ops".into()));
         }
+        if config.arrival.is_open() {
+            return Self::run_open(target, workload, config, sets);
+        }
         if config.processes > 1 {
             return Self::run_scheduled(target, workload, config, sets);
         }
@@ -426,6 +482,7 @@ impl Engine {
             errors,
             duration: target.now() - start,
             hit_ratio,
+            open_loop: None,
         })
     }
 
@@ -579,6 +636,116 @@ impl Engine {
             errors,
             duration: outcome.finished - start,
             hit_ratio,
+            open_loop: None,
+        })
+    }
+
+    /// Admission-queue bound for open-loop runs: past this many waiting
+    /// requests, new arrivals are dropped and counted. Large enough
+    /// that transient bursts survive, small enough that a saturated run
+    /// produces honest backpressure instead of an unbounded backlog.
+    const OPEN_QUEUE_CAP: u32 = 1024;
+
+    /// Runs the measured phase open loop: the configured arrival
+    /// process feeds a bounded queue in front of
+    /// [`EngineConfig::processes`] service workers (any count ≥ 1),
+    /// each executing the same flowop mix through the discrete-event
+    /// scheduler. Recorded latencies span arrival to completion, so
+    /// they include the queue wait a closed loop structurally hides;
+    /// [`Recording::open_loop`] carries the offered/dropped ledger,
+    /// p50/p99/p999 and the queue-depth timeline.
+    fn run_open(
+        target: &mut dyn Target,
+        workload: &Workload,
+        config: &EngineConfig,
+        sets: &mut [Vec<LiveFile>],
+    ) -> SimResult<Recording> {
+        if !target.supports_timed() {
+            return Err(SimError::BadConfig(format!(
+                "open-loop arrivals need a time-parameterized target, and {} cannot \
+                 decouple execution from its clock; run with --arrival closed",
+                target.name()
+            )));
+        }
+        if config.prewarm {
+            Self::prewarm(target, sets)?;
+        }
+        let stats_before = target.cache_stats();
+        let op_overhead = Self::effective_op_overhead(workload, config);
+        let total_weight = Self::total_weight(workload)?;
+        let zipfs = Self::build_zipfs(sets, workload);
+        let workers = config.processes.max(1);
+        let base_rng = Rng::new(config.seed).fork("run");
+        let rngs: Vec<Rng> = (0..workers)
+            .map(|p| base_rng.fork(&format!("proc{p}")))
+            .collect();
+        // The arrival stream is its own fork: adding workers never
+        // perturbs when requests arrive, and vice versa.
+        let arrival_rng = Rng::new(config.seed).fork("arrivals");
+        let start = target.now();
+        let open_config = OpenLoopConfig {
+            sched: crate::sched::SchedConfig {
+                processes: workers,
+                cores: config.cores,
+                start,
+                duration: config.duration,
+                think: op_overhead,
+                tick_every: Nanos::from_secs(5),
+            },
+            arrival: config.arrival,
+            queue_cap: Self::OPEN_QUEUE_CAP,
+            sample_every: config.window,
+        };
+        let mut driver = EngineDriver {
+            target: &mut *target,
+            workload,
+            config,
+            sets,
+            zipfs,
+            rngs,
+            total_weight,
+            created_serial: 1_000_000,
+            current_label: vec![""; workers as usize],
+            start,
+            series: WindowedSeries::new(config.window),
+            histogram: Log2Histogram::new(),
+            per_op: HashMap::new(),
+            ops: 0,
+            errors: 0,
+            consecutive_errors: 0,
+        };
+        let outcome = crate::sched::run_open_loop(&open_config, arrival_rng, &mut driver)?;
+        let EngineDriver {
+            series,
+            histogram,
+            per_op,
+            ops,
+            errors,
+            ..
+        } = driver;
+        target.advance(outcome.finished - start);
+        let hit_ratio = Self::hit_ratio_delta(stats_before, target);
+        let open_loop = OpenLoopReport {
+            arrival: config.arrival,
+            offered: outcome.offered,
+            completed: outcome.completed,
+            failed: outcome.failed,
+            dropped: outcome.dropped,
+            p50: histogram.quantile(0.5),
+            p99: histogram.quantile(0.99),
+            p999: histogram.quantile(0.999),
+            max_queue_depth: outcome.max_queue_depth,
+            depth_timeline: outcome.depth_timeline,
+        };
+        Ok(Recording {
+            windows: series.finish(),
+            histogram,
+            per_op,
+            ops,
+            errors,
+            duration: outcome.finished - start,
+            hit_ratio,
+            open_loop: Some(open_loop),
         })
     }
 
@@ -1189,7 +1356,36 @@ mod tests {
             max_errors: 50,
             processes: 1,
             cores: 4,
+            arrival: Arrival::Closed,
         }
+    }
+
+    #[test]
+    fn open_loop_run_reports_the_ledger() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(16));
+        let mut cfg = quick_cfg(3, 1);
+        cfg.prewarm = true;
+        cfg.arrival = Arrival::Poisson { rate: 2_000 };
+        let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+        let open = rec.open_loop.expect("open-loop report");
+        assert!(open.offered > 0);
+        assert_eq!(
+            open.offered,
+            open.completed + open.failed + open.dropped,
+            "ledger does not sum"
+        );
+        assert!(open.p50.is_some() && open.p99.is_some() && open.p999.is_some());
+        assert!(open.p50 <= open.p99 && open.p99 <= open.p999);
+        assert!(!open.depth_timeline.is_empty());
+    }
+
+    #[test]
+    fn closed_loop_recording_has_no_open_report() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(8));
+        let rec = Engine::run(&mut t, &w, &quick_cfg(2, 0)).unwrap();
+        assert!(rec.open_loop.is_none());
     }
 
     #[test]

@@ -7,6 +7,20 @@
 
 use crate::moments::Moments;
 
+/// The error returned by the checked percentile forms on an empty
+/// sample: there is no value to report, and silently answering `0.0`
+/// (or `NaN`) poisons downstream aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySample;
+
+impl std::fmt::Display for EmptySample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("percentile of an empty sample")
+    }
+}
+
+impl std::error::Error for EmptySample {}
+
 /// Linear-interpolated percentile of a sample.
 ///
 /// Uses the common "linear between closest ranks" definition (R-7, the
@@ -50,6 +64,34 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
             let frac = rank - lo as f64;
             sorted[lo] + (sorted[hi] - sorted[lo]) * frac
         }
+    }
+}
+
+/// Checked percentile: like [`percentile`] but an empty sample is an
+/// explicit [`EmptySample`] error instead of a silent sentinel, so it
+/// composes with `?` in reporting pipelines. A single-element sample
+/// returns that element at every `q` — `p999` of one observation is
+/// that observation.
+///
+/// # Examples
+///
+/// ```
+/// use rb_stats::summary::{try_percentile, EmptySample};
+///
+/// assert_eq!(try_percentile(&[7.25], 0.999), Ok(7.25));
+/// assert_eq!(try_percentile(&[], 0.5), Err(EmptySample));
+/// ```
+pub fn try_percentile(xs: &[f64], q: f64) -> Result<f64, EmptySample> {
+    percentile(xs, q).ok_or(EmptySample)
+}
+
+/// Checked percentile of an already sorted sample (ascending): the
+/// `Result` form of [`percentile_sorted`].
+pub fn try_percentile_sorted(sorted: &[f64], q: f64) -> Result<f64, EmptySample> {
+    if sorted.is_empty() {
+        Err(EmptySample)
+    } else {
+        Ok(percentile_sorted(sorted, q))
     }
 }
 
@@ -153,6 +195,20 @@ mod tests {
     fn percentile_unsorted_input() {
         let xs = [50.0, 10.0, 40.0, 20.0, 30.0];
         assert_eq!(percentile(&xs, 0.5), Some(30.0));
+    }
+
+    #[test]
+    fn try_percentile_empty_is_an_error() {
+        assert_eq!(try_percentile(&[], 0.5), Err(EmptySample));
+        assert_eq!(try_percentile_sorted(&[], 0.99), Err(EmptySample));
+        assert_eq!(EmptySample.to_string(), "percentile of an empty sample");
+    }
+
+    #[test]
+    fn single_sample_p999_is_that_sample() {
+        assert_eq!(try_percentile(&[7.25], 0.999), Ok(7.25));
+        assert_eq!(try_percentile_sorted(&[7.25], 0.999), Ok(7.25));
+        assert_eq!(percentile(&[7.25], 0.999), Some(7.25));
     }
 
     #[test]

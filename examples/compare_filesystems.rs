@@ -24,6 +24,7 @@ fn sample(kind: FsKind, size: Bytes, runs: u32) -> (Vec<f64>, Regime) {
         cold_start: true,
         prewarm: true,
         processes: 1,
+        arrival: Arrival::Closed,
     };
     let workload = personalities::random_read(size);
     let mr = run_many(

@@ -25,6 +25,7 @@ fn main() {
         cold_start: true,
         prewarm: true,
         processes: 1,
+        arrival: Arrival::Closed,
     };
 
     println!("10 runs each; mean ± sd (RSD%) of steady-state ops/s\n");

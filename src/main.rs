@@ -120,6 +120,11 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         .unwrap_or(0);
     let device = Bytes::new((size.as_u64() * 3).max(Bytes::gib(1).as_u64()));
 
+    let arrival = match opts.get("arrival") {
+        Some(a) => Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))?,
+        None => Arrival::Closed,
+    };
+
     let mut target = make_target(target_spec, device, seed)?;
     let workload = make_workload(workload_name, size, files)?;
     let config = EngineConfig {
@@ -128,6 +133,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         seed,
         cold_start: opts.get("warm").is_none(),
         prewarm: opts.get("prewarm").is_some_and(|v| v == "true"),
+        arrival,
         ..Default::default()
     };
     eprintln!(
@@ -144,6 +150,28 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     println!("throughput: {:.1} ops/s", rec.ops_per_sec());
     if let Some(h) = rec.hit_ratio {
         println!("hit ratio:  {h:.4}");
+    }
+    if let Some(open) = &rec.open_loop {
+        let ms = |v: Option<Nanos>| match v {
+            Some(n) => format!("{:.3} ms", n.as_secs_f64() * 1e3),
+            None => "-".into(),
+        };
+        println!("arrival:    {}", open.arrival.label());
+        println!(
+            "offered:    {} ({} completed, {} failed, {} dropped)",
+            open.offered, open.completed, open.failed, open.dropped
+        );
+        println!(
+            "latency:    p50 {}  p99 {}  p999 {}",
+            ms(open.p50),
+            ms(open.p99),
+            ms(open.p999)
+        );
+        println!(
+            "queue:      max depth {} (drop ratio {:.4})",
+            open.max_queue_depth,
+            open.drop_ratio()
+        );
     }
     println!("regime:     {}", Regime::classify(&rec).label());
     println!();
@@ -259,6 +287,21 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             )),
         }
     })?;
+    let arrivals = parse_list(opts.get("arrival").unwrap_or("closed"), |a| {
+        Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))
+    })?;
+    let slo_p99 = opts
+        .get("slo-p99")
+        .map(|v| match v.trim().parse::<f64>() {
+            Ok(ms) if ms > 0.0 => Ok(Nanos::from_secs_f64(ms / 1e3)),
+            _ => Err(format!(
+                "bad --slo-p99: {v:?} is not a positive latency in ms"
+            )),
+        })
+        .transpose()?;
+    if slo_p99.is_some() && !arrivals.iter().any(|a| a.is_open()) {
+        return Err("--slo-p99 only applies with an open-loop --arrival".into());
+    }
     let seed = opts
         .get("seed")
         .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
@@ -305,6 +348,8 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         filesystems,
         cache_capacities,
         processes,
+        arrivals,
+        slo_p99,
         plan,
         device: parse_size(opts.get("device").unwrap_or("2G"))?,
         run_budget,
@@ -485,9 +530,12 @@ USAGE:
                                  fileserver|varmail|postmark|metadata]
                      [--size 64M] [--files 100] [--duration 30s]
                      [--seed 0] [--prewarm true] [--warm true]
+                     [--arrival closed|poisson:RATE|bursty:RATE|diurnal:RATE]
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
                      [--processes 1,2,4,8]
+                     [--arrival closed,poisson:RATE,bursty:RATE,diurnal:RATE]
+                     [--slo-p99 MS]
                      [--traces a.trace,b.trace] [--trace-timing afap|faithful|scaled=N]
                      [--protocol fixed|adaptive] [--runs 3]
                      [--ci 2%] [--min-runs 5] [--max-runs 30]
@@ -515,7 +563,15 @@ per-cell deterministic seeds, sharded over --jobs worker threads.
 many closed-loop workers through the discrete-event scheduler
 (contending for cores and the shared disk) and reports grow a
 `processes` column; cells at 1 run the classic serial engine with
-byte-identical output. Trace files given via --traces become
+byte-identical output. --arrival adds the open-loop dimension: cells
+with poisson:RATE / bursty:RATE / diurnal:RATE offer RATE ops/s from a
+seeded arrival process into a bounded queue regardless of completions —
+the regime where queueing delay (and the latency hockey stick) is
+visible — and reports grow arrival/offered/dropped/p50/p99/p999
+columns; closed cells keep byte-identical pre-axis output. With
+--slo-p99 MS every open cell also reports the maximum offered load
+sustaining p99 <= MS, found by deterministic bisection over the rate.
+Trace files given via --traces become
 additional cells (trace x fs x cache), each replayed under
 --trace-timing with verdict/CI columns like any other cell; with
 --traces and no --workloads, only the traces sweep.

@@ -39,6 +39,8 @@ fn stable_vs_fragile() -> SweepSpec {
         filesystems: vec![FsKind::Ext2],
         cache_capacities: vec![Bytes::mib(48)],
         processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan: adaptive_plan(21),
         device: Bytes::mib(512),
         run_budget: None,

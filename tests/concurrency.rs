@@ -33,6 +33,7 @@ fn quick_cfg(secs: u64, seed: u64, processes: u32) -> EngineConfig {
         max_errors: 100,
         processes,
         cores: 4,
+        arrival: Arrival::Closed,
     }
 }
 
@@ -53,6 +54,8 @@ fn sweep_with_processes(processes: Vec<u32>) -> SweepSpec {
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(32)],
         processes,
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan,
         device: Bytes::gib(2),
         run_budget: None,

@@ -140,6 +140,8 @@ fn small_sweep_spec() -> SweepSpec {
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(32)],
         processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan,
         device: Bytes::gib(2),
         run_budget: None,

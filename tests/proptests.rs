@@ -249,6 +249,7 @@ proptest! {
             max_errors: 100,
             processes,
             cores: 2,
+            arrival: Arrival::Closed,
         };
         let run = || {
             let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
@@ -276,5 +277,93 @@ proptest! {
         let serial = run_campaign(&spec, 1).unwrap();
         let sharded = run_campaign(&spec, jobs).unwrap();
         prop_assert_eq!(serial.to_csv(), sharded.to_csv());
+    }
+
+    /// Any open-loop run is a pure function of (workload, config,
+    /// seed): the percentile rows its campaign emits never depend on
+    /// the worker count, and rerunning reproduces them byte-for-byte.
+    #[test]
+    fn open_loop_percentiles_are_seed_and_jobs_deterministic(
+        rate in 100u64..5_000,
+        seed in any::<u64>(),
+        jobs in 1usize..5,
+    ) {
+        use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
+        use rocketbench::core::prelude::*;
+        use rocketbench::core::testbed;
+
+        // One engine run, repeated: an identical ledger and tail.
+        let cfg = EngineConfig {
+            duration: Nanos::from_secs(1),
+            window: Nanos::from_secs(1),
+            seed,
+            cold_start: true,
+            prewarm: false,
+            cpu_jitter_sigma: 0.0,
+            max_errors: 100,
+            processes: 1,
+            cores: 2,
+            arrival: Arrival::Poisson { rate },
+        };
+        let run = || {
+            let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
+            let w = personalities::varmail(10);
+            let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+            rec.open_loop.unwrap()
+        };
+        let first = run();
+        prop_assert_eq!(first.offered, first.completed + first.failed + first.dropped);
+        prop_assert_eq!(&first, &run());
+
+        // The campaign wrapping: jobs never leak into the bytes.
+        let mut plan = RunPlan::quick(seed);
+        plan.protocol = Protocol::FixedRuns(1);
+        plan.duration = Nanos::from_secs(1);
+        let spec = SweepSpec {
+            name: "prop".into(),
+            personalities: vec![Personality::Varmail],
+            file_counts: vec![10],
+            filesystems: vec![FsKind::Ext2],
+            cache_capacities: vec![Bytes::mib(32)],
+            arrivals: vec![Arrival::Closed, Arrival::Poisson { rate }],
+            plan,
+            device: Bytes::mib(256),
+            ..SweepSpec::default()
+        };
+        let serial = run_campaign(&spec, 1).unwrap();
+        let sharded = run_campaign(&spec, jobs).unwrap();
+        prop_assert_eq!(serial.to_csv(), sharded.to_csv());
+        prop_assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+    }
+
+    /// Histogram merge is associative: (a + b) + c == a + (b + c),
+    /// bucket for bucket — the property that lets a campaign merge
+    /// per-run histograms in any grouping before taking quantiles.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX / 2, 0..200),
+        b in proptest::collection::vec(0u64..u64::MAX / 2, 0..200),
+        c in proptest::collection::vec(0u64..u64::MAX / 2, 0..200),
+    ) {
+        let build = |xs: &[u64]| {
+            let mut h = Log2Histogram::new();
+            for &x in xs { h.record(Nanos::from_nanos(x)); }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.total(), right.total());
+        for k in 0..64 {
+            prop_assert_eq!(left.count(k), right.count(k));
+        }
+        prop_assert_eq!(left.quantile(0.5), right.quantile(0.5));
+        prop_assert_eq!(left.quantile(0.99), right.quantile(0.99));
+        prop_assert_eq!(left.quantile(0.999), right.quantile(0.999));
     }
 }

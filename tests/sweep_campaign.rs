@@ -26,6 +26,8 @@ fn two_by_two() -> SweepSpec {
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(48)],
         processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan,
         device: Bytes::mib(512),
         run_budget: None,

@@ -45,6 +45,8 @@ fn trace_spec(trace: &Trace) -> SweepSpec {
         filesystems: vec![FsKind::Ext2, FsKind::Xfs],
         cache_capacities: vec![Bytes::mib(64)],
         processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
         plan,
         device: Bytes::mib(256),
         run_budget: None,
