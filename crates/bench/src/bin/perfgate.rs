@@ -2,17 +2,18 @@
 //!
 //! The paper's complaint is that benchmarks report unqualified numbers;
 //! the harness should hold itself to the same bar. `perfgate` times
-//! five canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! six canonical scenarios — the quick Figure 1 campaign, a 4×4
 //! sweep-cell grid, an as-fast-as-possible replay of the golden v2
 //! trace spatially scaled ×32, an 8-process fileserver run through
-//! the discrete-event scheduler, and the same run under an open-loop
-//! Poisson arrival stream — over N repetitions, and writes
-//! `BENCH_PR<n>.json` with median + IQR wall time, throughput in
-//! scenario work units per second, and peak RSS (from
-//! `/proc/self/status` where available). One such file per PR is the
-//! performance trajectory of the harness. The first three scenarios
-//! run the serial engine, so their trajectory records that
-//! single-process hot-path speed survives the concurrency refactor.
+//! the discrete-event scheduler, the same run under an open-loop
+//! Poisson arrival stream, and a raw event-queue pump over the arena
+//! heap — over N repetitions, and writes `BENCH_PR<n>.json` with
+//! median + IQR wall time, throughput in scenario work units per
+//! second, and peak RSS (from `/proc/self/status` where available).
+//! One such file per PR is the performance trajectory of the harness.
+//! The first three scenarios run the serial engine, so their
+//! trajectory records that single-process hot-path speed survives the
+//! concurrency refactor.
 //!
 //! By default each scenario runs in its own child process (`--only`
 //! re-invocation), so a heavyweight scenario cannot pollute the heap or
@@ -22,11 +23,16 @@
 //! Usage:
 //!   cargo run -p rb-bench --release --bin perfgate [-- --quick]
 //!       [--reps N] [--out FILE] [--baseline FILE] [--only NAME]
+//!       [--gate RATIO]
 //!
 //! `--quick` runs fewer repetitions (a CI smoke that still writes valid
 //! JSON). `--baseline FILE` reads a previous perfgate JSON and reports
 //! per-scenario speedups against it (embedded in the output under
-//! `"speedup_vs_baseline"`).
+//! `"speedup_vs_baseline"`; scenarios with no baseline entry are
+//! reported as `"new"`). `--gate RATIO` turns the comparison into a
+//! regression gate: if any baselined scenario's speedup falls below
+//! RATIO (e.g. `0.90` = allow up to a 10% slowdown), perfgate still
+//! writes the JSON but exits non-zero.
 
 use rb_core::campaign::{run_campaign, Personality, SweepSpec};
 use rb_core::figures::{fig1_campaign, Fig1Config};
@@ -36,6 +42,7 @@ use rb_core::sched::Arrival;
 use rb_core::testbed;
 use rb_core::trace::{apply, replay_with, ReplayConfig, Timing, Trace, Transform};
 use rb_core::workload::{personalities, Engine, EngineConfig};
+use rb_simcore::events::EventQueue;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use std::time::Instant;
@@ -98,15 +105,16 @@ fn scaled_golden() -> Trace {
 
 /// Scenario names, in run order (the parent dispatches children by
 /// name without constructing the scenarios themselves).
-const SCENARIO_NAMES: [&str; 5] = [
+const SCENARIO_NAMES: [&str; 6] = [
     "fig1-quick",
     "sweep-4x4",
     "replay-x32",
     "scaling-8p",
     "open-loop-8p",
+    "events-pump",
 ];
 
-/// The five canonical scenarios.
+/// The six canonical scenarios.
 fn scenarios(quick: bool) -> Vec<Scenario> {
     // Scenario 1: the quick Figure 1 campaign (single worker so the
     // measurement is a plain single-thread workload).
@@ -245,7 +253,31 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             rec.ops
         }),
     };
-    vec![fig1, sweep, replay, scaling, open]
+    // Scenario 6: a raw event-queue pump — steady-state schedule/pop
+    // pairs at depth 1024 over the arena-backed 4-ary heap, the
+    // substrate every scheduled run drives. Times the queue alone, with
+    // a data-dependent interval so the heap shape stays irregular.
+    let pump_events: u64 = if quick { 2_000_000 } else { 8_000_000 };
+    let pump = Scenario {
+        name: "events-pump",
+        unit: "events",
+        run: Box::new(move || {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.schedule(Nanos::from_nanos(i), i);
+            }
+            let mut acc = 0u64;
+            for i in 1024..pump_events {
+                let (t, s) = q.pop().expect("steady-state queue is non-empty");
+                acc = acc.wrapping_add(s);
+                q.schedule(t + Nanos::from_nanos(acc % 97 + 1), i);
+            }
+            while q.pop().is_some() {}
+            std::hint::black_box(acc);
+            pump_events
+        }),
+    };
+    vec![fig1, sweep, replay, scaling, open, pump]
 }
 
 /// Extracts `(name, wall_ms_median)` pairs from a perfgate JSON (a
@@ -338,18 +370,36 @@ fn run_isolated(names: &[&'static str], reps: usize, quick: bool) -> Option<(Str
 /// Assembles and writes the final JSON, with the optional baseline
 /// comparison, from an already-rendered scenario-array body.
 fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out_path: &str) {
+    let gate: Option<f64> = flag("gate").map(|g| {
+        g.parse().unwrap_or_else(|_| {
+            eprintln!("error: --gate needs a ratio like 0.90, got {g:?}");
+            std::process::exit(2);
+        })
+    });
     let mut speedup = String::new();
+    let mut below_gate: Vec<(String, f64)> = Vec::new();
     if let Some(base_path) = flag("baseline") {
         match std::fs::read_to_string(&base_path) {
             Ok(base_text) => {
                 let base = medians_of(&base_text);
                 let mut parts = Vec::new();
                 for (name, ms) in medians_of(&scenario_body) {
-                    if let Some((_, base_ms)) = base.iter().find(|(n, _)| *n == name) {
-                        if ms > 0.0 {
+                    match base.iter().find(|(n, _)| *n == name) {
+                        Some((_, base_ms)) if ms > 0.0 => {
                             let ratio = (base_ms / ms * 100.0).round() / 100.0;
                             eprintln!("{name}: {ratio}x vs {base_path}");
+                            if gate.is_some_and(|g| ratio < g) {
+                                below_gate.push((name.clone(), ratio));
+                            }
                             parts.push(format!("{}:{ratio}", Json::Str(name.clone())));
+                        }
+                        Some(_) => {}
+                        // A scenario the baseline has no record of: mark
+                        // it rather than silently dropping it, so the
+                        // trajectory shows where the suite grew.
+                        None => {
+                            eprintln!("{name}: new (no baseline entry in {base_path})");
+                            parts.push(format!("{}:\"new\"", Json::Str(name.clone())));
                         }
                     }
                 }
@@ -362,19 +412,34 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
                 std::process::exit(2);
             }
         }
+    } else if gate.is_some() {
+        eprintln!("error: --gate requires --baseline");
+        std::process::exit(2);
     }
     let rss_field = match rss {
         Some(v) => format!(",\"peak_rss_bytes\":{v}"),
         None => String::new(),
     };
     let json = format!(
-        "{{\"bench\":\"perfgate\",\"pr\":6,\"schema\":1,\"quick\":{quick},\
+        "{{\"bench\":\"perfgate\",\"pr\":7,\"schema\":1,\"quick\":{quick},\
          \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
     );
     match std::fs::write(out_path, &json) {
         Ok(()) => eprintln!("wrote {out_path}"),
         Err(e) => {
             eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Gate verdict comes after the write so the JSON artifact always
+    // exists for the run that failed.
+    if let Some(g) = gate {
+        if below_gate.is_empty() {
+            eprintln!("gate: all baselined scenarios >= {g}x");
+        } else {
+            for (name, ratio) in &below_gate {
+                eprintln!("gate FAIL: {name} at {ratio}x < {g}x");
+            }
             std::process::exit(1);
         }
     }
@@ -390,7 +455,7 @@ fn main() {
         None if quick => 3,
         None => 7,
     };
-    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let only = flag("only");
 
     // The parent dispatches children by name; only a child (--only) or

@@ -500,8 +500,10 @@ impl Cell {
         }
         // Closed-loop cells omit the arrival marker entirely, so every
         // pre-axis campaign's seeds and report bytes are preserved.
+        // (Display writes the label straight into the key buffer — no
+        // intermediate String per cell key.)
         if self.arrival.is_open() {
-            let _ = write!(key, "|arrival={}", self.arrival.label());
+            let _ = write!(key, "|arrival={}", self.arrival);
         }
         key
     }

@@ -134,6 +134,30 @@ pub trait SchedDriver {
     fn on_error(&mut self, process: u32, now: Nanos, error: SimError) -> SimResult<()>;
 }
 
+/// Reusable event-pump state: the event queues and per-run buffers
+/// that used to be rebuilt (and re-grown from empty) on every run.
+///
+/// A campaign executes thousands of scheduled runs back to back; with
+/// a scratch held across them, each run starts with pre-sized arenas
+/// ([`EventQueue::clear`] keeps the allocation and resets the FIFO
+/// counter, so reuse is observationally identical to a fresh queue).
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    closed: EventQueue<Event>,
+    open: EventQueue<OpenEvent>,
+    pending: VecDeque<Nanos>,
+    idle: Vec<bool>,
+    samples: Vec<(Nanos, u32)>,
+}
+
+thread_local! {
+    /// Per-thread scratch behind the plain `run_closed_loop` /
+    /// `run_open_loop` entry points, so every caller gets queue reuse
+    /// without threading a scratch through its signature.
+    static SCRATCH: std::cell::RefCell<SchedScratch> =
+        std::cell::RefCell::new(SchedScratch::default());
+}
+
 /// Drives `config.processes` closed-loop workers over a shared target.
 ///
 /// The schedule is a pure function of the inputs: same driver state,
@@ -142,8 +166,24 @@ pub fn run_closed_loop<D: SchedDriver + ?Sized>(
     config: &SchedConfig,
     driver: &mut D,
 ) -> SimResult<SchedOutcome> {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => run_closed_loop_in(&mut scratch, config, driver),
+        // Re-entrant call (a driver running a nested loop): fall back
+        // to a one-shot scratch rather than panicking on the borrow.
+        Err(_) => run_closed_loop_in(&mut SchedScratch::default(), config, driver),
+    })
+}
+
+/// [`run_closed_loop`] against caller-held scratch state.
+pub fn run_closed_loop_in<D: SchedDriver + ?Sized>(
+    scratch: &mut SchedScratch,
+    config: &SchedConfig,
+    driver: &mut D,
+) -> SimResult<SchedOutcome> {
     let end = config.start + config.duration;
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    let queue = &mut scratch.closed;
+    queue.clear();
+    queue.reserve(config.processes.max(1) as usize + 2);
     let mut cores = CoreSet::new(config.cores);
     let mut device = DeviceQueue::new();
     let mut live = config.processes.max(1);
@@ -300,13 +340,10 @@ impl Arrival {
 
     /// Canonical label: `closed`, `poisson:RATE`, `bursty:RATE`,
     /// `diurnal:RATE`. Stable — it is part of campaign cell keys.
+    /// Allocates; key-building hot paths write the identical bytes
+    /// through the [`std::fmt::Display`] impl instead.
     pub fn label(self) -> String {
-        match self {
-            Arrival::Closed => "closed".into(),
-            Arrival::Poisson { rate } => format!("poisson:{rate}"),
-            Arrival::Bursty { rate } => format!("bursty:{rate}"),
-            Arrival::Diurnal { rate } => format!("diurnal:{rate}"),
-        }
+        self.to_string()
     }
 
     /// Parses a label produced by [`Arrival::label`] (also the CLI
@@ -337,7 +374,12 @@ impl Arrival {
 
 impl std::fmt::Display for Arrival {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.label())
+        match self {
+            Arrival::Closed => f.write_str("closed"),
+            Arrival::Poisson { rate } => write!(f, "poisson:{rate}"),
+            Arrival::Bursty { rate } => write!(f, "bursty:{rate}"),
+            Arrival::Diurnal { rate } => write!(f, "diurnal:{rate}"),
+        }
     }
 }
 
@@ -502,14 +544,34 @@ pub fn run_open_loop<D: SchedDriver + ?Sized>(
     arrival_rng: Rng,
     driver: &mut D,
 ) -> SimResult<OpenOutcome> {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => run_open_loop_in(&mut scratch, config, arrival_rng, driver),
+        Err(_) => run_open_loop_in(&mut SchedScratch::default(), config, arrival_rng, driver),
+    })
+}
+
+/// [`run_open_loop`] against caller-held scratch state.
+pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
+    scratch: &mut SchedScratch,
+    config: &OpenLoopConfig,
+    arrival_rng: Rng,
+    driver: &mut D,
+) -> SimResult<OpenOutcome> {
     let sched = &config.sched;
     let end = sched.start + sched.duration;
     let workers = sched.processes.max(1) as usize;
-    let mut queue: EventQueue<OpenEvent> = EventQueue::new();
+    let queue = &mut scratch.open;
+    queue.clear();
+    queue.reserve(workers + 3);
     let mut cores = CoreSet::new(sched.cores);
     let mut device = DeviceQueue::new();
-    let mut pending: VecDeque<Nanos> = VecDeque::new();
-    let mut idle = vec![true; workers];
+    let pending = &mut scratch.pending;
+    pending.clear();
+    scratch.idle.clear();
+    scratch.idle.resize(workers, true);
+    let idle = &mut scratch.idle;
+    scratch.samples.clear();
+    let samples = &mut scratch.samples;
     let mut gen = ArrivalGen::new(config.arrival, arrival_rng, sched.start, sched.duration)?;
     let mut out = OpenOutcome {
         finished: end,
@@ -628,13 +690,39 @@ pub fn run_open_loop<D: SchedDriver + ?Sized>(
                 if now >= end {
                     continue;
                 }
-                out.depth_timeline
-                    .push((now - sched.start, pending.len() as u32));
+                samples.push((now - sched.start, pending.len() as u32));
                 queue.schedule(now + config.sample_every, OpenEvent::Sample);
             }
         }
     }
+    out.depth_timeline = coalesce_depth_timeline(samples);
     Ok(out)
+}
+
+/// Fixed upper bound on the entries a reported queue-depth timeline
+/// may carry.
+pub const DEPTH_TIMELINE_BUCKETS: usize = 256;
+
+/// Coalesces raw queue-depth samples — an unbounded series, one entry
+/// per sampling window, that grows without limit on long runs — into at
+/// most [`DEPTH_TIMELINE_BUCKETS`] entries. Adjacent samples merge into
+/// a bucket reported at the bucket's first instant with the *maximum*
+/// depth seen inside it, so backlog peaks survive the summarization.
+/// Series that already fit pass through unchanged.
+fn coalesce_depth_timeline(samples: &[(Nanos, u32)]) -> Vec<(Nanos, u32)> {
+    let n = samples.len();
+    if n <= DEPTH_TIMELINE_BUCKETS {
+        return samples.to_vec();
+    }
+    let mut out = Vec::with_capacity(DEPTH_TIMELINE_BUCKETS);
+    for b in 0..DEPTH_TIMELINE_BUCKETS {
+        let lo = b * n / DEPTH_TIMELINE_BUCKETS;
+        let hi = ((b + 1) * n / DEPTH_TIMELINE_BUCKETS).max(lo + 1).min(n);
+        let at = samples[lo].0;
+        let depth = samples[lo..hi].iter().map(|&(_, d)| d).max().unwrap_or(0);
+        out.push((at, depth));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -412,11 +412,11 @@ impl Engine {
         let stats_before = target.cache_stats();
         let mut rng = Rng::new(config.seed).fork("run");
         let op_overhead = Self::effective_op_overhead(workload, config);
-        let total_weight = Self::total_weight(workload)?;
+        let program = OpProgram::new(workload)?;
         let mut zipfs = Self::build_zipfs(sets, workload);
         let mut series = WindowedSeries::new(config.window);
         let mut histogram = Log2Histogram::new();
-        let mut per_op: HashMap<&'static str, Log2Histogram> = HashMap::new();
+        let mut per_op_slots = vec![Log2Histogram::new(); program.labels.len()];
         let mut ops = 0u64;
         let mut errors = 0u64;
         let mut consecutive_errors = 0u64;
@@ -435,7 +435,7 @@ impl Engine {
                 target.background_tick();
                 next_tick += tick_every;
             }
-            let chosen = Self::pick_weighted(workload, total_weight, &mut rng);
+            let (op_idx, chosen) = program.pick(workload, &mut rng);
             let result = Self::execute(
                 target,
                 chosen,
@@ -456,7 +456,7 @@ impl Engine {
                         ops += 1;
                         series.record(when, lat);
                         histogram.record(lat);
-                        per_op.entry(chosen.label()).or_default().record(lat);
+                        per_op_slots[program.slot_of_op[op_idx] as usize].record(lat);
                     }
                     target.advance(op_overhead);
                 }
@@ -477,7 +477,7 @@ impl Engine {
         Ok(Recording {
             windows: series.finish(),
             histogram,
-            per_op,
+            per_op: Self::fold_per_op(&program, per_op_slots),
             ops,
             errors,
             duration: target.now() - start,
@@ -519,19 +519,20 @@ impl Engine {
             .collect()
     }
 
-    /// Picks the next flowop by weight from `rng` — one draw per call,
-    /// identical in both engine paths.
-    fn pick_weighted(workload: &Workload, total_weight: u64, rng: &mut Rng) -> FlowOp {
-        let mut pick = rng.below(total_weight);
-        let mut chosen = workload.ops[0].0;
-        for &(op, w) in &workload.ops {
-            if pick < w as u64 {
-                chosen = op;
-                break;
+    /// Folds dense per-slot histograms back into the by-label map the
+    /// [`Recording`] reports (slots with no recorded ops are dropped,
+    /// matching the old insert-on-first-record HashMap behavior).
+    fn fold_per_op(
+        program: &OpProgram,
+        slots: Vec<Log2Histogram>,
+    ) -> HashMap<&'static str, Log2Histogram> {
+        let mut map = HashMap::new();
+        for (slot, h) in slots.into_iter().enumerate() {
+            if h.total() > 0 {
+                map.insert(program.labels[slot], h);
             }
-            pick -= w as u64;
         }
-        chosen
+        map
     }
 
     /// Per-phase hit ratio from the cache-stats delta when available.
@@ -578,7 +579,7 @@ impl Engine {
         }
         let stats_before = target.cache_stats();
         let op_overhead = Self::effective_op_overhead(workload, config);
-        let total_weight = Self::total_weight(workload)?;
+        let program = OpProgram::new(workload)?;
         let zipfs = Self::build_zipfs(sets, workload);
         // One independent stream per worker: adding draws in one
         // process never perturbs another.
@@ -595,6 +596,7 @@ impl Engine {
             think: op_overhead,
             tick_every: Nanos::from_secs(5),
         };
+        let per_op_slots = vec![Log2Histogram::new(); program.labels.len()];
         let mut driver = EngineDriver {
             target: &mut *target,
             workload,
@@ -602,13 +604,13 @@ impl Engine {
             sets,
             zipfs,
             rngs,
-            total_weight,
+            program,
             created_serial: 1_000_000,
-            current_label: vec![""; config.processes as usize],
+            current_slot: vec![0; config.processes as usize],
             start,
             series: WindowedSeries::new(config.window),
             histogram: Log2Histogram::new(),
-            per_op: HashMap::new(),
+            per_op_slots,
             ops: 0,
             errors: 0,
             consecutive_errors: 0,
@@ -617,7 +619,8 @@ impl Engine {
         let EngineDriver {
             series,
             histogram,
-            per_op,
+            per_op_slots,
+            program,
             ops,
             errors,
             ..
@@ -631,7 +634,7 @@ impl Engine {
         Ok(Recording {
             windows: series.finish(),
             histogram,
-            per_op,
+            per_op: Self::fold_per_op(&program, per_op_slots),
             ops,
             errors,
             duration: outcome.finished - start,
@@ -672,7 +675,7 @@ impl Engine {
         }
         let stats_before = target.cache_stats();
         let op_overhead = Self::effective_op_overhead(workload, config);
-        let total_weight = Self::total_weight(workload)?;
+        let program = OpProgram::new(workload)?;
         let zipfs = Self::build_zipfs(sets, workload);
         let workers = config.processes.max(1);
         let base_rng = Rng::new(config.seed).fork("run");
@@ -696,6 +699,7 @@ impl Engine {
             queue_cap: Self::OPEN_QUEUE_CAP,
             sample_every: config.window,
         };
+        let per_op_slots = vec![Log2Histogram::new(); program.labels.len()];
         let mut driver = EngineDriver {
             target: &mut *target,
             workload,
@@ -703,13 +707,13 @@ impl Engine {
             sets,
             zipfs,
             rngs,
-            total_weight,
+            program,
             created_serial: 1_000_000,
-            current_label: vec![""; workers as usize],
+            current_slot: vec![0; workers as usize],
             start,
             series: WindowedSeries::new(config.window),
             histogram: Log2Histogram::new(),
-            per_op: HashMap::new(),
+            per_op_slots,
             ops: 0,
             errors: 0,
             consecutive_errors: 0,
@@ -718,7 +722,8 @@ impl Engine {
         let EngineDriver {
             series,
             histogram,
-            per_op,
+            per_op_slots,
+            program,
             ops,
             errors,
             ..
@@ -740,7 +745,7 @@ impl Engine {
         Ok(Recording {
             windows: series.finish(),
             histogram,
-            per_op,
+            per_op: Self::fold_per_op(&program, per_op_slots),
             ops,
             errors,
             duration: outcome.finished - start,
@@ -812,13 +817,12 @@ impl Engine {
                 target.write_at(f.fd, off, iosize, issue)
             }
             FlowOp::CreateFile { set } => {
-                let dir = workload
+                let dir = &workload
                     .filesets
                     .get(set)
                     .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?
-                    .dir
-                    .clone();
-                let path = format!("{}/c{:08}", dir, *created_serial);
+                    .dir;
+                let path = Self::create_path(dir, *created_serial);
                 *created_serial += 1;
                 let pid = target.prepare_path(&path);
                 let created = target.create_at(pid, &path, issue)?;
@@ -865,6 +869,32 @@ impl Engine {
                 target.fsync_at(fd, issue)
             }
         }
+    }
+
+    /// Path for the `serial`-th created file in `dir` — byte-identical
+    /// to `format!("{dir}/c{serial:08}")`, built by hand so the create
+    /// hot path stays off the formatting machinery.
+    fn create_path(dir: &str, serial: u64) -> String {
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        let mut v = serial;
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let ndigits = digits.len() - i;
+        let mut path = String::with_capacity(dir.len() + 2 + ndigits.max(8));
+        path.push_str(dir);
+        path.push_str("/c");
+        for _ in ndigits..8 {
+            path.push('0');
+        }
+        path.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+        path
     }
 
     fn pick_file<'s>(
@@ -939,15 +969,12 @@ impl Engine {
                 target.write(f.fd, off, iosize)
             }
             FlowOp::CreateFile { set } => {
-                let dir = workload
+                let dir = &workload
                     .filesets
                     .get(set)
                     .ok_or_else(|| SimError::BadConfig(format!("no file set {set}")))?
-                    .dir
-                    .clone();
-                let size_dist = workload.filesets[set].size.clone();
-                let _ = size_dist; // new files start empty and grow by appends
-                let path = format!("{}/c{:08}", dir, *created_serial);
+                    .dir;
+                let path = Self::create_path(dir, *created_serial);
                 *created_serial += 1;
                 let pid = target.prepare_path(&path);
                 let lat = match pid {
@@ -1010,6 +1037,83 @@ impl Engine {
     }
 }
 
+/// Precomputed flat dispatch for a workload's weighted op mix.
+///
+/// Built once per run, used once per operation: a single
+/// `rng.below(total_weight)` draw (the *same* single draw the old
+/// cumulative-weight scan consumed, so RNG streams are untouched) maps
+/// straight to the chosen flowop through an expanded lookup table, and
+/// every distinct op label gets a dense slot index so per-op latency
+/// histograms are array-indexed on the hot path instead of paying a
+/// SipHash probe per completion.
+struct OpProgram {
+    total_weight: u64,
+    /// Draw value → op index. Present when the total weight is small
+    /// enough to expand (always, for the built-in personalities);
+    /// otherwise [`OpProgram::pick`] falls back to the scan.
+    table: Option<Vec<u16>>,
+    /// Op index → histogram slot. Ops sharing a label share a slot,
+    /// exactly like the by-label HashMap bookkeeping this replaces.
+    slot_of_op: Vec<u32>,
+    /// Histogram slot → label.
+    labels: Vec<&'static str>,
+}
+
+impl OpProgram {
+    /// Largest total weight worth expanding into a dispatch table.
+    const MAX_TABLE: u64 = 4096;
+
+    fn new(workload: &Workload) -> SimResult<OpProgram> {
+        let total_weight = Engine::total_weight(workload)?;
+        let table = if total_weight <= Self::MAX_TABLE && workload.ops.len() <= u16::MAX as usize {
+            let mut t = Vec::with_capacity(total_weight as usize);
+            for (i, &(_, w)) in workload.ops.iter().enumerate() {
+                t.extend(std::iter::repeat_n(i as u16, w as usize));
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let mut labels: Vec<&'static str> = Vec::new();
+        let slot_of_op = workload
+            .ops
+            .iter()
+            .map(|&(op, _)| {
+                let label = op.label();
+                match labels.iter().position(|&l| l == label) {
+                    Some(s) => s as u32,
+                    None => {
+                        labels.push(label);
+                        (labels.len() - 1) as u32
+                    }
+                }
+            })
+            .collect();
+        Ok(OpProgram {
+            total_weight,
+            table,
+            slot_of_op,
+            labels,
+        })
+    }
+
+    /// Picks the next flowop: one weighted draw, O(1) dispatch.
+    fn pick(&self, workload: &Workload, rng: &mut Rng) -> (usize, FlowOp) {
+        let mut pick = rng.below(self.total_weight);
+        if let Some(t) = &self.table {
+            let i = t[pick as usize] as usize;
+            return (i, workload.ops[i].0);
+        }
+        for (i, &(op, w)) in workload.ops.iter().enumerate() {
+            if pick < w as u64 {
+                return (i, op);
+            }
+            pick -= w as u64;
+        }
+        (0, workload.ops[0].0)
+    }
+}
+
 /// The engine's [`SchedDriver`]: owns the target borrow and all shared
 /// run state, so the scheduler's event pump works through one object.
 struct EngineDriver<'a> {
@@ -1020,15 +1124,15 @@ struct EngineDriver<'a> {
     zipfs: Vec<Zipf>,
     /// One RNG stream per process, indexed by process id.
     rngs: Vec<Rng>,
-    total_weight: u64,
+    program: OpProgram,
     created_serial: u64,
-    /// The label of each process's in-flight operation (closed loop:
-    /// at most one per process), for per-op histograms at completion.
-    current_label: Vec<&'static str>,
+    /// The histogram slot of each process's in-flight operation (closed
+    /// loop: at most one per process), for per-op stats at completion.
+    current_slot: Vec<u32>,
     start: Nanos,
     series: WindowedSeries,
     histogram: Log2Histogram,
-    per_op: HashMap<&'static str, Log2Histogram>,
+    per_op_slots: Vec<Log2Histogram>,
     ops: u64,
     errors: u64,
     consecutive_errors: u64,
@@ -1037,10 +1141,10 @@ struct EngineDriver<'a> {
 impl SchedDriver for EngineDriver<'_> {
     fn exec(&mut self, process: u32, now: Nanos) -> SimResult<OpCost> {
         let rng = &mut self.rngs[process as usize];
-        // The same weighted pick as the serial loop, from this
-        // process's own stream.
-        let chosen = Engine::pick_weighted(self.workload, self.total_weight, rng);
-        self.current_label[process as usize] = chosen.label();
+        // The same weighted draw as the serial loop, from this
+        // process's own stream, dispatched through the flat table.
+        let (op_idx, chosen) = self.program.pick(self.workload, rng);
+        self.current_slot[process as usize] = self.program.slot_of_op[op_idx];
         Engine::execute_timed(
             self.target,
             chosen,
@@ -1067,9 +1171,7 @@ impl SchedDriver for EngineDriver<'_> {
             let latency = completion.completed - completion.arrived;
             self.series.record(when, latency);
             self.histogram.record(latency);
-            self.per_op
-                .entry(self.current_label[completion.process as usize])
-                .or_default()
+            self.per_op_slots[self.current_slot[completion.process as usize] as usize]
                 .record(latency);
         }
         Ok(())

@@ -174,8 +174,8 @@ impl PageCache {
             match self.policy.evict() {
                 Some(victim) => {
                     self.forget_page(victim);
-                    if self.writeback.is_dirty(victim) {
-                        self.writeback.clear(victim);
+                    // One probe: clearing reports whether it was dirty.
+                    if self.writeback.take(victim) {
                         self.stats.evicted_dirty += 1;
                         dirty.push(victim);
                     } else {
@@ -192,6 +192,14 @@ impl PageCache {
         if self.resident.contains_key(&key) {
             return;
         }
+        self.insert_page_absent(key, prefetched);
+    }
+
+    /// [`PageCache::insert_page`] when the caller has already proven the
+    /// page is not resident (saves the duplicate residency probe on the
+    /// miss-insert hot path).
+    fn insert_page_absent(&mut self, key: PageKey, prefetched: bool) {
+        debug_assert!(!self.resident.contains_key(&key));
         self.resident.insert(key, Meta { prefetched });
         self.by_file.entry(key.file).or_default().insert(key.page);
         self.policy.insert(key);
@@ -229,7 +237,7 @@ impl PageCache {
             } else {
                 self.stats.misses += 1;
                 out.miss_pages.push(page);
-                self.insert_page(key, false);
+                self.insert_page_absent(key, false);
             }
         }
         // Readahead beyond the request.
@@ -244,7 +252,7 @@ impl PageCache {
             let key = PageKey::new(file, page);
             if !self.resident.contains_key(&key) {
                 out.prefetch_pages.push(page);
-                self.insert_page(key, true);
+                self.insert_page_absent(key, true);
             }
         }
         out.writeback_pages = self.evict_to_capacity();
@@ -268,7 +276,7 @@ impl PageCache {
             if self.resident.contains_key(&key) {
                 self.policy.touch(key);
             } else {
-                self.insert_page(key, false);
+                self.insert_page_absent(key, false);
             }
             self.writeback.mark_dirty(key, now);
         }

@@ -80,26 +80,34 @@ impl Lru {
     }
 
     fn bump(&mut self, key: PageKey) {
-        if let Some(&i) = self.index.get(&key) {
-            self.unlink(i);
-            self.push_tail(i);
-            return;
-        }
-        let i = match self.free.pop() {
-            Some(i) => {
-                self.slots[i as usize].key = key;
-                i
-            }
-            None => {
-                self.slots.push(Node {
-                    key,
-                    prev: NIL,
-                    next: NIL,
-                });
-                (self.slots.len() - 1) as u32
+        use std::collections::hash_map::Entry;
+        // Single index probe for both the refresh and the insert case.
+        let slots = &mut self.slots;
+        let free = &mut self.free;
+        let (i, refresh) = match self.index.entry(key) {
+            Entry::Occupied(e) => (*e.get(), true),
+            Entry::Vacant(e) => {
+                let i = match free.pop() {
+                    Some(i) => {
+                        slots[i as usize].key = key;
+                        i
+                    }
+                    None => {
+                        slots.push(Node {
+                            key,
+                            prev: NIL,
+                            next: NIL,
+                        });
+                        (slots.len() - 1) as u32
+                    }
+                };
+                e.insert(i);
+                (i, false)
             }
         };
-        self.index.insert(key, i);
+        if refresh {
+            self.unlink(i);
+        }
         self.push_tail(i);
     }
 }
@@ -110,8 +118,11 @@ impl EvictionPolicy for Lru {
     }
 
     fn touch(&mut self, key: PageKey) {
-        if self.index.contains_key(&key) {
-            self.bump(key);
+        // Single index probe: a hit moves the slot to the MRU end, a
+        // miss is a no-op (never inserts, unlike `bump`).
+        if let Some(&i) = self.index.get(&key) {
+            self.unlink(i);
+            self.push_tail(i);
         }
     }
 

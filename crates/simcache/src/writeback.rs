@@ -8,7 +8,8 @@
 use crate::page::PageKey;
 use rb_simcore::fnv::FnvHashMap;
 use rb_simcore::time::Nanos;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Writeback configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,8 +38,13 @@ impl Default for WritebackConfig {
 #[derive(Debug, Clone)]
 pub struct Writeback {
     config: WritebackConfig,
-    /// Dirty pages ordered by the instant they were first dirtied.
-    by_age: BTreeMap<(Nanos, PageKey), ()>,
+    /// Dirty pages ordered by the instant they were first dirtied: a
+    /// min-heap with lazy deletion. `age_of` is the ground truth; a
+    /// heap entry whose `(instant, key)` no longer matches `age_of` is
+    /// stale (cleared or re-dirtied) and skipped on pop. Flush order is
+    /// identical to an ordered-map walk — ascending `(instant, key)` —
+    /// without paying a tree rebalance on every `mark_dirty`/`clear`.
+    by_age: BinaryHeap<Reverse<(Nanos, PageKey)>>,
     /// Dirty-state probe map (`is_dirty` runs on every eviction).
     age_of: FnvHashMap<PageKey, Nanos>,
 }
@@ -48,8 +54,16 @@ impl Writeback {
     pub fn new(config: WritebackConfig) -> Self {
         Writeback {
             config,
-            by_age: BTreeMap::new(),
+            by_age: BinaryHeap::new(),
             age_of: Default::default(),
+        }
+    }
+
+    /// Drops stale heap entries once they outnumber the live ones, so
+    /// the heap stays proportional to the dirty set.
+    fn maybe_compact(&mut self) {
+        if self.by_age.len() > 2 * self.age_of.len() + 64 {
+            self.by_age = self.age_of.iter().map(|(&k, &t)| Reverse((t, k))).collect();
         }
     }
 
@@ -73,15 +87,20 @@ impl Writeback {
     pub fn mark_dirty(&mut self, key: PageKey, now: Nanos) {
         if let std::collections::hash_map::Entry::Vacant(e) = self.age_of.entry(key) {
             e.insert(now);
-            self.by_age.insert((now, key), ());
+            self.by_age.push(Reverse((now, key)));
         }
     }
 
-    /// Clears the dirty state (page written back or invalidated).
+    /// Clears the dirty state (page written back or invalidated). The
+    /// heap entry is left behind and skipped lazily.
     pub fn clear(&mut self, key: PageKey) {
-        if let Some(t) = self.age_of.remove(&key) {
-            self.by_age.remove(&(t, key));
-        }
+        self.age_of.remove(&key);
+    }
+
+    /// [`Writeback::clear`] that reports whether the page was dirty, so
+    /// eviction decides dirty-vs-clean with a single probe.
+    pub fn take(&mut self, key: PageKey) -> bool {
+        self.age_of.remove(&key).is_some()
     }
 
     /// Returns true if dirty pressure exceeds the ratio for a cache of
@@ -97,27 +116,35 @@ impl Writeback {
     pub fn take_due(&mut self, now: Nanos, capacity_pages: u64) -> Vec<PageKey> {
         let mut out = Vec::new();
         while out.len() < self.config.batch {
-            let Some((&(dirtied, key), ())) = self.by_age.iter().next() else {
+            let Some(&Reverse((dirtied, key))) = self.by_age.peek() else {
                 break;
             };
+            // Stale entry: the page was cleared (or re-dirtied at a
+            // different instant) after this entry was pushed.
+            if self.age_of.get(&key) != Some(&dirtied) {
+                self.by_age.pop();
+                continue;
+            }
             let expired = now.saturating_sub(dirtied) >= self.config.max_age;
             let pressured = self.over_ratio(capacity_pages);
             if !(expired || pressured) {
                 break;
             }
-            self.by_age.remove(&(dirtied, key));
+            self.by_age.pop();
             self.age_of.remove(&key);
             out.push(key);
         }
+        self.maybe_compact();
         out
     }
 
     /// Drains every dirty page oldest-first (fsync / unmount semantics).
     pub fn drain_all(&mut self) -> Vec<PageKey> {
-        let keys: Vec<PageKey> = self.by_age.keys().map(|&(_, k)| k).collect();
+        let mut live: Vec<(Nanos, PageKey)> = self.age_of.iter().map(|(&k, &t)| (t, k)).collect();
+        live.sort_unstable();
         self.by_age.clear();
         self.age_of.clear();
-        keys
+        live.into_iter().map(|(_, k)| k).collect()
     }
 }
 

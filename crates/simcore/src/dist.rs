@@ -141,8 +141,21 @@ impl Dist {
 /// assert!(i < 1000);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Zipf {
-    cdf: Vec<f64>,
+pub enum Zipf {
+    /// `theta = 0`: every item equally likely. Construction is O(1) —
+    /// important because engines rebuild the sampler whenever a file
+    /// set grows or shrinks — and sampling computes the same CDF values
+    /// the table would hold (`(i+1)/n`) on the fly, so the drawn
+    /// indices are bit-identical to the table-backed sampler's.
+    Uniform {
+        /// Number of items.
+        n: usize,
+    },
+    /// `theta > 0`: inverted-CDF table over the skewed mass function.
+    Skewed {
+        /// Cumulative distribution, `cdf[i] = P(index <= i)`.
+        cdf: Vec<f64>,
+    },
 }
 
 impl Zipf {
@@ -152,6 +165,12 @@ impl Zipf {
     /// web-popularity skew. `n = 0` is treated as `n = 1`.
     pub fn new(n: usize, theta: f64) -> Self {
         let n = n.max(1);
+        if theta == 0.0 {
+            // With theta = 0 every weight is exactly 1.0, the partial
+            // sums are exact integers, and the normalized table would be
+            // exactly (i+1)/n — reproduced in `sample` without a table.
+            return Zipf::Uniform { n };
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for i in 0..n {
@@ -162,12 +181,15 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Zipf { cdf }
+        Zipf::Skewed { cdf }
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        match self {
+            Zipf::Uniform { n } => *n,
+            Zipf::Skewed { cdf } => cdf.len(),
+        }
     }
 
     /// Returns true if the sampler has exactly one item.
@@ -178,10 +200,28 @@ impl Zipf {
     /// Draws one index in `[0, n)`.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        // partition_point returns the first index with cdf > u.
-        self.cdf
-            .partition_point(|&c| c <= u)
-            .min(self.cdf.len() - 1)
+        match self {
+            Zipf::Uniform { n } => {
+                // Binary search for the first index whose CDF value
+                // exceeds `u`, computing cdf[i] = (i+1)/n on demand.
+                // The predicate is monotone (fixed-divisor division is
+                // non-decreasing under rounding), so this lands on the
+                // same boundary `partition_point` over the table would.
+                let nf = *n as f64;
+                let (mut lo, mut hi) = (0usize, *n);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if (mid + 1) as f64 / nf <= u {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo.min(n - 1)
+            }
+            // partition_point returns the first index with cdf > u.
+            Zipf::Skewed { cdf } => cdf.partition_point(|&c| c <= u).min(cdf.len() - 1),
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! sequence so the schedule is a pure function of the inputs.
 
 use crate::time::Nanos;
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// An event scheduled at a virtual instant, carrying a payload `T`.
@@ -18,32 +18,22 @@ struct Scheduled<T> {
     payload: T,
 }
 
-impl<T> PartialEq for Scheduled<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<T> Eq for Scheduled<T> {}
-
-impl<T> PartialOrd for Scheduled<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Scheduled<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with FIFO order among ties.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A min-ordered event queue over virtual time.
+///
+/// Implemented as an arena-backed 4-ary min-heap over a flat `Vec`:
+/// sift loops walk index arithmetic in one contiguous allocation, with
+/// a branching factor chosen so a heap of hundreds of in-flight events
+/// stays within a couple of cache lines per level. Ordering is by the
+/// `(at, seq)` key — `seq` increments per [`EventQueue::schedule`] call
+/// — so equal-instant events pop in exact FIFO order, and the pop
+/// sequence is a pure function of the schedule no matter what internal
+/// shape the heap takes.
+///
+/// The queue is built to be reused: [`EventQueue::clear`] resets it to
+/// the freshly-constructed state (including the FIFO sequence counter)
+/// while keeping the arena allocation, and [`EventQueue::reserve`]
+/// pre-sizes it, so run-per-cell drivers stop paying an allocation
+/// ramp-up on every run.
 ///
 /// # Examples
 ///
@@ -59,7 +49,8 @@ impl<T> Ord for Scheduled<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+    /// Flat 4-ary min-heap: children of `i` are `4i+1 ..= 4i+4`.
+    arena: Vec<Scheduled<T>>,
     seq: u64,
 }
 
@@ -73,8 +64,76 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            arena: Vec::new(),
             seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            arena: Vec::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.arena.reserve(additional);
+    }
+
+    /// Empties the queue and resets the FIFO sequence counter, keeping
+    /// the arena allocation. A cleared queue behaves identically to a
+    /// fresh one — same tie-break numbering — so reuse across runs
+    /// cannot perturb a deterministic schedule.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.seq = 0;
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> (Nanos, u64) {
+        let s = &self.arena[i];
+        (s.at, s.seq)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) >> 2;
+            if self.key(i) < self.key(parent) {
+                self.arena.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.arena.len();
+        loop {
+            let first = (i << 2) + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            let mut min_key = self.key(first);
+            let last = (first + 4).min(n);
+            for c in first + 1..last {
+                let k = self.key(c);
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key < self.key(i) {
+                self.arena.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
         }
     }
 
@@ -82,29 +141,36 @@ impl<T> EventQueue<T> {
     pub fn schedule(&mut self, at: Nanos, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.arena.push(Scheduled { at, seq, payload });
+        self.sift_up(self.arena.len() - 1);
     }
 
     /// Removes and returns the earliest event, if any.
     ///
     /// Events at equal instants come out in the order they were scheduled.
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        let last = self.arena.pop()?;
+        if self.arena.is_empty() {
+            return Some((last.at, last.payload));
+        }
+        let top = std::mem::replace(&mut self.arena[0], last);
+        self.sift_down(0);
+        Some((top.at, top.payload))
     }
 
     /// Returns the instant of the earliest pending event.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|s| s.at)
+        self.arena.first().map(|s| s.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.arena.len()
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.arena.is_empty()
     }
 }
 
@@ -114,16 +180,24 @@ impl<T> EventQueue<T> {
 /// ties), occupies it for `work`, and returns the completion instant.
 /// Shared by the multi-process workload scheduler and anything else
 /// that needs bounded-parallelism tokens over virtual time.
+///
+/// The token set is a min-heap keyed `(free_at, index)`, so a claim is
+/// O(log cores) instead of a linear scan, and the heap ordering itself
+/// enforces the lowest-index tie-break the linear scan used to provide
+/// (the popped minimum is the smallest `(free_at, index)` pair — the
+/// first minimum a front-to-back scan would find).
 #[derive(Debug, Clone)]
 pub struct CoreSet {
-    free: Vec<Nanos>,
+    free: BinaryHeap<Reverse<(Nanos, u32)>>,
 }
 
 impl CoreSet {
     /// A set of `cores` idle cores (at least one).
     pub fn new(cores: u32) -> Self {
         CoreSet {
-            free: vec![Nanos::ZERO; cores.max(1) as usize],
+            free: (0..cores.max(1))
+                .map(|i| Reverse((Nanos::ZERO, i)))
+                .collect(),
         }
     }
 
@@ -136,12 +210,13 @@ impl CoreSet {
     /// the work completes. Ties break toward the lowest core index, so
     /// the claim order is deterministic.
     pub fn claim(&mut self, now: Nanos, work: Nanos) -> Nanos {
-        let core = (0..self.free.len())
-            .min_by_key(|&i| self.free[i])
-            .expect("at least one core");
-        let start = self.free[core].max(now);
+        // peek_mut re-sifts once on drop: one O(log cores) pass per
+        // claim instead of a pop + push pair.
+        let mut top = self.free.peek_mut().expect("at least one core");
+        let Reverse((free_at, core)) = *top;
+        let start = free_at.max(now);
         let done = start + work;
-        self.free[core] = done;
+        *top = Reverse((done, core));
         done
     }
 }

@@ -1,0 +1,207 @@
+//! A small vector with inline storage for allocation-free hot paths.
+//!
+//! Simulation hot loops produce many short, short-lived sequences —
+//! metadata block lists, resolved inode chains — whose typical length
+//! is a handful of elements. [`InlineVec`] keeps the first `N` elements
+//! in the value itself and only touches the heap when a sequence
+//! outgrows that, so the common case costs zero allocations while the
+//! rare deep case stays correct.
+
+/// A `Vec`-like container whose first `N` elements live inline.
+///
+/// Requires `T: Copy + Default` so the inline buffer can be plainly
+/// initialised without unsafe code. Once the inline buffer fills, the
+/// contents spill to a heap `Vec` and stay there.
+///
+/// # Examples
+///
+/// ```
+/// use rb_simcore::inline::InlineVec;
+///
+/// let mut v: InlineVec<u64, 4> = InlineVec::new();
+/// for i in 0..6 {
+///     v.push(i); // spills to the heap at the fifth push
+/// }
+/// assert_eq!(v.len(), 6);
+/// assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub enum InlineVec<T, const N: usize> {
+    /// Contents fit in the inline buffer; only `buf[..len]` is live.
+    Inline {
+        /// Inline storage; slots at `len..` hold `T::default()` filler.
+        buf: [T; N],
+        /// Number of live elements.
+        len: usize,
+    },
+    /// Contents outgrew the inline buffer.
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec::Inline {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends an element, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(value);
+                    *self = InlineVec::Spilled(v);
+                }
+            }
+            InlineVec::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// Appends every element of `other`.
+    pub fn extend_from_slice(&mut self, other: &[T]) {
+        for &x in other {
+            self.push(x);
+        }
+    }
+
+    /// Live elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { buf, len } => &buf[..*len],
+            InlineVec::Spilled(v) => v,
+        }
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len,
+            InlineVec::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Returns true if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every element, returning to inline storage so the next
+    /// fill is allocation-free again.
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Iterates the live elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for x in iter {
+            out.push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_and_preserves_order() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i * 10);
+        }
+        assert!(matches!(v, InlineVec::Spilled(_)));
+        assert_eq!(v, vec![0, 10, 20, 30, 40]);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn clear_returns_to_inline() {
+        let mut v: InlineVec<u64, 2> = InlineVec::new();
+        v.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(v, InlineVec::Spilled(_)));
+        v.clear();
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn equality_and_iteration() {
+        let v: InlineVec<u64, 8> = [7u64, 8, 9].into_iter().collect();
+        assert_eq!(v, vec![7, 8, 9]);
+        let doubled: Vec<u64> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![14, 16, 18]);
+        let total: u64 = (&v).into_iter().sum();
+        assert_eq!(total, 24);
+    }
+}

@@ -28,6 +28,7 @@ pub mod dist;
 pub mod error;
 pub mod events;
 pub mod fnv;
+pub mod inline;
 pub mod rng;
 pub mod time;
 pub mod units;

@@ -39,15 +39,24 @@ pub struct BitmapAllocator {
     bits: Vec<bool>,
     group_size: u64,
     free: u64,
+    /// Per-group scan accelerator: every block of group `g` below
+    /// `first_free_hint[g]` is allocated, so `alloc` may start its walk
+    /// there instead of at the group boundary. The hint is a lower
+    /// bound, never a promise that the hinted block is free; the runs
+    /// found are identical to a full from-the-start scan.
+    first_free_hint: Vec<u64>,
 }
 
 impl BitmapAllocator {
     /// Creates an allocator of `total` blocks in groups of `group_size`.
     pub fn new(total: u64, group_size: u64) -> Self {
+        let group_size = group_size.max(1);
+        let groups = total.div_ceil(group_size) as usize;
         BitmapAllocator {
             bits: vec![false; total as usize],
-            group_size: group_size.max(1),
+            group_size,
             free: total,
+            first_free_hint: (0..groups as u64).map(|g| g * group_size).collect(),
         }
     }
 
@@ -109,7 +118,7 @@ impl BitmapAllocator {
             let g = (goal_group + gi) % groups;
             let start = g * self.group_size;
             let end = (start + self.group_size).min(self.total());
-            let mut b = start;
+            let mut b = start.max(self.first_free_hint[g as usize]);
             while b < end && left > 0 {
                 if !self.bits[b as usize] {
                     // Extend the run as far as it goes.
@@ -134,6 +143,10 @@ impl BitmapAllocator {
                     b += 1;
                 }
             }
+            // Everything below `b` in this group is now allocated: the
+            // pre-hint prefix by the invariant, the scanned stretch
+            // because the walk claims every free block it passes.
+            self.first_free_hint[g as usize] = b;
             if left == 0 {
                 break;
             }
@@ -158,6 +171,10 @@ impl BitmapAllocator {
             }
             self.bits[b as usize] = false;
             self.free += 1;
+            let g = (b / self.group_size) as usize;
+            if self.first_free_hint[g] > b {
+                self.first_free_hint[g] = b;
+            }
         }
         Ok(())
     }

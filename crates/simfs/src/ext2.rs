@@ -300,7 +300,7 @@ impl FileSystem for Ext2Fs {
 
     fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
-        if self.tree.resolve_spec(spec).is_ok() {
+        if self.tree.has_child(parent, name) {
             return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
@@ -322,7 +322,7 @@ impl FileSystem for Ext2Fs {
 
     fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
-        if self.tree.resolve_spec(spec).is_ok() {
+        if self.tree.has_child(parent, name) {
             return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
@@ -342,7 +342,7 @@ impl FileSystem for Ext2Fs {
         Ok((ino, meta))
     }
 
-    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
         let mut meta = MetaIo::default();
         let comps = spec.components();
@@ -367,10 +367,10 @@ impl FileSystem for Ext2Fs {
         if let Some(b) = self.dirent_block_sym(parent, name) {
             meta.writes.push(b);
         }
-        Ok(meta)
+        Ok((ino, meta))
     }
 
-    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         // Same machinery; remove_child enforces emptiness.
         self.unlink_spec(spec)
     }
@@ -453,11 +453,13 @@ impl FileSystem for Ext2Fs {
                     _ => node.runs.push(r),
                 }
             }
-            let entry = self.indirect.entry(ino).or_default();
-            for r in ind_runs {
-                for b in r.start..r.start + r.len {
-                    entry.push(b);
-                    meta.writes.push(b);
+            if !ind_runs.is_empty() {
+                let entry = self.indirect.entry(ino).or_default();
+                for r in ind_runs {
+                    for b in r.start..r.start + r.len {
+                        entry.push(b);
+                        meta.writes.push(b);
+                    }
                 }
             }
         } else if need < have {

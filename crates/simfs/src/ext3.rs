@@ -147,14 +147,14 @@ impl FileSystem for Ext3Fs {
         Ok((ino, self.journal(meta)))
     }
 
-    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
-        let meta = self.inner.unlink_spec(spec)?;
-        Ok(self.journal(meta))
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, meta) = self.inner.unlink_spec(spec)?;
+        Ok((ino, self.journal(meta)))
     }
 
-    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
-        let meta = self.inner.rmdir_spec(spec)?;
-        Ok(self.journal(meta))
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
+        let (ino, meta) = self.inner.rmdir_spec(spec)?;
+        Ok((ino, self.journal(meta)))
     }
 
     fn readdir_spec(&mut self, spec: &PathSpec) -> SimResult<(u64, MetaIo)> {

@@ -394,8 +394,7 @@ impl StorageStack {
 
     /// [`StorageStack::unlink`] at instant `issue` (discrete-event form).
     pub fn unlink_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
-        let (ino, _) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
-        let meta = self.fs.unlink_spec(&self.paths.specs[id.index()])?;
+        let (ino, meta) = self.fs.unlink_spec(&self.paths.specs[id.index()])?;
         self.cache.invalidate_file(ino);
         let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;

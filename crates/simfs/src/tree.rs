@@ -15,9 +15,15 @@ use crate::alloc::Run;
 use crate::intern::{Interner, PathSpec, Symbol};
 use rb_simcore::error::{SimError, SimResult};
 use rb_simcore::fnv::FnvHashMap;
+use rb_simcore::inline::InlineVec;
 use rb_simcore::units::Bytes;
 
 use crate::vfs::InodeNo;
+
+/// Inode chain recorded during a resolution, root first: inline up to
+/// 8 levels deep — deeper than any testbed namespace — so the per-op
+/// traversal record costs no allocation on the hot path.
+pub type Traversed = InlineVec<InodeNo, 8>;
 
 /// Bytes a directory entry consumes (fixed-size model).
 pub const DIRENT_SIZE: u64 = 64;
@@ -196,9 +202,9 @@ impl Tree {
     /// Resolves a pre-split path to an inode, also returning every
     /// directory inode traversed (for metadata charging). Behaviour and
     /// errors are identical to [`Tree::resolve`].
-    pub fn resolve_spec(&self, spec: &PathSpec) -> SimResult<(InodeNo, Vec<InodeNo>)> {
+    pub fn resolve_spec(&self, spec: &PathSpec) -> SimResult<(InodeNo, Traversed)> {
         let mut cur = self.root;
-        let mut traversed = Vec::with_capacity(spec.components().len() + 1);
+        let mut traversed = Traversed::new();
         traversed.push(self.root);
         for &sym in spec.components() {
             cur = self.step(cur, sym, spec.path())?;
@@ -210,15 +216,12 @@ impl Tree {
     /// Resolves the parent directory of a pre-split path, returning
     /// `(parent_ino, final_component, traversed)`. Behaviour and errors
     /// are identical to [`Tree::resolve_parent`].
-    pub fn resolve_parent_spec(
-        &self,
-        spec: &PathSpec,
-    ) -> SimResult<(InodeNo, Symbol, Vec<InodeNo>)> {
+    pub fn resolve_parent_spec(&self, spec: &PathSpec) -> SimResult<(InodeNo, Symbol, Traversed)> {
         let Some((leaf, dirs)) = spec.split_last() else {
             return Err(SimError::InvalidOperation("path is the root".into()));
         };
         let mut cur = self.root;
-        let mut traversed = Vec::with_capacity(dirs.len() + 1);
+        let mut traversed = Traversed::new();
         traversed.push(self.root);
         for &sym in dirs {
             cur = self.step(cur, sym, spec.path())?;
@@ -244,6 +247,18 @@ impl Tree {
         dir.get(&sym)
             .copied()
             .ok_or_else(|| SimError::NotFound(path.to_string()))
+    }
+
+    /// Returns true if directory `parent` has an entry named `name`.
+    ///
+    /// An O(1) existence probe for callers that already resolved the
+    /// parent — equivalent to (but much cheaper than) re-resolving the
+    /// full path and checking for success.
+    pub fn has_child(&self, parent: InodeNo, name: Symbol) -> bool {
+        self.inodes
+            .get(&parent)
+            .and_then(|n| n.dir.as_ref())
+            .is_some_and(|d| d.contains_key(&name))
     }
 
     /// Resolves a path to an inode, also returning every directory inode
@@ -456,7 +471,9 @@ mod tests {
         for path in ["/", "/dir", "/dir/file", "/dir/missing", "/dir/file/deep"] {
             let spec = t.make_spec(path).unwrap();
             match (t.resolve(path), t.resolve_spec(&spec)) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b, "{path}"),
+                (Ok((ia, ta)), Ok((ib, tb))) => {
+                    assert_eq!((ia, ta.as_slice()), (ib, tb.as_slice()), "{path}")
+                }
                 (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{path}"),
                 (a, b) => panic!("{path}: string {a:?} vs spec {b:?}"),
             }

@@ -10,28 +10,34 @@
 
 use crate::intern::PathSpec;
 use rb_simcore::error::SimResult;
+use rb_simcore::inline::InlineVec;
 use rb_simcore::units::{BlockNo, Bytes};
 
 /// Inode number.
 pub type InodeNo = u64;
 
+/// Block list inside a [`MetaIo`]: inline up to 8 blocks — which covers
+/// the typical namespace operation — spilling to the heap only for the
+/// rare wide op (a large readdir, a long truncate).
+pub type MetaBlocks = InlineVec<BlockNo, 8>;
+
 /// Metadata block traffic caused by an operation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetaIo {
     /// Metadata blocks read (directory blocks, inode table, bitmaps).
-    pub reads: Vec<BlockNo>,
+    pub reads: MetaBlocks,
     /// Metadata blocks written.
-    pub writes: Vec<BlockNo>,
+    pub writes: MetaBlocks,
     /// Journal blocks written (empty on non-journaling systems).
-    pub journal_writes: Vec<BlockNo>,
+    pub journal_writes: MetaBlocks,
 }
 
 impl MetaIo {
     /// Merges another operation's traffic into this one.
     pub fn merge(&mut self, other: MetaIo) {
-        self.reads.extend(other.reads);
-        self.writes.extend(other.writes);
-        self.journal_writes.extend(other.journal_writes);
+        self.reads.extend_from_slice(&other.reads);
+        self.writes.extend_from_slice(&other.writes);
+        self.journal_writes.extend_from_slice(&other.journal_writes);
     }
 
     /// Total metadata blocks touched.
@@ -103,11 +109,12 @@ pub trait FileSystem {
     fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
 
     /// Removes a regular file at a pre-interned path, freeing its
-    /// blocks.
-    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo>;
+    /// blocks. Returns the removed inode so callers can invalidate
+    /// cached pages without a second path walk.
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
 
     /// Removes an empty directory at a pre-interned path.
-    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo>;
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)>;
 
     /// Counts a directory's entries, charging the same metadata reads a
     /// full listing would (the counted readdir form — no name
@@ -135,13 +142,13 @@ pub trait FileSystem {
     /// Removes a regular file, freeing its blocks.
     fn unlink(&mut self, path: &str) -> SimResult<MetaIo> {
         let spec = self.intern_path(path)?;
-        self.unlink_spec(&spec)
+        self.unlink_spec(&spec).map(|(_, meta)| meta)
     }
 
     /// Removes an empty directory.
     fn rmdir(&mut self, path: &str) -> SimResult<MetaIo> {
         let spec = self.intern_path(path)?;
-        self.rmdir_spec(&spec)
+        self.rmdir_spec(&spec).map(|(_, meta)| meta)
     }
 
     /// Counts a directory's entries (see [`FileSystem::readdir_spec`]).
@@ -182,14 +189,14 @@ mod tests {
     #[test]
     fn metaio_merge_accumulates() {
         let mut a = MetaIo {
-            reads: vec![1],
-            writes: vec![2],
-            journal_writes: vec![],
+            reads: [1].into_iter().collect(),
+            writes: [2].into_iter().collect(),
+            journal_writes: MetaBlocks::new(),
         };
         let b = MetaIo {
-            reads: vec![3, 4],
-            writes: vec![],
-            journal_writes: vec![9],
+            reads: [3, 4].into_iter().collect(),
+            writes: MetaBlocks::new(),
+            journal_writes: [9].into_iter().collect(),
         };
         a.merge(b);
         assert_eq!(a.reads, vec![1, 3, 4]);

@@ -266,7 +266,7 @@ impl FileSystem for XfsFs {
 
     fn create_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
-        if self.tree.resolve_spec(spec).is_ok() {
+        if self.tree.has_child(parent, name) {
             return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
@@ -281,7 +281,7 @@ impl FileSystem for XfsFs {
 
     fn mkdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
-        if self.tree.resolve_spec(spec).is_ok() {
+        if self.tree.has_child(parent, name) {
             return Err(SimError::AlreadyExists(spec.path().to_string()));
         }
         let mut meta = MetaIo::default();
@@ -294,7 +294,7 @@ impl FileSystem for XfsFs {
         Ok((ino, self.log(meta)))
     }
 
-    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+    fn unlink_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         let (parent, name, traversed) = self.tree.resolve_parent_spec(spec)?;
         let mut meta = MetaIo::default();
         self.charge_lookup(&traversed, &mut meta);
@@ -308,10 +308,10 @@ impl FileSystem for XfsFs {
         let it = self.inode_table_block(ino);
         meta.writes.push(it);
         self.ino_ag.remove(&ino);
-        Ok(self.log(meta))
+        Ok((ino, self.log(meta)))
     }
 
-    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<MetaIo> {
+    fn rmdir_spec(&mut self, spec: &PathSpec) -> SimResult<(InodeNo, MetaIo)> {
         self.unlink_spec(spec)
     }
 
