@@ -34,6 +34,7 @@ fn config(duration: Nanos, arrival: Arrival) -> EngineConfig {
         processes: 1,
         cores: 4,
         arrival,
+        obs: ObsConfig::default(),
     }
 }
 

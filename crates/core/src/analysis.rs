@@ -236,6 +236,8 @@ mod tests {
             duration: Nanos::from_secs(1),
             hit_ratio,
             open_loop: None,
+            metrics: None,
+            trace: None,
         }
     }
 

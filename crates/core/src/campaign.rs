@@ -580,6 +580,10 @@ pub struct CellResult {
     /// Open-loop tail statistics, for cells on the arrival axis
     /// (`None` for closed-loop cells).
     pub open_loop: Option<OpenCellStats>,
+    /// Flight-recorder snapshot from the cell's first run, when the
+    /// plan enabled metrics capture. The first run (not an aggregate)
+    /// keeps the snapshot an exact, explainable account of one run.
+    pub metrics: Option<rb_obs::MetricsSnapshot>,
 }
 
 /// Open-loop statistics aggregated across one cell's runs: the offered
@@ -654,6 +658,10 @@ impl CellResult {
         };
         let errors = mr.outcomes.iter().map(|o| o.recording.errors).sum();
         let open_loop = cell.arrival.is_open().then(|| OpenCellStats::from_runs(mr));
+        let metrics = mr
+            .outcomes
+            .first()
+            .and_then(|o| o.recording.metrics.clone());
         CellResult {
             cell,
             coverage,
@@ -666,6 +674,7 @@ impl CellResult {
             hit_ratio,
             errors,
             open_loop,
+            metrics,
         }
     }
 }
@@ -734,6 +743,13 @@ impl CampaignReport {
         })
     }
 
+    /// Whether any cell carries a flight-recorder snapshot. Like the
+    /// axis columns, the `--metrics` columns only appear when the plan
+    /// recorded them, so every recorder-off report stays byte-identical.
+    fn has_metrics(&self) -> bool {
+        self.cells.iter().any(|c| c.metrics.is_some())
+    }
+
     /// The campaign table as CSV (one row per cell, runs' spread
     /// included). Campaigns that sweep the concurrency axis get a
     /// `processes` column after `cache_mib`.
@@ -741,6 +757,7 @@ impl CampaignReport {
         let procs = self.sweeps_processes();
         let arrival = self.sweeps_arrival();
         let slo = self.has_slo();
+        let metrics = self.has_metrics();
         let ms = |v: Option<Nanos>| {
             v.map(|n| format!("{:.3}", n.as_secs_f64() * 1e3))
                 .unwrap_or_default()
@@ -794,6 +811,22 @@ impl CampaignReport {
                             .unwrap_or_default(),
                     );
                 }
+                if metrics {
+                    let m = c.metrics.as_ref();
+                    row.extend([
+                        m.and_then(|m| m.device_busy_frac())
+                            .map(|x| format!("{:.2}", x * 100.0))
+                            .unwrap_or_default(),
+                        m.map(|m| format!("{:.2}", m.sched.queue_wait_share() * 100.0))
+                            .unwrap_or_default(),
+                        m.and_then(|m| m.disk.as_ref().map(|d| d.seeks.to_string()))
+                            .unwrap_or_default(),
+                        m.and_then(|m| m.fs.as_ref().map(|f| f.journal_commits.to_string()))
+                            .unwrap_or_default(),
+                        m.and_then(|m| m.cache.as_ref().map(|c| c.writeback_flushed.to_string()))
+                            .unwrap_or_default(),
+                    ]);
+                }
                 row
             })
             .collect();
@@ -823,6 +856,15 @@ impl CampaignReport {
         if slo {
             header.push("slo_max_ops_per_sec");
         }
+        if metrics {
+            header.extend([
+                "dev_busy_pct",
+                "qwait_pct",
+                "seeks",
+                "journal_commits",
+                "writeback_flushed",
+            ]);
+        }
         report::to_csv(&header, &rows)
     }
 
@@ -832,6 +874,7 @@ impl CampaignReport {
     pub fn to_json(&self) -> Json {
         let procs = self.sweeps_processes();
         let arrival = self.sweeps_arrival();
+        let metrics = self.has_metrics();
         let cells = self
             .cells
             .iter()
@@ -903,6 +946,31 @@ impl CampaignReport {
                         None => Json::Null,
                     };
                     fields.push(("open_loop", open));
+                }
+                if metrics {
+                    let m = match &c.metrics {
+                        Some(m) => {
+                            let counters = m
+                                .counters()
+                                .into_iter()
+                                .map(|(n, v)| (n, Json::Num(v as f64)))
+                                .collect();
+                            Json::obj(vec![
+                                (
+                                    "hit_ratio",
+                                    m.hit_ratio().map(Json::Num).unwrap_or(Json::Null),
+                                ),
+                                (
+                                    "device_busy",
+                                    m.device_busy_frac().map(Json::Num).unwrap_or(Json::Null),
+                                ),
+                                ("queue_wait_share", Json::Num(m.sched.queue_wait_share())),
+                                ("counters", Json::obj(counters)),
+                            ])
+                        }
+                        None => Json::Null,
+                    };
+                    fields.push(("metrics", m));
                 }
                 Json::obj(fields)
             })
@@ -1305,6 +1373,7 @@ fn run_trace_cell(
         hit_ratio,
         errors,
         open_loop: None,
+        metrics: None,
     })
 }
 
@@ -1543,6 +1612,7 @@ mod tests {
             prewarm: false,
             processes: 1,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         };
         let mr = run_many(
             |s| testbed::paper_fs(FsKind::Ext2, Bytes::mib(64), s),

@@ -371,6 +371,7 @@ pub fn fig2(config: &Fig2Config) -> SimResult<Fig2Data> {
             processes: 1,
             cores: 4,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let warmup = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -491,6 +492,7 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             processes: 1,
             cores: 4,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         };
         let _ = Engine::run_prepared(&mut target, &workload, &warm_cfg, &mut sets)?;
         // Measured phase.
@@ -505,6 +507,7 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             processes: 1,
             cores: 4,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         };
         let rec = Engine::run_prepared(&mut target, &workload, &measure_cfg, &mut sets)?;
         let modality = classify_modality(&rec.histogram);
@@ -631,6 +634,7 @@ pub fn fig4(config: &Fig4Config) -> SimResult<Fig4Data> {
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
     Ok(Fig4Data {

@@ -92,4 +92,5 @@ pub mod prelude {
     pub use crate::workload::{
         personalities, Engine, EngineConfig, FileSet, FlowOp, OpenLoopReport, Recording, Workload,
     };
+    pub use rb_obs::{MetricsSnapshot, ObsConfig, SpanTrace, TraceConfig};
 }

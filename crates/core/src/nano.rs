@@ -141,6 +141,7 @@ fn in_memory_read(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run_prepared(&mut t, &w, &cfg, &mut sets)?;
     let p50 = rec
@@ -176,6 +177,7 @@ fn disk_layout_sequential(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResu
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mib_per_sec = rec.ops_per_sec() * 64.0 / 1024.0; // 64 KiB per op
@@ -207,6 +209,7 @@ fn disk_layout_random(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> 
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let p50 = rec
@@ -241,6 +244,7 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let report = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -285,6 +289,7 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let stats = t.stack().cache().stats();
@@ -319,6 +324,7 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         processes: 1,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: rb_obs::ObsConfig::default(),
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mut metrics = vec![Metric::new("throughput", rec.ops_per_sec(), "ops/s")];

@@ -315,6 +315,10 @@ pub struct RunPlan {
     /// arrival process offering ops at a fixed rate regardless of
     /// completions.
     pub arrival: Arrival,
+    /// Flight-recorder configuration applied to every run (off by
+    /// default; enabling it never changes what is measured, only what
+    /// is additionally recorded).
+    pub obs: rb_obs::ObsConfig,
 }
 
 impl Default for RunPlan {
@@ -331,6 +335,7 @@ impl Default for RunPlan {
             prewarm: false,
             processes: 1,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 }
@@ -352,6 +357,7 @@ impl RunPlan {
             prewarm: true,
             processes: 1,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 
@@ -372,6 +378,7 @@ impl RunPlan {
             prewarm: true,
             processes: 1,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 
@@ -402,6 +409,12 @@ impl RunPlan {
         self
     }
 
+    /// The same plan with the flight recorder configured.
+    pub fn with_obs(mut self, obs: rb_obs::ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The engine configuration for run `i` of this plan.
     pub fn engine_config(&self, run_index: u32) -> EngineConfig {
         EngineConfig {
@@ -415,6 +428,7 @@ impl RunPlan {
             processes: self.processes,
             cores: 4,
             arrival: self.arrival,
+            obs: self.obs.clone(),
         }
     }
 }
@@ -813,6 +827,7 @@ mod tests {
             prewarm: true,
             processes: 1,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 

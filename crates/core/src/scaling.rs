@@ -176,6 +176,7 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
             processes: n,
             cores: config.cores,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let ops_per_sec = rec.ops_per_sec();

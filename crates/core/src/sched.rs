@@ -75,6 +75,13 @@ pub struct Completion {
     pub process: u32,
     /// When the process arrived (started waiting for a core).
     pub arrived: Nanos,
+    /// When the operation was issued against the stack (core wait and
+    /// think time already paid; `issued - arrived - think` is the core
+    /// queueing delay).
+    pub issued: Nanos,
+    /// The core that served the think phase (for per-core utilization
+    /// and trace track ids).
+    pub core: u32,
     /// When the operation completed (CPU + queueing + device).
     pub completed: Nanos,
     /// The operation's raw cost, excluding queueing delays.
@@ -87,11 +94,17 @@ enum Event {
     /// Process `p` wants to start its next operation.
     Arrive(u32),
     /// Process `p` got its CPU phase; execute the operation now.
-    Issue { process: u32, arrived: Nanos },
+    Issue {
+        process: u32,
+        arrived: Nanos,
+        core: u32,
+    },
     /// An operation completed (recorded in completion-time order).
     Done {
         process: u32,
         arrived: Nanos,
+        issued: Nanos,
+        core: u32,
         cost: OpCost,
     },
     /// Background-flusher tick.
@@ -204,16 +217,21 @@ pub fn run_closed_loop_in<D: SchedDriver + ?Sized>(
                     live -= 1;
                     continue;
                 }
-                let cpu_done = cores.claim(now, config.think);
+                let (core, cpu_done) = cores.claim_indexed(now, config.think);
                 queue.schedule(
                     cpu_done,
                     Event::Issue {
                         process: p,
                         arrived: now,
+                        core,
                     },
                 );
             }
-            Event::Issue { process, arrived } => match driver.exec(process, now) {
+            Event::Issue {
+                process,
+                arrived,
+                core,
+            } => match driver.exec(process, now) {
                 Ok(cost) => {
                     let after_cpu = now + cost.cpu;
                     let completed = if cost.device.is_zero() {
@@ -226,6 +244,8 @@ pub fn run_closed_loop_in<D: SchedDriver + ?Sized>(
                         Event::Done {
                             process,
                             arrived,
+                            issued: now,
+                            core,
                             cost,
                         },
                     );
@@ -239,12 +259,16 @@ pub fn run_closed_loop_in<D: SchedDriver + ?Sized>(
             Event::Done {
                 process,
                 arrived,
+                issued,
+                core,
                 cost,
             } => {
                 finished = finished.max(now);
                 driver.on_complete(&Completion {
                     process,
                     arrived,
+                    issued,
+                    core,
                     completed: now,
                     cost,
                 })?;
@@ -493,11 +517,17 @@ enum OpenEvent {
     Arrive,
     /// Worker `worker` got its CPU phase; execute the request that
     /// arrived at `arrived` now.
-    Issue { worker: u32, arrived: Nanos },
+    Issue {
+        worker: u32,
+        arrived: Nanos,
+        core: u32,
+    },
     /// A request completed.
     Done {
         worker: u32,
         arrived: Nanos,
+        issued: Nanos,
+        core: u32,
         cost: OpCost,
     },
     /// Background-flusher tick.
@@ -602,12 +632,13 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                 // the core tie-break.
                 if let Some(w) = idle.iter().position(|&free| free) {
                     idle[w] = false;
-                    let cpu_done = cores.claim(now, sched.think);
+                    let (core, cpu_done) = cores.claim_indexed(now, sched.think);
                     queue.schedule(
                         cpu_done,
                         OpenEvent::Issue {
                             worker: w as u32,
                             arrived: now,
+                            core,
                         },
                     );
                 } else if (pending.len() as u32) < config.queue_cap {
@@ -621,7 +652,11 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                     queue.schedule(next, OpenEvent::Arrive);
                 }
             }
-            OpenEvent::Issue { worker, arrived } => match driver.exec(worker, now) {
+            OpenEvent::Issue {
+                worker,
+                arrived,
+                core,
+            } => match driver.exec(worker, now) {
                 Ok(cost) => {
                     let after_cpu = now + cost.cpu;
                     let completed = if cost.device.is_zero() {
@@ -634,6 +669,8 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                         OpenEvent::Done {
                             worker,
                             arrived,
+                            issued: now,
+                            core,
                             cost,
                         },
                     );
@@ -645,8 +682,15 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                     // the worker immediately picks up the next one.
                     match pending.pop_front() {
                         Some(arrived) => {
-                            let cpu_done = cores.claim(now, sched.think);
-                            queue.schedule(cpu_done, OpenEvent::Issue { worker, arrived });
+                            let (core, cpu_done) = cores.claim_indexed(now, sched.think);
+                            queue.schedule(
+                                cpu_done,
+                                OpenEvent::Issue {
+                                    worker,
+                                    arrived,
+                                    core,
+                                },
+                            );
                         }
                         None => idle[worker as usize] = true,
                     }
@@ -655,6 +699,8 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
             OpenEvent::Done {
                 worker,
                 arrived,
+                issued,
+                core,
                 cost,
             } => {
                 out.finished = out.finished.max(now);
@@ -662,13 +708,22 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                 driver.on_complete(&Completion {
                     process: worker,
                     arrived,
+                    issued,
+                    core,
                     completed: now,
                     cost,
                 })?;
                 match pending.pop_front() {
                     Some(arrived) => {
-                        let cpu_done = cores.claim(now, sched.think);
-                        queue.schedule(cpu_done, OpenEvent::Issue { worker, arrived });
+                        let (core, cpu_done) = cores.claim_indexed(now, sched.think);
+                        queue.schedule(
+                            cpu_done,
+                            OpenEvent::Issue {
+                                worker,
+                                arrived,
+                                core,
+                            },
+                        );
                     }
                     None => idle[worker as usize] = true,
                 }
@@ -1007,6 +1062,74 @@ mod tests {
         // Arrivals keep pushing after the last sample, so the true max
         // is at least the sampled max.
         assert!(out.max_queue_depth >= *depths.iter().max().unwrap());
+    }
+
+    /// Each completion's instants form an exact integer partition of
+    /// its latency: core wait + think + cpu + device queue wait +
+    /// device service == completed - arrived. The flight recorder's
+    /// latency decomposition is built on this identity.
+    #[test]
+    fn completion_decomposition_is_exact() {
+        struct Check {
+            think: Nanos,
+            cores: u32,
+            n: u64,
+        }
+        impl SchedDriver for Check {
+            fn exec(&mut self, _p: u32, _now: Nanos) -> SimResult<OpCost> {
+                Ok(OpCost {
+                    cpu: Nanos::from_micros(2),
+                    device: Nanos::from_micros(50),
+                })
+            }
+            fn tick(&mut self, _s: Nanos) -> Nanos {
+                Nanos::ZERO
+            }
+            fn on_complete(&mut self, c: &Completion) -> SimResult<()> {
+                self.n += 1;
+                assert!(c.core < self.cores, "core id out of range");
+                let latency = c.completed - c.arrived;
+                let core_wait = c.issued - c.arrived - self.think;
+                let queue_wait = c.completed - c.issued - c.cost.cpu - c.cost.device;
+                assert_eq!(
+                    core_wait + self.think + c.cost.cpu + queue_wait + c.cost.device,
+                    latency
+                );
+                Ok(())
+            }
+            fn on_error(&mut self, _p: u32, _now: Nanos, _e: SimError) -> SimResult<()> {
+                Ok(())
+            }
+        }
+        let config = SchedConfig {
+            processes: 4,
+            cores: 2,
+            start: Nanos::ZERO,
+            duration: Nanos::from_millis(10),
+            think: Nanos::from_micros(5),
+            tick_every: Nanos::ZERO,
+        };
+        let mut closed = Check {
+            think: config.think,
+            cores: config.cores,
+            n: 0,
+        };
+        run_closed_loop(&config, &mut closed).unwrap();
+        assert!(closed.n > 10, "closed loop barely ran: {}", closed.n);
+
+        let open = OpenLoopConfig {
+            sched: config,
+            arrival: Arrival::Poisson { rate: 100_000 },
+            queue_cap: 64,
+            sample_every: Nanos::ZERO,
+        };
+        let mut open_check = Check {
+            think: config.think,
+            cores: config.cores,
+            n: 0,
+        };
+        run_open_loop(&open, Rng::new(11).fork("arrivals"), &mut open_check).unwrap();
+        assert!(open_check.n > 10, "open loop barely ran: {}", open_check.n);
     }
 
     #[test]

@@ -145,6 +145,18 @@ impl Target for SimTarget {
         Some(self.stack.cache().stats())
     }
 
+    fn cache_policy(&self) -> Option<&'static str> {
+        Some(self.stack.cache().policy_name())
+    }
+
+    fn stack_stats(&self) -> Option<rb_simfs::stack::StackStats> {
+        Some(self.stack.stats())
+    }
+
+    fn disk_stats(&self) -> Option<rb_simdisk::device::DeviceStats> {
+        Some(self.stack.disk_stats().clone())
+    }
+
     fn background_tick(&mut self) {
         self.stack.writeback_tick();
     }

@@ -18,7 +18,7 @@ use rb_simcore::units::Bytes;
 use rb_simfs::intern::PathId;
 use rb_simfs::stack::{Fd, OpCost};
 use rb_stats::histogram::Log2Histogram;
-use rb_stats::timeseries::{Window, WindowedSeries};
+use rb_stats::timeseries::{GaugeSeries, Window, WindowedSeries};
 use std::collections::HashMap;
 
 /// A population of files used by a workload.
@@ -183,6 +183,11 @@ pub struct EngineConfig {
     /// [`Recording::open_loop`]. Open modes require a
     /// time-parameterized target, like `processes > 1`.
     pub arrival: Arrival,
+    /// Flight-recorder configuration: metrics capture and span tracing.
+    /// Fully off by default; the disabled path is a single `Option`
+    /// check per run, so recordings (and everything derived from them)
+    /// stay byte-identical to an engine without the recorder.
+    pub obs: rb_obs::ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -198,6 +203,7 @@ impl Default for EngineConfig {
             processes: 1,
             cores: 4,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 }
@@ -223,6 +229,13 @@ pub struct Recording {
     /// queue depth), present only when the run used an open
     /// [`EngineConfig::arrival`] mode.
     pub open_loop: Option<OpenLoopReport>,
+    /// Flight-recorder snapshot (per-layer counter deltas, latency
+    /// decomposition, gauge timeline), present when
+    /// [`rb_obs::ObsConfig::metrics`] was enabled.
+    pub metrics: Option<rb_obs::MetricsSnapshot>,
+    /// Virtual-time span trace of sampled op lifecycles, present when
+    /// [`rb_obs::ObsConfig::trace`] was configured.
+    pub trace: Option<rb_obs::SpanTrace>,
 }
 
 /// What an open-loop run measures beyond the closed-loop recording:
@@ -412,6 +425,7 @@ impl Engine {
         let stats_before = target.cache_stats();
         let mut rng = Rng::new(config.seed).fork("run");
         let op_overhead = Self::effective_op_overhead(workload, config);
+        let mut obs = ObsState::begin(config, target, op_overhead, 1, 1);
         let program = OpProgram::new(workload)?;
         let mut zipfs = Self::build_zipfs(sets, workload);
         let mut series = WindowedSeries::new(config.window);
@@ -457,6 +471,11 @@ impl Engine {
                         series.record(when, lat);
                         histogram.record(lat);
                         per_op_slots[program.slot_of_op[op_idx] as usize].record(lat);
+                        if let Some(obs) = &mut obs {
+                            let label = program.labels[program.slot_of_op[op_idx] as usize];
+                            obs.on_serial_op(label, start + when, lat);
+                            obs.maybe_sample(when, target);
+                        }
                     }
                     target.advance(op_overhead);
                 }
@@ -474,6 +493,10 @@ impl Engine {
             }
         }
         let hit_ratio = Self::hit_ratio_delta(stats_before, target);
+        let (metrics, trace) = match obs {
+            Some(o) => o.finish(target, target.now() - start),
+            None => (None, None),
+        };
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -483,6 +506,8 @@ impl Engine {
             duration: target.now() - start,
             hit_ratio,
             open_loop: None,
+            metrics,
+            trace,
         })
     }
 
@@ -597,6 +622,7 @@ impl Engine {
             tick_every: Nanos::from_secs(5),
         };
         let per_op_slots = vec![Log2Histogram::new(); program.labels.len()];
+        let obs = ObsState::begin(config, target, op_overhead, config.processes, config.cores);
         let mut driver = EngineDriver {
             target: &mut *target,
             workload,
@@ -614,6 +640,7 @@ impl Engine {
             ops: 0,
             errors: 0,
             consecutive_errors: 0,
+            obs,
         };
         let outcome = crate::sched::run_closed_loop(&sched_config, &mut driver)?;
         let EngineDriver {
@@ -623,6 +650,7 @@ impl Engine {
             program,
             ops,
             errors,
+            obs,
             ..
         } = driver;
         // The timed ops never moved the target clock; walk it to the
@@ -631,6 +659,10 @@ impl Engine {
         // "first instant at or past the deadline").
         target.advance(outcome.finished - start);
         let hit_ratio = Self::hit_ratio_delta(stats_before, target);
+        let (metrics, trace) = match obs {
+            Some(o) => o.finish(target, outcome.finished - start),
+            None => (None, None),
+        };
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -640,6 +672,8 @@ impl Engine {
             duration: outcome.finished - start,
             hit_ratio,
             open_loop: None,
+            metrics,
+            trace,
         })
     }
 
@@ -700,6 +734,7 @@ impl Engine {
             sample_every: config.window,
         };
         let per_op_slots = vec![Log2Histogram::new(); program.labels.len()];
+        let obs = ObsState::begin(config, target, op_overhead, workers, config.cores);
         let mut driver = EngineDriver {
             target: &mut *target,
             workload,
@@ -717,6 +752,7 @@ impl Engine {
             ops: 0,
             errors: 0,
             consecutive_errors: 0,
+            obs,
         };
         let outcome = crate::sched::run_open_loop(&open_config, arrival_rng, &mut driver)?;
         let EngineDriver {
@@ -726,6 +762,7 @@ impl Engine {
             program,
             ops,
             errors,
+            obs,
             ..
         } = driver;
         target.advance(outcome.finished - start);
@@ -742,6 +779,10 @@ impl Engine {
             max_queue_depth: outcome.max_queue_depth,
             depth_timeline: outcome.depth_timeline,
         };
+        let (metrics, trace) = match obs {
+            Some(o) => o.finish(target, outcome.finished - start),
+            None => (None, None),
+        };
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -751,6 +792,8 @@ impl Engine {
             duration: outcome.finished - start,
             hit_ratio,
             open_loop: Some(open_loop),
+            metrics,
+            trace,
         })
     }
 
@@ -1037,6 +1080,165 @@ impl Engine {
     }
 }
 
+/// Live flight-recorder state for one run: before-captures of every
+/// layer's counters, the scheduler accumulators, the gauge timeline and
+/// the optional span recorder. Only constructed when
+/// [`rb_obs::ObsConfig::enabled`], so the disabled path costs exactly
+/// one `Option` check at each hook site.
+struct ObsState {
+    metrics: bool,
+    cache_before: Option<rb_simcache::page::CacheStats>,
+    fs_before: Option<rb_simfs::stack::StackStats>,
+    disk_before: Option<rb_simdisk::device::DeviceStats>,
+    policy: Option<&'static str>,
+    sched: rb_obs::SchedMetrics,
+    timeline: GaugeSeries,
+    spans: Option<rb_obs::SpanRecorder>,
+    /// Effective per-op think time, for splitting core wait out of the
+    /// pre-issue delay.
+    think: Nanos,
+}
+
+impl ObsState {
+    /// Gauges sampled once per window into the timeline.
+    const GAUGES: [&'static str; 2] = ["hit_ratio", "device_busy"];
+
+    /// Captures the before-counters and opens the recorders; `None`
+    /// when the flight recorder is fully off.
+    fn begin(
+        config: &EngineConfig,
+        target: &dyn Target,
+        think: Nanos,
+        processes: u32,
+        cores: u32,
+    ) -> Option<ObsState> {
+        if !config.obs.enabled() {
+            return None;
+        }
+        let sched = rb_obs::SchedMetrics {
+            processes,
+            cores,
+            core_busy: vec![Nanos::ZERO; cores as usize],
+            ..rb_obs::SchedMetrics::default()
+        };
+        Some(ObsState {
+            metrics: config.obs.metrics,
+            cache_before: target.cache_stats(),
+            fs_before: target.stack_stats(),
+            disk_before: target.disk_stats(),
+            policy: target.cache_policy(),
+            sched,
+            timeline: GaugeSeries::new(config.window, &Self::GAUGES),
+            spans: config.obs.trace.as_ref().map(rb_obs::SpanRecorder::new),
+            think,
+        })
+    }
+
+    /// Samples the gauge timeline if `when` (time since run start)
+    /// crossed a window boundary: cumulative hit ratio and device busy
+    /// fraction, both as deltas from the run's start.
+    fn maybe_sample(&mut self, when: Nanos, target: &dyn Target) {
+        if !self.metrics || !self.timeline.due(when) {
+            return;
+        }
+        let hit_ratio = match (self.cache_before, target.cache_stats()) {
+            (Some(b), Some(a)) => {
+                let hits = a.hits - b.hits;
+                let lookups = hits + (a.misses - b.misses);
+                if lookups == 0 {
+                    0.0
+                } else {
+                    hits as f64 / lookups as f64
+                }
+            }
+            _ => 0.0,
+        };
+        let device_busy = match (&self.disk_before, target.disk_stats()) {
+            (Some(b), Some(a)) => (a.busy - b.busy).as_secs_f64() / when.as_secs_f64().max(1e-9),
+            _ => 0.0,
+        };
+        self.timeline.sample(when, &[hit_ratio, device_busy]);
+    }
+
+    /// Records one serial-loop completion: a flat span (the serial
+    /// engine has no contention phases to decompose) plus the run
+    /// totals.
+    fn on_serial_op(&mut self, label: &'static str, end: Nanos, latency: Nanos) {
+        if let Some(spans) = &mut self.spans {
+            spans.record_flat(0, 0, label, end - latency, end);
+        }
+        if self.metrics {
+            self.sched.completed += 1;
+            self.sched.latency += latency;
+        }
+    }
+
+    /// Records one scheduled-engine completion: the exact latency
+    /// decomposition (`core_wait + think + cpu + queue_wait + device ==
+    /// latency` by pump construction) and the op's span tree.
+    fn on_sched_op(&mut self, completion: &Completion, label: &'static str) {
+        let cpu_end = completion.issued + completion.cost.cpu;
+        let device_start = completion.completed - completion.cost.device;
+        if let Some(spans) = &mut self.spans {
+            spans.record_op(
+                completion.process,
+                completion.core,
+                label,
+                completion.arrived,
+                completion.issued,
+                cpu_end,
+                device_start,
+                completion.completed,
+            );
+        }
+        if self.metrics {
+            let s = &mut self.sched;
+            s.completed += 1;
+            s.latency += completion.completed - completion.arrived;
+            s.core_wait += completion.issued - completion.arrived - self.think;
+            s.think += self.think;
+            s.cpu += completion.cost.cpu;
+            s.device += completion.cost.device;
+            s.queue_wait += device_start - cpu_end;
+            s.core_busy[completion.core as usize] += self.think;
+        }
+    }
+
+    /// Closes the recorders into the recording's optional payloads.
+    fn finish(
+        self,
+        target: &dyn Target,
+        duration: Nanos,
+    ) -> (Option<rb_obs::MetricsSnapshot>, Option<rb_obs::SpanTrace>) {
+        let trace = self.spans.map(rb_obs::SpanRecorder::finish);
+        if !self.metrics {
+            return (None, trace);
+        }
+        let cache = match (self.cache_before, target.cache_stats()) {
+            (Some(b), Some(a)) => Some(rb_obs::metrics::cache_delta(&b, &a)),
+            _ => None,
+        };
+        let fs = match (self.fs_before, target.stack_stats()) {
+            (Some(b), Some(a)) => Some(rb_obs::metrics::stack_delta(&b, &a)),
+            _ => None,
+        };
+        let disk = match (&self.disk_before, target.disk_stats()) {
+            (Some(b), Some(a)) => Some(rb_obs::DiskDelta::between(b, &a)),
+            _ => None,
+        };
+        let metrics = rb_obs::MetricsSnapshot {
+            duration,
+            policy: self.policy,
+            cache,
+            fs,
+            disk,
+            sched: self.sched,
+            timeline: self.timeline,
+        };
+        (Some(metrics), trace)
+    }
+}
+
 /// Precomputed flat dispatch for a workload's weighted op mix.
 ///
 /// Built once per run, used once per operation: a single
@@ -1136,6 +1338,8 @@ struct EngineDriver<'a> {
     ops: u64,
     errors: u64,
     consecutive_errors: u64,
+    /// Flight-recorder state, present only when observability is on.
+    obs: Option<ObsState>,
 }
 
 impl SchedDriver for EngineDriver<'_> {
@@ -1171,8 +1375,12 @@ impl SchedDriver for EngineDriver<'_> {
             let latency = completion.completed - completion.arrived;
             self.series.record(when, latency);
             self.histogram.record(latency);
-            self.per_op_slots[self.current_slot[completion.process as usize] as usize]
-                .record(latency);
+            let slot = self.current_slot[completion.process as usize] as usize;
+            self.per_op_slots[slot].record(latency);
+            if let Some(obs) = &mut self.obs {
+                obs.on_sched_op(completion, self.program.labels[slot]);
+                obs.maybe_sample(when, self.target);
+            }
         }
         Ok(())
     }
@@ -1459,6 +1667,7 @@ mod tests {
             processes: 1,
             cores: 4,
             arrival: Arrival::Closed,
+            obs: rb_obs::ObsConfig::default(),
         }
     }
 
@@ -1602,6 +1811,80 @@ mod tests {
             dirty <= capacity / 5,
             "flusher missed its goal: {dirty} dirty of {capacity}"
         );
+    }
+
+    #[test]
+    fn flight_recorder_off_by_default() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(8));
+        let rec = Engine::run(&mut t, &w, &quick_cfg(2, 0)).unwrap();
+        assert!(rec.metrics.is_none());
+        assert!(rec.trace.is_none());
+    }
+
+    #[test]
+    fn flight_recorder_explains_scheduled_runs() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::fileserver(50);
+        let mut cfg = quick_cfg(3, 9);
+        cfg.processes = 4;
+        cfg.obs.metrics = true;
+        cfg.obs.trace = Some(rb_obs::TraceConfig { sample_every: 1 });
+        let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+        let m = rec.metrics.expect("metrics snapshot");
+        assert_eq!(m.sched.completed, rec.ops);
+        assert!(m.sched.decomposed());
+        assert_eq!(
+            m.sched.parts_total(),
+            m.sched.latency,
+            "decomposition must partition latency exactly"
+        );
+        assert!(m.hit_ratio().is_some());
+        assert!(m.device_busy_frac().is_some());
+        assert_eq!(m.sched.core_busy.len(), cfg.cores as usize);
+        let report = m.render_explain();
+        assert!(report.contains("exact match"), "{report}");
+        let trace = rec.trace.expect("span trace");
+        assert_eq!(trace.seen, rec.ops);
+        trace.validate_nesting().expect("well-nested trace");
+    }
+
+    #[test]
+    fn flight_recorder_serial_runs_record_flat_spans() {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 0);
+        let w = personalities::random_read(Bytes::mib(8));
+        let mut cfg = quick_cfg(2, 3);
+        cfg.obs.metrics = true;
+        cfg.obs.trace = Some(rb_obs::TraceConfig { sample_every: 4 });
+        let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+        let m = rec.metrics.expect("metrics snapshot");
+        assert!(!m.sched.decomposed(), "serial runs have no decomposition");
+        assert_eq!(m.sched.completed, rec.ops);
+        assert!(m.render_explain().contains("serial engine"));
+        assert!(!m.timeline.points().is_empty(), "gauge timeline sampled");
+        let trace = rec.trace.expect("span trace");
+        assert_eq!(trace.seen, rec.ops);
+        assert_eq!(trace.sampled, rec.ops.div_ceil(4));
+        trace.validate_nesting().expect("well-nested trace");
+    }
+
+    #[test]
+    fn flight_recorder_does_not_perturb_the_run() {
+        let run = |obs: rb_obs::ObsConfig| {
+            let mut t = testbed::paper_ext2(Bytes::gib(1), 7);
+            let w = personalities::fileserver(50);
+            let mut cfg = quick_cfg(3, 7);
+            cfg.processes = 2;
+            cfg.obs = obs;
+            let rec = Engine::run(&mut t, &w, &cfg).unwrap();
+            (rec.ops, rec.errors, rec.histogram.clone())
+        };
+        let off = run(rb_obs::ObsConfig::default());
+        let on = run(rb_obs::ObsConfig {
+            metrics: true,
+            trace: Some(rb_obs::TraceConfig { sample_every: 1 }),
+        });
+        assert_eq!(off, on, "observer effect: recorder changed the run");
     }
 
     #[test]

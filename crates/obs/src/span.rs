@@ -1,0 +1,342 @@
+//! Virtual-time span tracing in Chrome trace-event format.
+//!
+//! Each sampled op becomes a `B`/`E` span pair on the track
+//! `(pid = process, tid = core)`, with nested child spans for its
+//! `cpu`, `queue` (device queue wait), and `device` phases. Timestamps
+//! are sim-clock nanoseconds rendered as microseconds with three
+//! decimals, so the JSON is a pure function of the run — byte-identical
+//! across hosts, `--jobs` levels, and repetitions.
+//!
+//! The output loads directly in Perfetto / `chrome://tracing`.
+
+use crate::TraceConfig;
+use rb_simcore::time::Nanos;
+
+/// One Chrome trace event (`ph: "B"` or `ph: "E"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name: the op label, or a phase name (`cpu`/`queue`/`device`).
+    pub name: String,
+    /// True for a `B` (begin) event, false for `E` (end).
+    pub begin: bool,
+    /// Track process id (the simulated process / worker).
+    pub pid: u32,
+    /// Track thread id (the core that served the op's think time).
+    pub tid: u32,
+    /// Event instant on the sim clock.
+    pub ts: Nanos,
+    /// For op `B` events: time spent waiting before issue
+    /// (arrive → issue), attached as `args.wait_us`.
+    pub wait: Option<Nanos>,
+}
+
+/// A finished span trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTrace {
+    /// Events in completion order (per-track time order).
+    pub events: Vec<TraceEvent>,
+    /// Ops inspected (before sampling).
+    pub seen: u64,
+    /// Ops actually recorded.
+    pub sampled: u64,
+}
+
+/// Records op lifecycle spans with deterministic sampling.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    sample_every: u64,
+    seen: u64,
+    sampled: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl SpanRecorder {
+    /// A recorder sampling every `config.sample_every`-th op.
+    pub fn new(config: &TraceConfig) -> Self {
+        SpanRecorder {
+            sample_every: config.sample_every.max(1),
+            seen: 0,
+            sampled: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Records one completed op lifecycle (subject to sampling).
+    ///
+    /// Instants must satisfy `arrived ≤ issued ≤ cpu_end ≤ device_start
+    /// ≤ completed`; zero-length phases are elided. Ops must arrive in
+    /// completion order, which on any single `(pid, tid)` track is also
+    /// time order — that is what makes the B/E nesting monotone.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_op(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        arrived: Nanos,
+        issued: Nanos,
+        cpu_end: Nanos,
+        device_start: Nanos,
+        completed: Nanos,
+    ) {
+        let take = self.seen.is_multiple_of(self.sample_every);
+        self.seen += 1;
+        if !take {
+            return;
+        }
+        self.sampled += 1;
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            begin: true,
+            pid,
+            tid,
+            ts: issued,
+            wait: Some(issued.saturating_sub(arrived)),
+        });
+        let mut phase = |label: &str, from: Nanos, to: Nanos| {
+            if to > from {
+                self.events.push(TraceEvent {
+                    name: label.to_string(),
+                    begin: true,
+                    pid,
+                    tid,
+                    ts: from,
+                    wait: None,
+                });
+                self.events.push(TraceEvent {
+                    name: label.to_string(),
+                    begin: false,
+                    pid,
+                    tid,
+                    ts: to,
+                    wait: None,
+                });
+            }
+        };
+        phase("cpu", issued, cpu_end);
+        phase("queue", cpu_end, device_start);
+        phase("device", device_start, completed);
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            begin: false,
+            pid,
+            tid,
+            ts: completed,
+            wait: None,
+        });
+    }
+
+    /// Records one completed op as a flat span with no phase children
+    /// (the serial engine, which has no contention to decompose).
+    pub fn record_flat(&mut self, pid: u32, tid: u32, name: &str, start: Nanos, end: Nanos) {
+        let take = self.seen.is_multiple_of(self.sample_every);
+        self.seen += 1;
+        if !take {
+            return;
+        }
+        self.sampled += 1;
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            begin: true,
+            pid,
+            tid,
+            ts: start,
+            wait: Some(Nanos::ZERO),
+        });
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            begin: false,
+            pid,
+            tid,
+            ts: end,
+            wait: None,
+        });
+    }
+
+    /// Finishes recording.
+    pub fn finish(self) -> SpanTrace {
+        SpanTrace {
+            events: self.events,
+            seen: self.seen,
+            sampled: self.sampled,
+        }
+    }
+}
+
+/// Renders nanoseconds as Chrome's microsecond timestamps with three
+/// decimals (`12345 ns` → `"12.345"`), avoiding float formatting so
+/// the output is bit-stable.
+fn micros_str(ns: Nanos) -> String {
+    let n = ns.as_nanos();
+    format!("{}.{:03}", n / 1_000, n % 1_000)
+}
+
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+impl SpanTrace {
+    /// Serializes to Chrome trace-event JSON (object form, one event
+    /// per line).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+                escape(&e.name),
+                if e.begin { "B" } else { "E" },
+                e.pid,
+                e.tid,
+                micros_str(e.ts),
+            ));
+            if let Some(wait) = e.wait {
+                out.push_str(&format!(",\"args\":{{\"wait_us\":{}}}", micros_str(wait)));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Checks that every `(pid, tid)` track has monotone timestamps and
+    /// properly nested B/E pairs; returns the total span count.
+    ///
+    /// This is the same invariant the CI smoke job validates on the
+    /// emitted JSON.
+    pub fn validate_nesting(&self) -> Result<usize, String> {
+        use std::collections::HashMap;
+        let mut stacks: HashMap<(u32, u32), Vec<&str>> = HashMap::new();
+        let mut last_ts: HashMap<(u32, u32), Nanos> = HashMap::new();
+        let mut spans = 0usize;
+        for e in &self.events {
+            let track = (e.pid, e.tid);
+            let prev = last_ts.entry(track).or_insert(Nanos::ZERO);
+            if e.ts < *prev {
+                return Err(format!(
+                    "track {track:?}: timestamp went backwards ({} < {})",
+                    e.ts.as_nanos(),
+                    prev.as_nanos()
+                ));
+            }
+            *prev = e.ts;
+            let stack = stacks.entry(track).or_default();
+            if e.begin {
+                stack.push(&e.name);
+            } else {
+                match stack.pop() {
+                    Some(open) if open == e.name => spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "track {track:?}: E \"{}\" closes B \"{open}\"",
+                            e.name
+                        ))
+                    }
+                    None => return Err(format!("track {track:?}: E \"{}\" with no B", e.name)),
+                }
+            }
+        }
+        for (track, stack) in &stacks {
+            if !stack.is_empty() {
+                return Err(format!("track {track:?}: unclosed spans {stack:?}"));
+            }
+        }
+        Ok(spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    #[test]
+    fn records_nested_phases() {
+        let mut rec = SpanRecorder::new(&TraceConfig::default());
+        rec.record_op(1, 0, "read", us(0), us(10), us(12), us(15), us(40));
+        let trace = rec.finish();
+        // op B, cpu B/E, queue B/E, device B/E, op E.
+        assert_eq!(trace.events.len(), 8);
+        assert_eq!(trace.events[0].wait, Some(us(10)));
+        assert_eq!(trace.validate_nesting().unwrap(), 4);
+    }
+
+    #[test]
+    fn zero_phases_are_elided() {
+        let mut rec = SpanRecorder::new(&TraceConfig::default());
+        // Pure-cpu op: no queue, no device child.
+        rec.record_op(0, 0, "stat", us(5), us(5), us(9), us(9), us(9));
+        let trace = rec.finish();
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["stat", "cpu", "cpu", "stat"]);
+        assert_eq!(trace.validate_nesting().unwrap(), 2);
+    }
+
+    #[test]
+    fn flat_spans_have_no_children() {
+        let mut rec = SpanRecorder::new(&TraceConfig::default());
+        rec.record_flat(0, 0, "read", us(5), us(9));
+        rec.record_flat(0, 0, "write", us(9), us(12));
+        let trace = rec.finish();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.validate_nesting().unwrap(), 2);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth() {
+        let mut rec = SpanRecorder::new(&TraceConfig { sample_every: 3 });
+        for i in 0..9u64 {
+            let t = us(10 * i);
+            rec.record_op(0, 0, "op", t, t, t, t, t + us(1));
+        }
+        let trace = rec.finish();
+        assert_eq!(trace.seen, 9);
+        assert_eq!(trace.sampled, 3);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut rec = SpanRecorder::new(&TraceConfig::default());
+        rec.record_op(2, 1, "write", us(0), us(1), us(2), us(2), us(3));
+        let json = rec.finish().to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"args\":{\"wait_us\":1.000}"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn validation_catches_misnesting() {
+        let trace = SpanTrace {
+            events: vec![
+                TraceEvent {
+                    name: "a".into(),
+                    begin: true,
+                    pid: 0,
+                    tid: 0,
+                    ts: us(1),
+                    wait: None,
+                },
+                TraceEvent {
+                    name: "b".into(),
+                    begin: false,
+                    pid: 0,
+                    tid: 0,
+                    ts: us(2),
+                    wait: None,
+                },
+            ],
+            seen: 1,
+            sampled: 1,
+        };
+        assert!(trace.validate_nesting().is_err());
+    }
+}

@@ -126,6 +126,23 @@ pub trait Target {
         None
     }
 
+    /// Name of the cache eviction policy, if the target has one (for
+    /// attribution in flight-recorder reports).
+    fn cache_policy(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Cumulative storage-stack counters, if the target is simulated.
+    /// The flight recorder snapshots these before and after a run.
+    fn stack_stats(&self) -> Option<rb_simfs::stack::StackStats> {
+        None
+    }
+
+    /// Cumulative device counters, if the target is simulated.
+    fn disk_stats(&self) -> Option<rb_simdisk::device::DeviceStats> {
+        None
+    }
+
     /// Background maintenance hook (the kernel flusher thread): called
     /// periodically by the engine and by timed replay. Real targets rely
     /// on the host kernel.

@@ -143,6 +143,11 @@ impl PageCache {
         self.stats
     }
 
+    /// Name of the active eviction policy (for attribution in reports).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
     /// Returns true if the page is resident.
     pub fn is_resident(&self, file: FileId, page: PageNo) -> bool {
         self.resident.contains_key(&PageKey::new(file, page))
@@ -290,7 +295,9 @@ impl PageCache {
     /// The pages remain resident (clean) after this call; the caller
     /// performs the media writes.
     pub fn take_writeback_due(&mut self, now: Nanos) -> Vec<PageKey> {
-        self.writeback.take_due(now, self.config.capacity_pages)
+        let due = self.writeback.take_due(now, self.config.capacity_pages);
+        self.stats.writeback_flushed += due.len() as u64;
+        due
     }
 
     /// Flushes every dirty page of `file` (fsync). Pages stay resident.
@@ -306,6 +313,7 @@ impl PageCache {
         for k in &mine {
             self.writeback.clear(*k);
         }
+        self.stats.writeback_flushed += mine.len() as u64;
         let mut sorted = mine;
         sorted.sort_unstable();
         sorted

@@ -42,6 +42,9 @@ pub struct CacheStats {
     pub prefetched: u64,
     /// Prefetched pages that were later actually read (readahead wins).
     pub prefetch_hits: u64,
+    /// Dirty pages flushed by the writeback path (deadline expiry or
+    /// fsync), as opposed to eviction-forced writebacks.
+    pub writeback_flushed: u64,
 }
 
 impl CacheStats {

@@ -210,6 +210,13 @@ impl CoreSet {
     /// the work completes. Ties break toward the lowest core index, so
     /// the claim order is deterministic.
     pub fn claim(&mut self, now: Nanos, work: Nanos) -> Nanos {
+        self.claim_indexed(now, work).1
+    }
+
+    /// Like [`CoreSet::claim`], but also reports *which* core served
+    /// the claim, so callers can attribute busy time per core
+    /// (utilization accounting, trace track ids).
+    pub fn claim_indexed(&mut self, now: Nanos, work: Nanos) -> (u32, Nanos) {
         // peek_mut re-sifts once on drop: one O(log cores) pass per
         // claim instead of a pop + push pair.
         let mut top = self.free.peek_mut().expect("at least one core");
@@ -217,7 +224,7 @@ impl CoreSet {
         let start = free_at.max(now);
         let done = start + work;
         *top = Reverse((done, core));
-        done
+        (core, done)
     }
 }
 
@@ -227,18 +234,28 @@ impl CoreSet {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DeviceQueue {
     free: Nanos,
+    waited: Nanos,
+    busy: Nanos,
 }
 
 impl DeviceQueue {
     /// An idle device.
     pub fn new() -> Self {
-        DeviceQueue { free: Nanos::ZERO }
+        DeviceQueue {
+            free: Nanos::ZERO,
+            waited: Nanos::ZERO,
+            busy: Nanos::ZERO,
+        }
     }
 
     /// An idle device that becomes available at `at` (for schedulers
     /// running in absolute time).
     pub fn idle_from(at: Nanos) -> Self {
-        DeviceQueue { free: at }
+        DeviceQueue {
+            free: at,
+            waited: Nanos::ZERO,
+            busy: Nanos::ZERO,
+        }
     }
 
     /// The instant the device next falls idle.
@@ -246,11 +263,26 @@ impl DeviceQueue {
         self.free
     }
 
+    /// Total time requests spent queued behind the device (the gap
+    /// between becoming ready and service start, summed over every
+    /// `serve` call).
+    pub fn waited(&self) -> Nanos {
+        self.waited
+    }
+
+    /// Total device service time handed out (summed `work` over every
+    /// `serve` call).
+    pub fn busy(&self) -> Nanos {
+        self.busy
+    }
+
     /// Serves `work` device time for a request that becomes ready at
     /// `ready`; returns the completion instant (start = max(ready,
     /// next_free)).
     pub fn serve(&mut self, ready: Nanos, work: Nanos) -> Nanos {
         let start = self.free.max(ready);
+        self.waited += start - ready;
+        self.busy += work;
         self.free = start + work;
         self.free
     }
@@ -291,6 +323,30 @@ mod tests {
         let a = cores.claim(Nanos::ZERO, Nanos::from_micros(5));
         let b = cores.claim(Nanos::ZERO, Nanos::from_micros(5));
         assert!(b > a, "one core must serialize");
+    }
+
+    #[test]
+    fn claim_indexed_reports_cores() {
+        let mut cores = CoreSet::new(2);
+        let (a, _) = cores.claim_indexed(Nanos::ZERO, Nanos::from_micros(10));
+        let (b, _) = cores.claim_indexed(Nanos::ZERO, Nanos::from_micros(4));
+        assert_ne!(a, b, "concurrent claims land on distinct cores");
+        // Core `b` frees first, so the next claim lands there again.
+        let (c, done) = cores.claim_indexed(Nanos::ZERO, Nanos::from_micros(1));
+        assert_eq!(c, b);
+        assert_eq!(done.as_micros(), 5);
+    }
+
+    #[test]
+    fn device_queue_accounts_wait_and_busy() {
+        let mut dev = DeviceQueue::new();
+        dev.serve(Nanos::ZERO, Nanos::from_millis(5));
+        // Ready at 1ms, served at 5ms: 4ms queued.
+        dev.serve(Nanos::from_millis(1), Nanos::from_millis(5));
+        // Ready after idle: no queueing.
+        dev.serve(Nanos::from_millis(20), Nanos::from_millis(5));
+        assert_eq!(dev.waited().as_millis(), 4);
+        assert_eq!(dev.busy().as_millis(), 15);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct DeviceStats {
     pub blocks_written: u64,
     /// Total time the device spent servicing requests.
     pub busy: Nanos,
+    /// Requests that required a head seek (non-zero cylinder move).
+    pub seeks: u64,
+    /// Cylinders traversed, summed over all seeking requests.
+    pub seek_distance: u64,
     /// Latency histogram over all requests.
     pub latency: Log2Histogram,
 }

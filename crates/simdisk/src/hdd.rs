@@ -240,6 +240,10 @@ impl BlockDevice for Hdd {
             let chs = self.config.geometry.locate(req.block);
             // Seek.
             let distance = self.current_cylinder.abs_diff(chs.cylinder);
+            if distance != 0 {
+                self.stats.seeks += 1;
+                self.stats.seek_distance += distance;
+            }
             let mut seek = self.seek_time(distance);
             if self.config.seek_jitter_sigma > 0.0 && !seek.is_zero() {
                 let factor = self

@@ -85,7 +85,7 @@ impl OpCost {
 }
 
 /// Cumulative stack-level counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StackStats {
     /// Data read operations served.
     pub reads: u64,
@@ -95,6 +95,11 @@ pub struct StackStats {
     pub meta_ops: u64,
     /// fsync calls.
     pub fsyncs: u64,
+    /// Block allocations (file grows via `set_size` or extending write).
+    pub allocations: u64,
+    /// Journal transaction commits (metadata ops that wrote journal
+    /// blocks; zero on non-journaling file systems).
+    pub journal_commits: u64,
 }
 
 /// A complete simulated storage stack.
@@ -257,6 +262,9 @@ impl StorageStack {
         }
         for &block in &meta.journal_writes {
             lat += self.disk.service(&IoRequest::write(block, 1), issue + lat);
+        }
+        if !meta.journal_writes.is_empty() {
+            self.stats.journal_commits += 1;
         }
         lat
     }
@@ -509,6 +517,7 @@ impl StorageStack {
         let meta = self.fs.set_size(ino, size)?;
         let device = self.run_meta_at(&meta, issue);
         self.stats.meta_ops += 1;
+        self.stats.allocations += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
             device,
@@ -612,6 +621,7 @@ impl StorageStack {
         if end > attr.size {
             let meta = self.fs.set_size(ino, end)?;
             device += self.run_meta_at(&meta, issue);
+            self.stats.allocations += 1;
         }
         let page_size = self.page_size();
         let (first, last) = page_span(offset, len, page_size);

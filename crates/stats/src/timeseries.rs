@@ -121,6 +121,95 @@ impl WindowedSeries {
     }
 }
 
+/// One timeline sample of a set of named gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugePoint {
+    /// Sample instant (virtual time).
+    pub at: Nanos,
+    /// One value per gauge, in [`GaugeSeries::names`] order.
+    pub values: Vec<f64>,
+}
+
+/// Windowed timeline of named gauge values over virtual time.
+///
+/// Unlike [`WindowedSeries`], which *counts* events per window, a gauge
+/// series *samples* instantaneous values (hit ratio, device busy
+/// fraction, queue depth) at most once per window. Callers poll
+/// [`GaugeSeries::due`] on their hot path — a single comparison — and
+/// only compute the gauge values when a window boundary has passed, so
+/// the timeline costs nothing between samples.
+///
+/// # Examples
+///
+/// ```
+/// use rb_stats::timeseries::GaugeSeries;
+/// use rb_simcore::time::Nanos;
+///
+/// let mut g = GaugeSeries::new(Nanos::from_secs(1), &["hit_ratio"]);
+/// assert!(g.due(Nanos::from_secs(1)));
+/// g.sample(Nanos::from_secs(1), &[0.75]);
+/// assert!(!g.due(Nanos::from_millis(1500)));
+/// assert_eq!(g.points().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSeries {
+    width: Nanos,
+    next: Nanos,
+    names: Vec<&'static str>,
+    points: Vec<GaugePoint>,
+}
+
+impl GaugeSeries {
+    /// Creates a gauge timeline sampling once per `width` window.
+    ///
+    /// A zero width is coerced to 1 ns to keep the series well-defined.
+    pub fn new(width: Nanos, names: &[&'static str]) -> Self {
+        let width = if width.is_zero() {
+            Nanos::from_nanos(1)
+        } else {
+            width
+        };
+        GaugeSeries {
+            width,
+            next: width,
+            names: names.to_vec(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Gauge names, in the order `sample` expects values.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Returns true when the next window boundary has been reached and
+    /// a sample should be taken.
+    #[inline]
+    pub fn due(&self, at: Nanos) -> bool {
+        at >= self.next
+    }
+
+    /// Records one sample at `at`; advances the schedule past `at` so
+    /// at most one sample lands per window even if completions cluster.
+    ///
+    /// Panics if `values` does not match the gauge count.
+    pub fn sample(&mut self, at: Nanos, values: &[f64]) {
+        assert_eq!(values.len(), self.names.len(), "gauge arity mismatch");
+        self.points.push(GaugePoint {
+            at,
+            values: values.to_vec(),
+        });
+        while self.next <= at {
+            self.next += self.width;
+        }
+    }
+
+    /// The recorded timeline.
+    pub fn points(&self) -> &[GaugePoint] {
+        &self.points
+    }
+}
+
 /// Mean throughput over the final `tail` windows of a series — the
 /// "steady-state, last minute only" reporting style of Section 3.1,
 /// exposed as an explicit, named choice.
@@ -224,5 +313,25 @@ mod tests {
     fn zero_width_is_coerced() {
         let s = WindowedSeries::new(Nanos::ZERO);
         assert_eq!(s.width(), Nanos::from_nanos(1));
+    }
+
+    #[test]
+    fn gauge_series_samples_once_per_window() {
+        let mut g = GaugeSeries::new(Nanos::from_secs(1), &["a", "b"]);
+        assert!(!g.due(Nanos::from_millis(999)));
+        assert!(g.due(Nanos::from_secs(1)));
+        g.sample(Nanos::from_secs(1), &[0.5, 2.0]);
+        // Same window: not due again.
+        assert!(!g.due(Nanos::from_millis(1900)));
+        // A late sample (clustered completions) skips intervening windows.
+        assert!(g.due(Nanos::from_secs(5)));
+        g.sample(Nanos::from_millis(5500), &[0.6, 3.0]);
+        assert!(!g.due(Nanos::from_millis(5900)));
+        assert!(g.due(Nanos::from_secs(6)));
+        let pts = g.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].values, vec![0.5, 2.0]);
+        assert_eq!(pts[1].at, Nanos::from_millis(5500));
+        assert_eq!(g.names(), &["a", "b"]);
     }
 }

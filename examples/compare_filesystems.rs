@@ -25,6 +25,7 @@ fn sample(kind: FsKind, size: Bytes, runs: u32) -> (Vec<f64>, Regime) {
         prewarm: true,
         processes: 1,
         arrival: Arrival::Closed,
+        obs: ObsConfig::default(),
     };
     let workload = personalities::random_read(size);
     let mr = run_many(

@@ -26,6 +26,7 @@ fn main() {
         prewarm: true,
         processes: 1,
         arrival: Arrival::Closed,
+        obs: ObsConfig::default(),
     };
 
     println!("10 runs each; mean ± sd (RSD%) of steady-state ops/s\n");

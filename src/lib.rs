@@ -13,6 +13,8 @@
 //! * [`simfs`] — simulated file systems and the composed storage stack.
 //! * [`simcache`] — the simulated page cache.
 //! * [`simdisk`] — simulated block devices.
+//! * [`obs`] — the flight recorder: cross-layer counters, virtual-time
+//!   span traces, and explain-your-number reports.
 //! * [`simcore`] — virtual time, deterministic PRNG, units.
 //! * [`stats`] — the statistics toolkit.
 //!
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub use rb_core as core;
+pub use rb_obs as obs;
 pub use rb_replay as replay;
 pub use rb_simcache as simcache;
 pub use rb_simcore as simcore;

@@ -11,6 +11,7 @@ use rb_core::prelude::*;
 use rb_core::trace::{
     characterize, merge, replay_with, Recorder, ReplayConfig, Timing, Trace, Transform,
 };
+use rb_obs::{ObsConfig, TraceConfig};
 use rb_simcore::time::Nanos;
 use rb_simcore::units::Bytes;
 use std::process::ExitCode;
@@ -56,6 +57,53 @@ fn parse_size(s: &str) -> Result<Bytes, String> {
         .parse::<u64>()
         .map(|n| Bytes::new(n * mult))
         .map_err(|e| format!("bad size {s:?}: {e}"))
+}
+
+/// Builds the flight-recorder configuration from `--metrics true`,
+/// `--trace-out FILE` and `--trace-sample N`. All observability is
+/// opt-in: with none of the flags the engine runs with the recorder
+/// fully off and output stays byte-identical.
+fn parse_obs(opts: &Opts) -> Result<ObsConfig, String> {
+    let metrics = opts.get("metrics").is_some_and(|v| v == "true");
+    let trace = match opts.get("trace-out") {
+        Some(_) => {
+            let sample_every = opts
+                .get("trace-sample")
+                .map(|v| match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Ok(n),
+                    _ => Err(format!("bad --trace-sample: {v:?} is not a positive count")),
+                })
+                .transpose()?
+                .unwrap_or(1);
+            Some(TraceConfig { sample_every })
+        }
+        None => {
+            if opts.get("trace-sample").is_some() {
+                return Err("--trace-sample only applies with --trace-out".into());
+            }
+            None
+        }
+    };
+    Ok(ObsConfig { metrics, trace })
+}
+
+/// Writes a span trace as Chrome trace-event JSON, creating parent
+/// directories as needed.
+fn write_trace(path: &str, trace: &rb_obs::SpanTrace) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {parent:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, trace.to_chrome_json()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} span events ({} of {} ops sampled) to {path}",
+        trace.events.len(),
+        trace.sampled,
+        trace.seen
+    );
+    Ok(())
 }
 
 /// Parses durations like `30s`, `5m`, `90`.
@@ -125,6 +173,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         None => Arrival::Closed,
     };
 
+    let obs = parse_obs(opts)?;
     let mut target = make_target(target_spec, device, seed)?;
     let workload = make_workload(workload_name, size, files)?;
     let config = EngineConfig {
@@ -134,6 +183,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         cold_start: opts.get("warm").is_none(),
         prewarm: opts.get("prewarm").is_some_and(|v| v == "true"),
         arrival,
+        obs,
         ..Default::default()
     };
     eprintln!(
@@ -183,6 +233,17 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     println!("throughput timeline:");
     let ys: Vec<f64> = rec.windows.iter().map(|w| w.ops_per_sec).collect();
     println!("  {}", rb_core::report::sparkline(&ys));
+    if let Some(m) = &rec.metrics {
+        println!();
+        print!("{}", m.render_explain());
+    }
+    if let Some(path) = opts.get("trace-out") {
+        let trace = rec
+            .trace
+            .as_ref()
+            .ok_or("trace requested but the engine recorded none")?;
+        write_trace(path, trace)?;
+    }
     Ok(())
 }
 
@@ -309,6 +370,9 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         .unwrap_or(0);
     let mut plan = RunPlan::quick(seed);
     plan.protocol = parse_protocol(opts)?;
+    // Opt-in flight-recorder columns; reports without the flag stay
+    // byte-identical.
+    plan.obs.metrics = opts.get("metrics").is_some_and(|v| v == "true");
     let run_budget = opts
         .get("budget")
         .map(|b| match b.parse::<u64>() {
@@ -372,6 +436,83 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         }
         None => print!("{rendered}"),
     }
+    Ok(())
+}
+
+/// Runs one cell with the flight recorder on and renders the
+/// explain-your-number report: every layer's contribution to the
+/// throughput/latency figure, with the parts shown summing back to the
+/// recorded totals.
+fn cmd_explain(opts: &Opts) -> Result<(), String> {
+    let target_spec = opts.get("target").unwrap_or("sim:ext2");
+    let workload_name = opts.get("workload").unwrap_or("fileserver");
+    let size = parse_size(opts.get("size").unwrap_or("64M"))?;
+    let files = opts
+        .get("files")
+        .map(|f| f.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(100);
+    let duration = parse_duration(opts.get("duration").unwrap_or("15s"))?;
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    // Default to 4 processes: contention is what makes the latency
+    // decomposition informative. `--processes 1` explains the serial
+    // engine instead (layer counters only).
+    let processes = opts
+        .get("processes")
+        .map(|p| match p.parse::<u32>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!(
+                "bad process count {p:?}; expected a positive integer"
+            )),
+        })
+        .transpose()?
+        .unwrap_or(4);
+    let arrival = match opts.get("arrival") {
+        Some(a) => Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))?,
+        None => Arrival::Closed,
+    };
+    let device = Bytes::new((size.as_u64() * 3).max(Bytes::gib(1).as_u64()));
+    let mut target = make_target(target_spec, device, seed)?;
+    let workload = make_workload(workload_name, size, files)?;
+    let config = EngineConfig {
+        duration,
+        window: Nanos::from_secs(5),
+        seed,
+        cold_start: opts.get("warm").is_none(),
+        prewarm: opts.get("prewarm").is_some_and(|v| v == "true"),
+        processes,
+        arrival,
+        obs: ObsConfig {
+            metrics: true,
+            trace: None,
+        },
+        ..Default::default()
+    };
+    eprintln!(
+        "explaining {} on {} ({} process(es), {})...",
+        workload.name,
+        target.name(),
+        processes,
+        duration
+    );
+    let rec = Engine::run(target.as_mut(), &workload, &config).map_err(|e| e.to_string())?;
+    println!("target:     {}", target.name());
+    println!("workload:   {}", workload.name);
+    println!(
+        "throughput: {:.1} ops/s ({} ops, {} errors)",
+        rec.ops_per_sec(),
+        rec.ops,
+        rec.errors
+    );
+    println!();
+    let m = rec
+        .metrics
+        .ok_or("the run produced no metrics snapshot (recorder off?)")?;
+    print!("{}", m.render_explain());
     Ok(())
 }
 
@@ -531,6 +672,11 @@ USAGE:
                      [--size 64M] [--files 100] [--duration 30s]
                      [--seed 0] [--prewarm true] [--warm true]
                      [--arrival closed|poisson:RATE|bursty:RATE|diurnal:RATE]
+                     [--metrics true] [--trace-out FILE] [--trace-sample N]
+  rocketbench explain [--target sim:ext2|...] [--workload fileserver|...]
+                     [--size 64M] [--files 100] [--duration 15s]
+                     [--processes 4] [--seed 0] [--prewarm true] [--warm true]
+                     [--arrival closed|poisson:RATE|...]
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
                      [--processes 1,2,4,8]
@@ -542,7 +688,7 @@ USAGE:
                      [--confidence 95%] [--budget RUNS]
                      [--duration 15s] [--window 3s] [--jitter 3M]
                      [--jobs N] [--seed 0] [--device 2G] [--name NAME]
-                     [--format ascii|csv|json] [--out FILE]
+                     [--format ascii|csv|json] [--out FILE] [--metrics true]
   rocketbench nano   [--fs ext2|ext3|xfs] [--quick true]
   rocketbench table1
   rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
@@ -575,6 +721,18 @@ Trace files given via --traces become
 additional cells (trace x fs x cache), each replayed under
 --trace-timing with verdict/CI columns like any other cell; with
 --traces and no --workloads, only the traces sweep.
+
+The flight recorder is opt-in everywhere and never perturbs a run.
+`bench --metrics true` appends the per-layer breakdown to the report;
+`bench --trace-out FILE` writes sampled op lifecycles (arrive -> issue
+-> cpu -> device -> done) as Chrome trace-event JSON, loadable in
+Perfetto or chrome://tracing, with `--trace-sample N` keeping every
+N-th op. `explain` runs one cell with metrics on and reports where the
+number came from: cache hit ratio, device busy share, and the exact
+latency decomposition (core wait / think / cpu / queue wait / device)
+summing back to the recorded total. `sweep --metrics true` adds
+dev_busy_pct / qwait_pct / seeks / journal_commits / writeback_flushed
+columns to CSV and a `metrics` object to JSON.
 
 `trace` makes workloads portable artifacts: `record` captures any
 workload run as a v2 trace (ops stamped with stream ids and relative
@@ -611,6 +769,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "bench" => Opts::parse(rest).and_then(|o| cmd_bench(&o)),
+        "explain" => Opts::parse(rest).and_then(|o| cmd_explain(&o)),
         "sweep" => Opts::parse(rest).and_then(|o| cmd_sweep(&o)),
         "nano" => Opts::parse(rest).and_then(|o| cmd_nano(&o)),
         "table1" => cmd_table1(),

@@ -34,6 +34,7 @@ fn quick_cfg(secs: u64, seed: u64, processes: u32) -> EngineConfig {
         processes,
         cores: 4,
         arrival: Arrival::Closed,
+        obs: ObsConfig::default(),
     }
 }
 

@@ -13,6 +13,7 @@
 use rocketbench::core::sched::Arrival;
 use rocketbench::core::testbed;
 use rocketbench::core::workload::{personalities, Engine, EngineConfig, Recording};
+use rocketbench::obs::ObsConfig;
 use rocketbench::simcore::events::EventQueue;
 use rocketbench::simcore::rng::Rng;
 use rocketbench::simcore::time::Nanos;
@@ -220,6 +221,7 @@ fn pinned_config(arrival: Arrival) -> EngineConfig {
         processes: 4,
         cores: 2,
         arrival,
+        obs: ObsConfig::default(),
     }
 }
 

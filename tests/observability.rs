@@ -1,0 +1,207 @@
+//! End-to-end tests for the flight recorder: cross-layer metrics,
+//! virtual-time span traces, and the explain report.
+//!
+//! The load-bearing properties: (1) the recorder is a pure observer —
+//! switching it on never changes what the engine measures; (2) every
+//! artifact it emits (counter snapshots, trace JSON, metrics columns)
+//! is a pure function of (workload, config, seed), independent of
+//! `--jobs` and of repetition; (3) switched off — the default — the
+//! campaign output is byte-identical to the committed goldens.
+
+use rocketbench::core::campaign::{run_campaign, Personality, SweepSpec};
+use rocketbench::core::prelude::*;
+use rocketbench::core::testbed;
+use rocketbench::simcore::time::Nanos;
+use rocketbench::simcore::units::Bytes;
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn obs_cfg(processes: u32, obs: ObsConfig) -> EngineConfig {
+    EngineConfig {
+        duration: Nanos::from_secs(3),
+        window: Nanos::from_secs(1),
+        seed: 11,
+        cold_start: true,
+        prewarm: true,
+        cpu_jitter_sigma: 0.0,
+        max_errors: 100,
+        processes,
+        cores: 4,
+        arrival: Arrival::Closed,
+        obs,
+    }
+}
+
+fn traced_run(processes: u32) -> Recording {
+    let mut t = testbed::paper_ext2(Bytes::gib(1), 11);
+    let w = personalities::fileserver(30);
+    let cfg = obs_cfg(
+        processes,
+        ObsConfig {
+            metrics: true,
+            trace: Some(TraceConfig::default()),
+        },
+    );
+    Engine::run(&mut t, &w, &cfg).unwrap()
+}
+
+/// The golden small-sweep spec, optionally with metrics collection.
+fn sweep(metrics: bool) -> SweepSpec {
+    let mut plan = RunPlan::quick(0);
+    plan.protocol = Protocol::FixedRuns(2);
+    plan.duration = Nanos::from_secs(2);
+    plan.obs.metrics = metrics;
+    SweepSpec {
+        name: "sweep".into(),
+        personalities: vec![
+            Personality::parse("randomread").unwrap(),
+            Personality::parse("varmail").unwrap(),
+        ],
+        traces: Vec::new(),
+        file_sizes: vec![Bytes::mib(16)],
+        file_counts: vec![25],
+        filesystems: vec![FsKind::Ext2, FsKind::Xfs],
+        cache_capacities: vec![Bytes::mib(32)],
+        processes: vec![1],
+        arrivals: Vec::new(),
+        slo_p99: None,
+        plan,
+        device: Bytes::gib(2),
+        run_budget: None,
+    }
+}
+
+/// Recorder off — the default — leaves the campaign report exactly as
+/// the committed golden: not a byte of drift from carrying the hooks.
+#[test]
+fn disabled_recorder_keeps_golden_bytes() {
+    let report = run_campaign(&sweep(false), 2).expect("sweep");
+    assert_eq!(report.to_csv(), golden("sweep_small.csv"));
+}
+
+/// `--metrics` only appends columns: the original columns of every row
+/// still carry the exact golden bytes, and the metrics columns are
+/// identical at any worker count.
+#[test]
+fn metrics_columns_append_and_are_jobs_invariant() {
+    let spec = sweep(true);
+    let serial = run_campaign(&spec, 1).expect("jobs=1");
+    let sharded = run_campaign(&spec, 4).expect("jobs=4");
+    assert_eq!(serial.to_csv(), sharded.to_csv());
+    assert_eq!(serial.to_json().to_string(), sharded.to_json().to_string());
+
+    let csv = serial.to_csv();
+    let golden_csv = golden("sweep_small.csv");
+    for (line, golden_line) in csv.lines().zip(golden_csv.lines()) {
+        assert!(
+            line.starts_with(golden_line),
+            "metrics must append, not rewrite: {line:?} vs {golden_line:?}"
+        );
+        assert_eq!(
+            line.split(',').count(),
+            golden_line.split(',').count() + 5,
+            "expected exactly five appended metric columns"
+        );
+    }
+    assert!(csv
+        .lines()
+        .next()
+        .unwrap()
+        .ends_with("dev_busy_pct,qwait_pct,seeks,journal_commits,writeback_flushed"));
+}
+
+/// Counter snapshots are deterministic across repeat runs: same seed,
+/// same flat counter list, byte for byte.
+#[test]
+fn counter_snapshots_repeat_exactly() {
+    let render = |rec: &Recording| {
+        let m = rec.metrics.as_ref().expect("metrics on");
+        m.counters()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect::<String>()
+    };
+    for processes in [1, 4] {
+        let a = traced_run(processes);
+        let b = traced_run(processes);
+        let counters = render(&a);
+        assert_eq!(counters, render(&b), "processes={processes}");
+        assert!(!counters.is_empty());
+    }
+}
+
+/// Trace JSON is byte-identical across repeat runs, structurally valid
+/// (balanced, monotone B/E nesting per track), and complete: every
+/// completed op was seen, and with `sample_every = 1` every op emitted
+/// a span.
+#[test]
+fn trace_json_repeats_and_nests() {
+    for processes in [1, 4] {
+        let a = traced_run(processes);
+        let b = traced_run(processes);
+        let ta = a.trace.as_ref().expect("trace on");
+        let tb = b.trace.as_ref().expect("trace on");
+        assert_eq!(ta.to_chrome_json(), tb.to_chrome_json());
+        assert_eq!(ta.seen, a.ops, "every completed op observed");
+        assert_eq!(ta.sampled, ta.seen, "sample_every=1 keeps all ops");
+        let spans = ta.validate_nesting().expect("well-nested");
+        assert!(spans > 0);
+    }
+}
+
+/// Watching never perturbs: with the full recorder on, the measured
+/// ledger (ops, errors, histogram) matches a blind run bit for bit,
+/// and the recorded totals agree with the ledger.
+#[test]
+fn observer_effect_is_zero() {
+    let blind = {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 11);
+        let w = personalities::fileserver(30);
+        Engine::run(&mut t, &w, &obs_cfg(4, ObsConfig::default())).unwrap()
+    };
+    let watched = traced_run(4);
+    assert_eq!(blind.ops, watched.ops);
+    assert_eq!(blind.errors, watched.errors);
+    assert_eq!(blind.histogram, watched.histogram);
+
+    let m = watched.metrics.as_ref().expect("metrics on");
+    assert_eq!(m.sched.completed, watched.ops);
+    assert!(m.sched.decomposed());
+    assert_eq!(m.sched.parts_total(), m.sched.latency, "exact partition");
+    let report = m.render_explain();
+    assert!(report.contains("hit ratio"), "{report}");
+    assert!(report.contains("of run"), "{report}");
+    assert!(report.contains("queue wait"), "{report}");
+    assert!(report.contains("exact match"), "{report}");
+}
+
+/// Sampling keeps the deterministic subset: every Nth completion in
+/// virtual-time order, with the skipped ops still counted as seen.
+#[test]
+fn sampling_is_a_deterministic_subset() {
+    let run = || {
+        let mut t = testbed::paper_ext2(Bytes::gib(1), 11);
+        let w = personalities::fileserver(30);
+        let cfg = obs_cfg(
+            4,
+            ObsConfig {
+                metrics: false,
+                trace: Some(TraceConfig { sample_every: 4 }),
+            },
+        );
+        Engine::run(&mut t, &w, &cfg).unwrap()
+    };
+    let a = run();
+    let b = run();
+    let ta = a.trace.as_ref().unwrap();
+    assert_eq!(
+        ta.to_chrome_json(),
+        b.trace.as_ref().unwrap().to_chrome_json()
+    );
+    assert_eq!(ta.seen, a.ops);
+    assert_eq!(ta.sampled, a.ops.div_ceil(4));
+    ta.validate_nesting().expect("sampled trace still nests");
+}

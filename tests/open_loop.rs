@@ -34,6 +34,7 @@ fn open_cfg(secs: u64, seed: u64, arrival: Arrival) -> EngineConfig {
         processes: 1,
         cores: 4,
         arrival,
+        obs: ObsConfig::default(),
     }
 }
 

@@ -250,6 +250,7 @@ proptest! {
             processes,
             cores: 2,
             arrival: Arrival::Closed,
+            obs: ObsConfig::default(),
         };
         let run = || {
             let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
@@ -304,6 +305,7 @@ proptest! {
             processes: 1,
             cores: 2,
             arrival: Arrival::Poisson { rate },
+            obs: ObsConfig::default(),
         };
         let run = || {
             let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
