@@ -35,6 +35,8 @@ fn config(duration: Nanos, arrival: Arrival) -> EngineConfig {
         cores: 4,
         arrival,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: RetryPolicy::None,
     }
 }
 

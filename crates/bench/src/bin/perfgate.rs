@@ -2,14 +2,16 @@
 //!
 //! The paper's complaint is that benchmarks report unqualified numbers;
 //! the harness should hold itself to the same bar. `perfgate` times
-//! seven canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! eight canonical scenarios — the quick Figure 1 campaign, a 4×4
 //! sweep-cell grid, an as-fast-as-possible replay of the golden v2
 //! trace spatially scaled ×32, an 8-process fileserver run through
 //! the discrete-event scheduler, the same run under an open-loop
 //! Poisson arrival stream, a raw event-queue pump over the arena
-//! heap, and a flight-recorder overhead probe (the scheduler run with
+//! heap, a flight-recorder overhead probe (the scheduler run with
 //! every recorder off, gated at ≤2% against the pre-recorder
-//! trajectory) — over N repetitions, and writes `BENCH_PR<n>.json` with
+//! trajectory), and a fault-layer overhead probe (the same run with
+//! no fault plan armed, under the same ≤2% budget) — over N
+//! repetitions, and writes `BENCH_PR<n>.json` with
 //! median + IQR wall time, throughput in scenario work units per
 //! second, and peak RSS (from `/proc/self/status` where available).
 //! One such file per PR is the performance trajectory of the harness.
@@ -108,7 +110,7 @@ fn scaled_golden() -> Trace {
 
 /// Scenario names, in run order (the parent dispatches children by
 /// name without constructing the scenarios themselves).
-const SCENARIO_NAMES: [&str; 7] = [
+const SCENARIO_NAMES: [&str; 8] = [
     "fig1-quick",
     "sweep-4x4",
     "replay-x32",
@@ -116,6 +118,7 @@ const SCENARIO_NAMES: [&str; 7] = [
     "open-loop-8p",
     "events-pump",
     "obs-overhead",
+    "faults-off",
 ];
 
 /// The flight-recorder overhead probe may cost at most this fraction
@@ -123,7 +126,12 @@ const SCENARIO_NAMES: [&str; 7] = [
 /// disabled path's branch checks.
 const OBS_OVERHEAD_FLOOR: f64 = 0.98;
 
-/// The seven canonical scenarios.
+/// Same budget for the fault layer: with no plan armed, the engine's
+/// fault checks are `Option::None` branches and may cost at most 2%
+/// against the pre-faults scaling-8p trajectory.
+const FAULTS_OFF_FLOOR: f64 = 0.98;
+
+/// The eight canonical scenarios.
 fn scenarios(quick: bool) -> Vec<Scenario> {
     // Scenario 1: the quick Figure 1 campaign (single worker so the
     // measurement is a plain single-thread workload).
@@ -161,6 +169,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 cache_capacities: [8u64, 16, 32, 64].iter().map(|&m| Bytes::mib(m)).collect(),
                 processes: vec![1],
                 arrivals: Vec::new(),
+                faults: Vec::new(),
+                retry: rb_faults::RetryPolicy::None,
                 slo_p99: None,
                 plan,
                 device: Bytes::mib(512),
@@ -223,6 +233,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 cores: 4,
                 arrival: Arrival::Closed,
                 obs: ObsConfig::default(),
+                faults: None,
+                retry: rb_faults::RetryPolicy::None,
             };
             let rec = Engine::run(&mut target, &workload, &config).expect("scaling-8p");
             assert!(rec.ops > 0);
@@ -253,6 +265,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 cores: 4,
                 arrival: Arrival::Poisson { rate: 20_000 },
                 obs: ObsConfig::default(),
+                faults: None,
+                retry: rb_faults::RetryPolicy::None,
             };
             let rec = Engine::run(&mut target, &workload, &config).expect("open-loop-8p");
             let report = rec.open_loop.expect("open-loop report");
@@ -313,6 +327,8 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 cores: 4,
                 arrival: Arrival::Closed,
                 obs: ObsConfig::default(),
+                faults: None,
+                retry: rb_faults::RetryPolicy::None,
             };
             let rec = Engine::run(&mut target, &workload, &config).expect("obs-overhead");
             assert!(
@@ -323,7 +339,46 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             rec.ops
         }),
     };
-    vec![fig1, sweep, replay, scaling, open, pump, obs_probe]
+    // Scenario 8: the fault-layer overhead probe — the identical
+    // 8-process run as scaling-8p with no fault plan armed. Every op
+    // still crosses the injection hooks (device service, allocation,
+    // crash check) as disabled branches, and that path is what this
+    // scenario prices. Its baseline aliases to the pre-faults
+    // scaling-8p entry, with the same ≤2% budget as obs-overhead.
+    let faults_secs: u64 = if quick { 2 } else { 5 };
+    let faults_off = Scenario {
+        name: "faults-off",
+        unit: "ops",
+        run: Box::new(move || {
+            let mut target = testbed::paper_fs(testbed::FsKind::Ext2, Bytes::gib(1), 5);
+            let workload = personalities::fileserver(50);
+            let config = EngineConfig {
+                duration: Nanos::from_secs(faults_secs),
+                window: Nanos::from_secs(1),
+                seed: 5,
+                cold_start: false,
+                prewarm: false,
+                cpu_jitter_sigma: 0.005,
+                max_errors: 100,
+                processes: 8,
+                cores: 4,
+                arrival: Arrival::Closed,
+                obs: ObsConfig::default(),
+                faults: None,
+                retry: rb_faults::RetryPolicy::None,
+            };
+            let rec = Engine::run(&mut target, &workload, &config).expect("faults-off");
+            assert!(
+                rec.ledger.is_none(),
+                "no ledger may materialize when faults are off"
+            );
+            assert!(rec.ops > 0);
+            rec.ops
+        }),
+    };
+    vec![
+        fig1, sweep, replay, scaling, open, pump, obs_probe, faults_off,
+    ]
 }
 
 /// Extracts `(name, wall_ms_median)` pairs from a perfgate JSON (a
@@ -443,6 +498,12 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
                         }
                         floor = gate.map(|g| g.max(OBS_OVERHEAD_FLOOR));
                     }
+                    if name == "faults-off" {
+                        if entry.is_none() {
+                            entry = base.iter().find(|(n, _)| n == "scaling-8p");
+                        }
+                        floor = gate.map(|g| g.max(FAULTS_OFF_FLOOR));
+                    }
                     match entry {
                         Some((_, base_ms)) if ms > 0.0 => {
                             let ratio = (base_ms / ms * 100.0).round() / 100.0;
@@ -483,7 +544,7 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
         None => String::new(),
     };
     let json = format!(
-        "{{\"bench\":\"perfgate\",\"pr\":8,\"schema\":1,\"quick\":{quick},\
+        "{{\"bench\":\"perfgate\",\"pr\":9,\"schema\":1,\"quick\":{quick},\
          \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
     );
     // `--out results/perfgate.json` must work on a fresh checkout: the
@@ -527,7 +588,7 @@ fn main() {
         None if quick => 3,
         None => 7,
     };
-    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
     let only = flag("only");
 
     // The parent dispatches children by name; only a child (--only) or

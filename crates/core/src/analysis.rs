@@ -238,6 +238,7 @@ mod tests {
             open_loop: None,
             metrics: None,
             trace: None,
+            ledger: None,
         }
     }
 

@@ -284,6 +284,16 @@ pub struct SweepSpec {
     /// seeds and report bytes unchanged); an empty axis means the
     /// implicit closed-loop default.
     pub arrivals: Vec<Arrival>,
+    /// Fault-plan axis (the robustness dimension): fault specs each
+    /// personality cell runs under, `None` meaning healthy hardware.
+    /// Trace cells ignore it — a trace replays what it recorded.
+    /// Healthy cells (`None`) keep their pre-axis identity (keys,
+    /// seeds and report bytes unchanged); an empty axis means the
+    /// implicit healthy default.
+    pub faults: Vec<Option<rb_faults::FaultSpec>>,
+    /// Retry policy every faulted cell runs under (healthy cells too —
+    /// with no faults a retry policy never triggers, so it is free).
+    pub retry: rb_faults::RetryPolicy,
     /// Optional SLO target on open-loop p99 latency: when set, every
     /// open-loop cell also reports the maximum offered load (ops/s)
     /// that still sustains `p99 <= slo_p99`, found by deterministic
@@ -318,6 +328,8 @@ impl Default for SweepSpec {
             cache_capacities: vec![testbed::PAPER_CACHE],
             processes: vec![1],
             arrivals: vec![Arrival::Closed],
+            faults: Vec::new(),
+            retry: rb_faults::RetryPolicy::None,
             slo_p99: None,
             plan: RunPlan::quick(0),
             device: Bytes::gib(1),
@@ -349,6 +361,12 @@ impl SweepSpec {
         } else {
             &self.arrivals
         };
+        // And an empty fault axis means the implicit healthy default.
+        let faults: &[Option<rb_faults::FaultSpec>] = if self.faults.is_empty() {
+            &[None]
+        } else {
+            &self.faults
+        };
         for &personality in &self.personalities {
             let sizes: &[Bytes] = if personality.uses_file_size() {
                 &self.file_sizes
@@ -366,17 +384,20 @@ impl SweepSpec {
                         for &cache in &self.cache_capacities {
                             for &procs in processes {
                                 for &arrival in arrivals {
-                                    let cell = Cell {
-                                        workload: CellWorkload::Personality(personality),
-                                        file_size,
-                                        files,
-                                        fs,
-                                        cache,
-                                        processes: procs.max(1),
-                                        arrival,
-                                    };
-                                    if seen.insert(cell.key()) {
-                                        cells.push(cell);
+                                    for &fault in faults {
+                                        let cell = Cell {
+                                            workload: CellWorkload::Personality(personality),
+                                            file_size,
+                                            files,
+                                            fs,
+                                            cache,
+                                            processes: procs.max(1),
+                                            arrival,
+                                            faults: fault,
+                                        };
+                                        if seen.insert(cell.key()) {
+                                            cells.push(cell);
+                                        }
                                     }
                                 }
                             }
@@ -403,6 +424,7 @@ impl SweepSpec {
                         cache,
                         processes: 1,
                         arrival: Arrival::Closed,
+                        faults: None,
                     };
                     if seen.insert(cell.key()) {
                         cells.push(cell);
@@ -449,6 +471,8 @@ pub struct Cell {
     pub processes: u32,
     /// Load regime ([`Arrival::Closed`] = the classic closed loop).
     pub arrival: Arrival,
+    /// Fault plan the cell runs under (`None` = healthy hardware).
+    pub faults: Option<rb_faults::FaultSpec>,
 }
 
 impl Cell {
@@ -505,6 +529,12 @@ impl Cell {
         if self.arrival.is_open() {
             let _ = write!(key, "|arrival={}", self.arrival);
         }
+        // Healthy cells likewise omit the fault marker, so every
+        // pre-fault-axis campaign's seeds and report bytes are
+        // preserved.
+        if let Some(f) = &self.faults {
+            let _ = write!(key, "|faults={}", f.label());
+        }
         key
     }
 
@@ -524,6 +554,9 @@ impl Cell {
                 }
                 if self.arrival.is_open() {
                     parts.push(self.arrival.label());
+                }
+                if let Some(f) = &self.faults {
+                    parts.push(f.label());
                 }
                 parts.join("/")
             }
@@ -584,6 +617,10 @@ pub struct CellResult {
     /// plan enabled metrics capture. The first run (not an aggregate)
     /// keeps the snapshot an exact, explainable account of one run.
     pub metrics: Option<rb_obs::MetricsSnapshot>,
+    /// Outcome ledger merged across the cell's runs, for cells on the
+    /// fault axis (`None` for healthy cells). Conservation holds on
+    /// the merge because it holds per run.
+    pub ledger: Option<rb_faults::OutcomeLedger>,
 }
 
 /// Open-loop statistics aggregated across one cell's runs: the offered
@@ -662,6 +699,17 @@ impl CellResult {
             .outcomes
             .first()
             .and_then(|o| o.recording.metrics.clone());
+        let ledger = mr
+            .outcomes
+            .iter()
+            .filter_map(|o| o.recording.ledger.as_ref())
+            .fold(None::<rb_faults::OutcomeLedger>, |acc, l| match acc {
+                Some(mut merged) => {
+                    merged.merge(l);
+                    Some(merged)
+                }
+                None => Some(l.clone()),
+            });
         CellResult {
             cell,
             coverage,
@@ -675,6 +723,7 @@ impl CellResult {
             errors,
             open_loop,
             metrics,
+            ledger,
         }
     }
 }
@@ -734,6 +783,14 @@ impl CampaignReport {
         self.cells.iter().any(|c| c.cell.arrival.is_open())
     }
 
+    /// Whether any cell runs under a fault plan. Like the other axis
+    /// columns, the `faults` and ledger columns only appear when the
+    /// axis is actually swept, so every pre-axis campaign's
+    /// CSV/JSON/table stays byte-identical.
+    pub fn sweeps_faults(&self) -> bool {
+        self.cells.iter().any(|c| c.cell.faults.is_some())
+    }
+
     /// Whether any cell carries an SLO verdict.
     fn has_slo(&self) -> bool {
         self.cells.iter().any(|c| {
@@ -756,6 +813,7 @@ impl CampaignReport {
     pub fn to_csv(&self) -> String {
         let procs = self.sweeps_processes();
         let arrival = self.sweeps_arrival();
+        let faults = self.sweeps_faults();
         let slo = self.has_slo();
         let metrics = self.has_metrics();
         let ms = |v: Option<Nanos>| {
@@ -778,6 +836,15 @@ impl CampaignReport {
                 }
                 if arrival {
                     row.push(c.cell.arrival.label());
+                }
+                if faults {
+                    row.push(
+                        c.cell
+                            .faults
+                            .as_ref()
+                            .map(|f| f.label())
+                            .unwrap_or_else(|| "none".into()),
+                    );
                 }
                 row.extend([
                     format!("{}", c.seed),
@@ -811,6 +878,27 @@ impl CampaignReport {
                             .unwrap_or_default(),
                     );
                 }
+                if faults {
+                    let l = c.ledger.as_ref();
+                    row.extend([
+                        l.map(|l| l.attempted.to_string()).unwrap_or_default(),
+                        l.map(|l| l.succeeded.to_string()).unwrap_or_default(),
+                        l.map(|l| l.retried_ok.to_string()).unwrap_or_default(),
+                        l.map(|l| l.gave_up.to_string()).unwrap_or_default(),
+                        l.map(|l| l.retries.to_string()).unwrap_or_default(),
+                        l.map(|l| format!("{:.3}", l.degraded.as_secs_f64() * 1e3))
+                            .unwrap_or_default(),
+                        l.and_then(|l| l.crash.as_ref())
+                            .map(|cr| {
+                                if cr.consistent {
+                                    "recovered".to_string()
+                                } else {
+                                    "inconsistent".to_string()
+                                }
+                            })
+                            .unwrap_or_default(),
+                    ]);
+                }
                 if metrics {
                     let m = c.metrics.as_ref();
                     row.extend([
@@ -837,6 +925,9 @@ impl CampaignReport {
         if arrival {
             header.push("arrival");
         }
+        if faults {
+            header.push("faults");
+        }
         header.extend([
             "seed",
             "runs",
@@ -856,6 +947,17 @@ impl CampaignReport {
         if slo {
             header.push("slo_max_ops_per_sec");
         }
+        if faults {
+            header.extend([
+                "attempted",
+                "ok_first_try",
+                "retried_ok",
+                "gave_up",
+                "retries",
+                "degraded_ms",
+                "crash",
+            ]);
+        }
         if metrics {
             header.extend([
                 "dev_busy_pct",
@@ -874,6 +976,7 @@ impl CampaignReport {
     pub fn to_json(&self) -> Json {
         let procs = self.sweeps_processes();
         let arrival = self.sweeps_arrival();
+        let faults = self.sweeps_faults();
         let metrics = self.has_metrics();
         let cells = self
             .cells
@@ -891,6 +994,18 @@ impl CampaignReport {
                 }
                 if arrival {
                     fields.push(("arrival", Json::Str(c.cell.arrival.label())));
+                }
+                if faults {
+                    fields.push((
+                        "faults",
+                        Json::Str(
+                            c.cell
+                                .faults
+                                .as_ref()
+                                .map(|f| f.label())
+                                .unwrap_or_else(|| "none".into()),
+                        ),
+                    ));
                 }
                 fields.extend([
                     ("seed", Json::Num(c.seed as f64)),
@@ -946,6 +1061,37 @@ impl CampaignReport {
                         None => Json::Null,
                     };
                     fields.push(("open_loop", open));
+                }
+                if faults {
+                    let ledger = match &c.ledger {
+                        Some(l) => {
+                            let mut lf = vec![
+                                ("attempted", Json::Num(l.attempted as f64)),
+                                ("succeeded", Json::Num(l.succeeded as f64)),
+                                ("retried_ok", Json::Num(l.retried_ok as f64)),
+                                ("gave_up", Json::Num(l.gave_up as f64)),
+                                ("dropped", Json::Num(l.dropped as f64)),
+                                ("retries", Json::Num(l.retries as f64)),
+                                ("degraded_ms", Json::Num(l.degraded.as_secs_f64() * 1e3)),
+                                ("balanced", Json::Bool(l.balanced())),
+                            ];
+                            if let Some(cr) = &l.crash {
+                                lf.push((
+                                    "crash",
+                                    Json::obj(vec![
+                                        ("at_ms", Json::Num(cr.at.as_secs_f64() * 1e3)),
+                                        ("mechanism", Json::Str(cr.mechanism.into())),
+                                        ("recovery_ms", Json::Num(cr.recovery.as_secs_f64() * 1e3)),
+                                        ("lost_dirty_pages", Json::Num(cr.lost_dirty_pages as f64)),
+                                        ("consistent", Json::Bool(cr.consistent)),
+                                    ]),
+                                ));
+                            }
+                            Json::obj(lf)
+                        }
+                        None => Json::Null,
+                    };
+                    fields.push(("ledger", ledger));
                 }
                 if metrics {
                     let m = match &c.metrics {
@@ -1008,6 +1154,7 @@ impl CampaignReport {
         );
         let procs = self.sweeps_processes();
         let arrival = self.sweeps_arrival();
+        let faults = self.sweeps_faults();
         let slo = self.has_slo();
         let rows: Vec<Vec<String>> = self
             .cells
@@ -1059,6 +1206,24 @@ impl CampaignReport {
                             .unwrap_or_else(|| "-".into()),
                     );
                 }
+                if faults {
+                    let l = c.ledger.as_ref();
+                    row.extend([
+                        l.map(|l| l.retries.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        l.map(|l| l.gave_up.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        l.and_then(|l| l.crash.as_ref())
+                            .map(|cr| {
+                                if cr.consistent {
+                                    "recovered".into()
+                                } else {
+                                    "INCONSISTENT".to_string()
+                                }
+                            })
+                            .unwrap_or_else(|| "-".into()),
+                    ]);
+                }
                 row
             })
             .collect();
@@ -1075,6 +1240,9 @@ impl CampaignReport {
         }
         if slo {
             header.push("slo ops/s");
+        }
+        if faults {
+            header.extend(["retries", "gave-up", "crash"]);
         }
         out.push_str(&report::text_table(&header, &rows));
         out.push('\n');
@@ -1191,7 +1359,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
         .clone()
         .with_base_seed(seed)
         .with_processes(cell.processes)
-        .with_arrival(cell.arrival);
+        .with_arrival(cell.arrival)
+        .with_faults(cell.faults)
+        .with_retry(spec.retry);
     if let Some(cap) = run_cap {
         plan.protocol = plan.protocol.capped(cap);
     }
@@ -1255,6 +1425,8 @@ fn slo_max_rate(spec: &SweepSpec, cell: &Cell, slo: Nanos) -> SimResult<u64> {
             .with_base_seed(seed)
             .with_processes(cell.processes)
             .with_arrival(cell.arrival.with_rate(rate))
+            .with_faults(cell.faults)
+            .with_retry(spec.retry)
             .with_protocol(Protocol::FixedRuns(1));
         plan.cache_capacity = if cell.cache.is_zero() {
             None
@@ -1374,6 +1546,7 @@ fn run_trace_cell(
         errors,
         open_loop: None,
         metrics: None,
+        ledger: None,
     })
 }
 
@@ -1478,6 +1651,8 @@ mod tests {
             cache_capacities: vec![Bytes::mib(64)],
             processes: vec![1],
             arrivals: Vec::new(),
+            faults: Vec::new(),
+            retry: rb_faults::RetryPolicy::None,
             slo_p99: None,
             plan,
             device: Bytes::mib(256),
@@ -1613,6 +1788,8 @@ mod tests {
             processes: 1,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let mr = run_many(
             |s| testbed::paper_fs(FsKind::Ext2, Bytes::mib(64), s),

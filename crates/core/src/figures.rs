@@ -133,6 +133,8 @@ pub fn fig1_campaign(config: &Fig1Config, jobs: usize) -> SimResult<Fig1Data> {
         cache_capacities,
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rb_faults::RetryPolicy::None,
         slo_p99: None,
         plan: config.plan.clone(),
         device: config.device,
@@ -372,6 +374,8 @@ pub fn fig2(config: &Fig2Config) -> SimResult<Fig2Data> {
             cores: 4,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let warmup = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -493,6 +497,8 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             cores: 4,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let _ = Engine::run_prepared(&mut target, &workload, &warm_cfg, &mut sets)?;
         // Measured phase.
@@ -508,6 +514,8 @@ pub fn fig3(config: &Fig3Config) -> SimResult<Fig3Data> {
             cores: 4,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let rec = Engine::run_prepared(&mut target, &workload, &measure_cfg, &mut sets)?;
         let modality = classify_modality(&rec.histogram);
@@ -635,6 +643,8 @@ pub fn fig4(config: &Fig4Config) -> SimResult<Fig4Data> {
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
     Ok(Fig4Data {

@@ -92,5 +92,7 @@ pub mod prelude {
     pub use crate::workload::{
         personalities, Engine, EngineConfig, FileSet, FlowOp, OpenLoopReport, Recording, Workload,
     };
+    pub use rb_faults;
+    pub use rb_faults::{FaultSpec, OutcomeLedger, RetryPolicy};
     pub use rb_obs::{MetricsSnapshot, ObsConfig, SpanTrace, TraceConfig};
 }

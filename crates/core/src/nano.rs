@@ -142,6 +142,8 @@ fn in_memory_read(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run_prepared(&mut t, &w, &cfg, &mut sets)?;
     let p50 = rec
@@ -178,6 +180,8 @@ fn disk_layout_sequential(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResu
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mib_per_sec = rec.ops_per_sec() * 64.0 / 1024.0; // 64 KiB per op
@@ -210,6 +214,8 @@ fn disk_layout_random(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> 
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let p50 = rec
@@ -245,6 +251,8 @@ fn cache_warmup(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let report = WarmupReport::from_windows(&rec.windows, 5.0);
@@ -290,6 +298,8 @@ fn cache_eviction(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let stats = t.stack().cache().stats();
@@ -325,6 +335,8 @@ fn metadata_ops(fs: FsKind, config: &NanoConfig) -> SimResult<NanoResult> {
         cores: 4,
         arrival: Arrival::Closed,
         obs: rb_obs::ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let rec = Engine::run(&mut t, &w, &cfg)?;
     let mut metrics = vec![Metric::new("throughput", rec.ops_per_sec(), "ops/s")];

@@ -319,6 +319,11 @@ pub struct RunPlan {
     /// default; enabling it never changes what is measured, only what
     /// is additionally recorded).
     pub obs: rb_obs::ObsConfig,
+    /// Deterministic fault plan armed for every run's measured phase
+    /// (`None` = healthy device; the pre-fault engine byte-for-byte).
+    pub faults: Option<rb_faults::FaultSpec>,
+    /// Retry policy applied when injected faults surface as op errors.
+    pub retry: rb_faults::RetryPolicy,
 }
 
 impl Default for RunPlan {
@@ -336,6 +341,8 @@ impl Default for RunPlan {
             processes: 1,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 }
@@ -358,6 +365,8 @@ impl RunPlan {
             processes: 1,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 
@@ -379,6 +388,8 @@ impl RunPlan {
             processes: 1,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 
@@ -415,6 +426,19 @@ impl RunPlan {
         self
     }
 
+    /// The same plan under a fault regime — how campaigns stamp cells
+    /// along the faults axis.
+    pub fn with_faults(mut self, faults: Option<rb_faults::FaultSpec>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The same plan under a different retry policy.
+    pub fn with_retry(mut self, retry: rb_faults::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The engine configuration for run `i` of this plan.
     pub fn engine_config(&self, run_index: u32) -> EngineConfig {
         EngineConfig {
@@ -429,6 +453,8 @@ impl RunPlan {
             cores: 4,
             arrival: self.arrival,
             obs: self.obs.clone(),
+            faults: self.faults,
+            retry: self.retry,
         }
     }
 }
@@ -828,6 +854,8 @@ mod tests {
             processes: 1,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 

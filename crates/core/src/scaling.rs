@@ -177,6 +177,8 @@ pub fn thread_scaling(kind: FsKind, config: &ScalingConfig) -> SimResult<Scaling
             cores: config.cores,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let rec = Engine::run(&mut target, &workload, &engine_cfg)?;
         let ops_per_sec = rec.ops_per_sec();

@@ -145,6 +145,15 @@ pub trait SchedDriver {
     /// error aborts the run (e.g. the engine's consecutive-failure
     /// limit).
     fn on_error(&mut self, process: u32, now: Nanos, error: SimError) -> SimResult<()>;
+
+    /// Publishes the shared device queue's next-free instant to the
+    /// driver, immediately before each [`SchedDriver::exec`]. A target
+    /// with a mechanical device model can then evaluate seek distance
+    /// at *actual service start* rather than at issue — without this, a
+    /// request issued while the device is busy would charge the seek
+    /// from wherever the head was at issue time, not where the queued
+    /// work leaves it. Drivers without a positional device ignore it.
+    fn set_device_floor(&mut self, _floor: Nanos) {}
 }
 
 /// Reusable event-pump state: the event queues and per-run buffers
@@ -231,31 +240,34 @@ pub fn run_closed_loop_in<D: SchedDriver + ?Sized>(
                 process,
                 arrived,
                 core,
-            } => match driver.exec(process, now) {
-                Ok(cost) => {
-                    let after_cpu = now + cost.cpu;
-                    let completed = if cost.device.is_zero() {
-                        after_cpu
-                    } else {
-                        device.serve(after_cpu, cost.device)
-                    };
-                    queue.schedule(
-                        completed,
-                        Event::Done {
-                            process,
-                            arrived,
-                            issued: now,
-                            core,
-                            cost,
-                        },
-                    );
+            } => {
+                driver.set_device_floor(device.next_free());
+                match driver.exec(process, now) {
+                    Ok(cost) => {
+                        let after_cpu = now + cost.cpu;
+                        let completed = if cost.device.is_zero() {
+                            after_cpu
+                        } else {
+                            device.serve(after_cpu, cost.device)
+                        };
+                        queue.schedule(
+                            completed,
+                            Event::Done {
+                                process,
+                                arrived,
+                                issued: now,
+                                core,
+                                cost,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        driver.on_error(process, now, e)?;
+                        // Errors still paid the think time; rearrive now.
+                        queue.schedule(now, Event::Arrive(process));
+                    }
                 }
-                Err(e) => {
-                    driver.on_error(process, now, e)?;
-                    // Errors still paid the think time; rearrive now.
-                    queue.schedule(now, Event::Arrive(process));
-                }
-            },
+            }
             Event::Done {
                 process,
                 arrived,
@@ -656,46 +668,49 @@ pub fn run_open_loop_in<D: SchedDriver + ?Sized>(
                 worker,
                 arrived,
                 core,
-            } => match driver.exec(worker, now) {
-                Ok(cost) => {
-                    let after_cpu = now + cost.cpu;
-                    let completed = if cost.device.is_zero() {
-                        after_cpu
-                    } else {
-                        device.serve(after_cpu, cost.device)
-                    };
-                    queue.schedule(
-                        completed,
-                        OpenEvent::Done {
-                            worker,
-                            arrived,
-                            issued: now,
-                            core,
-                            cost,
-                        },
-                    );
-                }
-                Err(e) => {
-                    driver.on_error(worker, now, e)?;
-                    out.failed += 1;
-                    // The request is consumed (open loops don't retry);
-                    // the worker immediately picks up the next one.
-                    match pending.pop_front() {
-                        Some(arrived) => {
-                            let (core, cpu_done) = cores.claim_indexed(now, sched.think);
-                            queue.schedule(
-                                cpu_done,
-                                OpenEvent::Issue {
-                                    worker,
-                                    arrived,
-                                    core,
-                                },
-                            );
+            } => {
+                driver.set_device_floor(device.next_free());
+                match driver.exec(worker, now) {
+                    Ok(cost) => {
+                        let after_cpu = now + cost.cpu;
+                        let completed = if cost.device.is_zero() {
+                            after_cpu
+                        } else {
+                            device.serve(after_cpu, cost.device)
+                        };
+                        queue.schedule(
+                            completed,
+                            OpenEvent::Done {
+                                worker,
+                                arrived,
+                                issued: now,
+                                core,
+                                cost,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        driver.on_error(worker, now, e)?;
+                        out.failed += 1;
+                        // The request is consumed (open loops don't retry);
+                        // the worker immediately picks up the next one.
+                        match pending.pop_front() {
+                            Some(arrived) => {
+                                let (core, cpu_done) = cores.claim_indexed(now, sched.think);
+                                queue.schedule(
+                                    cpu_done,
+                                    OpenEvent::Issue {
+                                        worker,
+                                        arrived,
+                                        core,
+                                    },
+                                );
+                            }
+                            None => idle[worker as usize] = true,
                         }
-                        None => idle[worker as usize] = true,
                     }
                 }
-            },
+            }
             OpenEvent::Done {
                 worker,
                 arrived,

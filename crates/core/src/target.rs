@@ -212,6 +212,23 @@ impl Target for SimTarget {
     fn tick_at(&mut self, issue: Nanos) -> Nanos {
         self.stack.writeback_tick_at(issue)
     }
+
+    fn install_faults(&mut self, spec: rb_faults::FaultSpec, seed: u64) -> SimResult<()> {
+        self.stack.install_faults(spec, seed);
+        Ok(())
+    }
+
+    fn fault_stats(&self) -> Option<rb_faults::FaultStats> {
+        self.stack.fault_stats().copied()
+    }
+
+    fn crash_recover(&mut self, issue: Nanos) -> SimResult<rb_faults::CrashReport> {
+        self.stack.crash_recover_at(issue)
+    }
+
+    fn set_device_floor(&mut self, floor: Nanos) {
+        self.stack.set_media_floor(floor);
+    }
 }
 
 /// A real directory on the host file system as a target (wall-clock

@@ -188,6 +188,19 @@ pub struct EngineConfig {
     /// check per run, so recordings (and everything derived from them)
     /// stay byte-identical to an engine without the recorder.
     pub obs: rb_obs::ObsConfig,
+    /// Deterministic fault plan armed for the measured phase (`None` =
+    /// healthy device). Faults install *after* setup/prewarm, so file
+    /// preallocation is never error-gated; the plan is a pure function
+    /// of (spec, forked seed stream, virtual clock), and the disabled
+    /// path leaves every recording byte-identical to a fault-free
+    /// engine.
+    pub faults: Option<rb_faults::FaultSpec>,
+    /// How the engine responds to injected I/O failures.
+    /// [`rb_faults::RetryPolicy::None`] keeps the legacy behaviour
+    /// (errors count toward [`EngineConfig::max_errors`]); the bounded
+    /// and continue policies treat fault-class errors as survivable and
+    /// account every op in [`Recording::ledger`].
+    pub retry: rb_faults::RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -204,6 +217,8 @@ impl Default for EngineConfig {
             cores: 4,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 }
@@ -236,6 +251,10 @@ pub struct Recording {
     /// Virtual-time span trace of sampled op lifecycles, present when
     /// [`rb_obs::ObsConfig::trace`] was configured.
     pub trace: Option<rb_obs::SpanTrace>,
+    /// Fault-outcome ledger (`attempted = succeeded + retried_ok +
+    /// gave_up + dropped`, degraded-mode time, crash verdict), present
+    /// only when [`EngineConfig::faults`] armed a plan.
+    pub ledger: Option<rb_faults::OutcomeLedger>,
 }
 
 /// What an open-loop run measures beyond the closed-loop recording:
@@ -422,6 +441,9 @@ impl Engine {
         if config.prewarm {
             Self::prewarm(target, sets)?;
         }
+        if let Some(spec) = config.faults {
+            target.install_faults(spec, config.seed)?;
+        }
         let stats_before = target.cache_stats();
         let mut rng = Rng::new(config.seed).fork("run");
         let op_overhead = Self::effective_op_overhead(workload, config);
@@ -435,9 +457,11 @@ impl Engine {
         let mut errors = 0u64;
         let mut consecutive_errors = 0u64;
         let mut created_serial = 1_000_000u64;
+        let mut ledger = config.faults.map(|_| rb_faults::OutcomeLedger::default());
 
         let start = target.now();
         let end = start + config.duration;
+        let mut crash_at = config.faults.and_then(|s| s.crash_at()).map(|d| start + d);
         // Background flusher cadence (Linux: every ~5 s).
         let tick_every = Nanos::from_secs(5);
         let mut next_tick = start + tick_every;
@@ -449,19 +473,61 @@ impl Engine {
                 target.background_tick();
                 next_tick += tick_every;
             }
+            if let Some(at) = crash_at {
+                if target.now() >= at {
+                    // The instant of loss: dirty pages vanish, the file
+                    // system replays its recovery plan, and the run
+                    // continues on the recovered (still degraded) state.
+                    crash_at = None;
+                    let report = target.crash_recover(target.now())?;
+                    target.advance(report.recovery);
+                    if let Some(l) = &mut ledger {
+                        l.crash = Some(report);
+                        l.degraded += report.recovery;
+                    }
+                }
+            }
             let (op_idx, chosen) = program.pick(workload, &mut rng);
-            let result = Self::execute(
-                target,
-                chosen,
-                sets,
-                &mut zipfs,
-                workload,
-                &mut rng,
-                &mut created_serial,
-            );
+            if let Some(l) = &mut ledger {
+                l.attempted += 1;
+            }
+            let mut attempts = 0u32;
+            let result = loop {
+                let r = Self::execute(
+                    target,
+                    chosen,
+                    sets,
+                    &mut zipfs,
+                    workload,
+                    &mut rng,
+                    &mut created_serial,
+                );
+                match r {
+                    Err(e) if Self::is_fault_error(&e) && attempts < config.retry.retries() => {
+                        // Deterministic virtual-time backoff, then the
+                        // op re-executes in full (fresh draws, same
+                        // stream — a redrive, not a replay).
+                        attempts += 1;
+                        let backoff = rb_faults::RetryPolicy::backoff(attempts);
+                        target.advance(backoff);
+                        if let Some(l) = &mut ledger {
+                            l.degraded += backoff;
+                        }
+                    }
+                    other => break other,
+                }
+            };
             match result {
                 Ok(lat) => {
                     consecutive_errors = 0;
+                    if let Some(l) = &mut ledger {
+                        if attempts > 0 {
+                            l.retried_ok += 1;
+                            l.retries += attempts as u64;
+                        } else {
+                            l.succeeded += 1;
+                        }
+                    }
                     let when = target.now() - start;
                     // An operation that completes past the deadline belongs
                     // to the next (unreported) window; recording it would
@@ -479,24 +545,43 @@ impl Engine {
                     }
                     target.advance(op_overhead);
                 }
-                Err(_) => {
+                Err(e) => {
                     errors += 1;
-                    consecutive_errors += 1;
-                    if consecutive_errors >= config.max_errors {
-                        return Err(SimError::InvalidOperation(format!(
-                            "aborting: {consecutive_errors} consecutive op failures"
-                        )));
+                    if let Some(l) = &mut ledger {
+                        l.gave_up += 1;
+                        l.retries += attempts as u64;
+                    }
+                    // Under a fault-tolerant policy, giving up on an
+                    // injected fault is an accounted outcome, not a step
+                    // toward the consecutive-failure abort.
+                    let tolerated =
+                        config.retry != rb_faults::RetryPolicy::None && Self::is_fault_error(&e);
+                    if tolerated {
+                        consecutive_errors = 0;
+                    } else {
+                        consecutive_errors += 1;
+                        if consecutive_errors >= config.max_errors {
+                            return Err(SimError::InvalidOperation(format!(
+                                "aborting: {consecutive_errors} consecutive op failures"
+                            )));
+                        }
                     }
                     // Errors still cost framework time; avoids a spin.
                     target.advance(op_overhead);
                 }
             }
         }
+        if let Some(l) = &mut ledger {
+            if let Some(fs) = target.fault_stats() {
+                l.degraded += fs.slow_extra + fs.stall_extra;
+            }
+        }
         let hit_ratio = Self::hit_ratio_delta(stats_before, target);
-        let (metrics, trace) = match obs {
+        let (mut metrics, trace) = match obs {
             Some(o) => o.finish(target, target.now() - start),
             None => (None, None),
         };
+        Self::patch_fault_metrics(&mut metrics, &ledger);
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -508,7 +593,16 @@ impl Engine {
             open_loop: None,
             metrics,
             trace,
+            ledger,
         })
+    }
+
+    /// Whether an error is fault-class — injected (or mechanical)
+    /// device failure rather than a workload/config mistake. Only these
+    /// are retried, and only these are survivable under a tolerant
+    /// [`rb_faults::RetryPolicy`].
+    fn is_fault_error(e: &SimError) -> bool {
+        matches!(e, SimError::Io { .. } | SimError::NoSpace)
     }
 
     /// The run's per-op framework overhead: one CPU-speed factor drawn
@@ -560,6 +654,21 @@ impl Engine {
         map
     }
 
+    /// Folds the engine-side retry/give-up counts from the outcome
+    /// ledger into the snapshot's fault section — the fault layer only
+    /// sees injections, not what the retry policy did about them.
+    fn patch_fault_metrics(
+        metrics: &mut Option<rb_obs::MetricsSnapshot>,
+        ledger: &Option<rb_faults::OutcomeLedger>,
+    ) {
+        if let (Some(m), Some(l)) = (metrics.as_mut(), ledger) {
+            if let Some(f) = &mut m.faults {
+                f.retries = l.retries;
+                f.gave_up = l.gave_up;
+            }
+        }
+    }
+
     /// Per-phase hit ratio from the cache-stats delta when available.
     fn hit_ratio_delta(
         before: Option<rb_simcache::page::CacheStats>,
@@ -602,6 +711,9 @@ impl Engine {
         if config.prewarm {
             Self::prewarm(target, sets)?;
         }
+        if let Some(spec) = config.faults {
+            target.install_faults(spec, config.seed)?;
+        }
         let stats_before = target.cache_stats();
         let op_overhead = Self::effective_op_overhead(workload, config);
         let program = OpProgram::new(workload)?;
@@ -641,6 +753,8 @@ impl Engine {
             errors: 0,
             consecutive_errors: 0,
             obs,
+            ledger: config.faults.map(|_| rb_faults::OutcomeLedger::default()),
+            crash_at: config.faults.and_then(|s| s.crash_at()).map(|d| start + d),
         };
         let outcome = crate::sched::run_closed_loop(&sched_config, &mut driver)?;
         let EngineDriver {
@@ -651,18 +765,28 @@ impl Engine {
             ops,
             errors,
             obs,
+            mut ledger,
             ..
         } = driver;
+        // Release the queue-aware service floor the pump has been
+        // publishing; post-run surgery issues at the target's own clock.
+        target.set_device_floor(Nanos::ZERO);
+        if let Some(l) = &mut ledger {
+            if let Some(fs) = target.fault_stats() {
+                l.degraded += fs.slow_extra + fs.stall_extra;
+            }
+        }
         // The timed ops never moved the target clock; walk it to the
         // final completion so post-run surgery sees a consistent
         // timeline (and duration matches the serial convention of
         // "first instant at or past the deadline").
         target.advance(outcome.finished - start);
         let hit_ratio = Self::hit_ratio_delta(stats_before, target);
-        let (metrics, trace) = match obs {
+        let (mut metrics, trace) = match obs {
             Some(o) => o.finish(target, outcome.finished - start),
             None => (None, None),
         };
+        Self::patch_fault_metrics(&mut metrics, &ledger);
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -674,6 +798,7 @@ impl Engine {
             open_loop: None,
             metrics,
             trace,
+            ledger,
         })
     }
 
@@ -706,6 +831,9 @@ impl Engine {
         }
         if config.prewarm {
             Self::prewarm(target, sets)?;
+        }
+        if let Some(spec) = config.faults {
+            target.install_faults(spec, config.seed)?;
         }
         let stats_before = target.cache_stats();
         let op_overhead = Self::effective_op_overhead(workload, config);
@@ -753,6 +881,8 @@ impl Engine {
             errors: 0,
             consecutive_errors: 0,
             obs,
+            ledger: config.faults.map(|_| rb_faults::OutcomeLedger::default()),
+            crash_at: config.faults.and_then(|s| s.crash_at()).map(|d| start + d),
         };
         let outcome = crate::sched::run_open_loop(&open_config, arrival_rng, &mut driver)?;
         let EngineDriver {
@@ -763,8 +893,20 @@ impl Engine {
             ops,
             errors,
             obs,
+            mut ledger,
             ..
         } = driver;
+        target.set_device_floor(Nanos::ZERO);
+        if let Some(l) = &mut ledger {
+            // Queue-rejected requests never reached the target: they
+            // enter the ledger as attempted-and-dropped, keeping the
+            // conservation identity over the *offered* load.
+            l.attempted += outcome.dropped;
+            l.dropped += outcome.dropped;
+            if let Some(fs) = target.fault_stats() {
+                l.degraded += fs.slow_extra + fs.stall_extra;
+            }
+        }
         target.advance(outcome.finished - start);
         let hit_ratio = Self::hit_ratio_delta(stats_before, target);
         let open_loop = OpenLoopReport {
@@ -779,10 +921,11 @@ impl Engine {
             max_queue_depth: outcome.max_queue_depth,
             depth_timeline: outcome.depth_timeline,
         };
-        let (metrics, trace) = match obs {
+        let (mut metrics, trace) = match obs {
             Some(o) => o.finish(target, outcome.finished - start),
             None => (None, None),
         };
+        Self::patch_fault_metrics(&mut metrics, &ledger);
         Ok(Recording {
             windows: series.finish(),
             histogram,
@@ -794,6 +937,7 @@ impl Engine {
             open_loop: Some(open_loop),
             metrics,
             trace,
+            ledger,
         })
     }
 
@@ -1226,12 +1370,26 @@ impl ObsState {
             (Some(b), Some(a)) => Some(rb_obs::DiskDelta::between(b, &a)),
             _ => None,
         };
+        // Fault counters come straight from the target's fault layer;
+        // retries/gave_up are engine-side and patched in from the
+        // ledger by the caller (see `patch_fault_metrics`).
+        let faults = target.fault_stats().map(|s| rb_obs::FaultDelta {
+            injected_errors: s.injected_errors(),
+            bad_blocks: s.bad_blocks,
+            stall_hits: s.stall_hits,
+            enospc_rejections: s.enospc_rejections,
+            absorbed_errors: s.absorbed_errors,
+            degraded_us: s.degraded().as_micros(),
+            retries: 0,
+            gave_up: 0,
+        });
         let metrics = rb_obs::MetricsSnapshot {
             duration,
             policy: self.policy,
             cache,
             fs,
             disk,
+            faults,
             sched: self.sched,
             timeline: self.timeline,
         };
@@ -1340,25 +1498,94 @@ struct EngineDriver<'a> {
     consecutive_errors: u64,
     /// Flight-recorder state, present only when observability is on.
     obs: Option<ObsState>,
+    /// Fault-outcome ledger, present only when faults are armed.
+    ledger: Option<rb_faults::OutcomeLedger>,
+    /// Pending crash instant; taken (set to `None`) when it fires.
+    crash_at: Option<Nanos>,
 }
 
-impl SchedDriver for EngineDriver<'_> {
-    fn exec(&mut self, process: u32, now: Nanos) -> SimResult<OpCost> {
+impl EngineDriver<'_> {
+    /// One scheduled operation: the weighted draw, the (possibly
+    /// retried) execution, and the ledger accounting. Backoff between
+    /// attempts folds into the op's CPU charge, so the scheduler sees
+    /// one longer operation rather than N short ones — the worker
+    /// holds its core through the retry storm, like a thread spinning
+    /// in the kernel's resubmit path.
+    fn exec_once(&mut self, process: u32, now: Nanos) -> SimResult<OpCost> {
         let rng = &mut self.rngs[process as usize];
         // The same weighted draw as the serial loop, from this
         // process's own stream, dispatched through the flat table.
         let (op_idx, chosen) = self.program.pick(self.workload, rng);
         self.current_slot[process as usize] = self.program.slot_of_op[op_idx];
-        Engine::execute_timed(
-            self.target,
-            chosen,
-            self.sets,
-            &mut self.zipfs,
-            self.workload,
-            rng,
-            &mut self.created_serial,
-            now,
-        )
+        if let Some(l) = &mut self.ledger {
+            l.attempted += 1;
+        }
+        let mut attempts = 0u32;
+        let mut backoff = Nanos::ZERO;
+        loop {
+            let result = Engine::execute_timed(
+                self.target,
+                chosen,
+                self.sets,
+                &mut self.zipfs,
+                self.workload,
+                &mut self.rngs[process as usize],
+                &mut self.created_serial,
+                now + backoff,
+            );
+            match result {
+                Ok(mut cost) => {
+                    if let Some(l) = &mut self.ledger {
+                        if attempts > 0 {
+                            l.retried_ok += 1;
+                            l.retries += attempts as u64;
+                        } else {
+                            l.succeeded += 1;
+                        }
+                    }
+                    cost.cpu += backoff;
+                    return Ok(cost);
+                }
+                Err(e) if Engine::is_fault_error(&e) && attempts < self.config.retry.retries() => {
+                    attempts += 1;
+                    let wait = rb_faults::RetryPolicy::backoff(attempts);
+                    backoff += wait;
+                    if let Some(l) = &mut self.ledger {
+                        l.degraded += wait;
+                    }
+                }
+                Err(e) => {
+                    if let Some(l) = &mut self.ledger {
+                        l.gave_up += 1;
+                        l.retries += attempts as u64;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl SchedDriver for EngineDriver<'_> {
+    fn exec(&mut self, process: u32, now: Nanos) -> SimResult<OpCost> {
+        if let Some(at) = self.crash_at {
+            if now >= at {
+                // First issue past the crash instant pays for recovery:
+                // its device charge carries the replay I/O, so every
+                // later op queues behind the recovering device exactly
+                // as processes stall behind a remounting file system.
+                self.crash_at = None;
+                let report = self.target.crash_recover(now)?;
+                if let Some(l) = &mut self.ledger {
+                    l.crash = Some(report);
+                    l.degraded += report.recovery;
+                }
+                let mut cost = self.exec_once(process, now)?;
+                cost.device += report.recovery;
+                return Ok(cost);
+            }
+        }
+        self.exec_once(process, now)
     }
 
     fn tick(&mut self, start: Nanos) -> Nanos {
@@ -1385,8 +1612,14 @@ impl SchedDriver for EngineDriver<'_> {
         Ok(())
     }
 
-    fn on_error(&mut self, _process: u32, _now: Nanos, _error: SimError) -> SimResult<()> {
+    fn on_error(&mut self, _process: u32, _now: Nanos, error: SimError) -> SimResult<()> {
         self.errors += 1;
+        // Fault-class errors under a tolerant policy are accounted
+        // outcomes (the ledger's gave_up), not steps toward the abort.
+        if self.config.retry != rb_faults::RetryPolicy::None && Engine::is_fault_error(&error) {
+            self.consecutive_errors = 0;
+            return Ok(());
+        }
         self.consecutive_errors += 1;
         if self.consecutive_errors >= self.config.max_errors {
             return Err(SimError::InvalidOperation(format!(
@@ -1395,6 +1628,10 @@ impl SchedDriver for EngineDriver<'_> {
             )));
         }
         Ok(())
+    }
+
+    fn set_device_floor(&mut self, floor: Nanos) {
+        self.target.set_device_floor(floor);
     }
 }
 
@@ -1668,6 +1905,8 @@ mod tests {
             cores: 4,
             arrival: Arrival::Closed,
             obs: rb_obs::ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         }
     }
 

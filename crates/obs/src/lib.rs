@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 
-pub use metrics::{DiskDelta, MetricsSnapshot, SchedMetrics};
+pub use metrics::{DiskDelta, FaultDelta, MetricsSnapshot, SchedMetrics};
 pub use registry::{CounterId, Registry};
 pub use span::{SpanRecorder, SpanTrace, TraceEvent};
 

@@ -77,6 +77,30 @@ impl DiskDelta {
     }
 }
 
+/// Fault-injection and retry counters for one run, present only when a
+/// fault plan was armed — metrics-off and healthy snapshots carry
+/// `None` and stay byte-identical. Plain integers so rb-obs stays
+/// dependency-free; the engine translates from its fault layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDelta {
+    /// Device errors injected (transient + sticky).
+    pub injected_errors: u64,
+    /// Distinct blocks gone sticky-bad.
+    pub bad_blocks: u64,
+    /// Requests delayed by a stall window.
+    pub stall_hits: u64,
+    /// Allocations rejected by the ENOSPC gate.
+    pub enospc_rejections: u64,
+    /// Injected errors absorbed by background writeback.
+    pub absorbed_errors: u64,
+    /// Degraded-mode device time, in microseconds.
+    pub degraded_us: u64,
+    /// Retry attempts the engine issued.
+    pub retries: u64,
+    /// Ops abandoned after exhausting the retry policy.
+    pub gave_up: u64,
+}
+
 /// Scheduler-side accounting for one run.
 ///
 /// The five duration fields are an exact integer partition of
@@ -149,6 +173,8 @@ pub struct MetricsSnapshot {
     pub fs: Option<StackStats>,
     /// Device counter deltas, when the target exposes them.
     pub disk: Option<DiskDelta>,
+    /// Fault-injection and retry counters, when a fault plan was armed.
+    pub faults: Option<FaultDelta>,
     /// Scheduler accounting and latency decomposition.
     pub sched: SchedMetrics,
     /// Windowed gauge timeline (hit ratio, device busy fraction).
@@ -237,6 +263,21 @@ impl MetricsSnapshot {
                 ("fs.fsyncs", f.fsyncs),
                 ("fs.allocations", f.allocations),
                 ("fs.journal_commits", f.journal_commits),
+            ] {
+                let id = reg.counter(name);
+                reg.set(id, v);
+            }
+        }
+        if let Some(f) = &self.faults {
+            for (name, v) in [
+                ("faults.injected_errors", f.injected_errors),
+                ("faults.bad_blocks", f.bad_blocks),
+                ("faults.stall_hits", f.stall_hits),
+                ("faults.enospc_rejections", f.enospc_rejections),
+                ("faults.absorbed_errors", f.absorbed_errors),
+                ("faults.degraded_us", f.degraded_us),
+                ("faults.retries", f.retries),
+                ("faults.gave_up", f.gave_up),
             ] {
                 let id = reg.counter(name);
                 reg.set(id, v);
@@ -417,6 +458,7 @@ mod tests {
                 seeks: 12,
                 seek_distance: 600,
             }),
+            faults: None,
             sched: SchedMetrics {
                 processes: 4,
                 cores: 2,
@@ -464,8 +506,41 @@ mod tests {
         assert!(names.contains(&"disk.seeks"));
         assert!(names.contains(&"fs.journal_commits"));
         assert!(names.contains(&"sched.queue_wait_us"));
+        // Healthy snapshots expose no fault counters at all.
+        assert!(!names.iter().any(|n| n.starts_with("faults.")));
         // Deterministic order: two snapshots agree.
         assert_eq!(flat, sample_snapshot().counters());
+    }
+
+    #[test]
+    fn fault_counters_appear_only_when_armed() {
+        let mut m = sample_snapshot();
+        m.faults = Some(FaultDelta {
+            injected_errors: 9,
+            bad_blocks: 2,
+            stall_hits: 4,
+            enospc_rejections: 1,
+            absorbed_errors: 3,
+            degraded_us: 1500,
+            retries: 12,
+            gave_up: 5,
+        });
+        let flat = m.counters();
+        let get = |name: &str| {
+            flat.iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("faults.injected_errors"), 9);
+        assert_eq!(get("faults.degraded_us"), 1500);
+        assert_eq!(get("faults.retries"), 12);
+        assert_eq!(get("faults.gave_up"), 5);
+        // The section slots between fs.* and sched.* deterministically.
+        let names: Vec<&str> = flat.iter().map(|(n, _)| *n).collect();
+        let fi = names.iter().position(|n| *n == "faults.injected_errors");
+        let si = names.iter().position(|n| *n == "sched.completed");
+        assert!(fi < si);
     }
 
     #[test]

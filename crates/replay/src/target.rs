@@ -231,4 +231,45 @@ pub trait Target {
         let _ = issue;
         Nanos::ZERO
     }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the robustness interface).
+    //
+    // Only deterministic simulated targets can inject faults — a plan
+    // is a pure function of (spec, forked RNG stream, virtual clock) and
+    // makes no sense against a real host disk. Real targets keep the
+    // default "unsupported" behaviour and drivers gate on the error.
+    // ------------------------------------------------------------------
+
+    /// Arms a deterministic fault plan on the target's device path.
+    /// Targets that cannot inject faults return `InvalidOperation`.
+    fn install_faults(&mut self, spec: rb_faults::FaultSpec, seed: u64) -> SimResult<()> {
+        let _ = (spec, seed);
+        Err(SimError::InvalidOperation(
+            "target cannot inject deterministic faults".into(),
+        ))
+    }
+
+    /// Cumulative fault-injection counters, if faults are armed.
+    fn fault_stats(&self) -> Option<rb_faults::FaultStats> {
+        None
+    }
+
+    /// Simulates a crash at instant `issue`: drops the page cache (dirty
+    /// data is lost), replays the file system's recovery plan against
+    /// the device, and reports what recovery cost and whether the
+    /// metadata survived consistent.
+    fn crash_recover(&mut self, issue: Nanos) -> SimResult<rb_faults::CrashReport> {
+        let _ = issue;
+        Err(SimError::InvalidOperation(
+            "target cannot simulate a crash".into(),
+        ))
+    }
+
+    /// Informs the target of the device-queue horizon chosen by an
+    /// external scheduler: media requests issued after this call are
+    /// serviced no earlier than `floor` (the instant the device actually
+    /// frees up), so seek distances are evaluated at true service start
+    /// rather than at issue. Targets without a device queue ignore it.
+    fn set_device_floor(&mut self, _floor: Nanos) {}
 }

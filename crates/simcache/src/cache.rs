@@ -324,6 +324,15 @@ impl PageCache {
         self.writeback.drain_all()
     }
 
+    /// Drops one page of `file` (a media read that never delivered its
+    /// data — the inserted page must not masquerade as a future hit).
+    pub fn invalidate_page(&mut self, file: FileId, page: PageNo) {
+        let k = PageKey::new(file, page);
+        self.forget_page(k);
+        self.policy.remove(k);
+        self.writeback.clear(k);
+    }
+
     /// Drops every page of `file` (unlink / truncate). Dirty pages are
     /// discarded, as POSIX unlink discards un-synced data.
     pub fn invalidate_file(&mut self, file: FileId) {

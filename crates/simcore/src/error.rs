@@ -30,6 +30,11 @@ pub enum SimError {
     NotEmpty(String),
     /// A configuration parameter is invalid.
     BadConfig(String),
+    /// A device-level I/O error (injected or mechanical) at a block.
+    Io {
+        /// Device block the failed request started at.
+        block: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +50,7 @@ impl fmt::Display for SimError {
             SimError::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
             SimError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
             SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            SimError::Io { block } => write!(f, "i/o error at block {block}"),
         }
     }
 }
@@ -73,6 +79,10 @@ mod tests {
             "out of bounds: offset 10 beyond size 4"
         );
         assert_eq!(SimError::NoSpace.to_string(), "no space left on device");
+        assert_eq!(
+            SimError::Io { block: 99 }.to_string(),
+            "i/o error at block 99"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! state (head position, buffer contents) as a side effect. The caller —
 //! page cache, file system or harness — owns the clock and advances it.
 
+use rb_simcore::error::SimResult;
 use rb_simcore::time::Nanos;
 use rb_simcore::units::{BlockNo, Bytes};
 use rb_stats::histogram::Log2Histogram;
@@ -119,6 +120,16 @@ pub trait BlockDevice {
     /// internal state (head position, caches, statistics) as if the
     /// request completed at `now + latency`.
     fn service(&mut self, req: &IoRequest, now: Nanos) -> Nanos;
+
+    /// Fallible variant of [`BlockDevice::service`].
+    ///
+    /// Plain devices never fail, so the default simply wraps
+    /// [`BlockDevice::service`]; fault-injecting wrappers override this
+    /// to surface `SimError::Io` and latency degradation while leaving
+    /// every healthy call path byte-identical.
+    fn service_checked(&mut self, req: &IoRequest, now: Nanos) -> SimResult<Nanos> {
+        Ok(self.service(req, now))
+    }
 
     /// Device capacity in blocks.
     fn capacity_blocks(&self) -> u64;

@@ -137,6 +137,77 @@ impl Ext2Fs {
         &self.tree
     }
 
+    /// Blocks mkfs reserved for group metadata, summed over all groups
+    /// (clamped on a short last group, exactly as formatting did).
+    fn meta_reserved_blocks(&self) -> u64 {
+        let per_group = Self::meta_blocks_per_group(&self.config);
+        let total = self.config.total_blocks;
+        (0..self.groups())
+            .map(|g| {
+                let start = g * self.config.blocks_per_group;
+                let end = ((g + 1) * self.config.blocks_per_group).min(total);
+                (start + per_group).min(end).saturating_sub(start)
+            })
+            .sum()
+    }
+
+    /// Fsck-style invariant walk over the in-memory metadata.
+    ///
+    /// Checks, in order: namespace reachability and parent-pointer
+    /// agreement, block-pointer bounds, bitmap agreement (every owned
+    /// block marked allocated), double ownership, and the free-count
+    /// identity `free = total − mkfs metadata − extra_reserved − data`.
+    /// `extra_reserved` is blocks reserved outside mkfs metadata and
+    /// file data — ext3 passes its journal region. Returns the first
+    /// violation found.
+    pub fn fsck(&self, extra_reserved: u64) -> Result<(), String> {
+        self.tree.check_reachable()?;
+        let total = self.config.total_blocks;
+        let mut owned = rb_simcore::fnv::FnvHashSet::default();
+        let mut data_blocks = 0u64;
+        let mut check_run = |start: BlockNo, len: u64, ino: InodeNo| -> Result<(), String> {
+            if start + len > total {
+                return Err(format!(
+                    "inode {ino}: run {start}+{len} points beyond the device ({total} blocks)"
+                ));
+            }
+            for b in start..start + len {
+                if !self.alloc.is_allocated(b) {
+                    return Err(format!(
+                        "inode {ino}: block {b} is owned but not marked allocated"
+                    ));
+                }
+                if !owned.insert(b) {
+                    return Err(format!("block {b} has two owners (second: inode {ino})"));
+                }
+            }
+            Ok(())
+        };
+        for node in self.tree.iter() {
+            for run in &node.runs {
+                check_run(run.start, run.len, node.ino)?;
+                data_blocks += run.len;
+            }
+            if let Some(ind) = self.indirect.get(&node.ino) {
+                for &b in ind {
+                    check_run(b, 1, node.ino)?;
+                    data_blocks += 1;
+                }
+            }
+        }
+        let expected_free = total
+            .saturating_sub(self.meta_reserved_blocks())
+            .saturating_sub(extra_reserved)
+            .saturating_sub(data_blocks);
+        if self.alloc.free_blocks() != expected_free {
+            return Err(format!(
+                "free-block count {} disagrees with the walk (expected {expected_free})",
+                self.alloc.free_blocks()
+            ));
+        }
+        Ok(())
+    }
+
     fn group_of_block(&self, b: BlockNo) -> u64 {
         b / self.config.blocks_per_group
     }
@@ -531,6 +602,22 @@ impl FileSystem for Ext2Fs {
     fn used(&self) -> Bytes {
         self.block_size() * (self.config.total_blocks - self.alloc.free_blocks())
     }
+
+    fn crash_plan(&self) -> rb_faults::RecoveryPlan {
+        // No journal: recovery is an fsck pass over every group's
+        // metadata (bitmaps + inode tables) — capacity-proportional,
+        // where journal replay below is log-proportional.
+        rb_faults::RecoveryPlan {
+            scan_start: 0,
+            scan_blocks: self.meta_reserved_blocks().max(1),
+            replay_writes: 0,
+            mechanism: "fsck-scan",
+        }
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        self.fsck(0)
+    }
 }
 
 #[cfg(test)]
@@ -548,6 +635,24 @@ mod tests {
         assert!(f.allocator().is_allocated(1));
         assert!(f.allocator().is_allocated(8192)); // group 1 superblock
         assert!(f.used() > Bytes::ZERO);
+    }
+
+    #[test]
+    fn fsck_passes_after_churn() {
+        let mut f = fs();
+        f.mkdir("/d").unwrap();
+        for i in 0..12 {
+            let (ino, _) = f.create(&format!("/d/f{i}")).unwrap();
+            f.set_size(ino, Bytes::mib(2)).unwrap();
+        }
+        for i in 0..6 {
+            f.unlink(&format!("/d/f{i}")).unwrap();
+        }
+        f.fsck(0).expect("consistent after churn");
+        use crate::vfs::FileSystem as _;
+        let plan = f.crash_plan();
+        assert_eq!(plan.mechanism, "fsck-scan");
+        assert_eq!(plan.scan_blocks, f.meta_reserved_blocks().max(1));
     }
 
     #[test]

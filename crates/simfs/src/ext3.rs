@@ -189,6 +189,24 @@ impl FileSystem for Ext3Fs {
     fn used(&self) -> Bytes {
         self.inner.used()
     }
+
+    fn crash_plan(&self) -> rb_faults::RecoveryPlan {
+        // JBD recovery: scan the journal region, then rewrite the
+        // journaled metadata copies in place. Roughly one descriptor
+        // and one commit block per transaction frame the copies, so
+        // about half the scanned blocks replay.
+        rb_faults::RecoveryPlan {
+            scan_start: self.journal_start,
+            scan_blocks: self.journal_blocks,
+            replay_writes: self.journal_blocks / 2,
+            mechanism: "journal-replay",
+        }
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        // The ext2 walk, with the journal region accounted as reserved.
+        self.inner.fsck(self.journal_blocks)
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +265,21 @@ mod tests {
         for b in &meta.journal_writes {
             assert!((f.journal_start()..f.journal_start() + f.journal_len()).contains(b));
         }
+    }
+
+    #[test]
+    fn consistency_accounts_for_journal() {
+        let mut f = fs();
+        for i in 0..16 {
+            let (ino, _) = f.create(&format!("/f{i}")).unwrap();
+            f.set_size(ino, Bytes::mib(1)).unwrap();
+        }
+        f.unlink("/f0").unwrap();
+        f.check_consistency().expect("consistent after churn");
+        let plan = f.crash_plan();
+        assert_eq!(plan.mechanism, "journal-replay");
+        assert_eq!(plan.scan_start, f.journal_start());
+        assert_eq!(plan.scan_blocks, f.journal_len());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::intern::{PathId, PathSpec};
 use crate::vfs::{FileSystem, InodeNo, MetaIo};
+use rb_faults::{CrashReport, FaultSpec, FaultState, FaultStats};
 use rb_simcache::cache::{CacheConfig, PageCache};
 use rb_simcache::page::{FileId, PageKey};
 use rb_simcore::error::{SimError, SimResult};
@@ -137,6 +138,8 @@ pub struct StorageStack {
     next_fd: Fd,
     stats: StackStats,
     rng: Rng,
+    faults: Option<FaultState>,
+    media_floor: Nanos,
 }
 
 /// The stack's per-path resolution cache: full path string →
@@ -177,7 +180,74 @@ impl StorageStack {
             next_fd: 3,
             stats: StackStats::default(),
             rng,
+            faults: None,
+            media_floor: Nanos::ZERO,
         }
+    }
+
+    /// Installs a fault plan on the stack, forking its injection RNG
+    /// stream from `seed`. Every later media request runs through the
+    /// plan's error/latency decisions; allocations run through its
+    /// ENOSPC gate. Installing replaces any previous plan.
+    pub fn install_faults(&mut self, spec: FaultSpec, seed: u64) {
+        self.faults = Some(FaultState::new(spec, seed));
+    }
+
+    /// Injection counters of the installed fault plan, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Sets the device-availability floor for subsequent media
+    /// requests: a discrete-event scheduler that knows the shared
+    /// device is busy until `floor` passes it in before dispatching an
+    /// op, so mechanical state (seek distance, rotation) is evaluated
+    /// at the *actual* service start rather than the op's issue instant
+    /// — deep queues stay honest. Serial callers never set it.
+    pub fn set_media_floor(&mut self, floor: Nanos) {
+        self.media_floor = floor;
+    }
+
+    /// Services one media request at `at` (clamped to the media floor),
+    /// running fault error-injection and latency degradation. The
+    /// propagating form: injected errors surface to the caller.
+    fn media_at(&mut self, req: IoRequest, at: Nanos) -> SimResult<Nanos> {
+        let at = at.max(self.media_floor);
+        match &mut self.faults {
+            Some(f) => {
+                f.check(&req)?;
+                let base = self.disk.service(&req, at);
+                Ok(f.degrade(at, base))
+            }
+            None => Ok(self.disk.service(&req, at)),
+        }
+    }
+
+    /// Like [`StorageStack::media_at`] for background paths
+    /// (writeback, recovery I/O): injected errors are counted and
+    /// absorbed — real kernels swallow async-writeback errors too —
+    /// but the attempt still occupies the device and still degrades.
+    fn media_absorb_at(&mut self, req: IoRequest, at: Nanos) -> Nanos {
+        let at = at.max(self.media_floor);
+        match &mut self.faults {
+            Some(f) => {
+                f.check_absorbing(&req);
+                let base = self.disk.service(&req, at);
+                f.degrade(at, base)
+            }
+            None => self.disk.service(&req, at),
+        }
+    }
+
+    /// ENOSPC gate for an allocation growing the file system by
+    /// `growth` bytes; a no-op without an installed `enospc` clause.
+    fn enospc_gate(&mut self, growth: Bytes) -> SimResult<()> {
+        if let Some(f) = &mut self.faults {
+            let used = self.fs.used().as_u64();
+            let capacity = self.fs.capacity().as_u64();
+            f.enospc_gate(used, capacity, growth.as_u64())?;
+        }
+        Ok(())
     }
 
     /// Memory-copy cost for `pages` pages, with per-operation jitter.
@@ -247,12 +317,12 @@ impl StorageStack {
     /// Metadata reads go through the page cache (metadata is cached like
     /// data); metadata writes dirty cache pages; journal writes are
     /// synchronous sequential media writes, as in ordered-mode JBD.
-    fn run_meta_at(&mut self, meta: &MetaIo, issue: Nanos) -> Nanos {
+    fn run_meta_at(&mut self, meta: &MetaIo, issue: Nanos) -> SimResult<Nanos> {
         let mut lat = Nanos::ZERO;
         for &block in &meta.reads {
             let out = self.cache.read(META_FILE, block, 1, u64::MAX, issue);
             for _ in &out.miss_pages {
-                lat += self.disk.service(&IoRequest::read(block, 1), issue + lat);
+                lat += self.media_at(IoRequest::read(block, 1), issue + lat)?;
             }
             lat += self.write_pages_to_media_at(&out.writeback_pages, issue);
         }
@@ -261,12 +331,12 @@ impl StorageStack {
             lat += self.write_pages_to_media_at(&out.writeback_pages, issue);
         }
         for &block in &meta.journal_writes {
-            lat += self.disk.service(&IoRequest::write(block, 1), issue + lat);
+            lat += self.media_at(IoRequest::write(block, 1), issue + lat)?;
         }
         if !meta.journal_writes.is_empty() {
             self.stats.journal_commits += 1;
         }
-        lat
+        Ok(lat)
     }
 
     /// Writes evicted/flushed pages to media starting at instant `base`,
@@ -281,15 +351,43 @@ impl StorageStack {
                 self.fs.map(key.file, key.page, 1).ok().map(|e| e.physical)
             };
             if let Some(b) = block {
-                lat += self.disk.service(&IoRequest::write(b, 1), base + lat);
+                lat += self.media_absorb_at(IoRequest::write(b, 1), base + lat);
             }
         }
         lat
     }
 
+    /// [`StorageStack::write_pages_to_media_at`] with error
+    /// propagation, for the synchronous durability paths (fsync):
+    /// there the caller asked for the write, so an injected error is
+    /// its to handle.
+    fn write_pages_to_media_checked_at(
+        &mut self,
+        pages: &[PageKey],
+        base: Nanos,
+    ) -> SimResult<Nanos> {
+        let mut lat = Nanos::ZERO;
+        for key in pages {
+            let block = if key.file == META_FILE {
+                Some(key.page)
+            } else {
+                self.fs.map(key.file, key.page, 1).ok().map(|e| e.physical)
+            };
+            if let Some(b) = block {
+                lat += self.media_at(IoRequest::write(b, 1), base + lat)?;
+            }
+        }
+        Ok(lat)
+    }
+
     /// Reads a set of data pages from media starting at instant `base`,
     /// coalescing physically contiguous pages into single requests.
-    fn read_pages_from_media_at(&mut self, ino: InodeNo, pages: &[PageNo], base: Nanos) -> Nanos {
+    fn read_pages_from_media_at(
+        &mut self,
+        ino: InodeNo,
+        pages: &[PageNo],
+        base: Nanos,
+    ) -> SimResult<Nanos> {
         let mut lat = Nanos::ZERO;
         let mut i = 0;
         while i < pages.len() {
@@ -303,9 +401,7 @@ impl StorageStack {
             // Map as much of the run as the extent allows.
             match self.fs.map(ino, logical, run as u64) {
                 Ok(ext) => {
-                    lat += self
-                        .disk
-                        .service(&IoRequest::read(ext.physical, ext.len), base + lat);
+                    lat += self.media_at(IoRequest::read(ext.physical, ext.len), base + lat)?;
                     i += ext.len as usize;
                 }
                 Err(_) => {
@@ -314,7 +410,15 @@ impl StorageStack {
                 }
             }
         }
-        lat
+        Ok(lat)
+    }
+
+    /// Evicts pages a failed read syscall had optimistically inserted
+    /// (demand fetch cluster plus the readahead window).
+    fn drop_unfilled(&mut self, ino: InodeNo, fetch: &[PageNo], prefetch: &[PageNo]) {
+        for &p in fetch.iter().chain(prefetch) {
+            self.cache.invalidate_page(ino, p);
+        }
     }
 
     /// Resolves a path to a stable [`PathId`], interning it on first
@@ -355,7 +459,7 @@ impl StorageStack {
     /// the stack clock (the discrete-event form; see [`OpCost`]).
     pub fn create_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.create_spec(&self.paths.specs[id.index()])?;
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
@@ -379,7 +483,7 @@ impl StorageStack {
     /// [`StorageStack::mkdir`] at instant `issue` (discrete-event form).
     pub fn mkdir_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.mkdir_spec(&self.paths.specs[id.index()])?;
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
@@ -404,7 +508,7 @@ impl StorageStack {
     pub fn unlink_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (ino, meta) = self.fs.unlink_spec(&self.paths.specs[id.index()])?;
         self.cache.invalidate_file(ino);
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
@@ -428,7 +532,7 @@ impl StorageStack {
     /// [`StorageStack::stat`] at instant `issue` (discrete-event form).
     pub fn stat_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<OpCost> {
         let (_, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
@@ -441,7 +545,7 @@ impl StorageStack {
     pub fn readdir(&mut self, path: &str) -> SimResult<(u64, Nanos)> {
         let id = self.resolve_path(path)?;
         let (entries, meta) = self.fs.readdir_spec(&self.paths.specs[id.index()])?;
-        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now());
+        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now())?;
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
         Ok((entries, lat))
@@ -451,7 +555,7 @@ impl StorageStack {
     /// as [`StorageStack::readdir`]).
     pub fn readdir_names(&mut self, path: &str) -> SimResult<(Vec<String>, Nanos)> {
         let (names, meta) = self.fs.readdir_names(path)?;
-        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now());
+        let lat = self.config.syscall_overhead + self.run_meta_at(&meta, self.clock.now())?;
         self.clock.advance(lat);
         self.stats.meta_ops += 1;
         Ok((names, lat))
@@ -473,7 +577,7 @@ impl StorageStack {
     /// [`StorageStack::open`] at instant `issue` (discrete-event form).
     pub fn open_id_at(&mut self, id: PathId, issue: Nanos) -> SimResult<(Fd, OpCost)> {
         let (ino, meta) = self.fs.lookup_spec(&self.paths.specs[id.index()])?;
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         let fd = self.next_fd;
         self.next_fd += 1;
@@ -514,8 +618,12 @@ impl StorageStack {
     /// form).
     pub fn set_size_fd_at(&mut self, fd: Fd, size: Bytes, issue: Nanos) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
+        let attr = self.fs.attr(ino)?;
+        if size > attr.size {
+            self.enospc_gate(size - attr.size)?;
+        }
         let meta = self.fs.set_size(ino, size)?;
-        let device = self.run_meta_at(&meta, issue);
+        let device = self.run_meta_at(&meta, issue)?;
         self.stats.meta_ops += 1;
         self.stats.allocations += 1;
         Ok(OpCost {
@@ -580,10 +688,26 @@ impl StorageStack {
         }
         fetch.sort_unstable();
         fetch.dedup();
-        let mut device = self.read_pages_from_media_at(ino, &fetch, issue);
+        // On a failed media read, every page this syscall inserted must
+        // leave the cache again: the data never arrived, and a page left
+        // resident would turn later reads (and any retry) into phantom
+        // hits that mask the injected fault.
+        let mut device = match self.read_pages_from_media_at(ino, &fetch, issue) {
+            Ok(d) => d,
+            Err(e) => {
+                self.drop_unfilled(ino, &fetch, &out.prefetch_pages);
+                return Err(e);
+            }
+        };
 
         // Sequential readahead I/O (window already inserted by the cache).
-        device += self.read_pages_from_media_at(ino, &out.prefetch_pages, issue);
+        device += match self.read_pages_from_media_at(ino, &out.prefetch_pages, issue) {
+            Ok(d) => d,
+            Err(e) => {
+                self.drop_unfilled(ino, &fetch, &out.prefetch_pages);
+                return Err(e);
+            }
+        };
 
         // Dirty evictions caused by the insertions.
         device += self.write_pages_to_media_at(&writebacks, issue);
@@ -619,8 +743,9 @@ impl StorageStack {
         let mut device = Nanos::ZERO;
         let end = offset + len;
         if end > attr.size {
+            self.enospc_gate(end - attr.size)?;
             let meta = self.fs.set_size(ino, end)?;
-            device += self.run_meta_at(&meta, issue);
+            device += self.run_meta_at(&meta, issue)?;
             self.stats.allocations += 1;
         }
         let page_size = self.page_size();
@@ -644,7 +769,7 @@ impl StorageStack {
     pub fn fsync_at(&mut self, fd: Fd, issue: Nanos) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
         let dirty = self.cache.fsync(ino);
-        let device = self.write_pages_to_media_at(&dirty, issue);
+        let device = self.write_pages_to_media_checked_at(&dirty, issue)?;
         self.stats.fsyncs += 1;
         Ok(OpCost {
             cpu: self.config.syscall_overhead,
@@ -676,6 +801,50 @@ impl StorageStack {
             total += self.write_pages_to_media_at(&due, issue + total);
         }
         total
+    }
+
+    /// Simulates a crash at instant `issue` followed by recovery.
+    ///
+    /// The crash discards the entire page cache — dirty pages are the
+    /// writes the power loss lost. Recovery then runs the file system's
+    /// [`crash plan`](FileSystem::crash_plan): journaling systems scan
+    /// their log region and replay it (fast, bounded by the log size);
+    /// non-journaled systems pay a metadata-proportional fsck scan.
+    /// Recovery I/O runs on the degraded device but never fails — a
+    /// recovery that itself errored would be a different experiment.
+    /// The report's `consistent` verdict is the post-recovery
+    /// [`FileSystem::check_consistency`] walk.
+    pub fn crash_recover_at(&mut self, issue: Nanos) -> SimResult<CrashReport> {
+        let lost_dirty_pages = self.cache.dirty_pages();
+        self.cache.invalidate_all();
+        let plan = self.fs.crash_plan();
+        let mut lat = Nanos::ZERO;
+        // Scan the plan's region in large sequential requests.
+        let mut block = plan.scan_start;
+        let mut remaining = plan.scan_blocks;
+        while remaining > 0 {
+            let n = remaining.min(256);
+            lat += self.media_absorb_at(IoRequest::read(block, n), issue + lat);
+            block += n;
+            remaining -= n;
+        }
+        // Replay rewrites into the same region it scanned.
+        let mut block = plan.scan_start;
+        let mut remaining = plan.replay_writes;
+        while remaining > 0 {
+            let n = remaining.min(256);
+            lat += self.media_absorb_at(IoRequest::write(block, n), issue + lat);
+            block += n;
+            remaining -= n;
+        }
+        let consistent = self.fs.check_consistency().is_ok();
+        Ok(CrashReport {
+            at: issue,
+            mechanism: plan.mechanism,
+            recovery: lat,
+            lost_dirty_pages,
+            consistent,
+        })
     }
 }
 

@@ -148,6 +148,50 @@ impl Tree {
         self.inodes.values()
     }
 
+    /// Fsck-style namespace walk: every inode must be reachable from
+    /// the root, and each child's parent pointer must agree with the
+    /// directory entry naming it. Returns the first violation found —
+    /// shared by the file systems' consistency checks.
+    pub fn check_reachable(&self) -> Result<(), String> {
+        use std::collections::VecDeque;
+        let mut seen = rb_simcore::fnv::FnvHashSet::default();
+        let mut queue = VecDeque::from([self.root]);
+        seen.insert(self.root);
+        while let Some(ino) = queue.pop_front() {
+            let node = self
+                .inodes
+                .get(&ino)
+                .ok_or_else(|| format!("directory entry points at missing inode {ino}"))?;
+            if let Some(dir) = &node.dir {
+                for (&name, &child) in dir {
+                    let c = self.inodes.get(&child).ok_or_else(|| {
+                        format!(
+                            "dirent {:?} in inode {ino} points at missing inode {child}",
+                            self.name(name)
+                        )
+                    })?;
+                    if c.parent != ino {
+                        return Err(format!(
+                            "inode {child} parent pointer {} disagrees with its dirent in {ino}",
+                            c.parent
+                        ));
+                    }
+                    if seen.insert(child) {
+                        queue.push_back(child);
+                    }
+                }
+            }
+        }
+        if seen.len() != self.inodes.len() {
+            return Err(format!(
+                "{} inodes exist but only {} are reachable from the root",
+                self.inodes.len(),
+                seen.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// The name behind an interned component symbol.
     pub fn name(&self, sym: Symbol) -> &str {
         self.interner.resolve(sym)

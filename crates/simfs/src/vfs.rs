@@ -9,6 +9,7 @@
 //! the on-disk-layout dimension exactly as the paper asks.
 
 use crate::intern::PathSpec;
+use rb_faults::RecoveryPlan;
 use rb_simcore::error::SimResult;
 use rb_simcore::inline::InlineVec;
 use rb_simcore::units::{BlockNo, Bytes};
@@ -180,6 +181,28 @@ pub trait FileSystem {
 
     /// Bytes of user data currently allocated.
     fn used(&self) -> Bytes;
+
+    /// What recovering from a crash costs on this file system.
+    ///
+    /// The default models a non-journaled fsck: a scan proportional to
+    /// the device (1/16th of capacity, a coarse metadata estimate) with
+    /// nothing to replay. Journaling file systems override this with a
+    /// small log-region scan plus replay writes.
+    fn crash_plan(&self) -> RecoveryPlan {
+        RecoveryPlan {
+            scan_start: 0,
+            scan_blocks: (self.capacity().div_ceil(self.block_size()) / 16).max(1),
+            replay_writes: 0,
+            mechanism: "fsck-scan",
+        }
+    }
+
+    /// Fsck-style invariant walk over the in-memory metadata, used as
+    /// the post-crash-recovery verdict. Returns a description of the
+    /// first inconsistency found; the default trusts the model.
+    fn check_consistency(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

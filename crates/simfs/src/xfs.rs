@@ -238,6 +238,68 @@ impl XfsFs {
             meta.reads.push(self.inode_table_block(*ino));
         }
     }
+
+    /// Blocks mkfs reserved inside AG `g` (headers, inode chunk, and for
+    /// AG 0 the log region) — the clamping mirrors [`XfsFs::new`].
+    fn ag_reserved_blocks(&self, g: u64) -> u64 {
+        let ag_size = self.config.total_blocks / self.ag_count();
+        let len = self.ags[g as usize].alloc.total();
+        let mut reserved = (AG_HEADER_BLOCKS + AG_INODE_BLOCKS).min(len);
+        if g == 0 {
+            reserved += self.config.log_blocks.min(ag_size / 2).max(1);
+        }
+        reserved
+    }
+
+    /// Fsck-style invariant walk: namespace reachability, extent bounds,
+    /// single ownership of every data block, and the per-AG free-space
+    /// identity `free = total − reserved − owned-data`.
+    pub fn fsck(&self) -> Result<(), String> {
+        self.tree.check_reachable()?;
+        let total = self.config.total_blocks;
+        let mut owned = rb_simcore::fnv::FnvHashSet::default();
+        let mut ag_data = vec![0u64; self.ags.len()];
+        for node in self.tree.iter() {
+            for run in &node.runs {
+                if run.start + run.len > total {
+                    return Err(format!(
+                        "inode {}: run {}+{} points beyond the device ({total} blocks)",
+                        node.ino, run.start, run.len
+                    ));
+                }
+                let g = self.ag_of_block(run.start);
+                if self.ag_of_block(run.start + run.len - 1) != g {
+                    return Err(format!(
+                        "inode {}: run {}+{} straddles an AG boundary",
+                        node.ino, run.start, run.len
+                    ));
+                }
+                for b in run.start..run.start + run.len {
+                    if !owned.insert(b) {
+                        return Err(format!(
+                            "block {b} has two owners (second: inode {})",
+                            node.ino
+                        ));
+                    }
+                }
+                ag_data[g as usize] += run.len;
+            }
+        }
+        for (g, ag) in self.ags.iter().enumerate() {
+            let expected_free = ag
+                .alloc
+                .total()
+                .saturating_sub(self.ag_reserved_blocks(g as u64))
+                .saturating_sub(ag_data[g]);
+            if ag.alloc.free_blocks() != expected_free {
+                return Err(format!(
+                    "AG {g}: free-block count {} disagrees with the walk (expected {expected_free})",
+                    ag.alloc.free_blocks()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl FileSystem for XfsFs {
@@ -426,6 +488,23 @@ impl FileSystem for XfsFs {
         let free: u64 = self.ags.iter().map(|a| a.alloc.free_blocks()).sum();
         self.block_size() * (self.config.total_blocks - free)
     }
+
+    fn crash_plan(&self) -> rb_faults::RecoveryPlan {
+        // Log recovery: scan the log region (the same modulo `log()`
+        // cycles through) and replay roughly half of it — one commit
+        // record per transaction frames the metadata records.
+        let log_len = self.config.log_blocks.max(1);
+        rb_faults::RecoveryPlan {
+            scan_start: self.log_start,
+            scan_blocks: log_len,
+            replay_writes: log_len / 2,
+            mechanism: "journal-replay",
+        }
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        self.fsck()
+    }
 }
 
 #[cfg(test)]
@@ -517,6 +596,22 @@ mod tests {
         f.unlink("/x").unwrap();
         let after: u64 = f.ags.iter().map(|a| a.alloc.free_blocks()).sum();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn fsck_passes_after_churn() {
+        let mut f = fs();
+        for i in 0..8 {
+            f.mkdir(&format!("/d{i}")).unwrap();
+            let (ino, _) = f.create(&format!("/d{i}/f")).unwrap();
+            f.set_size(ino, Bytes::mib(1 + i)).unwrap();
+        }
+        for i in 0..4 {
+            f.unlink(&format!("/d{i}/f")).unwrap();
+        }
+        f.fsck().expect("consistent after churn");
+        assert_eq!(f.crash_plan().mechanism, "journal-replay");
+        assert!(f.crash_plan().scan_blocks >= 1);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The chaos demonstration: the same two workloads, ranked on a
+//! healthy testbed and again on a degraded one, swap places.
+//!
+//! A mail server (varmail: appends + fsyncs, every durability point a
+//! journal commit) outruns a cache-resident content server (128 KiB
+//! random reads of a hot 256 MiB object set) when the disk is healthy.
+//! Arm a fault plan — an 8× slower disk with a sprinkle of transient
+//! EIO — and the ranking inverts: the mail server stalls behind its
+//! journal while the content server, which never touches the device,
+//! does not notice. A benchmark number without its environment is not
+//! a result; "fast" is a property of the pair.
+//!
+//! The run is self-validating (it exits non-zero if the ledgers do not
+//! balance or the inversion disappears), so CI runs it as a check:
+//!
+//! ```sh
+//! cargo run --release --example chaos_inversion
+//! ```
+//!
+//! See `docs/FAULTS.md` for the fault-plan grammar and the ledger
+//! identity this example verifies.
+
+use rb_core::prelude::*;
+use rb_core::testbed;
+use rb_simcore::dist::Dist;
+use rb_simcore::time::Nanos;
+use rb_simcore::units::Bytes;
+
+/// One deterministic serial run; returns steady-state ops/s and
+/// asserts the outcome ledger conserves when a plan is armed.
+fn measure(w: &Workload, faults: Option<FaultSpec>) -> f64 {
+    let cfg = EngineConfig {
+        duration: Nanos::from_secs(10),
+        window: Nanos::from_secs(1),
+        seed: 7,
+        cold_start: true,
+        prewarm: true,
+        cpu_jitter_sigma: 0.0,
+        max_errors: 100,
+        processes: 1,
+        cores: 1,
+        arrival: Arrival::Closed,
+        obs: ObsConfig::default(),
+        faults,
+        retry: RetryPolicy::Bounded { retries: 3 },
+    };
+    let mut t = testbed::paper_ext2(Bytes::gib(2), 7);
+    let rec = Engine::run(&mut t, w, &cfg).expect("engine run");
+    match (&cfg.faults, &rec.ledger) {
+        (Some(_), Some(l)) => {
+            assert!(
+                l.balanced(),
+                "ledger must conserve (attempted = succeeded + retried_ok \
+                 + gave_up + dropped): {}",
+                l.render()
+            );
+            println!("    {}", l.render());
+        }
+        (None, None) => {}
+        _ => panic!("a ledger exists exactly when a fault plan is armed"),
+    }
+    rec.ops_per_sec()
+}
+
+/// The content server: 128 KiB random reads over one hot 256 MiB file
+/// that fits the 410 MiB paper cache, so after prewarm the device is
+/// out of the picture entirely.
+fn content_server() -> Workload {
+    Workload {
+        name: "contentserver".into(),
+        filesets: vec![FileSet {
+            dir: "/set0".into(),
+            count: 1,
+            size: Dist::Constant(Bytes::mib(256).as_u64() as f64),
+            prealloc: true,
+        }],
+        ops: vec![(
+            FlowOp::ReadRandom {
+                set: 0,
+                iosize: Bytes::kib(128),
+            },
+            1,
+        )],
+        op_overhead: Nanos::from_micros(99),
+        zipf_theta: 0.0,
+    }
+}
+
+fn main() {
+    let plan = FaultSpec::parse("slow-disk:8x,eio:1e-4").expect("fault plan parses");
+    let mail = personalities::varmail(50);
+    let content = content_server();
+
+    println!("fault plan: {}   retry: bounded:3\n", plan.label());
+    let mut rows = Vec::new();
+    for (name, w) in [("varmail", &mail), ("contentserver", &content)] {
+        println!("{name}:");
+        let healthy = measure(w, None);
+        let degraded = measure(w, Some(plan));
+        println!("    healthy {healthy:>8.0} ops/s   degraded {degraded:>8.0} ops/s\n");
+        rows.push((name, healthy, degraded));
+    }
+
+    let (a, b) = (&rows[0], &rows[1]);
+    let healthy_winner = if a.1 > b.1 { a.0 } else { b.0 };
+    let degraded_winner = if a.2 > b.2 { a.0 } else { b.0 };
+    println!("healthy winner:  {healthy_winner}");
+    println!("degraded winner: {degraded_winner}");
+    assert_ne!(
+        healthy_winner, degraded_winner,
+        "the ranking must invert between healthy and degraded cells"
+    );
+    println!("\nThe ranking inverted. Neither number is wrong; each is an");
+    println!("answer about a different machine. Publish the fault plan");
+    println!("alongside the figure, or the figure is not reproducible.");
+}

@@ -26,6 +26,8 @@ fn sample(kind: FsKind, size: Bytes, runs: u32) -> (Vec<f64>, Regime) {
         processes: 1,
         arrival: Arrival::Closed,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
     let workload = personalities::random_read(size);
     let mr = run_many(

@@ -27,6 +27,8 @@ fn main() {
         processes: 1,
         arrival: Arrival::Closed,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     };
 
     println!("10 runs each; mean ± sd (RSD%) of steady-state ops/s\n");

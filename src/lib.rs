@@ -15,6 +15,9 @@
 //! * [`simdisk`] — simulated block devices.
 //! * [`obs`] — the flight recorder: cross-layer counters, virtual-time
 //!   span traces, and explain-your-number reports.
+//! * [`faults`] — deterministic fault plans: device error injection,
+//!   latency degradation, ENOSPC, crash-and-recover, retry policies
+//!   and the outcome ledger.
 //! * [`simcore`] — virtual time, deterministic PRNG, units.
 //! * [`stats`] — the statistics toolkit.
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use rb_core as core;
+pub use rb_faults as faults;
 pub use rb_obs as obs;
 pub use rb_replay as replay;
 pub use rb_simcache as simcache;

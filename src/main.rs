@@ -172,6 +172,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         Some(a) => Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))?,
         None => Arrival::Closed,
     };
+    let (faults, retry) = parse_faults(opts)?;
 
     let obs = parse_obs(opts)?;
     let mut target = make_target(target_spec, device, seed)?;
@@ -184,6 +185,8 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         prewarm: opts.get("prewarm").is_some_and(|v| v == "true"),
         arrival,
         obs,
+        faults,
+        retry,
         ..Default::default()
     };
     eprintln!(
@@ -223,6 +226,9 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
             open.drop_ratio()
         );
     }
+    if let Some(ledger) = &rec.ledger {
+        println!("{}", ledger.render());
+    }
     println!("regime:     {}", Regime::classify(&rec).label());
     println!();
     println!("latency profile (the number the paper wants you to show):");
@@ -245,6 +251,26 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         write_trace(path, trace)?;
     }
     Ok(())
+}
+
+/// Parses `--faults SPEC` and `--retry POLICY` into an engine fault
+/// plan. Malformed values come back as one-line errors — the CLI never
+/// panics on bad fault syntax.
+fn parse_faults(
+    opts: &Opts,
+) -> Result<(Option<rb_faults::FaultSpec>, rb_faults::RetryPolicy), String> {
+    let faults = match opts.get("faults") {
+        Some(f) => rb_faults::FaultSpec::parse_flag(f).map_err(|e| format!("--faults: {e}"))?,
+        None => None,
+    };
+    let retry = match opts.get("retry") {
+        Some(r) => rb_faults::RetryPolicy::parse(r).map_err(|e| format!("--retry: {e}"))?,
+        None => rb_faults::RetryPolicy::None,
+    };
+    if faults.is_none() && retry != rb_faults::RetryPolicy::None && opts.get("faults").is_none() {
+        return Err("--retry only applies with --faults".into());
+    }
+    Ok((faults, retry))
 }
 
 /// Splits a comma-separated flag value and parses each element.
@@ -351,6 +377,23 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let arrivals = parse_list(opts.get("arrival").unwrap_or("closed"), |a| {
         Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))
     })?;
+    // The fault axis: commas separate axis values, `+` joins the
+    // components of one plan (`none,slow-disk:4x+eio:1e-4` is two
+    // cells: healthy, and slow-plus-flaky).
+    let faults = match opts.get("faults") {
+        Some(spec) => parse_list(spec, |f| {
+            rb_faults::FaultSpec::parse_flag(&f.replace('+', ","))
+                .map_err(|e| format!("--faults: {e}"))
+        })?,
+        None => Vec::new(),
+    };
+    let retry = match opts.get("retry") {
+        Some(r) => rb_faults::RetryPolicy::parse(r).map_err(|e| format!("--retry: {e}"))?,
+        None => rb_faults::RetryPolicy::None,
+    };
+    if retry != rb_faults::RetryPolicy::None && faults.iter().all(|f| f.is_none()) {
+        return Err("--retry only applies with a faulted --faults axis".into());
+    }
     let slo_p99 = opts
         .get("slo-p99")
         .map(|v| match v.trim().parse::<f64>() {
@@ -413,6 +456,8 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         cache_capacities,
         processes,
         arrivals,
+        faults,
+        retry,
         slo_p99,
         plan,
         device: parse_size(opts.get("device").unwrap_or("2G"))?,
@@ -672,6 +717,7 @@ USAGE:
                      [--size 64M] [--files 100] [--duration 30s]
                      [--seed 0] [--prewarm true] [--warm true]
                      [--arrival closed|poisson:RATE|bursty:RATE|diurnal:RATE]
+                     [--faults slow-disk:4x,eio:1e-4,...] [--retry none|bounded:N|continue]
                      [--metrics true] [--trace-out FILE] [--trace-sample N]
   rocketbench explain [--target sim:ext2|...] [--workload fileserver|...]
                      [--size 64M] [--files 100] [--duration 15s]
@@ -681,6 +727,8 @@ USAGE:
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
                      [--processes 1,2,4,8]
                      [--arrival closed,poisson:RATE,bursty:RATE,diurnal:RATE]
+                     [--faults none,slow-disk:4x+eio:1e-4,...]
+                     [--retry none|bounded:N|continue]
                      [--slo-p99 MS]
                      [--traces a.trace,b.trace] [--trace-timing afap|faithful|scaled=N]
                      [--protocol fixed|adaptive] [--runs 3]
@@ -717,6 +765,16 @@ visible — and reports grow arrival/offered/dropped/p50/p99/p999
 columns; closed cells keep byte-identical pre-axis output. With
 --slo-p99 MS every open cell also reports the maximum offered load
 sustaining p99 <= MS, found by deterministic bisection over the rate.
+--faults adds the robustness dimension: each axis value is a fault plan
+(none = healthy; `+` joins components of one plan, e.g.
+slow-disk:4x+eio:1e-4; components are slow-disk:Nx, stall:EVERY/DUR,
+eio:P, eio-sticky:P, enospc:PCT%, crash:DUR) injected deterministically
+from the cell seed, with --retry choosing how engines respond (none =
+abort on error, bounded:N = up to N retries with virtual-time backoff,
+continue = drop the op and move on). Faulted reports grow a faults
+column plus the outcome ledger (attempted = ok + retried-ok + gave-up +
+dropped) and a crash verdict; healthy cells keep byte-identical
+pre-axis output. See docs/FAULTS.md.
 Trace files given via --traces become
 additional cells (trace x fs x cache), each replayed under
 --trace-timing with verdict/CI columns like any other cell; with

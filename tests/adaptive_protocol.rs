@@ -40,6 +40,8 @@ fn stable_vs_fragile() -> SweepSpec {
         cache_capacities: vec![Bytes::mib(48)],
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan: adaptive_plan(21),
         device: Bytes::mib(512),

@@ -35,6 +35,8 @@ fn quick_cfg(secs: u64, seed: u64, processes: u32) -> EngineConfig {
         cores: 4,
         arrival: Arrival::Closed,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     }
 }
 
@@ -56,6 +58,8 @@ fn sweep_with_processes(processes: Vec<u32>) -> SweepSpec {
         cache_capacities: vec![Bytes::mib(32)],
         processes,
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::gib(2),

@@ -222,6 +222,8 @@ fn pinned_config(arrival: Arrival) -> EngineConfig {
         cores: 2,
         arrival,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     }
 }
 

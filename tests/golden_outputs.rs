@@ -141,6 +141,8 @@ fn small_sweep_spec() -> SweepSpec {
         cache_capacities: vec![Bytes::mib(32)],
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::gib(2),

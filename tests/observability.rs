@@ -32,6 +32,8 @@ fn obs_cfg(processes: u32, obs: ObsConfig) -> EngineConfig {
         cores: 4,
         arrival: Arrival::Closed,
         obs,
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     }
 }
 
@@ -67,6 +69,8 @@ fn sweep(metrics: bool) -> SweepSpec {
         cache_capacities: vec![Bytes::mib(32)],
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::gib(2),

@@ -35,6 +35,8 @@ fn open_cfg(secs: u64, seed: u64, arrival: Arrival) -> EngineConfig {
         cores: 4,
         arrival,
         obs: ObsConfig::default(),
+        faults: None,
+        retry: rb_faults::RetryPolicy::None,
     }
 }
 
@@ -174,6 +176,8 @@ fn sweep_with_arrivals(arrivals: Vec<Arrival>) -> SweepSpec {
         cache_capacities: vec![Bytes::mib(32)],
         processes: Vec::new(),
         arrivals,
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::gib(2),

@@ -251,6 +251,8 @@ proptest! {
             cores: 2,
             arrival: Arrival::Closed,
             obs: ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let run = || {
             let mut t = testbed::paper_ext2(Bytes::mib(256), seed);
@@ -306,6 +308,8 @@ proptest! {
             cores: 2,
             arrival: Arrival::Poisson { rate },
             obs: ObsConfig::default(),
+            faults: None,
+            retry: rb_faults::RetryPolicy::None,
         };
         let run = || {
             let mut t = testbed::paper_ext2(Bytes::mib(256), seed);

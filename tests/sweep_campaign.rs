@@ -27,6 +27,8 @@ fn two_by_two() -> SweepSpec {
         cache_capacities: vec![Bytes::mib(48)],
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::mib(512),

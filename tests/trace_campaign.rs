@@ -46,6 +46,8 @@ fn trace_spec(trace: &Trace) -> SweepSpec {
         cache_capacities: vec![Bytes::mib(64)],
         processes: vec![1],
         arrivals: Vec::new(),
+        faults: Vec::new(),
+        retry: rocketbench::faults::RetryPolicy::None,
         slo_p99: None,
         plan,
         device: Bytes::mib(256),
