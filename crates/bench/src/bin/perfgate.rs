@@ -2,7 +2,7 @@
 //!
 //! The paper's complaint is that benchmarks report unqualified numbers;
 //! the harness should hold itself to the same bar. `perfgate` times
-//! eight canonical scenarios — the quick Figure 1 campaign, a 4×4
+//! nine canonical scenarios — the quick Figure 1 campaign, a 4×4
 //! sweep-cell grid, an as-fast-as-possible replay of the golden v2
 //! trace spatially scaled ×32, an 8-process fileserver run through
 //! the discrete-event scheduler, the same run under an open-loop
@@ -38,7 +38,9 @@
 //! RATIO (e.g. `0.90` = allow up to a 10% slowdown), perfgate still
 //! writes the JSON but exits non-zero.
 
-use rb_core::campaign::{run_campaign, Personality, SweepSpec};
+use rb_core::campaign::{
+    run_campaign, run_campaign_with, CampaignOptions, Personality, StoreOptions, SweepSpec,
+};
 use rb_core::figures::{fig1_campaign, Fig1Config};
 use rb_core::report::Json;
 use rb_core::runner::RunPlan;
@@ -110,7 +112,7 @@ fn scaled_golden() -> Trace {
 
 /// Scenario names, in run order (the parent dispatches children by
 /// name without constructing the scenarios themselves).
-const SCENARIO_NAMES: [&str; 8] = [
+const SCENARIO_NAMES: [&str; 9] = [
     "fig1-quick",
     "sweep-4x4",
     "replay-x32",
@@ -119,7 +121,14 @@ const SCENARIO_NAMES: [&str; 8] = [
     "events-pump",
     "obs-overhead",
     "faults-off",
+    "sweep-warm",
 ];
+
+/// The warm pass of `sweep-warm` must be at least this many times
+/// faster than its cold pass: loading 16 verified records has to beat
+/// executing 16 cells by an order of magnitude, or the store is not
+/// pulling its weight.
+const SWEEP_WARM_MIN_SPEEDUP: f64 = 10.0;
 
 /// The flight-recorder overhead probe may cost at most this fraction
 /// of its pre-recorder baseline: 0.98x = a 2% slowdown budget for the
@@ -131,7 +140,7 @@ const OBS_OVERHEAD_FLOOR: f64 = 0.98;
 /// against the pre-faults scaling-8p trajectory.
 const FAULTS_OFF_FLOOR: f64 = 0.98;
 
-/// The eight canonical scenarios.
+/// The nine canonical scenarios.
 fn scenarios(quick: bool) -> Vec<Scenario> {
     // Scenario 1: the quick Figure 1 campaign (single worker so the
     // measurement is a plain single-thread workload).
@@ -376,8 +385,69 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
             rec.ops
         }),
     };
+    // Scenario 9: the result-store scale proof — a 4-axis sweep (size ×
+    // cache × fs × processes, 16 cells) run twice in one process-tree
+    // against a fresh content-addressed store: cold (every cell
+    // executes and streams to disk) then warm (every cell loads and
+    // verifies from disk). The scenario self-validates the store's
+    // contract — warm executes 0 cells, both reports are byte-identical,
+    // and warm is at least 10x faster — and reports the *pair*, so the
+    // trajectory prices cold streaming overhead and warm win together.
+    let sweep_warm = Scenario {
+        name: "sweep-warm",
+        unit: "cells",
+        run: Box::new(move || {
+            let mut plan = RunPlan::quick(0);
+            plan.duration = Nanos::from_secs(2);
+            plan.window = Nanos::from_secs(1);
+            let spec = SweepSpec {
+                name: "perfgate-sweep-warm".into(),
+                personalities: vec![Personality::RandomRead],
+                file_sizes: vec![Bytes::mib(16), Bytes::mib(32)],
+                file_counts: vec![0],
+                filesystems: vec![testbed::FsKind::Ext2, testbed::FsKind::Xfs],
+                cache_capacities: vec![Bytes::mib(8), Bytes::mib(16)],
+                processes: vec![1, 2],
+                plan,
+                device: Bytes::mib(512),
+                ..SweepSpec::default()
+            };
+            let dir =
+                std::env::temp_dir().join(format!("perfgate-sweep-warm-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = CampaignOptions {
+                store: Some(StoreOptions::at(&dir)),
+            };
+            let t0 = Instant::now();
+            let cold = run_campaign_with(&spec, 1, &opts).expect("cold sweep");
+            let cold_wall = t0.elapsed();
+            let t1 = Instant::now();
+            let warm = run_campaign_with(&spec, 1, &opts).expect("warm sweep");
+            let warm_wall = t1.elapsed();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_eq!(cold.stats.executed, cold.stats.expanded);
+            assert_eq!(
+                warm.stats.executed, 0,
+                "warm rerun of an unchanged sweep must execute 0 cells"
+            );
+            assert_eq!(
+                cold.report.to_csv(),
+                warm.report.to_csv(),
+                "cached report must be byte-identical to the live one"
+            );
+            let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+            assert!(
+                speedup >= SWEEP_WARM_MIN_SPEEDUP,
+                "store warm pass only {speedup:.1}x over cold (cold {:.1} ms, warm {:.1} ms); \
+                 need >= {SWEEP_WARM_MIN_SPEEDUP}x",
+                cold_wall.as_secs_f64() * 1e3,
+                warm_wall.as_secs_f64() * 1e3,
+            );
+            (cold.stats.expanded + warm.stats.expanded) as u64
+        }),
+    };
     vec![
-        fig1, sweep, replay, scaling, open, pump, obs_probe, faults_off,
+        fig1, sweep, replay, scaling, open, pump, obs_probe, faults_off, sweep_warm,
     ]
 }
 
@@ -544,7 +614,7 @@ fn finish(scenario_body: String, rss: Option<u64>, quick: bool, reps: usize, out
         None => String::new(),
     };
     let json = format!(
-        "{{\"bench\":\"perfgate\",\"pr\":9,\"schema\":1,\"quick\":{quick},\
+        "{{\"bench\":\"perfgate\",\"pr\":10,\"schema\":1,\"quick\":{quick},\
          \"reps\":{reps},\"scenarios\":[{scenario_body}]{rss_field}{speedup}}}\n"
     );
     // `--out results/perfgate.json` must work on a fresh checkout: the
@@ -588,7 +658,7 @@ fn main() {
         None if quick => 3,
         None => 7,
     };
-    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let out_path = flag("out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
     let only = flag("only");
 
     // The parent dispatches children by name; only a child (--only) or

@@ -1347,7 +1347,38 @@ fn working_set_estimate(workload: &Workload) -> Bytes {
 
 /// Executes one cell under the campaign's plan. `run_cap` is the
 /// per-cell share of the campaign's run budget, if one was set.
-fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<CellResult> {
+/// Section 2 coverage of a cell's workload — a pure function of
+/// `(spec, cell)`, shared by the live path and the store loader so a
+/// record loaded from disk carries exactly the coverage a fresh run
+/// would have computed.
+pub(crate) fn cell_coverage(spec: &SweepSpec, cell: &Cell) -> SimResult<CoverageProfile> {
+    match &cell.workload {
+        CellWorkload::Personality(p) => {
+            // A concurrent cell exercises the scaling dimension on top
+            // of the personality's static profile.
+            let mut coverage = p.coverage();
+            if cell.processes > 1 {
+                coverage = coverage.union(&CoverageProfile::new(&[(
+                    Dimension::Scaling,
+                    Coverage::Exercises,
+                )]));
+            }
+            Ok(coverage)
+        }
+        CellWorkload::Trace { index, .. } => {
+            let source = spec.traces.get(*index).ok_or_else(|| {
+                SimError::BadConfig(format!("trace cell references missing source {index}"))
+            })?;
+            Ok(trace_coverage(&characterize(&source.trace)))
+        }
+    }
+}
+
+pub(crate) fn run_cell(
+    spec: &SweepSpec,
+    cell: &Cell,
+    run_cap: Option<u32>,
+) -> SimResult<CellResult> {
     let personality = match &cell.workload {
         CellWorkload::Personality(p) => *p,
         CellWorkload::Trace { index, .. } => return run_trace_cell(spec, cell, *index, run_cap),
@@ -1378,15 +1409,7 @@ fn run_cell(spec: &SweepSpec, cell: &Cell, run_cap: Option<u32>) -> SimResult<Ce
         .max(Bytes::new(working_set.as_u64().saturating_mul(2)));
     let fs = cell.fs;
     let mr = run_many(|s| testbed::paper_fs(fs, device, s), &workload, &plan)?;
-    // A concurrent cell exercises the scaling dimension on top of the
-    // personality's static profile.
-    let mut coverage = personality.coverage();
-    if cell.processes > 1 {
-        coverage = coverage.union(&CoverageProfile::new(&[(
-            Dimension::Scaling,
-            Coverage::Exercises,
-        )]));
-    }
+    let coverage = cell_coverage(spec, cell)?;
     let mut result = CellResult::from_multi_run(cell.clone(), coverage, seed, &mr);
     if let (Some(stats), Some(slo)) = (result.open_loop.as_mut(), spec.slo_p99) {
         stats.slo_max_rate = Some(slo_max_rate(spec, cell, slo)?);
@@ -1550,6 +1573,71 @@ fn run_trace_cell(
     })
 }
 
+/// Result-store configuration for a campaign run.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Store root directory (conventionally `results/store/`).
+    pub dir: std::path::PathBuf,
+    /// Probe the store before executing a cell. `false` (`--no-cache`)
+    /// forces full execution; finished cells are still written, so a
+    /// no-cache run refreshes the store.
+    pub read_cache: bool,
+}
+
+impl StoreOptions {
+    /// Read-write store at `dir` — the default cache-aware mode.
+    pub fn at(dir: impl Into<std::path::PathBuf>) -> StoreOptions {
+        StoreOptions {
+            dir: dir.into(),
+            read_cache: true,
+        }
+    }
+}
+
+/// Execution options for [`run_campaign_with`]. The defaults reproduce
+/// the classic fully-in-memory campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Stream per-cell records through a content-addressed store.
+    pub store: Option<StoreOptions>,
+}
+
+/// Execution accounting for one campaign: where each expanded cell came
+/// from. Conservation (`expanded == cached + executed`) holds on every
+/// successful run; a failed cell aborts the campaign with an error
+/// instead of appearing here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignStats {
+    /// Cells the spec expanded to.
+    pub expanded: usize,
+    /// Cells served from the result store (verified cache hits).
+    pub cached: usize,
+    /// Cells executed live this run.
+    pub executed: usize,
+}
+
+/// A completed campaign run: the report plus execution accounting.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The assembled report (byte-identical however cells were sourced).
+    pub report: CampaignReport,
+    /// Cache-hit accounting for this run.
+    pub stats: CampaignStats,
+}
+
+/// Where a finished cell's result lives, per execution slot. With a
+/// store attached this is all a worker retains per cell — the record
+/// itself streams to disk — so execution memory is O(jobs), not
+/// O(cells) of recordings.
+enum CellOutcome {
+    /// Served from the store (verified hit); nothing retained.
+    Cached,
+    /// Executed live and streamed to the store; nothing retained.
+    Stored,
+    /// Executed live, result held in memory (no store configured).
+    Held(Box<CellResult>),
+}
+
 /// Runs every cell of `spec`, sharded across `jobs` worker threads.
 ///
 /// Workers pull cells from a shared atomic cursor (work stealing keeps
@@ -1558,7 +1646,19 @@ fn run_trace_cell(
 /// per-cell slots indexed by expansion order, which makes the aggregate
 /// independent of scheduling: the same spec yields byte-identical
 /// reports at any job count.
-pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> {
+///
+/// With [`CampaignOptions::store`] set, each cell is first probed in
+/// the content-addressed store (verified hits skip execution entirely)
+/// and each miss is executed and streamed to disk as one fsync'd
+/// record before the worker moves on. The report is then assembled
+/// from the store's records in expansion (deterministic key) order, so
+/// its bytes are identical whether cells came from cache or live runs,
+/// at any `--jobs` count.
+pub fn run_campaign_with(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: &CampaignOptions,
+) -> SimResult<CampaignRun> {
     let cells = spec.expand();
     if cells.is_empty() {
         return Err(SimError::InvalidOperation(
@@ -1571,6 +1671,24 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
             "campaign run budget must be at least 1".into(),
         ));
     }
+    let store = match &opts.store {
+        Some(s) => {
+            // A metrics snapshot describes one live run — caching it
+            // would replay a diagnostic as if it were a measurement.
+            if spec.plan.obs.metrics {
+                return Err(SimError::BadConfig(
+                    "the result store cannot cache flight-recorder campaigns; \
+                     drop the store or run without metrics capture"
+                        .into(),
+                ));
+            }
+            Some(crate::store::ResultStore::open(&s.dir).map_err(|e| {
+                SimError::BadConfig(format!("cannot open result store {}: {e}", s.dir.display()))
+            })?)
+        }
+        None => None,
+    };
+    let read_cache = opts.store.as_ref().is_some_and(|s| s.read_cache);
     // A shared run budget divides evenly across cells up front: the cap
     // is a function of the spec alone, so scheduling can never leak into
     // the results. (Redistributing unused runs from early-converging
@@ -1582,7 +1700,7 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
     let jobs = jobs.clamp(1, cells.len());
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<SimResult<CellResult>>>> =
+    let slots: Vec<Mutex<Option<SimResult<CellOutcome>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -1594,7 +1712,7 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let result = run_cell(spec, cell, run_cap);
+                let result = execute_slot(spec, cell, run_cap, store.as_ref(), read_cache);
                 if result.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -1607,10 +1725,14 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
     // non-empty error slot we meet is the lowest-index failure — the
     // reported error is deterministic even though later cells may have
     // been skipped.
+    let mut stats = CampaignStats {
+        expanded: cells.len(),
+        ..CampaignStats::default()
+    };
     let mut results = Vec::with_capacity(cells.len());
-    for slot in slots {
-        match slot.into_inner().expect("slot lock") {
-            Some(Ok(res)) => results.push(res),
+    for (i, slot) in slots.into_iter().enumerate() {
+        let outcome = match slot.into_inner().expect("slot lock") {
+            Some(Ok(outcome)) => outcome,
             Some(Err(e)) => return Err(e),
             // Unreachable by the invariant above; fail soft if a future
             // edit ever breaks it rather than panicking mid-report.
@@ -1619,13 +1741,75 @@ pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> 
                     "campaign aborted before this cell ran".into(),
                 ))
             }
-        }
+        };
+        let result = match outcome {
+            CellOutcome::Held(res) => {
+                stats.executed += 1;
+                *res
+            }
+            origin @ (CellOutcome::Cached | CellOutcome::Stored) => {
+                if matches!(origin, CellOutcome::Cached) {
+                    stats.cached += 1;
+                } else {
+                    stats.executed += 1;
+                }
+                // Rebuild the row from the record just probed or
+                // written: cached and live cells flow through exactly
+                // the same deserialization, which is what makes the
+                // report bytes provably source-independent.
+                store
+                    .as_ref()
+                    .expect("store-backed outcome without a store")
+                    .load(spec, &cells[i], run_cap)
+                    .ok_or_else(|| {
+                        SimError::InvalidOperation(format!(
+                            "store record for cell `{}` vanished during assembly",
+                            cells[i].key()
+                        ))
+                    })?
+            }
+        };
+        results.push(result);
     }
-    Ok(CampaignReport {
-        name: spec.name.clone(),
-        jobs,
-        cells: results,
+    Ok(CampaignRun {
+        report: CampaignReport {
+            name: spec.name.clone(),
+            jobs,
+            cells: results,
+        },
+        stats,
     })
+}
+
+/// One worker's handling of one cell: probe, execute, stream.
+fn execute_slot(
+    spec: &SweepSpec,
+    cell: &Cell,
+    run_cap: Option<u32>,
+    store: Option<&crate::store::ResultStore>,
+    read_cache: bool,
+) -> SimResult<CellOutcome> {
+    if let Some(store) = store {
+        if read_cache && store.load(spec, cell, run_cap).is_some() {
+            return Ok(CellOutcome::Cached);
+        }
+        let result = run_cell(spec, cell, run_cap)?;
+        store.save(spec, cell, run_cap, &result).map_err(|e| {
+            SimError::BadConfig(format!(
+                "cannot write store record for cell `{}`: {e}",
+                cell.key()
+            ))
+        })?;
+        return Ok(CellOutcome::Stored);
+    }
+    run_cell(spec, cell, run_cap).map(|r| CellOutcome::Held(Box::new(r)))
+}
+
+/// Runs a campaign with the classic fully-in-memory pipeline — no
+/// result store, every cell executed live. See [`run_campaign_with`]
+/// for the cache-aware, streaming variant.
+pub fn run_campaign(spec: &SweepSpec, jobs: usize) -> SimResult<CampaignReport> {
+    run_campaign_with(spec, jobs, &CampaignOptions::default()).map(|run| run.report)
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 //! * [`sched`] — the discrete-event process scheduler behind
 //!   multi-process runs: core tokens, the shared device queue, and the
 //!   closed-loop event pump.
+//! * [`store`] — the content-addressed result store behind cache-aware,
+//!   resumable campaigns.
 //! * [`scaling`] — saturation curves over the process-count axis, run
 //!   on the real engine.
 //! * [`figures`] — reproduction drivers for Figures 1–4.
@@ -53,6 +55,7 @@ pub mod report;
 pub mod runner;
 pub mod scaling;
 pub mod sched;
+pub mod store;
 pub mod survey;
 pub mod target;
 pub mod testbed;
@@ -65,7 +68,8 @@ pub mod prelude {
         compare_systems, ComparisonVerdict, FragilityReport, Regime, WarmupReport,
     };
     pub use crate::campaign::{
-        run_campaign, CampaignReport, Cell, CellResult, CellWorkload, Personality, SweepSpec,
+        run_campaign, run_campaign_with, CampaignOptions, CampaignReport, CampaignRun,
+        CampaignStats, Cell, CellResult, CellWorkload, Personality, StoreOptions, SweepSpec,
         TraceSource,
     };
     pub use crate::dimensions::{Coverage, CoverageProfile, Dimension};
@@ -82,6 +86,7 @@ pub mod prelude {
         run_open_loop, Arrival, ArrivalGen, CoreSet, DeviceQueue, OpenLoopConfig, OpenOutcome,
         SchedConfig,
     };
+    pub use crate::store::{ResultStore, CODE_SALT};
     pub use crate::survey::{render_table1, table1, SurveyRow};
     pub use crate::target::{RealFsTarget, SimTarget, Target};
     pub use crate::testbed::{FsKind, Testbed};

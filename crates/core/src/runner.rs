@@ -510,6 +510,19 @@ impl Verdict {
         }
     }
 
+    /// Parses a report label back into its verdict — the inverse of
+    /// [`Verdict::label`], used by the result store to round-trip
+    /// persisted cell records.
+    pub fn parse(s: &str) -> Option<Verdict> {
+        match s {
+            "fixed" => Some(Verdict::Fixed),
+            "converged" => Some(Verdict::Converged),
+            "max-runs" => Some(Verdict::MaxRuns),
+            "mixed-regime" => Some(Verdict::MixedRegime),
+            _ => None,
+        }
+    }
+
     /// Whether the aggregate behind this verdict is methodologically
     /// sound to quote as a single mean.
     pub fn is_sound(self) -> bool {

@@ -406,6 +406,53 @@ impl Arrival {
             )),
         }
     }
+
+    /// Parses one `--arrival` axis entry, which is either a single
+    /// [`Arrival::parse`] label or a declarative **rate ladder**
+    /// `KIND:LO..HIxFACTOR` — the geometric sequence `LO, LO*FACTOR, …`
+    /// up to and including `HI` when the ladder lands on it exactly.
+    /// `poisson:1000..16000x2` expands to the five rates
+    /// `1000, 2000, 4000, 8000, 16000`, each an ordinary arrival whose
+    /// label round-trips through [`Arrival::parse`] — the SLO
+    /// hockey-stick grid without enumerating every rung by hand.
+    pub fn parse_axis(s: &str) -> Result<Vec<Arrival>, String> {
+        let Some((kind, range)) = s.split_once(':').filter(|(_, r)| r.contains("..")) else {
+            return Arrival::parse(s).map(|a| vec![a]);
+        };
+        let (lo, rest) = range
+            .split_once("..")
+            .expect("checked: range contains `..`");
+        let (hi, factor) = rest
+            .split_once('x')
+            .ok_or_else(|| format!("bad arrival ladder {s:?}: expected KIND:LO..HIxFACTOR"))?;
+        let parse_rate = |r: &str| -> Result<u64, String> {
+            r.parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad arrival ladder rate {r:?}: expected positive ops/sec"))
+        };
+        let lo = parse_rate(lo)?;
+        let hi = parse_rate(hi)?;
+        let factor = parse_rate(factor)?;
+        if factor < 2 {
+            return Err(format!(
+                "bad arrival ladder {s:?}: factor must be at least 2"
+            ));
+        }
+        if hi < lo {
+            return Err(format!("bad arrival ladder {s:?}: {hi} is below {lo}"));
+        }
+        let mut rungs = Vec::new();
+        let mut rate = lo;
+        loop {
+            rungs.push(Arrival::parse(&format!("{kind}:{rate}"))?);
+            match rate.checked_mul(factor) {
+                Some(next) if next <= hi => rate = next,
+                _ => break,
+            }
+        }
+        Ok(rungs)
+    }
 }
 
 impl std::fmt::Display for Arrival {
@@ -801,6 +848,52 @@ mod tests {
 
     // CoreSet/DeviceQueue have their own unit tests next to their
     // implementation in rb_simcore::events.
+
+    #[test]
+    fn arrival_axis_expands_geometric_ladders() {
+        let rungs = Arrival::parse_axis("poisson:1000..16000x2").expect("ladder parses");
+        let rates: Vec<u64> = rungs.iter().filter_map(|a| a.rate()).collect();
+        assert_eq!(rates, [1000, 2000, 4000, 8000, 16000]);
+        assert!(rungs.iter().all(|a| matches!(a, Arrival::Poisson { .. })));
+        // A ladder that overshoots its top stops at the last rung <= HI.
+        let rungs = Arrival::parse_axis("bursty:100..1000x3").expect("ladder parses");
+        let rates: Vec<u64> = rungs.iter().filter_map(|a| a.rate()).collect();
+        assert_eq!(rates, [100, 300, 900]);
+        // Degenerate ladder: LO == HI is the single rung.
+        let rungs = Arrival::parse_axis("diurnal:500..500x2").expect("ladder parses");
+        assert_eq!(rungs, [Arrival::Diurnal { rate: 500 }]);
+    }
+
+    #[test]
+    fn arrival_axis_ladder_rungs_round_trip_labels() {
+        for rung in Arrival::parse_axis("poisson:250..4000x2").expect("ladder parses") {
+            let label = rung.label();
+            assert_eq!(Arrival::parse(&label), Ok(rung), "label {label}");
+            assert_eq!(Arrival::parse_axis(&label), Ok(vec![rung]));
+        }
+    }
+
+    #[test]
+    fn arrival_axis_plain_labels_unchanged() {
+        for label in ["closed", "poisson:2000", "bursty:64", "diurnal:9999"] {
+            let axis = Arrival::parse_axis(label).expect("plain label parses");
+            assert_eq!(axis, vec![Arrival::parse(label).expect("parses")]);
+        }
+    }
+
+    #[test]
+    fn arrival_axis_rejects_malformed_ladders() {
+        for bad in [
+            "poisson:1000..16000",  // no factor
+            "poisson:1000..500x2",  // reversed bounds
+            "poisson:1000..2000x1", // factor below 2
+            "poisson:0..2000x2",    // zero rate
+            "warble:1..2x2",        // unknown process
+            "poisson:a..bx2",       // non-numeric
+        ] {
+            assert!(Arrival::parse_axis(bad).is_err(), "{bad} should fail");
+        }
+    }
 
     /// A scripted test driver: `costs(i)` is the i-th executed op's
     /// outcome; issue order, completions and tick instants are logged.

@@ -7,9 +7,12 @@
 //! entries, replay happens-before indices — is keyed by values the
 //! simulator itself generates, so that defence buys nothing and costs a
 //! measurable fraction of each simulated operation. [`FnvHashMap`] and
-//! [`FnvHashSet`] swap in 64-bit FNV-1a: a multiply-xor per byte, no
-//! per-map key material, and — like everything in this crate —
-//! platform-independent and deterministic.
+//! [`FnvHashSet`] swap in 64-bit FNV-1a — no per-map key material,
+//! and — like everything in this crate — platform-independent and
+//! deterministic. Byte slices absorb a multiply-xor per byte; integer
+//! keys absorb one per 64-bit word (see [`FnvHasher::write_u64`]),
+//! since a page-residency probe that burns sixteen dependent
+//! multiplies on a 16-byte key is itself the hot path.
 //!
 //! The same primitive ([`fnv1a`], re-exported from
 //! [`rng`](crate::rng) for compatibility) has derived campaign cell
@@ -77,13 +80,32 @@ impl Hasher for FnvHasher {
     }
 
     #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.write(&n.to_le_bytes());
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
     }
 
     #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    // Integer keys are absorbed word-at-a-time: one xor-multiply per
+    // value instead of one per byte. A residency probe keyed by a
+    // 16-byte `PageKey` costs 2 dependent multiplies instead of 16,
+    // which is most of a cache-hit read's map time. This diverges from
+    // byte-wise FNV-1a — that is fine for in-memory bucket placement
+    // (the only consumer of `FnvHasher`), and anything persisted
+    // (seeds, store digests) goes through the byte-exact [`fnv1a`]
+    // free function, which must never change.
+    #[inline]
     fn write_u64(&mut self, n: u64) {
-        self.write(&n.to_le_bytes());
+        self.0 = (self.0 ^ n).wrapping_mul(FNV_PRIME);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.write_u64(n as u64);
+        self.write_u64((n >> 64) as u64);
     }
 
     #[inline]
@@ -122,12 +144,21 @@ mod tests {
     }
 
     #[test]
-    fn hasher_integer_writes_are_le_bytes() {
+    fn hasher_integer_writes_are_word_at_a_time() {
+        // One xor-multiply absorbs the whole word; narrower integer
+        // writes widen to u64 so equal values hash equal regardless of
+        // the declared width.
         let mut a = FnvHasher::default();
         a.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            a.finish(),
+            (FNV_OFFSET ^ 0x0102_0304_0506_0708).wrapping_mul(FNV_PRIME)
+        );
         let mut b = FnvHasher::default();
-        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
-        assert_eq!(a.finish(), b.finish());
+        b.write_u32(0x0506_0708);
+        let mut c = FnvHasher::default();
+        c.write_u64(0x0506_0708);
+        assert_eq!(b.finish(), c.finish());
     }
 
     #[test]

@@ -169,6 +169,10 @@ impl FileSystem for Ext3Fs {
         self.inner.attr(ino)
     }
 
+    fn size_of(&self, ino: InodeNo) -> SimResult<Bytes> {
+        self.inner.size_of(ino)
+    }
+
     fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
         let meta = self.inner.set_size(ino, size)?;
         Ok(self.journal(meta))

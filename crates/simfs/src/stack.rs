@@ -653,19 +653,19 @@ impl StorageStack {
         issue: Nanos,
     ) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
-        let attr = self.fs.attr(ino)?;
+        let size = self.fs.size_of(ino)?;
         let mut cpu = self.config.syscall_overhead;
-        let len = if offset >= attr.size {
+        let len = if offset >= size {
             Bytes::ZERO
         } else {
-            len.min(attr.size - offset)
+            len.min(size - offset)
         };
         if len.is_zero() {
             self.stats.reads += 1;
             return Ok(OpCost::cpu_only(cpu));
         }
         let page_size = self.page_size();
-        let file_pages = attr.size.div_ceil(page_size);
+        let file_pages = size.div_ceil(page_size);
         let (first, last) = page_span(offset, len, page_size);
         let count = last - first;
         let mut out = self.cache.read(ino, first, count, file_pages, issue);
@@ -734,7 +734,7 @@ impl StorageStack {
         issue: Nanos,
     ) -> SimResult<OpCost> {
         let ino = self.ino_of(fd)?;
-        let attr = self.fs.attr(ino)?;
+        let size = self.fs.size_of(ino)?;
         let mut cpu = self.config.syscall_overhead;
         if len.is_zero() {
             self.stats.writes += 1;
@@ -742,8 +742,8 @@ impl StorageStack {
         }
         let mut device = Nanos::ZERO;
         let end = offset + len;
-        if end > attr.size {
-            self.enospc_gate(end - attr.size)?;
+        if end > size {
+            self.enospc_gate(end - size)?;
             let meta = self.fs.set_size(ino, end)?;
             device += self.run_meta_at(&meta, issue)?;
             self.stats.allocations += 1;

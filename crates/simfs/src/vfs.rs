@@ -165,6 +165,16 @@ pub trait FileSystem {
     /// Attributes by inode.
     fn attr(&self, ino: InodeNo) -> SimResult<FileAttr>;
 
+    /// Logical size by inode: the read/write fast path. [`FileAttr`]
+    /// carries the allocated-block count, which costs a walk of the
+    /// inode's extent list — noticeable when every 8 KiB read of a
+    /// multi-hundred-extent file pays it for a field the data path
+    /// never looks at. Implementations with direct inode access should
+    /// override this to return the size alone.
+    fn size_of(&self, ino: InodeNo) -> SimResult<Bytes> {
+        Ok(self.attr(ino)?.size)
+    }
+
     /// Grows or shrinks a file, (de)allocating data blocks.
     fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo>;
 

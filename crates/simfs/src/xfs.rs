@@ -404,6 +404,10 @@ impl FileSystem for XfsFs {
         })
     }
 
+    fn size_of(&self, ino: InodeNo) -> SimResult<Bytes> {
+        Ok(self.tree.get(ino)?.size)
+    }
+
     fn set_size(&mut self, ino: InodeNo, size: Bytes) -> SimResult<MetaIo> {
         let node = self.tree.get(ino)?;
         if node.is_dir() {

@@ -6,7 +6,7 @@
 //! usage.
 
 use rb_core::analysis::Regime;
-use rb_core::campaign::{run_campaign, Personality, SweepSpec, TraceSource};
+use rb_core::campaign::{Personality, SweepSpec, TraceSource};
 use rb_core::prelude::*;
 use rb_core::trace::{
     characterize, merge, replay_with, Recorder, ReplayConfig, Timing, Trace, Transform,
@@ -374,9 +374,15 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
             )),
         }
     })?;
-    let arrivals = parse_list(opts.get("arrival").unwrap_or("closed"), |a| {
-        Arrival::parse(a).map_err(|e| format!("--arrival: {e}"))
-    })?;
+    // Each --arrival entry is a single mode or a declarative rate
+    // ladder (`poisson:1000..16000x2`) that expands into one rung per
+    // rate; the grid dedup then treats every rung as its own axis value.
+    let arrivals: Vec<Arrival> = parse_list(opts.get("arrival").unwrap_or("closed"), |a| {
+        Arrival::parse_axis(a).map_err(|e| format!("--arrival: {e}"))
+    })?
+    .into_iter()
+    .flatten()
+    .collect();
     // The fault axis: commas separate axis values, `+` joins the
     // components of one plan (`none,slow-disk:4x+eio:1e-4` is two
     // cells: healthy, and slow-plus-flaky).
@@ -446,6 +452,32 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     if !matches!(format, "ascii" | "csv" | "json") {
         return Err(format!("unknown format {format:?}; use ascii|csv|json"));
     }
+    // The content-addressed result store: finished cells stream to
+    // `--store DIR` and unchanged cells are served from it on rerun.
+    let store_dir = opts.get("store");
+    let no_cache = opts.get("no-cache").is_some_and(|v| v == "true");
+    let resume = opts.get("resume").is_some_and(|v| v == "true");
+    if (no_cache || resume) && store_dir.is_none() {
+        return Err("--no-cache and --resume require --store DIR".into());
+    }
+    if no_cache && resume {
+        return Err("--no-cache contradicts --resume (resuming is cache hits)".into());
+    }
+    if resume {
+        let dir = std::path::Path::new(store_dir.expect("checked: resume requires store"));
+        if !rb_core::store::ResultStore::exists(dir) {
+            return Err(format!(
+                "nothing to resume: {} holds no store manifest",
+                dir.display()
+            ));
+        }
+    }
+    let campaign_opts = CampaignOptions {
+        store: store_dir.map(|dir| StoreOptions {
+            dir: dir.into(),
+            read_cache: !no_cache,
+        }),
+    };
     let spec = SweepSpec {
         name: opts.get("name").unwrap_or("sweep").to_string(),
         personalities,
@@ -468,7 +500,16 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         "sweeping {} cells under {} on {} worker(s)...",
         n_cells, spec.plan.protocol, jobs
     );
-    let report = run_campaign(&spec, jobs).map_err(|e| e.to_string())?;
+    let run = run_campaign_with(&spec, jobs, &campaign_opts).map_err(|e| e.to_string())?;
+    if let Some(dir) = store_dir {
+        // Machine-parseable accounting line: the resume-smoke CI job
+        // asserts `executed=0` on a warm rerun.
+        eprintln!(
+            "store: cells={} cached={} executed={} ({dir})",
+            run.stats.expanded, run.stats.cached, run.stats.executed
+        );
+    }
+    let report = run.report;
     let rendered = match format {
         "csv" => report.to_csv(),
         "json" => report.to_json().to_string(),
@@ -726,7 +767,7 @@ USAGE:
   rocketbench sweep  [--workloads randomread,varmail,...] [--sizes 64M,256M,768M]
                      [--files 100,1000] [--fs ext2,ext3,xfs] [--cache 410M,256M]
                      [--processes 1,2,4,8]
-                     [--arrival closed,poisson:RATE,bursty:RATE,diurnal:RATE]
+                     [--arrival closed,poisson:RATE,poisson:LO..HIxF,...]
                      [--faults none,slow-disk:4x+eio:1e-4,...]
                      [--retry none|bounded:N|continue]
                      [--slo-p99 MS]
@@ -737,6 +778,7 @@ USAGE:
                      [--duration 15s] [--window 3s] [--jitter 3M]
                      [--jobs N] [--seed 0] [--device 2G] [--name NAME]
                      [--format ascii|csv|json] [--out FILE] [--metrics true]
+                     [--store DIR] [--no-cache true] [--resume true]
   rocketbench nano   [--fs ext2|ext3|xfs] [--quick true]
   rocketbench table1
   rocketbench trace  record --out FILE [--workload varmail] [--duration 5s]
@@ -775,10 +817,24 @@ continue = drop the op and move on). Faulted reports grow a faults
 column plus the outcome ledger (attempted = ok + retried-ok + gave-up +
 dropped) and a crash verdict; healthy cells keep byte-identical
 pre-axis output. See docs/FAULTS.md.
+An --arrival entry may also be a rate ladder KIND:LO..HIxF — the
+geometric sequence LO, LO*F, ... capped at HI, each rung its own axis
+value (poisson:1000..16000x2 is five cells per grid point).
 Trace files given via --traces become
 additional cells (trace x fs x cache), each replayed under
 --trace-timing with verdict/CI columns like any other cell; with
 --traces and no --workloads, only the traces sweep.
+
+--store DIR streams every finished cell to a content-addressed result
+store (one fsync'd record per cell plus an append-only manifest) and
+serves unchanged cells from it on rerun: a warm rerun of an unchanged
+sweep executes 0 cells, and editing one axis value re-executes only the
+new column of the grid. Records are addressed by a hash of (cell key,
+campaign seed, protocol, code-version salt), verified on load, and
+report bytes are identical whether cells came from cache or live runs.
+--no-cache true executes everything but still refreshes the store;
+--resume true picks an interrupted campaign back up from the same
+store. See docs/CAMPAIGNS.md.
 
 The flight recorder is opt-in everywhere and never perturbs a run.
 `bench --metrics true` appends the per-layer breakdown to the report;
